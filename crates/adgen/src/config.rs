@@ -1,0 +1,213 @@
+//! Generator configuration, with defaults mirroring the paper's evaluation
+//! setting (scaled to laptop size).
+
+use serde::{Deserialize, Serialize};
+
+/// Ticks per second (the workload convention; see `temporal::time`).
+pub const SEC: i64 = 1;
+/// Ticks per minute.
+pub const MIN: i64 = 60 * SEC;
+/// Ticks per hour.
+pub const HOUR: i64 = 60 * MIN;
+/// Ticks per day.
+pub const DAY: i64 = 24 * HOUR;
+
+/// One ad class with planted keyword correlations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdClassSpec {
+    /// Ad class name (the `KwAdId` of its impressions/clicks).
+    pub name: String,
+    /// Log-odds bias of a click with an empty profile. The paper notes
+    /// overall CTR is "typically lower than 1%"; the default −4.6 gives
+    /// a base CTR of ≈1%.
+    pub bias: f64,
+    /// `(keyword, log-odds weight)` — positive weights raise click
+    /// probability when the keyword is in the user's recent history.
+    pub positive: Vec<(String, f64)>,
+    /// `(keyword, log-odds weight)` — magnitudes subtracted when present.
+    pub negative: Vec<(String, f64)>,
+}
+
+impl AdClassSpec {
+    /// Convenience constructor: uniform weights.
+    pub fn new(name: &str, positive: &[&str], negative: &[&str]) -> Self {
+        AdClassSpec {
+            name: name.to_string(),
+            bias: -4.6,
+            positive: positive.iter().map(|k| (k.to_string(), 2.2)).collect(),
+            negative: negative.iter().map(|k| (k.to_string(), -2.2)).collect(),
+        }
+    }
+}
+
+/// A time-localized search burst (Example 2's icarly premiere).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrendSpec {
+    /// The trending keyword.
+    pub keyword: String,
+    /// Burst interval start (ticks).
+    pub start: i64,
+    /// Burst interval end (ticks).
+    pub end: i64,
+    /// Fraction of users participating in the trend.
+    pub user_fraction: f64,
+    /// Extra searches of the keyword per participating user per hour
+    /// during the burst.
+    pub searches_per_hour: f64,
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// RNG seed; identical seeds give identical logs.
+    pub seed: u64,
+    /// Number of users.
+    pub users: usize,
+    /// Fraction of users that are bots (paper: ~0.5%).
+    pub bot_fraction: f64,
+    /// Activity multiplier for bots (they produce this many times the
+    /// searches and clicks of an ordinary user; paper: 0.5% of users make
+    /// 13% of clicks+searches ⇒ ~29×).
+    pub bot_activity_multiplier: f64,
+    /// Size of the background keyword vocabulary (excludes planted
+    /// keywords).
+    pub background_keywords: usize,
+    /// Zipf exponent for background keyword popularity.
+    pub zipf_exponent: f64,
+    /// Log length in ticks.
+    pub duration: i64,
+    /// Mean searches+pageviews per user per day.
+    pub searches_per_user_per_day: f64,
+    /// Mean ad impressions per user per day.
+    pub impressions_per_user_per_day: f64,
+    /// Extra planted-keyword search rate for affine users, as a fraction
+    /// of the background search rate (an additional Poisson process on
+    /// top of the background searches every user performs).
+    pub planted_search_weight: f64,
+    /// Fraction of users affine to each ad class's positive keywords.
+    pub affinity_fraction: f64,
+    /// Delay from impression to click, max (ticks). The paper uses a 5-min
+    /// click window (Fig 12's d).
+    pub max_click_delay: i64,
+    /// Ad classes.
+    pub ad_classes: Vec<AdClassSpec>,
+    /// Trend spikes.
+    pub trends: Vec<TrendSpec>,
+}
+
+impl GenConfig {
+    /// The paper-shaped default: the five ad classes used in §V with their
+    /// Figs 17–19 keyword tables planted, one week of data, one trend
+    /// spike (icarly).
+    pub fn paper_default(seed: u64, users: usize) -> Self {
+        let ad_classes = vec![
+            AdClassSpec::new(
+                "deodorant",
+                &[
+                    "celebrity", "icarly", "tattoo", "games", "chat", "videos", "hannah",
+                    "exam", "music",
+                ],
+                &[
+                    "verizon", "construct", "service", "ford", "hotels", "jobless", "pilot",
+                    "credit", "craigslist",
+                ],
+            ),
+            AdClassSpec::new(
+                "laptop",
+                &["dell", "laptops", "computers", "juris", "toshiba", "vostro", "hp"],
+                &["pregnant", "stars", "wang", "vera", "dancing", "myspace", "facebook"],
+            ),
+            AdClassSpec::new(
+                "cellphone",
+                &[
+                    "blackberry", "curve", "enable", "tmobile", "phones", "wireless", "att",
+                    "verizon",
+                ],
+                &[
+                    "recipes", "times", "national", "hotels", "people", "baseball", "porn",
+                    "myspace",
+                ],
+            ),
+            AdClassSpec::new(
+                "movies",
+                &["trailer", "imdb", "tickets", "showtimes", "actors", "cinema"],
+                &["gardening", "mortgage", "tax", "plumber"],
+            ),
+            AdClassSpec::new(
+                "dieting",
+                &["calories", "weightloss", "fitness", "recipes", "yoga", "lowcarb"],
+                &["pizza", "beer", "casino", "cigarettes"],
+            ),
+        ];
+        GenConfig {
+            seed,
+            users,
+            bot_fraction: 0.005,
+            bot_activity_multiplier: 29.0,
+            background_keywords: 2_000,
+            zipf_exponent: 1.07,
+            duration: 7 * DAY,
+            searches_per_user_per_day: 12.0,
+            impressions_per_user_per_day: 6.0,
+            planted_search_weight: 0.35,
+            affinity_fraction: 0.25,
+            max_click_delay: 4 * MIN,
+            ad_classes,
+            trends: vec![TrendSpec {
+                keyword: "icarly".into(),
+                start: 2 * DAY,
+                end: 2 * DAY + 6 * HOUR,
+                user_fraction: 0.1,
+                searches_per_hour: 1.5,
+            }],
+        }
+    }
+
+    /// A small configuration for unit and integration tests: shorter,
+    /// denser, and more strongly affine than the week-long default so the
+    /// planted signal reaches z-test support within one day of data.
+    pub fn small(seed: u64) -> Self {
+        let mut cfg = Self::paper_default(seed, 400);
+        cfg.duration = DAY;
+        cfg.background_keywords = 200;
+        cfg.searches_per_user_per_day = 24.0;
+        cfg.impressions_per_user_per_day = 12.0;
+        cfg.affinity_fraction = 0.35;
+        cfg.planted_search_weight = 0.5;
+        // Keep the trend burst inside the shortened log.
+        for t in &mut cfg.trends {
+            t.start = 6 * HOUR;
+            t.end = 12 * HOUR;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_five_ad_classes() {
+        let cfg = GenConfig::paper_default(1, 1000);
+        assert_eq!(cfg.ad_classes.len(), 5);
+        let names: Vec<&str> = cfg.ad_classes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["deodorant", "laptop", "cellphone", "movies", "dieting"]
+        );
+        // Fig 17's signature keywords are planted.
+        let deo = &cfg.ad_classes[0];
+        assert!(deo.positive.iter().any(|(k, _)| k == "icarly"));
+        assert!(deo.negative.iter().any(|(k, _)| k == "jobless"));
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = GenConfig::small(7);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: GenConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.users, cfg.users);
+        assert_eq!(back.ad_classes.len(), cfg.ad_classes.len());
+    }
+}

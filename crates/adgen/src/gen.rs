@@ -1,0 +1,462 @@
+//! The event generator.
+//!
+//! Each user is simulated independently with an RNG seeded from
+//! `(config.seed, user index)`, so logs are deterministic and
+//! order-independent. A user's timeline interleaves searches (Poisson
+//! arrivals), trend-burst searches, and ad impressions; every impression's
+//! click decision is made by the *ground-truth logistic model* over the
+//! planted keywords actually present in that user's preceding six hours of
+//! searches — the same quantity the BT pipeline later estimates.
+
+use crate::config::{GenConfig, HOUR};
+use crate::keywords::Vocabulary;
+use crate::truth::GroundTruth;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use relation::{row, Row};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Log record kind (the `StreamId` column of paper Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamId {
+    /// An ad was shown (`StreamId = 0`).
+    Impression = 0,
+    /// An ad was clicked (`StreamId = 1`).
+    Click = 1,
+    /// A search or page view (`StreamId = 2`).
+    Keyword = 2,
+}
+
+/// One generated log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEvent {
+    /// Timestamp (ticks).
+    pub time: i64,
+    /// Record kind.
+    pub stream: StreamId,
+    /// User id.
+    pub user: String,
+    /// Keyword (for `Keyword`) or ad class (for `Impression`/`Click`).
+    pub kw_ad: String,
+}
+
+/// A generated log plus its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedLog {
+    /// Events sorted by `(time, user, stream)`.
+    pub events: Vec<LogEvent>,
+    /// What was planted.
+    pub truth: GroundTruth,
+}
+
+impl GeneratedLog {
+    /// Encode as rows of the unified dataset schema
+    /// (`Time, StreamId, UserId, KwAdId`).
+    pub fn rows(&self) -> Vec<Row> {
+        self.events
+            .iter()
+            .map(|e| row![e.time, e.stream as i32, e.user.as_str(), e.kw_ad.as_str()])
+            .collect()
+    }
+
+    /// `(bot user count, total users, bot clicks+searches, total
+    /// clicks+searches)` — the §IV-B.1 bot statistic.
+    pub fn bot_activity(&self) -> (usize, usize, u64, u64) {
+        let mut users: FxHashMap<&str, bool> = FxHashMap::default();
+        let mut bot_activity = 0u64;
+        let mut total_activity = 0u64;
+        for e in &self.events {
+            let is_bot = self.truth.bots.contains(&e.user);
+            users.insert(&e.user, is_bot);
+            if matches!(e.stream, StreamId::Click | StreamId::Keyword) {
+                total_activity += 1;
+                if is_bot {
+                    bot_activity += 1;
+                }
+            }
+        }
+        let bots = users.values().filter(|&&b| b).count();
+        (bots, users.len(), bot_activity, total_activity)
+    }
+
+    /// Overall click-through rate (clicks / impressions).
+    pub fn overall_ctr(&self) -> f64 {
+        let clicks = self
+            .events
+            .iter()
+            .filter(|e| e.stream == StreamId::Click)
+            .count() as f64;
+        let imps = self
+            .events
+            .iter()
+            .filter(|e| e.stream == StreamId::Impression)
+            .count() as f64;
+        if imps == 0.0 {
+            0.0
+        } else {
+            clicks / imps
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Exponential inter-arrival sample for a Poisson process with `rate`
+/// events per tick.
+fn next_gap<R: Rng>(rng: &mut R, rate: f64) -> i64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    ((-u.ln() / rate).ceil() as i64).max(1)
+}
+
+/// Generate a log from `config`.
+pub fn generate(config: &GenConfig) -> GeneratedLog {
+    let planted: Vec<String> = {
+        let mut v: Vec<String> = Vec::new();
+        for ad in &config.ad_classes {
+            for (k, _) in ad.positive.iter().chain(&ad.negative) {
+                if !v.contains(k) {
+                    v.push(k.clone());
+                }
+            }
+        }
+        v
+    };
+    let vocab = Vocabulary::new(planted, config.background_keywords, config.zipf_exponent);
+
+    // Per-ad keyword weights for the ground-truth click model.
+    let ad_weights: Vec<FxHashMap<&str, f64>> = config
+        .ad_classes
+        .iter()
+        .map(|ad| {
+            ad.positive
+                .iter()
+                .chain(&ad.negative)
+                .map(|(k, w)| (k.as_str(), *w))
+                .collect()
+        })
+        .collect();
+
+    let mut truth = GroundTruth::default();
+    for ad in &config.ad_classes {
+        truth.positive_keywords.insert(
+            ad.name.clone(),
+            ad.positive.iter().map(|(k, _)| k.clone()).collect(),
+        );
+        truth.negative_keywords.insert(
+            ad.name.clone(),
+            ad.negative.iter().map(|(k, _)| k.clone()).collect(),
+        );
+    }
+
+    let mut events: Vec<LogEvent> = Vec::new();
+    let n_bots = ((config.users as f64) * config.bot_fraction).round() as usize;
+
+    for uidx in 0..config.users {
+        let user = format!("u{uidx}");
+        let mut rng = SmallRng::seed_from_u64(
+            config.seed ^ (uidx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let is_bot = uidx < n_bots;
+        if is_bot {
+            truth.bots.insert(user.clone());
+        }
+        let mult = if is_bot {
+            config.bot_activity_multiplier
+        } else {
+            1.0
+        };
+
+        // Keyword pool this user draws planted searches from.
+        let mut pool: Vec<&str> = Vec::new();
+        for ad in &config.ad_classes {
+            if rng.gen::<f64>() < config.affinity_fraction {
+                pool.extend(ad.positive.iter().map(|(k, _)| k.as_str()));
+            }
+            if rng.gen::<f64>() < config.affinity_fraction {
+                pool.extend(ad.negative.iter().map(|(k, _)| k.as_str()));
+            }
+        }
+
+        // ---- searches ----
+        // Two independent Poisson processes: a *background* process every
+        // user has at the same rate (so background keywords carry no
+        // population-level click signal and the z-test must reject them),
+        // and an *additional* planted-keyword process for users with
+        // ad-class affinities. Folding planted searches into the
+        // background budget instead (a probability split) would make
+        // affine users search each background keyword less often than
+        // non-affine users — a confound that floods feature selection
+        // with spuriously "negative" background keywords.
+        let day = 24 * HOUR;
+        let bg_rate = config.searches_per_user_per_day * mult / day as f64;
+        let mut t = next_gap(&mut rng, bg_rate);
+        let mut searches: Vec<(i64, String)> = Vec::new();
+        while t < config.duration {
+            let kw = if is_bot && rng.gen::<f64>() < 0.3 {
+                // Bots also hammer random keywords across the whole
+                // vocabulary, planted ones included.
+                let all = &vocab.keywords;
+                all[rng.gen_range(0..all.len())].clone()
+            } else {
+                vocab.sample_background(&mut rng).to_string()
+            };
+            searches.push((t, kw));
+            t += next_gap(&mut rng, bg_rate);
+        }
+        if !pool.is_empty() && !is_bot {
+            let planted_rate = config.searches_per_user_per_day
+                * config.planted_search_weight
+                * mult
+                / day as f64;
+            let mut t = next_gap(&mut rng, planted_rate);
+            while t < config.duration {
+                searches.push((t, pool[rng.gen_range(0..pool.len())].to_string()));
+                t += next_gap(&mut rng, planted_rate);
+            }
+        }
+
+        // ---- trend bursts ----
+        for trend in &config.trends {
+            if rng.gen::<f64>() < trend.user_fraction {
+                let hours = ((trend.end - trend.start) as f64 / HOUR as f64).max(0.0);
+                let expected = trend.searches_per_hour * hours;
+                let count = poisson_like(&mut rng, expected);
+                for _ in 0..count {
+                    let at = rng.gen_range(trend.start..trend.end);
+                    searches.push((at, trend.keyword.clone()));
+                }
+            }
+        }
+        searches.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+        // ---- impressions, with ground-truth click decisions ----
+        let imp_rate = config.impressions_per_user_per_day * mult / day as f64;
+        let mut impressions: Vec<i64> = Vec::new();
+        let mut t = next_gap(&mut rng, imp_rate);
+        while t < config.duration {
+            impressions.push(t);
+            t += next_gap(&mut rng, imp_rate);
+        }
+
+        let mut recent: VecDeque<(i64, &str)> = VecDeque::new();
+        let mut search_idx = 0;
+        for &imp_t in &impressions {
+            // Advance the 6-hour profile window to this impression.
+            while search_idx < searches.len() && searches[search_idx].0 <= imp_t {
+                let (st, kw) = &searches[search_idx];
+                recent.push_back((*st, kw.as_str()));
+                search_idx += 1;
+            }
+            while recent.front().is_some_and(|(st, _)| *st <= imp_t - 6 * HOUR) {
+                recent.pop_front();
+            }
+
+            let ad_idx = rng.gen_range(0..config.ad_classes.len());
+            let ad = &config.ad_classes[ad_idx];
+            let clicked = if is_bot {
+                rng.gen::<f64>() < 0.3
+            } else {
+                let mut x = ad.bias;
+                let mut seen: Vec<&str> = Vec::new();
+                for (_, kw) in &recent {
+                    if !seen.contains(kw) {
+                        if let Some(w) = ad_weights[ad_idx].get(kw) {
+                            x += w;
+                        }
+                        seen.push(kw);
+                    }
+                }
+                rng.gen::<f64>() < sigmoid(x)
+            };
+
+            events.push(LogEvent {
+                time: imp_t,
+                stream: StreamId::Impression,
+                user: user.clone(),
+                kw_ad: ad.name.clone(),
+            });
+            if clicked {
+                let delay = rng.gen_range(5..config.max_click_delay.max(6));
+                events.push(LogEvent {
+                    time: imp_t + delay,
+                    stream: StreamId::Click,
+                    user: user.clone(),
+                    kw_ad: ad.name.clone(),
+                });
+            }
+        }
+
+        for (st, kw) in searches {
+            events.push(LogEvent {
+                time: st,
+                stream: StreamId::Keyword,
+                user: user.clone(),
+                kw_ad: kw,
+            });
+        }
+    }
+
+    events.sort_by(|a, b| {
+        (a.time, &a.user, a.stream as i32, &a.kw_ad).cmp(&(b.time, &b.user, b.stream as i32, &b.kw_ad))
+    });
+    GeneratedLog { events, truth }
+}
+
+/// Cheap Poisson sampler (Knuth) adequate for small means.
+fn poisson_like<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+
+    fn small_log() -> GeneratedLog {
+        generate(&GenConfig::small(42))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_log();
+        let b = small_log();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.truth.bots, b.truth.bots);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::small(1));
+        let b = generate(&GenConfig::small(2));
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_range() {
+        let log = small_log();
+        let cfg = GenConfig::small(42);
+        assert!(!log.events.is_empty());
+        for w in log.events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for e in &log.events {
+            assert!(e.time >= 0);
+            // Clicks may trail the duration by up to the click delay.
+            assert!(e.time < cfg.duration + cfg.max_click_delay);
+        }
+    }
+
+    #[test]
+    fn every_click_follows_an_impression() {
+        let log = small_log();
+        for c in log.events.iter().filter(|e| e.stream == StreamId::Click) {
+            let has_imp = log.events.iter().any(|i| {
+                i.stream == StreamId::Impression
+                    && i.user == c.user
+                    && i.kw_ad == c.kw_ad
+                    && i.time < c.time
+                    && c.time - i.time <= GenConfig::small(42).max_click_delay
+            });
+            assert!(has_imp, "orphan click {c:?}");
+        }
+    }
+
+    #[test]
+    fn bots_are_disproportionately_active() {
+        // The §IV-B.1 shape: a tiny user fraction, an outsized activity
+        // share.
+        let mut cfg = GenConfig::small(7);
+        cfg.users = 1000;
+        let log = generate(&cfg);
+        let (bots, users, bot_act, total_act) = log.bot_activity();
+        assert!(bots >= 3, "want some bots, got {bots}");
+        let user_share = bots as f64 / users as f64;
+        let act_share = bot_act as f64 / total_act as f64;
+        assert!(user_share < 0.02, "bot user share {user_share}");
+        assert!(
+            act_share > 5.0 * user_share,
+            "bot activity share {act_share} vs user share {user_share}"
+        );
+    }
+
+    #[test]
+    fn overall_ctr_is_low_but_nonzero() {
+        let log = small_log();
+        let ctr = log.overall_ctr();
+        assert!(ctr > 0.001, "ctr {ctr}");
+        assert!(ctr < 0.25, "ctr {ctr}");
+    }
+
+    #[test]
+    fn positive_keywords_correlate_with_clicks() {
+        // Sanity-check the planted signal directly on the generator
+        // output: CTR among impressions preceded (within 6h) by a planted
+        // positive keyword must exceed the overall CTR.
+        let mut cfg = GenConfig::small(11);
+        cfg.users = 800;
+        let log = generate(&cfg);
+        let ad = "laptop";
+        let positives = &log.truth.positive_keywords[ad];
+
+        let mut with_kw = (0u64, 0u64); // (clicks, impressions)
+        let mut without = (0u64, 0u64);
+        for (i, e) in log.events.iter().enumerate() {
+            if e.stream != StreamId::Impression || e.kw_ad != ad {
+                continue;
+            }
+            if log.truth.bots.contains(&e.user) {
+                continue;
+            }
+            let profile_has_kw = log.events[..i].iter().any(|s| {
+                s.stream == StreamId::Keyword
+                    && s.user == e.user
+                    && s.time > e.time - 6 * HOUR
+                    && positives.contains(&s.kw_ad)
+            });
+            let clicked = log.events[i..].iter().any(|c| {
+                c.stream == StreamId::Click
+                    && c.user == e.user
+                    && c.kw_ad == e.kw_ad
+                    && c.time > e.time
+                    && c.time <= e.time + cfg.max_click_delay
+            });
+            let slot = if profile_has_kw { &mut with_kw } else { &mut without };
+            slot.1 += 1;
+            if clicked {
+                slot.0 += 1;
+            }
+        }
+        assert!(with_kw.1 > 20, "too few exposed impressions: {with_kw:?}");
+        let ctr_with = with_kw.0 as f64 / with_kw.1 as f64;
+        let ctr_without = without.0 as f64 / without.1.max(1) as f64;
+        assert!(
+            ctr_with > 2.0 * ctr_without.max(0.001),
+            "ctr with kw {ctr_with} vs without {ctr_without}"
+        );
+    }
+
+    #[test]
+    fn rows_match_unified_schema() {
+        let log = small_log();
+        let rows = log.rows();
+        let schema = crate::unified_schema();
+        for r in rows.iter().take(100) {
+            r.check(&schema).unwrap();
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Keyword vocabulary with Zipf-distributed popularity.
+//!
+//! Real search logs are heavy-tailed: the paper reports ~50 M distinct
+//! keywords of which only a tiny fraction carry BT signal, which is why
+//! popularity-based selection (KE-pop) retains junk like "facebook" and
+//! "craigslist" (§V-C). A Zipf background vocabulary reproduces that trap:
+//! the most popular keywords carry no click signal at all.
+
+use rand::Rng;
+
+/// A sampler over `n` ranked items with probability ∝ `1 / rank^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty Zipf support");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank index in `[0, n)`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// The full vocabulary: planted keywords (from ad-class specs) followed by
+/// background keywords `bg0, bg1, …` in popularity-rank order.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    /// All keywords; planted first.
+    pub keywords: Vec<String>,
+    /// Number of planted keywords at the front.
+    pub planted: usize,
+    zipf: Zipf,
+}
+
+impl Vocabulary {
+    /// Build from the planted set plus `background` generic keywords.
+    pub fn new(planted: Vec<String>, background: usize, zipf_exponent: f64) -> Self {
+        let mut keywords = planted;
+        let planted_count = keywords.len();
+        keywords.extend((0..background).map(|i| format!("bg{i}")));
+        // Background popularity ranks only: planted keywords are sampled
+        // via affinity, not popularity.
+        Vocabulary {
+            planted: planted_count,
+            zipf: Zipf::new(background.max(1), zipf_exponent),
+            keywords,
+        }
+    }
+
+    /// Sample a background keyword by popularity.
+    pub fn sample_background<R: Rng>(&self, rng: &mut R) -> &str {
+        let rank = self.zipf.sample(rng);
+        &self.keywords[self.planted + rank.min(self.keywords.len() - self.planted - 1)]
+    }
+
+    /// All planted keywords.
+    pub fn planted_keywords(&self) -> &[String] {
+        &self.keywords[..self.planted]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The top-10 of 1000 items should draw a large share.
+        assert!(head as f64 / n as f64 > 0.3, "head share {head}/{n}");
+    }
+
+    #[test]
+    fn zipf_samples_cover_support() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vocabulary_layout() {
+        let v = Vocabulary::new(vec!["icarly".into(), "dell".into()], 100, 1.0);
+        assert_eq!(v.planted_keywords(), &["icarly".to_string(), "dell".to_string()]);
+        assert_eq!(v.keywords.len(), 102);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let k = v.sample_background(&mut rng);
+            assert!(k.starts_with("bg"), "background sample was {k}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Ground truth exposed alongside generated logs, for validating what the
+//! BT pipeline recovers.
+
+use rustc_hash::FxHashSet;
+use std::collections::BTreeMap;
+
+/// Planted structure of a generated log.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// User ids generated as bots.
+    pub bots: FxHashSet<String>,
+    /// Per ad class: the planted positively-correlated keywords.
+    pub positive_keywords: BTreeMap<String, Vec<String>>,
+    /// Per ad class: the planted negatively-correlated keywords.
+    pub negative_keywords: BTreeMap<String, Vec<String>>,
+}
+
+impl GroundTruth {
+    /// Precision/recall of a recovered keyword set against the planted
+    /// positives of `ad_class`. Returns `(precision, recall)`.
+    pub fn positive_precision_recall(
+        &self,
+        ad_class: &str,
+        recovered: &[String],
+    ) -> (f64, f64) {
+        score(self.positive_keywords.get(ad_class), recovered)
+    }
+
+    /// Precision/recall against the planted negatives of `ad_class`.
+    pub fn negative_precision_recall(
+        &self,
+        ad_class: &str,
+        recovered: &[String],
+    ) -> (f64, f64) {
+        score(self.negative_keywords.get(ad_class), recovered)
+    }
+}
+
+fn score(truth: Option<&Vec<String>>, recovered: &[String]) -> (f64, f64) {
+    let truth: FxHashSet<&str> = truth
+        .map(|v| v.iter().map(String::as_str).collect())
+        .unwrap_or_default();
+    if recovered.is_empty() {
+        return (0.0, 0.0);
+    }
+    let hits = recovered
+        .iter()
+        .filter(|k| truth.contains(k.as_str()))
+        .count();
+    let precision = hits as f64 / recovered.len() as f64;
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        hits as f64 / truth.len() as f64
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_computation() {
+        let mut gt = GroundTruth::default();
+        gt.positive_keywords.insert(
+            "deodorant".into(),
+            vec!["icarly".into(), "celebrity".into(), "exam".into(), "music".into()],
+        );
+        let recovered = vec!["icarly".to_string(), "celebrity".to_string(), "junk".to_string()];
+        let (p, r) = gt.positive_precision_recall("deodorant", &recovered);
+        assert!((p - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let gt = GroundTruth::default();
+        assert_eq!(gt.positive_precision_recall("x", &[]), (0.0, 0.0));
+        assert_eq!(
+            gt.positive_precision_recall("x", &["a".to_string()]),
+            (0.0, 0.0)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! §V-D learning time as a Criterion benchmark: logistic-regression
+//! training cost under each data-reduction scheme (the paper's 31 / 18 /
+//! 5 seconds ordering for F-Ex / KE-1.28 / KE-2.56).
+
+use bench::Scale;
+use bt::eval::{by_ad, reduce_examples, scores_from_examples, Scheme};
+use bt::lr::{train, LrConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_learning(c: &mut Criterion) {
+    // Build examples once via the generator + an in-process sweep (the
+    // custom example builder), independent of the M-R machinery.
+    let mut cfg = Scale::Small.gen_config(3);
+    cfg.users = 800;
+    let log = adgen::generate(&cfg);
+    let rows = log.rows();
+    let dfs = mapreduce::Dfs::new();
+    dfs.put(
+        "logs",
+        mapreduce::Dataset::single(adgen::unified_schema(), rows),
+    )
+    .unwrap();
+    let params = bt::BtParams {
+        machines: 4,
+        horizon: cfg.duration * 2,
+        ..Default::default()
+    };
+    let artifacts = bt::pipeline::BtPipeline::new(params.clone())
+        .run(&dfs, &mapreduce::Cluster::new(), "logs", "bench")
+        .unwrap();
+    let examples =
+        bt::pipeline::BtPipeline::load_examples(&dfs, &artifacts.labels, &artifacts.train_rows)
+            .unwrap();
+    let scores =
+        scores_from_examples(&examples, params.min_support, params.min_example_support);
+    let per_ad = by_ad(&examples);
+    let ad = "laptop";
+    let ad_examples = per_ad.get(ad).cloned().unwrap_or_default();
+
+    let mut group = c.benchmark_group("lr_learning_time");
+    group.sample_size(10);
+    for scheme in [
+        Scheme::FEx,
+        Scheme::KeZ { threshold: 1.28 },
+        Scheme::KeZ { threshold: 2.56 },
+    ] {
+        let reduced = reduce_examples(ad, &ad_examples, &scheme, &scores);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.to_string()),
+            &reduced,
+            |b, data| b.iter(|| train(data, &LrConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Microbenchmarks for the temporal operators — the engine-level costs
+//! behind every TiMR reducer (paper §II-A: "the efficient implementation
+//! of aggregation and temporal join in StreamInsight consists of more than
+//! 3000 lines of high-level code each"; these benches are why that
+//! engineering is worth embedding rather than rewriting per job).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relation::row;
+use relation::schema::{ColumnType, Field};
+use relation::Schema;
+use temporal::exec::{bindings, execute_single};
+use temporal::{Event, EventStream, Query};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("UserId", ColumnType::Str),
+        Field::new("V", ColumnType::Long),
+    ])
+}
+
+fn point_stream(n: usize, users: usize) -> EventStream {
+    EventStream::new(
+        schema(),
+        (0..n)
+            .map(|i| Event::point(i as i64, row![format!("u{}", i % users), i as i64]))
+            .collect(),
+    )
+}
+
+fn bench_windowed_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("windowed_count");
+    for n in [1_000usize, 10_000, 50_000] {
+        let input = point_stream(n, 100);
+        let q = Query::new();
+        let out = q
+            .source("in", schema())
+            .group_apply(&["UserId"], |g| g.window(500).count("N"));
+        let plan = q.build(vec![out]).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                execute_single(&plan, &bindings(vec![("in", input.clone())])).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_temporal_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("temporal_join");
+    for n in [1_000usize, 10_000] {
+        // Points probing an interval synopsis — the UBP-join shape.
+        let left = point_stream(n, 100);
+        let right = EventStream::new(
+            schema(),
+            (0..n / 2)
+                .map(|i| {
+                    Event::interval(
+                        (i * 2) as i64,
+                        (i * 2 + 600) as i64,
+                        row![format!("u{}", i % 100), i as i64],
+                    )
+                })
+                .collect(),
+        );
+        let q = Query::new();
+        let l = q.source("l", schema());
+        let r = q.source("r", schema());
+        let out = l.temporal_join(r, &[("UserId", "UserId")], None);
+        let plan = q.build(vec![out]).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                execute_single(
+                    &plan,
+                    &bindings(vec![("l", left.clone()), ("r", right.clone())]),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_anti_semi_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anti_semi_join");
+    let n = 10_000usize;
+    let left = point_stream(n, 100);
+    let right = EventStream::new(
+        schema(),
+        (0..200)
+            .map(|i| Event::interval(i * 50, i * 50 + 40, row![format!("u{}", i % 100), 0i64]))
+            .collect(),
+    );
+    let q = Query::new();
+    let l = q.source("l", schema());
+    let r = q.source("r", schema());
+    let out = l.anti_semi_join(r, &[("UserId", "UserId")]);
+    let plan = q.build(vec![out]).unwrap();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("points_minus_periods", |b| {
+        b.iter(|| {
+            execute_single(
+                &plan,
+                &bindings(vec![("l", left.clone()), ("r", right.clone())]),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize");
+    let n = 20_000usize;
+    let stream = EventStream::new(
+        schema(),
+        (0..n)
+            .map(|i| {
+                Event::interval(
+                    (i % 1000) as i64,
+                    (i % 1000 + 10) as i64,
+                    row![format!("u{}", i % 50), 0i64],
+                )
+            })
+            .collect(),
+    );
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("coalesce_20k", |b| b.iter(|| stream.normalize()));
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_windowed_count, bench_temporal_join, bench_anti_semi_join, bench_normalize
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig 14 (right) as a Criterion benchmark: the end-to-end BT pipeline on
+//! TiMR vs the hand-written custom reducers, over the same generated log.
+
+use bench::Scale;
+use bt::baselines::custom::run_custom;
+use bt::pipeline::BtPipeline;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static RUN: AtomicUsize = AtomicUsize::new(0);
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut workload_cfg = Scale::Small.gen_config(7);
+    workload_cfg.users = 400; // keep iterations fast
+    let log = adgen::generate(&workload_cfg);
+    let rows = log.rows();
+
+    let mut group = c.benchmark_group("fig14_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("timr", |b| {
+        b.iter(|| {
+            let dfs = mapreduce::Dfs::new();
+            dfs.put(
+                "logs",
+                mapreduce::Dataset::single(adgen::unified_schema(), rows.clone()),
+            )
+            .unwrap();
+            let params = bt::BtParams {
+                machines: 4,
+                horizon: workload_cfg.duration * 2,
+                ..Default::default()
+            };
+            let id = RUN.fetch_add(1, Ordering::Relaxed);
+            BtPipeline::new(params)
+                .run(&dfs, &mapreduce::Cluster::new(), "logs", &format!("b{id}"))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("custom", |b| {
+        b.iter(|| {
+            let dfs = mapreduce::Dfs::new();
+            dfs.put(
+                "logs",
+                mapreduce::Dataset::single(adgen::unified_schema(), rows.clone()),
+            )
+            .unwrap();
+            let params = bt::BtParams {
+                machines: 4,
+                ..Default::default()
+            };
+            run_custom(&dfs, &mapreduce::Cluster::new(), "logs", "c", &params).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig 16 as a Criterion benchmark: temporal partitioning of a sliding
+//! count at three span widths plus the unpartitioned baseline. Criterion
+//! measures real wall time on the local pool (the experiments binary adds
+//! the simulated 150-machine makespan view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relation::row;
+use relation::schema::{ColumnType, Field};
+use temporal::{Query, HOUR, MIN};
+use timr::temporal_partition::TemporalPartitionJob;
+use timr::EventEncoding;
+
+fn plan() -> temporal::LogicalPlan {
+    let q = Query::new();
+    let payload = relation::Schema::new(vec![Field::new("AdId", ColumnType::Str)]);
+    let out = q.source("clicks", payload).window(30 * MIN).count("N");
+    q.build(vec![out]).unwrap()
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let events: i64 = 40_000;
+    let duration = 12 * HOUR;
+    let rows: Vec<relation::Row> = (0..events)
+        .map(|i| row![i * duration / events, format!("ad{}", i % 10)])
+        .collect();
+    let payload = relation::Schema::new(vec![Field::new("AdId", ColumnType::Str)]);
+    let dataset_schema = EventEncoding::Point.dataset_schema(&payload);
+
+    let mut group = c.benchmark_group("fig16_spans");
+    group.sample_size(10);
+    for (name, width) in [
+        ("15min", 15 * MIN),
+        ("60min", 60 * MIN),
+        ("240min", 4 * HOUR),
+        ("single", duration + HOUR),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &width, |b, &w| {
+            b.iter(|| {
+                let dfs = mapreduce::Dfs::new();
+                dfs.put(
+                    "clicks",
+                    mapreduce::Dataset::single(dataset_schema.clone(), rows.clone()),
+                )
+                .unwrap();
+                TemporalPartitionJob::new("bench", plan(), w)
+                    .run(&dfs, &mapreduce::Cluster::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spans);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments                # all, small scale
+//! cargo run -p bench --release --bin experiments -- fig16      # one experiment
+//! cargo run -p bench --release --bin experiments -- --scale paper
+//! cargo run -p bench --release --bin experiments -- --list
+//! ```
+
+use bench::experiments::{registry, Ctx};
+use bench::Scale;
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{v}` (small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--list" => {
+                for e in registry() {
+                    println!("{:8} {}", e.name, e.artifact);
+                }
+                return;
+            }
+            name => selected.push(name.to_string()),
+        }
+    }
+
+    let experiments = registry();
+    for name in &selected {
+        if !experiments.iter().any(|e| e.name == name) {
+            eprintln!("unknown experiment `{name}`; use --list");
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "TiMR reproduction experiments — scale: {scale:?} (see EXPERIMENTS.md for analysis)\n"
+    );
+    let t0 = std::time::Instant::now();
+    let mut ctx = Ctx::new(scale, 42);
+    println!(
+        "workload: {} log events, {} users configured\n",
+        ctx.workload.log.events.len(),
+        scale.gen_config(42).users,
+    );
+
+    for e in experiments {
+        if !selected.is_empty() && !selected.iter().any(|n| n == e.name) {
+            continue;
+        }
+        println!("=== [{}] {} ===", e.name, e.artifact);
+        let start = std::time::Instant::now();
+        let report = (e.run)(&mut ctx);
+        println!("{report}");
+        println!("[{} completed in {:.2?}]\n", e.name, start.elapsed());
+    }
+    println!("all done in {:.2?}", t0.elapsed());
+}

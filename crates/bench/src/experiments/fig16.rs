@@ -1,0 +1,119 @@
+//! Fig 16: temporal partitioning — runtime vs span width.
+//!
+//! A 30-minute sliding-window count with no payload key is only
+//! partitionable by time (paper §III-B). Small spans duplicate work at the
+//! overlaps; huge spans starve the cluster of parallelism; the paper finds
+//! a U-shaped curve with an ~18x best-case speedup over single-node
+//! execution at span widths of 60–120 minutes.
+//!
+//! We run the same query over a dense synthetic point stream, sweep the
+//! span width, and report (a) measured per-span reduce times scheduled
+//! onto a simulated 150-machine cluster (LPT + per-task overhead, the
+//! `mapreduce::StageStats::simulated_makespan` model) and (b) the
+//! replication factor that drives the left side of the U.
+
+use super::Ctx;
+use crate::table::{dur, Table};
+use crate::Scale;
+use mapreduce::{Dataset, Dfs};
+use relation::row;
+use temporal::{Query, HOUR, MIN};
+use timr::temporal_partition::TemporalPartitionJob;
+use timr::EventEncoding;
+
+const MACHINES: usize = 150;
+const TASK_OVERHEAD_MS: u64 = 40;
+
+fn sliding_count_plan() -> temporal::LogicalPlan {
+    let q = Query::new();
+    let payload = relation::Schema::new(vec![relation::schema::Field::new(
+        "AdId",
+        relation::schema::ColumnType::Str,
+    )]);
+    let out = q.source("clicks", payload).window(30 * MIN).count("N");
+    q.build(vec![out]).expect("valid plan")
+}
+
+/// Run the experiment.
+pub fn run(ctx: &mut Ctx) -> String {
+    let events: i64 = match ctx.workload.scale {
+        Scale::Small => 60_000,
+        Scale::Paper => 250_000,
+    };
+    let duration = 24 * HOUR;
+    let rows: Vec<relation::Row> = (0..events)
+        .map(|i| {
+            // Quasi-uniform arrival times with deterministic jitter.
+            let t = (i * duration / events + (i * 7919) % 13) % duration;
+            row![t, format!("ad{}", i % 10)]
+        })
+        .collect();
+
+    let payload = relation::Schema::new(vec![relation::schema::Field::new(
+        "AdId",
+        relation::schema::ColumnType::Str,
+    )]);
+
+    let span_widths: Vec<(&str, i64)> = vec![
+        ("5 min", 5 * MIN),
+        ("15 min", 15 * MIN),
+        ("30 min", 30 * MIN),
+        ("60 min", 60 * MIN),
+        ("120 min", 2 * HOUR),
+        ("240 min", 4 * HOUR),
+        ("480 min", 8 * HOUR),
+        ("single", duration + HOUR),
+    ];
+
+    let mut table = Table::new(&[
+        "Span width",
+        "Spans",
+        "Replication",
+        "Makespan@150",
+        "Speedup",
+    ]);
+    let overhead = std::time::Duration::from_millis(TASK_OVERHEAD_MS);
+    let mut single_node = std::time::Duration::ZERO;
+    let mut results: Vec<(String, usize, f64, std::time::Duration)> = Vec::new();
+
+    for (name, width) in &span_widths {
+        let dfs = Dfs::new();
+        dfs.put(
+            "clicks",
+            Dataset::single(EventEncoding::Point.dataset_schema(&payload), rows.clone()),
+        )
+        .expect("fresh dfs");
+        let job = TemporalPartitionJob::new("fig16", sliding_count_plan(), *width);
+        let out = job.run(&dfs, &ctx.workload.cluster).expect("span job");
+        let makespan = out.stats.simulated_makespan(MACHINES, overhead);
+        if *name == "single" {
+            single_node = makespan;
+        }
+        results.push((name.to_string(), out.spans, out.replication, makespan));
+    }
+
+    for (name, spans, replication, makespan) in &results {
+        let speedup = single_node.as_secs_f64() / makespan.as_secs_f64().max(1e-9);
+        table.row(vec![
+            name.clone(),
+            spans.to_string(),
+            format!("{replication:.2}x"),
+            dur(*makespan),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+
+    let best = results
+        .iter()
+        .min_by_key(|(_, _, _, m)| *m)
+        .expect("nonempty sweep");
+    format!(
+        "Fig 16 — 30-min sliding count over {events} events, {MACHINES} simulated machines \
+         ({}ms task overhead):\n{}\nBest span width: {} \
+         ({:.1}x over single-node; paper: ~18x at 60-120 min)\n",
+        TASK_OVERHEAD_MS,
+        table.render(),
+        best.0,
+        single_node.as_secs_f64() / best.3.as_secs_f64().max(1e-9),
+    )
+}

@@ -1,0 +1,56 @@
+//! Fig 21: keyword elimination and CTR — click-through rates over test
+//! example subsets selected by positive/negative keyword presence.
+//!
+//! Keyword sets come from the z-test on *training* data at 80% confidence
+//! (z > 1.28, the paper's setting); CTR and lift are measured on the
+//! held-out test split. The paper's shape: subsets with a positive
+//! keyword lift CTR substantially; only-negative subsets depress it.
+
+use super::Ctx;
+use crate::table::{f3, pct, Table};
+use bt::eval::{by_ad, keyword_set_lift, scores_from_examples};
+use rustc_hash::FxHashSet;
+
+/// Run the experiment.
+pub fn run(ctx: &mut Ctx) -> String {
+    let params = ctx.workload.bt_params();
+    let (train, test) = ctx.split();
+    let scores = scores_from_examples(&train, params.min_support, params.min_example_support);
+    let test_by_ad = by_ad(&test);
+
+    let mut out = String::new();
+    for ad in ["laptop", "cellphone"] {
+        let positive: FxHashSet<String> = scores
+            .iter()
+            .filter(|s| s.ad == ad && s.z > 1.28)
+            .map(|s| s.keyword.clone())
+            .collect();
+        let negative: FxHashSet<String> = scores
+            .iter()
+            .filter(|s| s.ad == ad && s.z < -1.28)
+            .map(|s| s.keyword.clone())
+            .collect();
+        let Some(test_examples) = test_by_ad.get(ad) else {
+            out.push_str(&format!("{ad}: no test examples\n"));
+            continue;
+        };
+        let rows = keyword_set_lift(test_examples, &positive, &negative);
+        let mut table = Table::new(&["Examples chosen", "#click", "#impr", "CTR", "Lift (%)"]);
+        for r in &rows {
+            table.row(vec![
+                r.subset.to_string(),
+                r.clicks.to_string(),
+                r.examples.to_string(),
+                f3(r.ctr),
+                pct(r.lift_pct),
+            ]);
+        }
+        out.push_str(&format!(
+            "Fig 21 — {ad} ad class ({} positive / {} negative keywords at |z| > 1.28):\n{}\n",
+            positive.len(),
+            negative.len(),
+            table.render()
+        ));
+    }
+    out
+}

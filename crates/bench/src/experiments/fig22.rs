@@ -1,0 +1,71 @@
+//! Figs 22–23: CTR lift vs coverage for the movies and dieting ad
+//! classes, comparing KE-z (three thresholds), F-Ex, and KE-pop.
+//!
+//! For each scheme: reduce the training examples, fit per-ad logistic
+//! regression, rank test examples by prediction, and report CTR lift at
+//! each coverage level. The paper's shape: KE-z dominates F-Ex and KE-pop
+//! at low coverage (several times the lift), and lift decays to zero at
+//! full coverage by construction.
+
+use super::Ctx;
+use crate::table::{f3, Table};
+use bt::eval::{by_ad, lift_coverage, scores_from_examples, train_models, Scheme};
+use bt::lr::LrConfig;
+
+const COVERAGES: [f64; 7] = [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
+
+/// Run the experiment (also used to drive Fig 23 — the second ad class).
+pub fn run(ctx: &mut Ctx) -> String {
+    let params = ctx.workload.bt_params();
+    let (train, test) = ctx.split();
+    let scores = scores_from_examples(&train, params.min_support, params.min_example_support);
+    let train_by_ad = by_ad(&train);
+    let test_by_ad = by_ad(&test);
+
+    let schemes = [
+        Scheme::KeZ { threshold: 1.28 },
+        Scheme::KeZ { threshold: 1.96 },
+        Scheme::KeZ { threshold: 2.56 },
+        Scheme::FEx,
+        Scheme::KePop { n: 50 },
+        Scheme::All,
+    ];
+
+    let mut out = String::new();
+    for (fig, ad) in [("Fig 22", "movies"), ("Fig 23", "dieting")] {
+        let (Some(train_examples), Some(test_examples)) =
+            (train_by_ad.get(ad), test_by_ad.get(ad))
+        else {
+            out.push_str(&format!("{fig} — {ad}: insufficient examples\n"));
+            continue;
+        };
+        let overall = bt::example::ctr(test_examples);
+
+        let mut header: Vec<String> = vec!["Scheme".into()];
+        header.extend(COVERAGES.iter().map(|c| format!("lift@{c}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+
+        for scheme in &schemes {
+            let single: std::collections::BTreeMap<String, Vec<bt::Example>> =
+                [(ad.to_string(), train_examples.clone())].into_iter().collect();
+            let models = train_models(&single, scheme, &scores, &LrConfig::default());
+            let curve = lift_coverage(
+                ad,
+                &models[ad],
+                test_examples,
+                scheme,
+                &scores,
+                &COVERAGES,
+            );
+            let mut cells = vec![scheme.to_string()];
+            cells.extend(curve.iter().map(|p| f3(p.lift)));
+            table.row(cells);
+        }
+        out.push_str(&format!(
+            "{fig} — {ad} ad class: CTR lift (absolute, over test CTR {overall:.4}) vs coverage:\n{}\n",
+            table.render()
+        ));
+    }
+    out
+}

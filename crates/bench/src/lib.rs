@@ -1,0 +1,124 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§V).
+//!
+//! Each experiment lives in [`experiments`] and prints the same rows or
+//! series the paper reports; `src/bin/experiments.rs` is the CLI driver
+//! (`cargo run -p bench --release --bin experiments [-- <name>] [--scale paper]`).
+//! Criterion micro/meso benchmarks live under `benches/`.
+//!
+//! Absolute numbers cannot match the paper's 150-machine 2011 cluster; the
+//! *shapes* — who wins, by what factor, where crossovers fall — are the
+//! reproduction targets, recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod table;
+
+use adgen::{generate, GenConfig, GeneratedLog};
+use mapreduce::{Cluster, Dataset, Dfs};
+
+/// Workload scale for the experiment driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-experiment; used by CI and the quick path.
+    Small,
+    /// The full laptop-scale reproduction (minutes end-to-end).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI flag value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Generator configuration for this scale.
+    pub fn gen_config(self, seed: u64) -> GenConfig {
+        match self {
+            Scale::Small => {
+                let mut cfg = GenConfig::small(seed);
+                cfg.users = 1200;
+                cfg
+            }
+            Scale::Paper => {
+                let mut cfg = GenConfig::paper_default(seed, 4000);
+                // Denser activity than the production default so every ad
+                // class reaches z-test support at laptop user counts.
+                cfg.searches_per_user_per_day = 24.0;
+                cfg.impressions_per_user_per_day = 12.0;
+                cfg.affinity_fraction = 0.35;
+                cfg.planted_search_weight = 0.5;
+                cfg
+            }
+        }
+    }
+
+    /// Simulated machine count (the paper's cluster had ~150).
+    pub fn machines(self) -> usize {
+        match self {
+            Scale::Small => 8,
+            Scale::Paper => 16,
+        }
+    }
+}
+
+/// A generated workload loaded into a DFS.
+pub struct Workload {
+    /// The generated log (and ground truth).
+    pub log: GeneratedLog,
+    /// DFS holding the `logs` dataset.
+    pub dfs: Dfs,
+    /// Cluster to run jobs on.
+    pub cluster: Cluster,
+    /// Scale used.
+    pub scale: Scale,
+}
+
+impl Workload {
+    /// Generate and load a workload.
+    pub fn build(scale: Scale, seed: u64) -> Workload {
+        let log = generate(&scale.gen_config(seed));
+        let dfs = Dfs::new();
+        dfs.put("logs", Dataset::single(adgen::unified_schema(), log.rows()))
+            .expect("fresh DFS");
+        Workload {
+            log,
+            dfs,
+            cluster: Cluster::new(),
+            scale,
+        }
+    }
+
+    /// BT parameters matched to the generator's activity rates.
+    pub fn bt_params(&self) -> bt::BtParams {
+        bt::BtParams {
+            machines: self.scale.machines(),
+            // Analysis horizon covering the full log.
+            horizon: self.log.events.last().map(|e| e.time + 1).unwrap_or(1) * 2,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workload_builds() {
+        let w = Workload::build(Scale::Small, 7);
+        assert!(!w.log.events.is_empty());
+        assert!(w.dfs.contains("logs"));
+        assert!(w.bt_params().horizon > 0);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A printable table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v)
+}
+
+/// Format a duration in adaptive units.
+pub fn dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["Keyword", "Score"]);
+        t.row(vec!["celebrity".into(), "11.0".into()]);
+        t.row(vec!["icarly".into(), "6.7".into()]);
+        let s = t.render();
+        assert!(s.contains("celebrity  11.0"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        Table::new(&["A"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(12.34), "12.3%");
+        assert_eq!(dur(std::time::Duration::from_millis(1500)), "1.50 s");
+        assert_eq!(dur(std::time::Duration::from_secs(90)), "1.5 min");
+    }
+}

@@ -1,0 +1,73 @@
+//! F-Ex: static feature extraction into a concept hierarchy
+//! (paper §V-C).
+//!
+//! The production alternative the paper compares against: a content
+//! categorization engine maps each keyword to 1–3 of ~2000 fixed
+//! categories (ODP-style). We simulate the engine with a deterministic
+//! hash mapping, which preserves the properties the evaluation depends on:
+//! the dimensionality is fixed (~2000 regardless of data), each keyword
+//! fans out to up to 3 categories (inflating profile size, the §V-D
+//! memory observation), and the mapping cannot adapt to new keywords or
+//! interest shifts (so planted correlations are diluted by unrelated
+//! keywords sharing a category).
+
+use relation::hash::stable_hash;
+
+/// Number of categories in the simulated concept hierarchy (paper: "this
+/// number is always around 2000").
+pub const CATEGORY_COUNT: u64 = 2000;
+
+/// Map a keyword to its categories (1–3, deterministic).
+pub fn categories(keyword: &str) -> Vec<String> {
+    let h = stable_hash(&("f-ex", keyword));
+    let fanout = 1 + (h % 3) as usize;
+    (0..fanout)
+        .map(|i| {
+            let cat = stable_hash(&(keyword, i as u64)) % CATEGORY_COUNT;
+            format!("cat{cat}")
+        })
+        .collect()
+}
+
+/// Average category fan-out over a keyword set (≈2 by construction; the
+/// paper reports ~3 categories per keyword for its engine).
+pub fn mean_fanout(keywords: &[String]) -> f64 {
+    if keywords.is_empty() {
+        return 0.0;
+    }
+    keywords.iter().map(|k| categories(k).len()).sum::<usize>() as f64 / keywords.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_deterministic_and_bounded() {
+        let a = categories("icarly");
+        let b = categories("icarly");
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= 3);
+        for c in &a {
+            assert!(c.starts_with("cat"));
+        }
+    }
+
+    #[test]
+    fn dimensionality_is_fixed() {
+        use rustc_hash::FxHashSet;
+        let cats: FxHashSet<String> = (0..50_000)
+            .flat_map(|i| categories(&format!("kw{i}")))
+            .collect();
+        // 50k keywords collapse into at most CATEGORY_COUNT dimensions.
+        assert!(cats.len() as u64 <= CATEGORY_COUNT);
+        assert!(cats.len() as u64 > CATEGORY_COUNT / 2, "most categories hit");
+    }
+
+    #[test]
+    fn fanout_between_one_and_three() {
+        let kws: Vec<String> = (0..1000).map(|i| format!("kw{i}")).collect();
+        let f = mean_fanout(&kws);
+        assert!(f > 1.5 && f < 2.5, "mean fanout {f}");
+    }
+}

@@ -1,0 +1,85 @@
+//! KE-pop: popularity-based keyword selection (Chen et al., paper §V-C).
+//!
+//! Retains, per ad class, the `n` keywords most frequent across that ad's
+//! training examples ("total ad clicks or rejects with that keyword in the
+//! user history"). The paper shows this underperforms KE-z because raw
+//! popularity retains common-but-uninformative keywords (facebook,
+//! craigslist, …) — which our Zipf background vocabulary reproduces.
+
+use crate::example::Example;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+
+/// Per-ad keyword selections.
+pub type SelectedKeywords = BTreeMap<String, FxHashSet<String>>;
+
+/// Select the top-`n` keywords per ad by example frequency.
+pub fn select(examples: &[Example], n: usize) -> SelectedKeywords {
+    let mut freq: BTreeMap<String, FxHashMap<&str, u64>> = BTreeMap::new();
+    for e in examples {
+        let slot = freq.entry(e.ad.clone()).or_default();
+        for kw in e.features.keys() {
+            *slot.entry(kw).or_insert(0) += 1;
+        }
+    }
+    freq.into_iter()
+        .map(|(ad, counts)| {
+            let mut ranked: Vec<(&str, u64)> = counts.into_iter().collect();
+            // Ties broken lexicographically for determinism.
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            let kept: FxHashSet<String> = ranked
+                .into_iter()
+                .take(n)
+                .map(|(k, _)| k.to_string())
+                .collect();
+            (ad, kept)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustc_hash::FxHashMap;
+
+    fn ex(ad: &str, kws: &[&str]) -> Example {
+        Example {
+            time: 0,
+            user: "u".into(),
+            ad: ad.into(),
+            label: 0,
+            features: kws.iter().map(|k| (k.to_string(), 1.0)).collect::<FxHashMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn keeps_most_frequent_per_ad() {
+        let examples = vec![
+            ex("a", &["x", "y"]),
+            ex("a", &["x"]),
+            ex("a", &["x", "z"]),
+            ex("b", &["q"]),
+        ];
+        let sel = select(&examples, 1);
+        assert!(sel["a"].contains("x"));
+        assert_eq!(sel["a"].len(), 1);
+        assert!(sel["b"].contains("q"));
+    }
+
+    #[test]
+    fn popularity_ignores_click_correlation() {
+        // The KE-pop failure mode: a popular keyword that never co-occurs
+        // with clicks is still retained over a rarer, perfectly-predictive
+        // one.
+        let mut examples = Vec::new();
+        for _ in 0..10 {
+            examples.push(ex("a", &["facebook"]));
+        }
+        let mut clicky = ex("a", &["hot"]);
+        clicky.label = 1;
+        examples.push(clicky);
+        let sel = select(&examples, 1);
+        assert!(sel["a"].contains("facebook"));
+        assert!(!sel["a"].contains("hot"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Comparison schemes for the evaluation (paper §V-C/D).
+
+pub mod custom;
+pub mod f_ex;
+pub mod ke_pop;

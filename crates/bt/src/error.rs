@@ -1,0 +1,53 @@
+//! Error type for the BT application.
+
+use std::fmt;
+
+/// Errors raised by the BT pipeline.
+#[derive(Debug)]
+pub enum BtError {
+    /// Propagated TiMR error.
+    Timr(timr::TimrError),
+    /// Propagated map-reduce error.
+    MapReduce(mapreduce::MrError),
+    /// Propagated DSMS error.
+    Temporal(temporal::TemporalError),
+    /// Pipeline misconfiguration or unexpected data.
+    Pipeline(String),
+}
+
+impl fmt::Display for BtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtError::Timr(e) => write!(f, "{e}"),
+            BtError::MapReduce(e) => write!(f, "{e}"),
+            BtError::Temporal(e) => write!(f, "{e}"),
+            BtError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BtError {}
+
+impl From<timr::TimrError> for BtError {
+    fn from(e: timr::TimrError) -> Self {
+        BtError::Timr(e)
+    }
+}
+impl From<mapreduce::MrError> for BtError {
+    fn from(e: mapreduce::MrError) -> Self {
+        BtError::MapReduce(e)
+    }
+}
+impl From<temporal::TemporalError> for BtError {
+    fn from(e: temporal::TemporalError) -> Self {
+        BtError::Temporal(e)
+    }
+}
+impl From<relation::RelationError> for BtError {
+    fn from(e: relation::RelationError) -> Self {
+        BtError::Temporal(temporal::TemporalError::Relation(e))
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, BtError>;

@@ -1,0 +1,486 @@
+//! Evaluation methodology (paper §V).
+//!
+//! - [`split_by_time`] — the paper's 50/50 train/test split.
+//! - [`Scheme`] — the data-reduction schemes under comparison: KE-z at a
+//!   threshold, KE-pop at a budget, F-Ex, or no reduction.
+//! - [`train_models`] — per-ad logistic regression on scheme-reduced
+//!   examples, recording learning time and mean profile size (the §V-D
+//!   metrics).
+//! - [`lift_coverage`] — the CTR-lift-vs-coverage curves of Figs 22–23:
+//!   sweep a prediction threshold, report `(coverage, CTR, lift)`.
+//! - [`keyword_set_lift`] — the Fig 21 table: CTR over example subsets
+//!   selected by positive/negative keyword presence.
+
+use crate::baselines::{f_ex, ke_pop};
+use crate::example::{ctr, mean_profile_entries, Example};
+use crate::lr::{train, LrConfig, LrModel};
+use crate::pipeline::KeywordScore;
+use rustc_hash::FxHashSet;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A data-reduction scheme (paper §V-C).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// Keyword elimination with |z| threshold (KE-z).
+    KeZ {
+        /// The z threshold.
+        threshold: f64,
+    },
+    /// Top-`n` keywords per ad by frequency (KE-pop).
+    KePop {
+        /// Keyword budget per ad.
+        n: usize,
+    },
+    /// Static category mapping (F-Ex).
+    FEx,
+    /// No reduction (all keywords with support).
+    All,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::KeZ { threshold } => write!(f, "KE-{threshold}"),
+            Scheme::KePop { n } => write!(f, "KE-pop({n})"),
+            Scheme::FEx => write!(f, "F-Ex"),
+            Scheme::All => write!(f, "All"),
+        }
+    }
+}
+
+/// Split examples at `split_time` into (train, test).
+pub fn split_by_time(examples: &[Example], split_time: i64) -> (Vec<Example>, Vec<Example>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for e in examples {
+        if e.time < split_time {
+            train.push(e.clone());
+        } else {
+            test.push(e.clone());
+        }
+    }
+    (train, test)
+}
+
+/// Group examples by ad class.
+pub fn by_ad(examples: &[Example]) -> BTreeMap<String, Vec<Example>> {
+    let mut out: BTreeMap<String, Vec<Example>> = BTreeMap::new();
+    for e in examples {
+        out.entry(e.ad.clone()).or_default().push(e.clone());
+    }
+    out
+}
+
+/// Apply a scheme's feature transformation to one ad's examples.
+pub fn reduce_examples(
+    ad: &str,
+    examples: &[Example],
+    scheme: &Scheme,
+    scores: &[KeywordScore],
+) -> Vec<Example> {
+    match scheme {
+        Scheme::All => {
+            let supported: FxHashSet<&str> = scores
+                .iter()
+                .filter(|s| s.ad == ad)
+                .map(|s| s.keyword.as_str())
+                .collect();
+            examples
+                .iter()
+                .map(|e| e.project_features(&|k| supported.contains(k)))
+                .collect()
+        }
+        Scheme::KeZ { threshold } => {
+            let kept: FxHashSet<&str> = scores
+                .iter()
+                .filter(|s| s.ad == ad && s.z.abs() > *threshold)
+                .map(|s| s.keyword.as_str())
+                .collect();
+            examples
+                .iter()
+                .map(|e| e.project_features(&|k| kept.contains(k)))
+                .collect()
+        }
+        Scheme::KePop { n } => {
+            let selected = ke_pop::select(examples, *n);
+            let empty = FxHashSet::default();
+            let kept = selected.get(ad).unwrap_or(&empty);
+            examples
+                .iter()
+                .map(|e| e.project_features(&|k| kept.contains(k)))
+                .collect()
+        }
+        Scheme::FEx => examples
+            .iter()
+            .map(|e| e.map_features(&|k| f_ex::categories(k)))
+            .collect(),
+    }
+}
+
+/// Keywords a scheme retains for an ad (for dimensionality reporting,
+/// Fig 20). F-Ex reports its fixed category count.
+pub fn retained_dimensions(ad: &str, scheme: &Scheme, scores: &[KeywordScore]) -> usize {
+    match scheme {
+        Scheme::All => scores.iter().filter(|s| s.ad == ad).count(),
+        Scheme::KeZ { threshold } => scores
+            .iter()
+            .filter(|s| s.ad == ad && s.z.abs() > *threshold)
+            .count(),
+        Scheme::KePop { n } => *n,
+        Scheme::FEx => f_ex::CATEGORY_COUNT as usize,
+    }
+}
+
+/// Compute keyword z-scores directly from an example set — numerically
+/// identical to running the feature-selection CQ over the same events
+/// (cross-checked in tests), used where the evaluation needs scores from a
+/// *split* of the data (train-only scores, so test information never leaks
+/// into feature selection).
+pub fn scores_from_examples(
+    examples: &[Example],
+    min_support: i64,
+    min_example_support: i64,
+) -> Vec<KeywordScore> {
+    use crate::ztest::{has_support, z_score, KeywordCounts};
+    let mut totals: BTreeMap<&str, (i64, i64)> = BTreeMap::new();
+    let mut per_kw: BTreeMap<(&str, &str), (i64, i64)> = BTreeMap::new();
+    for e in examples {
+        let t = totals.entry(e.ad.as_str()).or_insert((0, 0));
+        t.0 += i64::from(e.label == 1);
+        t.1 += 1;
+        for kw in e.features.keys() {
+            let slot = per_kw.entry((e.ad.as_str(), kw.as_str())).or_insert((0, 0));
+            slot.0 += i64::from(e.label == 1);
+            slot.1 += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for ((ad, kw), (cw, ew)) in per_kw {
+        let (tc, te) = totals[ad];
+        let counts = KeywordCounts {
+            clicks_with: cw,
+            examples_with: ew,
+            total_clicks: tc,
+            total_examples: te,
+        };
+        if !has_support(&counts, min_support, min_example_support) {
+            continue;
+        }
+        let Some(z) = z_score(&counts) else { continue };
+        out.push(KeywordScore {
+            ad: ad.to_string(),
+            keyword: kw.to_string(),
+            clicks_with: cw,
+            examples_with: ew,
+            total_clicks: tc,
+            total_examples: te,
+            z,
+        });
+    }
+    out
+}
+
+/// A trained per-ad model with its §V-D accounting.
+#[derive(Debug)]
+pub struct TrainedModel {
+    /// The LR model.
+    pub model: LrModel,
+    /// Wall-clock learning time.
+    pub learn_time: Duration,
+    /// Mean sparse-profile entries after reduction (memory metric).
+    pub mean_entries: f64,
+    /// Retained feature dimensionality.
+    pub dimensions: usize,
+}
+
+/// Train one model per ad under `scheme`.
+pub fn train_models(
+    train_examples: &BTreeMap<String, Vec<Example>>,
+    scheme: &Scheme,
+    scores: &[KeywordScore],
+    config: &LrConfig,
+) -> BTreeMap<String, TrainedModel> {
+    let mut out = BTreeMap::new();
+    for (ad, examples) in train_examples {
+        let reduced = reduce_examples(ad, examples, scheme, scores);
+        let start = std::time::Instant::now();
+        let model = train(&reduced, config);
+        let learn_time = start.elapsed();
+        out.insert(
+            ad.clone(),
+            TrainedModel {
+                dimensions: model.dimensionality(),
+                mean_entries: mean_profile_entries(&reduced),
+                model,
+                learn_time,
+            },
+        );
+    }
+    out
+}
+
+/// One point on a lift/coverage curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiftPoint {
+    /// Fraction of test examples above the threshold.
+    pub coverage: f64,
+    /// CTR among covered examples.
+    pub ctr: f64,
+    /// Absolute lift: `ctr − overall_ctr`.
+    pub lift: f64,
+    /// Relative lift percentage: `(ctr / overall_ctr − 1) · 100`.
+    pub lift_pct: f64,
+}
+
+/// CTR-lift vs. coverage for one ad (Figs 22–23): examples are ranked by
+/// model prediction; each requested coverage keeps the top fraction.
+pub fn lift_coverage(
+    ad: &str,
+    model: &TrainedModel,
+    test_examples: &[Example],
+    scheme: &Scheme,
+    scores: &[KeywordScore],
+    coverages: &[f64],
+) -> Vec<LiftPoint> {
+    let reduced = reduce_examples(ad, test_examples, scheme, scores);
+    let overall = ctr(&reduced);
+    let mut ranked: Vec<(f64, u8)> = reduced
+        .iter()
+        .map(|e| (model.model.predict(&e.features), e.label))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+    coverages
+        .iter()
+        .map(|&c| {
+            let k = ((c * ranked.len() as f64).ceil() as usize)
+                .clamp(1, ranked.len().max(1));
+            let top = &ranked[..k.min(ranked.len())];
+            let top_ctr = if top.is_empty() {
+                0.0
+            } else {
+                top.iter().filter(|(_, l)| *l == 1).count() as f64 / top.len() as f64
+            };
+            LiftPoint {
+                coverage: c,
+                ctr: top_ctr,
+                lift: top_ctr - overall,
+                lift_pct: if overall > 0.0 {
+                    (top_ctr / overall - 1.0) * 100.0
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// One row of the Fig 21 table.
+#[derive(Debug, Clone)]
+pub struct KeywordSetLift {
+    /// Which example subset ("all", "≥1 pos kw", …).
+    pub subset: &'static str,
+    /// Clicks in the subset.
+    pub clicks: u64,
+    /// Examples in the subset.
+    pub examples: u64,
+    /// Subset CTR.
+    pub ctr: f64,
+    /// Relative lift % vs. the full set.
+    pub lift_pct: f64,
+}
+
+/// The Fig 21 experiment: CTR over example subsets selected by presence of
+/// positive-score / negative-score keywords (z from the *training* phase,
+/// applied to *test* examples).
+pub fn keyword_set_lift(
+    test_examples: &[Example],
+    positive: &FxHashSet<String>,
+    negative: &FxHashSet<String>,
+) -> Vec<KeywordSetLift> {
+    let has = |e: &Example, set: &FxHashSet<String>| e.features.keys().any(|k| set.contains(k));
+    type SubsetPredicate<'a> = Box<dyn Fn(&Example) -> bool + 'a>;
+    let rows: Vec<(&'static str, SubsetPredicate)> = vec![
+        ("All", Box::new(|_| true)),
+        (
+            ">=1 pos kw",
+            Box::new(move |e: &Example| has(e, positive)),
+        ),
+        (
+            ">=1 neg kw",
+            Box::new(move |e: &Example| has(e, negative)),
+        ),
+        (
+            "Only pos kws",
+            Box::new(move |e: &Example| has(e, positive) && !has(e, negative)),
+        ),
+        (
+            "Only neg kws",
+            Box::new(move |e: &Example| has(e, negative) && !has(e, positive)),
+        ),
+    ];
+    let overall = ctr(test_examples);
+    rows.into_iter()
+        .map(|(name, pred)| {
+            let subset: Vec<&Example> = test_examples.iter().filter(|e| pred(e)).collect();
+            let clicks = subset.iter().filter(|e| e.label == 1).count() as u64;
+            let examples = subset.len() as u64;
+            let c = if examples == 0 {
+                0.0
+            } else {
+                clicks as f64 / examples as f64
+            };
+            KeywordSetLift {
+                subset: name,
+                clicks,
+                examples,
+                ctr: c,
+                lift_pct: if overall > 0.0 { (c / overall - 1.0) * 100.0 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustc_hash::FxHashMap;
+
+    fn ex(t: i64, ad: &str, label: u8, kws: &[(&str, f64)]) -> Example {
+        Example {
+            time: t,
+            user: format!("u{t}"),
+            ad: ad.into(),
+            label,
+            features: kws
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect::<FxHashMap<_, _>>(),
+        }
+    }
+
+    fn score(ad: &str, kw: &str, z: f64) -> KeywordScore {
+        KeywordScore {
+            ad: ad.into(),
+            keyword: kw.into(),
+            clicks_with: 10,
+            examples_with: 20,
+            total_clicks: 20,
+            total_examples: 200,
+            z,
+        }
+    }
+
+    #[test]
+    fn split_respects_time() {
+        let examples = vec![ex(1, "a", 0, &[]), ex(10, "a", 1, &[])];
+        let (tr, te) = split_by_time(&examples, 5);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(te.len(), 1);
+        assert_eq!(te[0].label, 1);
+    }
+
+    #[test]
+    fn ke_z_keeps_both_signs() {
+        let scores = vec![
+            score("a", "pos", 5.0),
+            score("a", "neg", -4.0),
+            score("a", "weak", 0.3),
+        ];
+        let examples = vec![ex(
+            0,
+            "a",
+            1,
+            &[("pos", 1.0), ("neg", 1.0), ("weak", 1.0), ("junk", 1.0)],
+        )];
+        let reduced = reduce_examples("a", &examples, &Scheme::KeZ { threshold: 1.28 }, &scores);
+        let kept: Vec<&String> = reduced[0].features.keys().collect();
+        assert_eq!(kept.len(), 2);
+        assert!(reduced[0].features.contains_key("pos"));
+        assert!(reduced[0].features.contains_key("neg"));
+    }
+
+    #[test]
+    fn f_ex_collapses_to_categories() {
+        let examples = vec![ex(0, "a", 0, &[("icarly", 2.0), ("dell", 1.0)])];
+        let reduced = reduce_examples("a", &examples, &Scheme::FEx, &[]);
+        assert!(reduced[0].features.keys().all(|k| k.starts_with("cat")));
+        // Fan-out 1..3 per keyword.
+        assert!(!reduced[0].features.is_empty());
+        assert!(reduced[0].features.len() <= 6);
+    }
+
+    #[test]
+    fn dimensionality_reporting() {
+        let scores = vec![
+            score("a", "k1", 3.0),
+            score("a", "k2", 1.5),
+            score("a", "k3", -0.5),
+        ];
+        assert_eq!(retained_dimensions("a", &Scheme::All, &scores), 3);
+        assert_eq!(
+            retained_dimensions("a", &Scheme::KeZ { threshold: 1.28 }, &scores),
+            2
+        );
+        assert_eq!(
+            retained_dimensions("a", &Scheme::KeZ { threshold: 2.56 }, &scores),
+            1
+        );
+        assert_eq!(retained_dimensions("a", &Scheme::FEx, &scores), 2000);
+    }
+
+    #[test]
+    fn lift_coverage_is_monotone_for_a_perfect_model() {
+        // Model: predicts by presence of "hot"; data: hot => click.
+        let mut examples = Vec::new();
+        for i in 0..20 {
+            examples.push(ex(i, "a", 1, &[("hot", 1.0)]));
+        }
+        for i in 20..100 {
+            examples.push(ex(i, "a", 0, &[("cold", 1.0)]));
+        }
+        let scores = vec![score("a", "hot", 9.0), score("a", "cold", -9.0)];
+        let train_map = by_ad(&examples);
+        let scheme = Scheme::KeZ { threshold: 1.28 };
+        let models = train_models(&train_map, &scheme, &scores, &LrConfig::default());
+        let curve = lift_coverage(
+            "a",
+            &models["a"],
+            &examples,
+            &scheme,
+            &scores,
+            &[0.1, 0.2, 0.5, 1.0],
+        );
+        // 20% of examples are clicks: at coverage 0.1 and 0.2 the top
+        // predictions are all clicks; lift decays to 0 at full coverage.
+        assert!(curve[0].ctr > 0.9);
+        assert!(curve[0].lift > 0.7);
+        assert!(curve[3].lift.abs() < 1e-9);
+        assert!(curve[0].lift >= curve[1].lift && curve[1].lift >= curve[3].lift);
+    }
+
+    #[test]
+    fn keyword_set_lift_fig21_shape() {
+        let mut examples = Vec::new();
+        // pos keyword users click 50%, neg keyword users 0%, plain 10%.
+        for i in 0..40 {
+            examples.push(ex(i, "a", u8::from(i % 2 == 0), &[("pos", 1.0)]));
+        }
+        for i in 0..40 {
+            examples.push(ex(100 + i, "a", 0, &[("neg", 1.0)]));
+        }
+        for i in 0..20 {
+            examples.push(ex(200 + i, "a", u8::from(i % 10 == 0), &[]));
+        }
+        let pos: FxHashSet<String> = ["pos".to_string()].into_iter().collect();
+        let neg: FxHashSet<String> = ["neg".to_string()].into_iter().collect();
+        let rows = keyword_set_lift(&examples, &pos, &neg);
+        assert_eq!(rows.len(), 5);
+        let all = &rows[0];
+        let pos_row = &rows[1];
+        let neg_row = &rows[2];
+        assert!(pos_row.lift_pct > 50.0, "positive subset lifts: {pos_row:?}");
+        assert!(neg_row.lift_pct < 0.0, "negative subset drops: {neg_row:?}");
+        assert_eq!(all.examples, 100);
+    }
+}

@@ -1,0 +1,115 @@
+//! Training/test examples: `⟨x = UBP, y = click or not⟩` (paper §IV-A).
+
+use rustc_hash::FxHashMap;
+
+/// A sparse user-behavior-profile feature vector: feature name → weight
+/// (the count of that keyword in the τ window, per Definition 1).
+pub type FeatureVector = FxHashMap<String, f64>;
+
+/// One labelled example for one ad class.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Example timestamp (the impression instant).
+    pub time: i64,
+    /// User id.
+    pub user: String,
+    /// Ad class.
+    pub ad: String,
+    /// 1 = clicked, 0 = non-click.
+    pub label: u8,
+    /// Sparse UBP at `time`.
+    pub features: FeatureVector,
+}
+
+impl Example {
+    /// Restrict the feature vector to `keep` (feature selection), leaving
+    /// other dimensions out of the model entirely.
+    pub fn project_features(&self, keep: &dyn Fn(&str) -> bool) -> Example {
+        Example {
+            time: self.time,
+            user: self.user.clone(),
+            ad: self.ad.clone(),
+            label: self.label,
+            features: self
+                .features
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Map feature names through `f`, summing weights that collide (used
+    /// by the F-Ex category baseline).
+    pub fn map_features(&self, f: &dyn Fn(&str) -> Vec<String>) -> Example {
+        let mut features: FeatureVector = FxHashMap::default();
+        for (k, v) in &self.features {
+            for mapped in f(k) {
+                *features.entry(mapped).or_insert(0.0) += v;
+            }
+        }
+        Example {
+            time: self.time,
+            user: self.user.clone(),
+            ad: self.ad.clone(),
+            label: self.label,
+            features,
+        }
+    }
+}
+
+/// Mean number of sparse entries per example — the paper's §V-D memory
+/// metric ("average number of entries in the sparse representation for the
+/// UBPs").
+pub fn mean_profile_entries(examples: &[Example]) -> f64 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    examples.iter().map(|e| e.features.len()).sum::<usize>() as f64 / examples.len() as f64
+}
+
+/// Overall CTR of an example set.
+pub fn ctr(examples: &[Example]) -> f64 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    examples.iter().filter(|e| e.label == 1).count() as f64 / examples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(label: u8, feats: &[(&str, f64)]) -> Example {
+        Example {
+            time: 0,
+            user: "u".into(),
+            ad: "a".into(),
+            label,
+            features: feats.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn project_keeps_only_selected() {
+        let e = ex(1, &[("icarly", 2.0), ("bg0", 5.0)]);
+        let kept = e.project_features(&|k| k == "icarly");
+        assert_eq!(kept.features.len(), 1);
+        assert_eq!(kept.features["icarly"], 2.0);
+    }
+
+    #[test]
+    fn map_features_sums_collisions() {
+        let e = ex(0, &[("a", 1.0), ("b", 2.0)]);
+        let mapped = e.map_features(&|_| vec!["cat".to_string()]);
+        assert_eq!(mapped.features["cat"], 3.0);
+    }
+
+    #[test]
+    fn stats() {
+        let exs = vec![ex(1, &[("a", 1.0)]), ex(0, &[("a", 1.0), ("b", 1.0)])];
+        assert_eq!(mean_profile_entries(&exs), 1.5);
+        assert_eq!(ctr(&exs), 0.5);
+        assert_eq!(ctr(&[]), 0.0);
+    }
+}

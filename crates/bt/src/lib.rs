@@ -1,0 +1,41 @@
+//! Behavioral Targeting built from temporal queries on TiMR (paper §IV).
+//!
+//! The end-to-end BT solution of the paper, expressed as a handful of
+//! succinct temporal CQs compiled to map-reduce by TiMR:
+//!
+//! 1. **Bot elimination** ([`queries::bot_elim`], Fig 11) — users whose
+//!    clicks or searches in a 6-hour window exceed thresholds are flagged
+//!    every 15 minutes; their activity is removed with an AntiSemiJoin.
+//! 2. **Training-data generation** ([`queries::train_data`], Fig 12) —
+//!    non-clicks are impressions not followed by a click within `d`
+//!    (AntiSemiJoin against back-extended clicks); user behavior profiles
+//!    are per-`(user, keyword)` 6-hour sliding counts; a TemporalJoin
+//!    attaches each click/non-click to the profile *as of that instant*.
+//! 3. **Feature selection** ([`queries::feature_selection`], Fig 13) —
+//!    the unpooled two-proportion z-test ([`ztest`]) scores every
+//!    `(ad, keyword)` pair; thresholding |z| keeps keywords genuinely
+//!    correlated (positively or negatively) with clicks.
+//! 4. **Model building and scoring** ([`queries::model`], §IV-B.4) —
+//!    sparse logistic regression ([`lr`]) retrained over a hopping window
+//!    by a UDO, with the current model lodged in a join synopsis for
+//!    scoring.
+//!
+//! [`pipeline`] orchestrates the jobs over a DFS; [`eval`] implements the
+//! paper's evaluation methodology (CTR lift vs. coverage, keyword-set
+//! lift, memory/learning-time accounting); [`baselines`] provides the
+//! comparison schemes (KE-pop, F-Ex, and the hand-written "custom
+//! reducer" pipeline of Fig 14).
+
+pub mod baselines;
+pub mod error;
+pub mod eval;
+pub mod example;
+pub mod lr;
+pub mod params;
+pub mod pipeline;
+pub mod queries;
+pub mod ztest;
+
+pub use error::{BtError, Result};
+pub use example::{Example, FeatureVector};
+pub use params::BtParams;

@@ -1,0 +1,76 @@
+//! BT tuning parameters (paper §IV).
+
+use temporal::{Duration, HOUR, MIN};
+
+/// Parameters of the BT pipeline.
+#[derive(Debug, Clone)]
+pub struct BtParams {
+    /// τ: the UBP history window (paper: 6 hours, following Yan et al.'s
+    /// finding that short-term BT beats long-term).
+    pub tau: Duration,
+    /// Bot-list refresh period (paper Fig 11: 15 minutes).
+    pub bot_hop: Duration,
+    /// T1: clicks within τ above which a user is a bot.
+    pub bot_click_threshold: i64,
+    /// T2: searches within τ above which a user is a bot.
+    pub bot_search_threshold: i64,
+    /// d: an impression followed by a click within `d` is a click,
+    /// otherwise a non-click (paper Fig 12: 5 minutes).
+    pub click_window: Duration,
+    /// Minimum clicks-with-keyword for the z-test to apply (paper: 5
+    /// independent observations).
+    pub min_support: i64,
+    /// Alternative support channel: a keyword with at least this many
+    /// impressions-with-keyword is testable even with few clicks (needed
+    /// to detect *negative* correlations at laptop scale; see
+    /// [`crate::ztest::has_support`]).
+    pub min_example_support: i64,
+    /// Horizon covering the whole analysis period, used as the hopping
+    /// window for total/per-keyword counts in feature selection.
+    pub horizon: Duration,
+    /// Number of reduce partitions (machines) for TiMR jobs.
+    pub machines: usize,
+}
+
+impl Default for BtParams {
+    fn default() -> Self {
+        BtParams {
+            tau: 6 * HOUR,
+            bot_hop: 15 * MIN,
+            bot_click_threshold: 5,
+            bot_search_threshold: 30,
+            click_window: 5 * MIN,
+            min_support: 5,
+            min_example_support: 40,
+            horizon: 30 * 24 * HOUR,
+            machines: 8,
+        }
+    }
+}
+
+impl BtParams {
+    /// Paper-faithful thresholds (T1 = T2 = 100 per 6 hours). The default
+    /// uses lower thresholds matched to the laptop-scale generator, whose
+    /// per-user rates are smaller than production traffic.
+    pub fn paper_thresholds(mut self) -> Self {
+        self.bot_click_threshold = 100;
+        self.bot_search_threshold = 100;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_structure() {
+        let p = BtParams::default();
+        assert_eq!(p.tau, 6 * HOUR);
+        assert_eq!(p.bot_hop, 15 * MIN);
+        assert_eq!(p.click_window, 5 * MIN);
+        assert_eq!(p.min_support, 5);
+        let paper = BtParams::default().paper_thresholds();
+        assert_eq!(paper.bot_click_threshold, 100);
+    }
+}

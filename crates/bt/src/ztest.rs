@@ -1,0 +1,281 @@
+//! The unpooled two-proportion z-test for keyword elimination
+//! (paper §IV-B.3).
+//!
+//! For a given ad and keyword K, let `c_k`/`i_k` be clicks/examples whose
+//! UBP contained K at impression time, and `c`/`i` the ad's totals. With
+//! `p_k = c_k / i_k` and `p_k' = (c − c_k) / (i − i_k)`, the statistic
+//!
+//! ```text
+//! z = (p_k − p_k') / sqrt( p_k(1−p_k)/i_k + p_k'(1−p_k')/(i − i_k) )
+//! ```
+//!
+//! follows N(0,1) under the null hypothesis that K is independent of
+//! clicks. Highly positive z ⇒ the keyword raises CTR; highly negative ⇒
+//! lowers it; |z| > 1.96 rejects independence at 95% confidence.
+
+/// Counts feeding one z-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeywordCounts {
+    /// Clicks on the ad with the keyword in the UBP.
+    pub clicks_with: i64,
+    /// Examples (impressions) of the ad with the keyword in the UBP.
+    pub examples_with: i64,
+    /// Total clicks on the ad.
+    pub total_clicks: i64,
+    /// Total examples of the ad.
+    pub total_examples: i64,
+}
+
+impl KeywordCounts {
+    /// CTR among examples with the keyword.
+    pub fn ctr_with(&self) -> f64 {
+        ratio(self.clicks_with, self.examples_with)
+    }
+
+    /// CTR among examples without the keyword.
+    pub fn ctr_without(&self) -> f64 {
+        ratio(
+            self.total_clicks - self.clicks_with,
+            self.total_examples - self.examples_with,
+        )
+    }
+}
+
+fn ratio(num: i64, den: i64) -> f64 {
+    if den <= 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The z statistic, or `None` when it is undefined (no examples on one
+/// side).
+///
+/// The variance terms use Agresti–Coull-style smoothed proportions
+/// `(clicks + ½) / (examples + 1)` while the numerator keeps the raw
+/// proportions. At healthy counts the correction is negligible; at zero
+/// clicks it prevents the unpooled variance from collapsing to zero,
+/// which would otherwise assign |z| ≈ √(i_without · p') to *every*
+/// zero-click keyword regardless of how little evidence supports it —
+/// the failure mode the paper's clicks-only support rule sidesteps, and
+/// which reappears once example-count support (needed for negative
+/// keywords) is allowed.
+pub fn z_score(c: &KeywordCounts) -> Option<f64> {
+    let i_with = c.examples_with;
+    let i_without = c.total_examples - c.examples_with;
+    if i_with <= 0 || i_without <= 0 {
+        return None;
+    }
+    let p_with = c.ctr_with();
+    let p_without = c.ctr_without();
+    let smooth = |clicks: i64, examples: i64| {
+        (clicks as f64 + 0.5) / (examples as f64 + 1.0)
+    };
+    let s_with = smooth(c.clicks_with, i_with);
+    let s_without = smooth(c.total_clicks - c.clicks_with, i_without);
+    let var = s_with * (1.0 - s_with) / i_with as f64
+        + s_without * (1.0 - s_without) / i_without as f64;
+    if var <= 0.0 {
+        return None;
+    }
+    Some((p_with - p_without) / var.sqrt())
+}
+
+/// Whether the keyword has enough support for the test to be sound.
+///
+/// The paper anchors support on clicks-with-keyword (≥ 5). That alone
+/// starves *negatively* correlated keywords — their defining property is
+/// suppressing clicks — so, at laptop scale, we also accept keywords with
+/// at least `min_examples` impressions-with-keyword: enough independent
+/// observations to judge a CTR drop. Setting `min_examples = i64::MAX`
+/// recovers the strict paper rule.
+pub fn has_support(c: &KeywordCounts, min_clicks: i64, min_examples: i64) -> bool {
+    c.clicks_with >= min_clicks || c.examples_with >= min_examples
+}
+
+/// One-dimensional normal quantiles used as z thresholds in the paper's
+/// sweeps (Fig 20/22): confidence → threshold.
+pub fn threshold_for_confidence(confidence: f64) -> f64 {
+    // Two-sided thresholds at the levels used in §V.
+    match () {
+        _ if (confidence - 0.80).abs() < 1e-9 => 1.28,
+        _ if (confidence - 0.95).abs() < 1e-9 => 1.96,
+        _ if (confidence - 0.99).abs() < 1e-9 => 2.56,
+        _ => {
+            // Rational approximation of the probit (Beasley–Springer–Moro
+            // central region is unnecessary here; we invert via bisection
+            // on the CDF, which is exact enough for thresholds).
+            let p = 0.5 + confidence / 2.0;
+            let (mut lo, mut hi) = (0.0f64, 10.0f64);
+            for _ in 0..80 {
+                let mid = 0.5 * (lo + hi);
+                if normal_cdf(mid) < p {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        }
+    }
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 polynomial, |error| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-(x / std::f64::consts::SQRT_2).powi(2)).exp();
+    let erf = if x >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + erf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_correlation_gives_positive_z() {
+        // 50/100 CTR with keyword vs 100/10000 without: strongly positive.
+        let c = KeywordCounts {
+            clicks_with: 50,
+            examples_with: 100,
+            total_clicks: 150,
+            total_examples: 10_100,
+        };
+        let z = z_score(&c).unwrap();
+        assert!(z > 5.0, "z = {z}");
+    }
+
+    #[test]
+    fn negative_correlation_gives_negative_z() {
+        let c = KeywordCounts {
+            clicks_with: 0,
+            examples_with: 500,
+            total_clicks: 300,
+            total_examples: 10_000,
+        };
+        let z = z_score(&c).unwrap();
+        assert!(z < -3.0, "z = {z}");
+    }
+
+    #[test]
+    fn independent_keyword_gives_small_z() {
+        // Same CTR (5%) with and without the keyword.
+        let c = KeywordCounts {
+            clicks_with: 50,
+            examples_with: 1000,
+            total_clicks: 500,
+            total_examples: 10_000,
+        };
+        let z = z_score(&c).unwrap();
+        assert!(z.abs() < 0.5, "z = {z}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(z_score(&KeywordCounts {
+            clicks_with: 0,
+            examples_with: 0,
+            total_clicks: 10,
+            total_examples: 100,
+        })
+        .is_none());
+        // All examples have the keyword: no "without" population.
+        assert!(z_score(&KeywordCounts {
+            clicks_with: 10,
+            examples_with: 100,
+            total_clicks: 10,
+            total_examples: 100,
+        })
+        .is_none());
+        // CTR 0 on both sides: smoothing keeps the variance positive and
+        // the z is exactly zero (no difference in proportions).
+        assert_eq!(
+            z_score(&KeywordCounts {
+                clicks_with: 0,
+                examples_with: 50,
+                total_clicks: 0,
+                total_examples: 100,
+            }),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn zero_click_keywords_scale_with_evidence() {
+        // The degenerate-variance guard: a zero-click keyword's |z| must
+        // grow with its example count, not jump to a huge constant.
+        let z_at = |examples_with: i64| {
+            z_score(&KeywordCounts {
+                clicks_with: 0,
+                examples_with,
+                total_clicks: 5_000,
+                total_examples: 100_000,
+            })
+            .unwrap()
+        };
+        let small = z_at(40);
+        let large = z_at(4_000);
+        assert!(small < 0.0 && large < small, "small {small}, large {large}");
+        // 40 examples with zero clicks is weak evidence: not past the 95%
+        // threshold; 4000 examples with zero clicks is overwhelming.
+        assert!(small > -3.0, "small-evidence z too extreme: {small}");
+        assert!(large < -10.0, "large-evidence z too tame: {large}");
+    }
+
+    #[test]
+    fn z_is_antisymmetric_in_proportion_swap() {
+        let a = KeywordCounts {
+            clicks_with: 40,
+            examples_with: 100,
+            total_clicks: 50,
+            total_examples: 200,
+        };
+        // Swap the with/without populations.
+        let b = KeywordCounts {
+            clicks_with: a.total_clicks - a.clicks_with,
+            examples_with: a.total_examples - a.examples_with,
+            total_clicks: a.total_clicks,
+            total_examples: a.total_examples,
+        };
+        let za = z_score(&a).unwrap();
+        let zb = z_score(&b).unwrap();
+        assert!((za + zb).abs() < 1e-9, "za={za} zb={zb}");
+    }
+
+    #[test]
+    fn support_rule() {
+        let c = KeywordCounts {
+            clicks_with: 4,
+            examples_with: 10,
+            total_clicks: 50,
+            total_examples: 100,
+        };
+        assert!(!has_support(&c, 5, i64::MAX));
+        assert!(has_support(&c, 4, i64::MAX));
+        // The example-support channel admits click-starved keywords.
+        assert!(has_support(&c, 5, 10));
+        assert!(!has_support(&c, 5, 11));
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn thresholds_match_paper_values() {
+        assert_eq!(threshold_for_confidence(0.80), 1.28);
+        assert_eq!(threshold_for_confidence(0.95), 1.96);
+        assert_eq!(threshold_for_confidence(0.99), 2.56);
+        // Generic path: 90% two-sided ≈ 1.645.
+        let t = threshold_for_confidence(0.90);
+        assert!((t - 1.645).abs() < 0.01, "t = {t}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Row ↔ event conversion at stage boundaries (paper §III-A step 4 and
+//! §III-C.2).
+//!
+//! TiMR's file-format convention (footnote 2): the first column of every
+//! source, intermediate, and output dataset is `Time` — the event's LE. For
+//! interval events (aggregate outputs, profiles, models) intermediates carry
+//! a second `TimeEnd` column holding RE; point-event datasets omit it and
+//! events get the lifetime `[Time, Time + δ)`. The payload visible to CQ
+//! plans is the dataset schema *minus* these framing columns, so queries are
+//! written against pure payload schemas and TiMR "transparently derives and
+//! maintains temporal information".
+//!
+//! [`pull_through_queue`] mirrors §III-C.2 literally: the embedded DSMS
+//! *pushes* results asynchronously, while map-reduce *pulls* rows
+//! synchronously from the reducer; TiMR reconciles the two with an
+//! in-memory blocking queue between a producer thread running the DSMS and
+//! the consuming reducer.
+
+use crate::error::{Result, TimrError};
+use relation::schema::{ColumnType, Field, TIME_COLUMN};
+use relation::{Row, Schema, Value};
+use std::sync::mpsc;
+use temporal::{Event, EventStream, Lifetime};
+
+/// Name of the interval-encoding end column.
+pub const TIME_END_COLUMN: &str = "TimeEnd";
+
+/// How a dataset encodes event lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventEncoding {
+    /// `Time` column only; every event is a point (`RE = LE + δ`). The
+    /// encoding of raw logs (paper Fig 9).
+    Point,
+    /// `Time` and `TimeEnd` columns carrying `[LE, RE)`. The encoding TiMR
+    /// uses for intermediate and output datasets, where aggregates and
+    /// synopses produce interval events.
+    Interval,
+}
+
+impl EventEncoding {
+    /// Number of leading framing columns.
+    pub fn framing_columns(self) -> usize {
+        match self {
+            EventEncoding::Point => 1,
+            EventEncoding::Interval => 2,
+        }
+    }
+
+    /// The dataset schema for a given payload schema.
+    pub fn dataset_schema(self, payload: &Schema) -> Schema {
+        let mut fields = vec![Field::new(TIME_COLUMN, ColumnType::Long)];
+        if self == EventEncoding::Interval {
+            fields.push(Field::new(TIME_END_COLUMN, ColumnType::Long));
+        }
+        fields.extend(payload.fields().iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// The payload schema for a given dataset schema; validates framing.
+    pub fn payload_schema(self, dataset: &Schema) -> Result<Schema> {
+        let check = |idx: usize, name: &str| -> Result<()> {
+            let f = dataset.fields().get(idx).ok_or_else(|| {
+                TimrError::Compile(format!("dataset schema {dataset} too narrow for framing"))
+            })?;
+            if f.name != name || f.ty != ColumnType::Long {
+                return Err(TimrError::Compile(format!(
+                    "dataset schema {dataset} must lead with `{name}: long` at position {idx}"
+                )));
+            }
+            Ok(())
+        };
+        check(0, TIME_COLUMN)?;
+        if self == EventEncoding::Interval {
+            check(1, TIME_END_COLUMN)?;
+        }
+        let names: Vec<&str> = dataset
+            .fields()
+            .iter()
+            .skip(self.framing_columns())
+            .map(|f| f.name.as_str())
+            .collect();
+        Ok(dataset.project(&names)?)
+    }
+
+    /// Decode one row into an event (framing columns stripped).
+    pub fn decode(self, row: &Row) -> Result<Event> {
+        let le = row.get(0).as_long().ok_or_else(|| {
+            TimrError::Compile(format!("non-integral Time in row {row}"))
+        })?;
+        let (re, skip) = match self {
+            EventEncoding::Point => (le + 1, 1),
+            EventEncoding::Interval => {
+                let re = row.get(1).as_long().ok_or_else(|| {
+                    TimrError::Compile(format!("non-integral TimeEnd in row {row}"))
+                })?;
+                (re, 2)
+            }
+        };
+        if re <= le {
+            return Err(TimrError::Compile(format!(
+                "row {row} has empty lifetime [{le}, {re})"
+            )));
+        }
+        let payload = Row::new(row.values()[skip..].to_vec());
+        Ok(Event::new(Lifetime::new(le, re), payload))
+    }
+
+    /// Encode one event as a row (framing columns prepended). Point
+    /// encoding requires point events.
+    pub fn encode(self, event: &Event) -> Result<Row> {
+        let mut values = Vec::with_capacity(event.payload.len() + self.framing_columns());
+        values.push(Value::Long(event.start()));
+        match self {
+            EventEncoding::Point => {
+                if !event.lifetime.is_point() {
+                    return Err(TimrError::Compile(format!(
+                        "cannot point-encode interval event [{}, {})",
+                        event.start(),
+                        event.end()
+                    )));
+                }
+            }
+            EventEncoding::Interval => values.push(Value::Long(event.end())),
+        }
+        values.extend_from_slice(event.payload.values());
+        Ok(Row::new(values))
+    }
+
+    /// Decode a whole partition of rows into an event stream with the given
+    /// payload schema.
+    pub fn decode_stream(self, rows: &[Row], payload: &Schema) -> Result<EventStream> {
+        let mut events = Vec::with_capacity(rows.len());
+        for row in rows {
+            events.push(self.decode(row)?);
+        }
+        Ok(EventStream::new(payload.clone(), events))
+    }
+
+    /// Encode a whole stream into rows in canonical (sorted) order, so
+    /// restarted reducers emit byte-identical partitions.
+    ///
+    /// Events are **not** coalesced: two adjacent events with equal
+    /// payloads (e.g. two impressions of the same ad one tick apart) stay
+    /// two rows, because downstream queries may count *events*, not
+    /// snapshots. Canonical order alone is enough for the determinism
+    /// guarantee.
+    pub fn encode_stream(self, stream: &EventStream) -> Result<Vec<Row>> {
+        let mut events: Vec<Event> = stream.events().to_vec();
+        events.sort();
+        events.iter().map(|e| self.encode(e)).collect()
+    }
+}
+
+/// The push/pull bridge of paper §III-C.2: run `produce` on its own thread,
+/// pushing events into a bounded blocking queue; the caller (the reducer)
+/// pulls them synchronously and encodes rows. Returns the encoded rows.
+pub fn pull_through_queue(
+    encoding: EventEncoding,
+    stream: EventStream,
+) -> Result<Vec<Row>> {
+    // Sort first so the producer pushes events in canonical order
+    // (deterministic restart output); see `encode_stream` for why events
+    // are not coalesced.
+    let mut events = stream.into_events();
+    events.sort();
+    let (tx, rx) = mpsc::sync_channel::<Event>(1024);
+    let handle = std::thread::spawn(move || {
+        for e in events {
+            if tx.send(e).is_err() {
+                return; // consumer dropped: stop producing
+            }
+        }
+    });
+    let mut rows = Vec::new();
+    // M-R "blocks waiting for new tuples from the reducer" — recv() blocks
+    // until the DSMS pushes the next result.
+    while let Ok(event) = rx.recv() {
+        rows.push(encoding.encode(&event)?);
+    }
+    handle
+        .join()
+        .map_err(|_| TimrError::Compile("DSMS producer thread panicked".into()))?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::row;
+
+    fn payload_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("UserId", ColumnType::Str),
+            Field::new("N", ColumnType::Long),
+        ])
+    }
+
+    #[test]
+    fn point_round_trip() {
+        let enc = EventEncoding::Point;
+        let e = Event::point(42, row!["u1", 7i64]);
+        let r = enc.encode(&e).unwrap();
+        assert_eq!(r, row![42i64, "u1", 7i64]);
+        assert_eq!(enc.decode(&r).unwrap(), e);
+    }
+
+    #[test]
+    fn interval_round_trip() {
+        let enc = EventEncoding::Interval;
+        let e = Event::interval(10, 50, row!["u1", 7i64]);
+        let r = enc.encode(&e).unwrap();
+        assert_eq!(r, row![10i64, 50i64, "u1", 7i64]);
+        assert_eq!(enc.decode(&r).unwrap(), e);
+    }
+
+    #[test]
+    fn point_encoding_rejects_intervals() {
+        let e = Event::interval(1, 9, row!["u", 0i64]);
+        assert!(EventEncoding::Point.encode(&e).is_err());
+    }
+
+    #[test]
+    fn schema_framing_round_trip() {
+        let p = payload_schema();
+        for enc in [EventEncoding::Point, EventEncoding::Interval] {
+            let ds = enc.dataset_schema(&p);
+            assert!(ds.is_timestamped());
+            assert_eq!(enc.payload_schema(&ds).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn payload_schema_validates_framing() {
+        let bad = Schema::new(vec![Field::new("NotTime", ColumnType::Long)]);
+        assert!(EventEncoding::Point.payload_schema(&bad).is_err());
+        let no_end = EventEncoding::Point.dataset_schema(&payload_schema());
+        assert!(EventEncoding::Interval.payload_schema(&no_end).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_empty_lifetimes() {
+        assert!(EventEncoding::Interval
+            .decode(&row![5i64, 5i64, "u", 0i64])
+            .is_err());
+    }
+
+    #[test]
+    fn stream_round_trip_sorts_but_preserves_event_multiplicity() {
+        let enc = EventEncoding::Interval;
+        let p = payload_schema();
+        let stream = EventStream::new(
+            p.clone(),
+            vec![
+                Event::interval(5, 9, row!["b", 1i64]),
+                Event::interval(0, 3, row!["a", 1i64]),
+                // Adjacent to the first "a" event but must remain a
+                // separate row: downstream queries count events.
+                Event::interval(3, 5, row!["a", 1i64]),
+            ],
+        );
+        let rows = enc.encode_stream(&stream).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                row![0i64, 3i64, "a", 1i64],
+                row![3i64, 5i64, "a", 1i64],
+                row![5i64, 9i64, "b", 1i64]
+            ]
+        );
+        let back = enc.decode_stream(&rows, &p).unwrap();
+        assert!(back.same_relation(&stream));
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn queue_bridge_preserves_content_and_order() {
+        let p = payload_schema();
+        let stream = EventStream::new(
+            p,
+            (0..500)
+                .map(|i| Event::point(i, row![format!("u{i}"), i]))
+                .collect(),
+        );
+        let direct = EventEncoding::Point.encode_stream(&stream).unwrap();
+        let queued = pull_through_queue(EventEncoding::Point, stream).unwrap();
+        assert_eq!(direct, queued);
+    }
+}

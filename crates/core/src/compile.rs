@@ -1,0 +1,189 @@
+//! Fragment → map-reduce stage conversion (paper §III-A step 4).
+//!
+//! Each fragment becomes one stage. The map phase partitions every stage
+//! input by `hash(fragment key) mod partitions` — the bucketing trick of
+//! §III-C.3 that instantiates one embedded DSMS per machine instead of one
+//! per key value. The reduce phase is [`DsmsReducer`]: the stand-alone
+//! method `P` from the paper, which decodes its partition's rows into
+//! events, runs the *unmodified* DSMS on the fragment plan (the generated
+//! method `P'`), and pulls result events back through a blocking queue.
+
+use crate::annotate::Annotation;
+use crate::bridge::{pull_through_queue, EventEncoding};
+use crate::error::{Result, TimrError};
+use crate::fragment::{fragment, Fragment, FragmentInput, FragmentKey};
+use mapreduce::{MrError, Partitioner, Reducer, ReducerContext, Stage};
+use relation::{Row, Schema};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use temporal::exec::Bindings;
+use temporal::plan::LogicalPlan;
+use temporal::EventStream;
+
+/// A compiled TiMR job: ordered stages plus output metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledJob {
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+    /// DFS name of the final output dataset.
+    pub output: String,
+    /// Payload schema of the final output.
+    pub output_payload: Schema,
+    /// Lifetime encoding of the final output dataset.
+    pub output_encoding: EventEncoding,
+}
+
+/// Compile `plan` + `annotation` into map-reduce stages.
+///
+/// * `job_name` prefixes intermediate dataset names.
+/// * `machines` is the reduce-partition count for keyed fragments.
+/// * `source_encodings` gives the lifetime encoding of each raw source
+///   dataset (defaults to [`EventEncoding::Point`], the raw-log encoding).
+pub fn compile(
+    plan: &LogicalPlan,
+    annotation: &Annotation,
+    job_name: &str,
+    machines: usize,
+    source_encodings: &BTreeMap<String, EventEncoding>,
+) -> Result<CompiledJob> {
+    if machines == 0 {
+        return Err(TimrError::Compile("machines must be positive".into()));
+    }
+    let fragments = fragment(plan, annotation)?;
+    let mut stages = Vec::with_capacity(fragments.len());
+    let mut output = String::new();
+    let mut output_payload = plan.schema_of(plan.roots()[0]).clone();
+
+    for frag in &fragments {
+        let stage = compile_fragment(frag, job_name, machines, source_encodings)?;
+        if frag.is_final {
+            output = stage.output.clone();
+            output_payload = frag.plan.schema_of(frag.plan.roots()[0]).clone();
+        }
+        stages.push(stage);
+    }
+    Ok(CompiledJob {
+        stages,
+        output,
+        output_payload,
+        output_encoding: EventEncoding::Interval,
+    })
+}
+
+fn compile_fragment(
+    frag: &Fragment,
+    job_name: &str,
+    machines: usize,
+    source_encodings: &BTreeMap<String, EventEncoding>,
+) -> Result<Stage> {
+    let (partitioner, partitions) = match &frag.key {
+        FragmentKey::Keys(cols) => (
+            // Hash over the *dataset* row: framing columns precede payload
+            // columns, so we address the key by name, which the reducer's
+            // dataset schemas preserve.
+            Partitioner::KeyHash {
+                columns: cols.clone(),
+            },
+            machines,
+        ),
+        FragmentKey::Single => (Partitioner::Single, 1),
+        FragmentKey::Spread => (Partitioner::Spread, machines),
+    };
+
+    let mut input_names = Vec::with_capacity(frag.inputs.len());
+    let mut bindings = Vec::with_capacity(frag.inputs.len());
+    for (source_name, input) in &frag.inputs {
+        let dataset = input.dataset_name(job_name);
+        let encoding = match input {
+            FragmentInput::SourceDataset { name } => source_encodings
+                .get(name)
+                .copied()
+                .unwrap_or(EventEncoding::Point),
+            FragmentInput::Intermediate { .. } => EventEncoding::Interval,
+        };
+        let payload = frag
+            .plan
+            .sources()
+            .iter()
+            .find(|(n, _)| n == source_name)
+            .map(|(_, s)| (*s).clone())
+            .expect("fragment input has a source leaf");
+        input_names.push(dataset);
+        bindings.push(InputBinding {
+            source_name: source_name.clone(),
+            encoding,
+            payload,
+        });
+    }
+
+    let output_dataset = if frag.is_final {
+        format!("{job_name}__out")
+    } else {
+        format!("{job_name}__f{}", frag.root)
+    };
+
+    let reducer = DsmsReducer {
+        plan: frag.plan.clone(),
+        inputs: bindings,
+        output_encoding: EventEncoding::Interval,
+    };
+    Stage::new(
+        format!("{job_name}/f{}", frag.root),
+        input_names,
+        output_dataset,
+        partitioner,
+        partitions,
+        Arc::new(reducer),
+    )
+    .map_err(TimrError::from)
+}
+
+/// Per-input decode instructions for the reducer.
+#[derive(Debug, Clone)]
+struct InputBinding {
+    /// Source name inside the fragment plan.
+    source_name: String,
+    /// Lifetime encoding of the dataset rows.
+    encoding: EventEncoding,
+    /// Payload schema (dataset schema minus framing columns).
+    payload: Schema,
+}
+
+/// The paper's reducer method `P`: rows → events → embedded DSMS → rows.
+#[derive(Debug, Clone)]
+pub struct DsmsReducer {
+    plan: LogicalPlan,
+    inputs: Vec<InputBinding>,
+    output_encoding: EventEncoding,
+}
+
+impl Reducer for DsmsReducer {
+    fn output_schema(&self, _inputs: &[Schema]) -> mapreduce::Result<Schema> {
+        let payload = self.plan.schema_of(self.plan.roots()[0]);
+        Ok(self.output_encoding.dataset_schema(payload))
+    }
+
+    fn reduce(
+        &self,
+        ctx: &ReducerContext,
+        inputs: Vec<Vec<Row>>,
+    ) -> mapreduce::Result<Vec<Row>> {
+        let to_mr = |e: TimrError| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.partition,
+            message: e.to_string(),
+        };
+        let mut sources: Bindings = FxHashMap::default();
+        for (binding, rows) in self.inputs.iter().zip(&inputs) {
+            let stream = binding
+                .encoding
+                .decode_stream(rows, &binding.payload)
+                .map_err(to_mr)?;
+            sources.insert(binding.source_name.clone(), stream);
+        }
+        let result: EventStream = temporal::exec::execute_single(&self.plan, &sources)
+            .map_err(|e| to_mr(TimrError::Temporal(e)))?;
+        pull_through_queue(self.output_encoding, result).map_err(to_mr)
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the TiMR framework.
+
+use mapreduce::MrError;
+use std::fmt;
+use temporal::TemporalError;
+
+/// Errors raised while annotating, compiling, or running TiMR jobs.
+#[derive(Debug)]
+pub enum TimrError {
+    /// Invalid plan annotation (mismatched fragment keys, shared interior
+    /// nodes, unknown columns…).
+    Annotation(String),
+    /// Fragmentation or stage compilation failed.
+    Compile(String),
+    /// Propagated DSMS error.
+    Temporal(TemporalError),
+    /// Propagated map-reduce error.
+    MapReduce(MrError),
+}
+
+impl fmt::Display for TimrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimrError::Annotation(m) => write!(f, "annotation error: {m}"),
+            TimrError::Compile(m) => write!(f, "compile error: {m}"),
+            TimrError::Temporal(e) => write!(f, "{e}"),
+            TimrError::MapReduce(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TimrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TimrError::Temporal(e) => Some(e),
+            TimrError::MapReduce(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TemporalError> for TimrError {
+    fn from(e: TemporalError) -> Self {
+        TimrError::Temporal(e)
+    }
+}
+
+impl From<MrError> for TimrError {
+    fn from(e: MrError) -> Self {
+        TimrError::MapReduce(e)
+    }
+}
+
+impl From<relation::RelationError> for TimrError {
+    fn from(e: relation::RelationError) -> Self {
+        TimrError::Temporal(TemporalError::Relation(e))
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, TimrError>;

@@ -1,0 +1,325 @@
+//! Temporal partitioning (paper §III-B).
+//!
+//! Many CQs — e.g. a global sliding-window count — have no payload column to
+//! partition on. If the plan's history horizon is `w`, the time axis can be
+//! divided into *spans* of width `s` with overlap `w`: span `i` receives
+//! input events with timestamps in `[t0 + s·i − w, t0 + s·(i+1))` and owns
+//! output whose LE falls in `[t0 + s·i, t0 + s·(i+1))`. Because every
+//! instant a span owns sees the full `w` of history, clipping each span's
+//! output to its owned interval and unioning the clips reproduces the
+//! unpartitioned output exactly (the property test in `tests/` checks this
+//! for random event sets and span widths).
+//!
+//! Span width trades duplicated work at overlaps (small `s` ⇒ each event is
+//! replicated into `⌈w/s⌉+1` spans) against available parallelism (large
+//! `s` ⇒ few spans) — the U-shaped curve of paper Fig 16.
+
+use crate::bridge::EventEncoding;
+use crate::error::{Result, TimrError};
+use mapreduce::{Cluster, Dataset, Dfs, MrError, Partitioner, Reducer, ReducerContext, Stage, StageStats};
+use relation::schema::{ColumnType, Field};
+use relation::{Row, Schema, Value};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use temporal::exec::Bindings;
+use temporal::plan::LogicalPlan;
+use temporal::time::Lifetime;
+use temporal::{Duration, Time};
+
+/// Name of the injected span-index column.
+pub const SPAN_COLUMN: &str = "__Span";
+
+/// Configuration of a temporally-partitioned run.
+#[derive(Debug, Clone)]
+pub struct TemporalPartitionJob {
+    /// Job name (prefixes dataset names).
+    pub name: String,
+    /// The temporal query: single output, single source, and *no* payload
+    /// partitioning (it will be partitioned purely by time).
+    pub plan: LogicalPlan,
+    /// Span width `s`.
+    pub span_width: Duration,
+    /// Lifetime encoding of the source dataset.
+    pub source_encoding: EventEncoding,
+}
+
+/// Outcome of a temporally-partitioned run.
+#[derive(Debug)]
+pub struct TemporalPartitionOutput {
+    /// DFS name of the output dataset (Interval-encoded).
+    pub dataset: String,
+    /// Output payload schema.
+    pub payload: Schema,
+    /// Stage statistics of the span stage (the map/expand phase is local).
+    pub stats: StageStats,
+    /// Number of spans used.
+    pub spans: usize,
+    /// Replication factor: expanded rows / input rows.
+    pub replication: f64,
+}
+
+impl TemporalPartitionJob {
+    /// Build a job with defaults.
+    pub fn new(name: impl Into<String>, plan: LogicalPlan, span_width: Duration) -> Self {
+        TemporalPartitionJob {
+            name: name.into(),
+            plan,
+            span_width,
+            source_encoding: EventEncoding::Point,
+        }
+    }
+
+    /// Run against the single source dataset the plan names.
+    pub fn run(&self, dfs: &Dfs, cluster: &Cluster) -> Result<TemporalPartitionOutput> {
+        if self.span_width <= 0 {
+            return Err(TimrError::Compile("span width must be positive".into()));
+        }
+        let sources = self.plan.sources();
+        if sources.len() != 1 || self.plan.roots().len() != 1 {
+            return Err(TimrError::Compile(
+                "temporal partitioning requires a single-source, single-output plan".into(),
+            ));
+        }
+        let (source_name, payload_schema) = (sources[0].0.to_string(), sources[0].1.clone());
+        let overlap = self.plan.history_horizon();
+        let input = dfs.get(&source_name)?;
+
+        // ---- map/expand phase: replicate rows into overlapping spans ----
+        let rows = input.scan();
+        let time_idx = input.schema.index_of(relation::schema::TIME_COLUMN)?;
+        let mut min_t = Time::MAX;
+        let mut max_t = Time::MIN;
+        for r in &rows {
+            let t = r.get(time_idx).as_long().ok_or_else(|| {
+                TimrError::Compile("non-integral Time in source row".into())
+            })?;
+            min_t = min_t.min(t);
+            max_t = max_t.max(t);
+        }
+        if rows.is_empty() {
+            return Err(TimrError::Compile("temporal partitioning of an empty dataset".into()));
+        }
+        let t0 = min_t;
+        let s = self.span_width;
+        let n_spans = (((max_t - t0) / s) + 1) as usize;
+
+        let mut expanded: Vec<Row> = Vec::with_capacity(rows.len() * 2);
+        for r in rows.iter() {
+            let t = r.get(time_idx).as_long().expect("validated above");
+            let d = t - t0;
+            let lo = d / s; // first span whose input range contains t
+            let hi = ((d + overlap) / s).min(n_spans as i64 - 1);
+            for span in lo..=hi {
+                let mut values = Vec::with_capacity(r.len() + 1);
+                values.push(Value::Long(span));
+                values.extend_from_slice(r.values());
+                expanded.push(Row::new(values));
+            }
+        }
+        let replication = expanded.len() as f64 / rows.len() as f64;
+
+        let mut fields = vec![Field::new(SPAN_COLUMN, ColumnType::Long)];
+        fields.extend(input.schema.fields().iter().cloned());
+        let expanded_schema = Schema::new(fields);
+        let expanded_name = format!("{}__spans", self.name);
+        dfs.put_overwrite(
+            &expanded_name,
+            Dataset::single(expanded_schema, expanded),
+        );
+
+        // ---- reduce phase: one DSMS per span, output clipped to the
+        //      span's owned interval ----
+        let reducer = SpanReducer {
+            plan: self.plan.clone(),
+            source_name,
+            payload_schema,
+            source_encoding: self.source_encoding,
+            t0,
+            span_width: s,
+            n_spans,
+        };
+        let output = format!("{}__out", self.name);
+        let stage = Stage::new(
+            format!("{}/spans", self.name),
+            vec![expanded_name],
+            output.clone(),
+            Partitioner::BucketColumn {
+                column: SPAN_COLUMN.into(),
+            },
+            n_spans,
+            Arc::new(reducer),
+        )?;
+        let stats = cluster.run_stage(dfs, &stage)?;
+
+        Ok(TemporalPartitionOutput {
+            dataset: output,
+            payload: self.plan.schema_of(self.plan.roots()[0]).clone(),
+            stats,
+            spans: n_spans,
+            replication,
+        })
+    }
+
+    /// Decode a run's output.
+    pub fn output_stream(
+        dfs: &Dfs,
+        out: &TemporalPartitionOutput,
+    ) -> Result<temporal::EventStream> {
+        let ds = dfs.get(&out.dataset)?;
+        Ok(EventEncoding::Interval
+            .decode_stream(&ds.scan(), &out.payload)?
+            .normalize())
+    }
+}
+
+/// Reducer for one span: strip the span column, run the DSMS, clip output
+/// to the owned interval.
+#[derive(Debug, Clone)]
+struct SpanReducer {
+    plan: LogicalPlan,
+    source_name: String,
+    payload_schema: Schema,
+    source_encoding: EventEncoding,
+    t0: Time,
+    span_width: Duration,
+    n_spans: usize,
+}
+
+impl Reducer for SpanReducer {
+    fn output_schema(&self, _inputs: &[Schema]) -> mapreduce::Result<Schema> {
+        let payload = self.plan.schema_of(self.plan.roots()[0]);
+        Ok(EventEncoding::Interval.dataset_schema(payload))
+    }
+
+    fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> mapreduce::Result<Vec<Row>> {
+        let to_mr = |m: String| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.partition,
+            message: m,
+        };
+        // Strip the leading span column.
+        let rows: Vec<Row> = inputs
+            .into_iter()
+            .flatten()
+            .map(|r| Row::new(r.values()[1..].to_vec()))
+            .collect();
+        let stream = self
+            .source_encoding
+            .decode_stream(&rows, &self.payload_schema)
+            .map_err(|e| to_mr(e.to_string()))?;
+        let mut sources: Bindings = FxHashMap::default();
+        sources.insert(self.source_name.clone(), stream);
+        let result = temporal::exec::execute_single(&self.plan, &sources)
+            .map_err(|e| to_mr(e.to_string()))?;
+
+        // Owned interval: [t0 + s·p, t0 + s·(p+1)), extended to ±∞ at the
+        // first and last span so boundary output is never lost.
+        let span = ctx.partition as i64;
+        let own_start = if span == 0 {
+            Time::MIN / 2
+        } else {
+            self.t0 + self.span_width * span
+        };
+        let own_end = if span as usize == self.n_spans - 1 {
+            Time::MAX / 2
+        } else {
+            self.t0 + self.span_width * (span + 1)
+        };
+        let own = Lifetime::new(own_start, own_end);
+
+        let mut clipped = temporal::EventStream::empty(result.schema().clone());
+        for e in result.events() {
+            if let Some(lt) = e.lifetime.intersect(&own) {
+                clipped.push(e.with_lifetime(lt));
+            }
+        }
+        crate::bridge::pull_through_queue(EventEncoding::Interval, clipped)
+            .map_err(|e| to_mr(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::row;
+    use temporal::exec::{bindings, execute_single};
+    use temporal::plan::Query;
+
+    fn payload() -> Schema {
+        Schema::new(vec![Field::new("AdId", ColumnType::Str)])
+    }
+
+    /// 30-tick sliding count with no payload key (the Fig 16 query shape).
+    fn sliding_count_plan() -> LogicalPlan {
+        let q = Query::new();
+        let out = q.source("logs", payload()).window(30).count("N");
+        q.build(vec![out]).unwrap()
+    }
+
+    fn log_rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| row![i * 3 % 997, format!("ad{}", i % 4)]).collect()
+    }
+
+    fn reference(rows: &[Row]) -> temporal::EventStream {
+        let stream = EventEncoding::Point.decode_stream(rows, &payload()).unwrap();
+        execute_single(&sliding_count_plan(), &bindings(vec![("logs", stream)]))
+            .unwrap()
+            .normalize()
+    }
+
+    fn run_with_span(rows: Vec<Row>, span_width: i64) -> (Dfs, TemporalPartitionOutput) {
+        let dfs = Dfs::new();
+        dfs.put(
+            "logs",
+            Dataset::single(EventEncoding::Point.dataset_schema(&payload()), rows),
+        )
+        .unwrap();
+        let job = TemporalPartitionJob::new("tp", sliding_count_plan(), span_width);
+        let out = job.run(&dfs, &Cluster::new()).unwrap();
+        (dfs, out)
+    }
+
+    #[test]
+    fn spans_reproduce_unpartitioned_output() {
+        let rows = log_rows(400);
+        let want = reference(&rows);
+        for span_width in [40, 100, 250, 5000] {
+            let (dfs, out) = run_with_span(rows.clone(), span_width);
+            let got = TemporalPartitionJob::output_stream(&dfs, &out).unwrap();
+            assert!(
+                got.same_relation(&want),
+                "span width {span_width} changed the result (spans={})",
+                out.spans
+            );
+        }
+    }
+
+    #[test]
+    fn small_spans_replicate_more() {
+        let rows = log_rows(400);
+        let (_, small) = run_with_span(rows.clone(), 40);
+        let (_, large) = run_with_span(rows, 400);
+        assert!(small.spans > large.spans);
+        assert!(small.replication > large.replication);
+        assert!(large.replication >= 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let dfs = Dfs::new();
+        dfs.put(
+            "logs",
+            Dataset::single(EventEncoding::Point.dataset_schema(&payload()), vec![]),
+        )
+        .unwrap();
+        let job = TemporalPartitionJob::new("tp", sliding_count_plan(), 100);
+        assert!(job.run(&dfs, &Cluster::new()).is_err());
+    }
+
+    #[test]
+    fn bad_span_width_rejected() {
+        let dfs = Dfs::new();
+        let job = TemporalPartitionJob::new("tp", sliding_count_plan(), 0);
+        assert!(job.run(&dfs, &Cluster::new()).is_err());
+    }
+}

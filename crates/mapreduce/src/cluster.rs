@@ -1,0 +1,397 @@
+//! Stage execution on a local thread pool, with failure injection.
+
+use crate::dfs::{Dataset, Dfs};
+use crate::error::{MrError, Result};
+use crate::job::{ReducerContext, Stage};
+use crate::stats::{JobStats, StageStats};
+use parking_lot::Mutex;
+use relation::Row;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which task attempts should be killed, to exercise the restart path
+/// (paper §III-C.1: "TiMR works well with M-R's failure handling strategy
+/// of restarting failed reducers").
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// `(stage name, partition)` pairs whose **first** attempt fails.
+    pub kill_first_attempt: Vec<(String, usize)>,
+}
+
+impl FailurePlan {
+    /// No injected failures.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Fail the first attempt of `partition` in `stage`.
+    pub fn kill(mut self, stage: impl Into<String>, partition: usize) -> Self {
+        self.kill_first_attempt.push((stage.into(), partition));
+        self
+    }
+
+    fn should_fail(&self, stage: &str, partition: usize, attempt: usize) -> bool {
+        attempt == 0
+            && self
+                .kill_first_attempt
+                .iter()
+                .any(|(s, p)| s == stage && *p == partition)
+    }
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Local worker threads executing reduce tasks.
+    pub threads: usize,
+    /// Injected failures.
+    pub failures: FailurePlan,
+    /// Maximum attempts per task before the job fails.
+    pub max_attempts: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            failures: FailurePlan::none(),
+            max_attempts: 3,
+        }
+    }
+}
+
+/// The execution engine: runs stages against a [`Dfs`].
+#[derive(Debug, Default)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Cluster with default configuration.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Cluster with explicit configuration.
+    pub fn with_config(config: ClusterConfig) -> Self {
+        Cluster { config }
+    }
+
+    /// Run one stage: map (partition) each input dataset, then reduce each
+    /// partition on the thread pool, writing the output dataset to the DFS.
+    pub fn run_stage(&self, dfs: &Dfs, stage: &Stage) -> Result<StageStats> {
+        let wall_start = Instant::now();
+        let inputs: Vec<Dataset> = stage
+            .inputs
+            .iter()
+            .map(|n| dfs.get(n))
+            .collect::<Result<Vec<_>>>()?;
+
+        // ---- map / shuffle ----
+        let mut map_rows = 0u64;
+        let mut shuffle_bytes = 0u64;
+        // buckets[input][partition] -> rows, preserving scan order so the
+        // shuffle is deterministic.
+        let mut buckets: Vec<Vec<Vec<Row>>> = inputs
+            .iter()
+            .map(|_| (0..stage.partitions).map(|_| Vec::new()).collect())
+            .collect();
+        for (i, input) in inputs.iter().enumerate() {
+            for row in input.scan() {
+                map_rows += 1;
+                shuffle_bytes += row.width() as u64;
+                let p = stage.partitioner.assign(&input.schema, &row, stage.partitions)?;
+                buckets[i][p].push(row);
+            }
+        }
+
+        // ---- reduce ----
+        // Move each partition's inputs into a slot the workers pull from.
+        let mut tasks: Vec<Option<Vec<Vec<Row>>>> = (0..stage.partitions)
+            .map(|p| {
+                Some(
+                    buckets
+                        .iter_mut()
+                        .map(|per_input| std::mem::take(&mut per_input[p]))
+                        .collect(),
+                )
+            })
+            .collect();
+        let task_slots: Vec<Mutex<Option<Vec<Vec<Row>>>>> =
+            tasks.drain(..).map(Mutex::new).collect();
+        type TaskResult = Result<(Vec<Row>, Duration, u64)>;
+        let results: Vec<Mutex<Option<TaskResult>>> =
+            (0..stage.partitions).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        let run_task = |partition: usize, input_rows: &Vec<Vec<Row>>| {
+            let mut attempt = 0;
+            loop {
+                let ctx = ReducerContext {
+                    stage: stage.name.clone(),
+                    partition,
+                    partitions: stage.partitions,
+                    attempt,
+                };
+                if self.config.failures.should_fail(&stage.name, partition, attempt) {
+                    attempt += 1;
+                    if attempt >= self.config.max_attempts {
+                        return Err(MrError::Reducer {
+                            stage: stage.name.clone(),
+                            partition,
+                            message: "exceeded max attempts".into(),
+                        });
+                    }
+                    continue;
+                }
+                let start = Instant::now();
+                let out = stage.reducer.reduce(&ctx, input_rows.clone())?;
+                return Ok((out, start.elapsed(), attempt as u64));
+            }
+        };
+
+        let threads = self.config.threads.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(stage.partitions) {
+                scope.spawn(|| loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= stage.partitions {
+                        break;
+                    }
+                    let input_rows = task_slots[p]
+                        .lock()
+                        .take()
+                        .expect("task taken twice");
+                    let result = run_task(p, &input_rows);
+                    *results[p].lock() = Some(result);
+                });
+            }
+        });
+
+        // ---- collect ----
+        let mut partitions_out: Vec<Vec<Row>> = Vec::with_capacity(stage.partitions);
+        let mut partition_times = Vec::with_capacity(stage.partitions);
+        let mut output_rows = 0u64;
+        let mut task_retries = 0u64;
+        for slot in results {
+            let (rows, took, retries) = slot
+                .into_inner()
+                .expect("worker pool left a task unexecuted")?;
+            output_rows += rows.len() as u64;
+            task_retries += retries;
+            partition_times.push(took);
+            partitions_out.push(rows);
+        }
+
+        let out_schema = stage
+            .reducer
+            .output_schema(&inputs.iter().map(|d| d.schema.clone()).collect::<Vec<_>>())?;
+        dfs.put_overwrite(&stage.output, Dataset::partitioned(out_schema, partitions_out));
+
+        Ok(StageStats {
+            name: stage.name.clone(),
+            map_rows,
+            shuffle_bytes,
+            output_rows,
+            partitions: stage.partitions,
+            partition_times,
+            wall_time: wall_start.elapsed(),
+            task_retries,
+        })
+    }
+
+    /// Run stages in order, returning accumulated statistics.
+    pub fn run_job(&self, dfs: &Dfs, stages: &[Stage]) -> Result<JobStats> {
+        let mut stats = JobStats::default();
+        for stage in stages {
+            stats.stages.push(self.run_stage(dfs, stage)?);
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{IdentityReducer, Partitioner, Reducer, ReducerRef};
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::timestamped(vec![Field::new("UserId", ColumnType::Str)])
+    }
+
+    fn input_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| row![i as i64, format!("u{}", i % 7)])
+            .collect()
+    }
+
+    fn dfs_with_input(n: usize) -> Dfs {
+        let dfs = Dfs::new();
+        dfs.put("in", Dataset::single(schema(), input_rows(n))).unwrap();
+        dfs
+    }
+
+    /// Counts rows per partition — sensitive to partitioning, so restart
+    /// determinism is observable.
+    #[derive(Debug)]
+    struct CountReducer;
+
+    impl Reducer for CountReducer {
+        fn output_schema(&self, _inputs: &[Schema]) -> Result<Schema> {
+            Ok(Schema::new(vec![
+                Field::new("Partition", ColumnType::Long),
+                Field::new("N", ColumnType::Long),
+            ]))
+        }
+
+        fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+            let n: usize = inputs.iter().map(Vec::len).sum();
+            Ok(vec![row![ctx.partition as i64, n as i64]])
+        }
+    }
+
+    fn count_stage(partitions: usize) -> Stage {
+        Stage::new(
+            "count",
+            vec!["in".into()],
+            "out",
+            Partitioner::KeyHash {
+                columns: vec!["UserId".into()],
+            },
+            partitions,
+            Arc::new(CountReducer),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_with_same_key_land_in_same_partition() {
+        let dfs = dfs_with_input(100);
+        let cluster = Cluster::new();
+        let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
+        assert_eq!(stats.map_rows, 100);
+        let out = dfs.get("out").unwrap();
+        let total: i64 = out
+            .scan()
+            .iter()
+            .map(|r| r.get(1).as_long().unwrap())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn identity_stage_preserves_all_rows() {
+        let dfs = dfs_with_input(50);
+        let r: ReducerRef = Arc::new(IdentityReducer);
+        let stage = Stage::new(
+            "id",
+            vec!["in".into()],
+            "copy",
+            Partitioner::Spread,
+            8,
+            r,
+        )
+        .unwrap();
+        Cluster::new().run_stage(&dfs, &stage).unwrap();
+        let mut original = dfs.get("in").unwrap().scan();
+        let mut copied = dfs.get("copy").unwrap().scan();
+        original.sort();
+        copied.sort();
+        assert_eq!(original, copied);
+    }
+
+    #[test]
+    fn output_is_identical_with_and_without_injected_failures() {
+        let run = |failures: FailurePlan| {
+            let dfs = dfs_with_input(100);
+            let cluster = Cluster::with_config(ClusterConfig {
+                threads: 4,
+                failures,
+                max_attempts: 3,
+            });
+            let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
+            (dfs.get("out").unwrap().partitions.as_ref().clone(), stats)
+        };
+        let (clean, s1) = run(FailurePlan::none());
+        let (with_failures, s2) = run(FailurePlan::none().kill("count", 1).kill("count", 3));
+        assert_eq!(clean, with_failures, "restart must be deterministic");
+        assert_eq!(s1.task_retries, 0);
+        assert_eq!(s2.task_retries, 2);
+    }
+
+    #[test]
+    fn job_fails_after_max_attempts() {
+        let dfs = dfs_with_input(10);
+        let cluster = Cluster::with_config(ClusterConfig {
+            threads: 1,
+            failures: FailurePlan {
+                kill_first_attempt: vec![("count".into(), 0)],
+            },
+            max_attempts: 1,
+        });
+        assert!(matches!(
+            cluster.run_stage(&dfs, &count_stage(2)),
+            Err(MrError::Reducer { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_input_stage_delivers_per_input_rows() {
+        #[derive(Debug)]
+        struct AritiesReducer;
+        impl Reducer for AritiesReducer {
+            fn output_schema(&self, _: &[Schema]) -> Result<Schema> {
+                Ok(Schema::new(vec![
+                    Field::new("A", ColumnType::Long),
+                    Field::new("B", ColumnType::Long),
+                ]))
+            }
+            fn reduce(&self, _: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+                Ok(vec![row![inputs[0].len() as i64, inputs[1].len() as i64]])
+            }
+        }
+        let dfs = Dfs::new();
+        dfs.put("a", Dataset::single(schema(), input_rows(5))).unwrap();
+        dfs.put("b", Dataset::single(schema(), input_rows(9))).unwrap();
+        let stage = Stage::new(
+            "two",
+            vec!["a".into(), "b".into()],
+            "out",
+            Partitioner::Single,
+            1,
+            Arc::new(AritiesReducer),
+        )
+        .unwrap();
+        Cluster::new().run_stage(&dfs, &stage).unwrap();
+        assert_eq!(dfs.get("out").unwrap().scan(), vec![row![5i64, 9i64]]);
+    }
+
+    #[test]
+    fn run_job_chains_stages() {
+        let dfs = dfs_with_input(20);
+        let id: ReducerRef = Arc::new(IdentityReducer);
+        let stages = vec![
+            Stage::new(
+                "s1",
+                vec!["in".into()],
+                "mid",
+                Partitioner::KeyHash {
+                    columns: vec!["UserId".into()],
+                },
+                4,
+                id.clone(),
+            )
+            .unwrap(),
+            Stage::new("s2", vec!["mid".into()], "final", Partitioner::Single, 1, id).unwrap(),
+        ];
+        let stats = Cluster::new().run_job(&dfs, &stages).unwrap();
+        assert_eq!(stats.stages.len(), 2);
+        assert_eq!(dfs.get("final").unwrap().len(), 20);
+        assert!(stats.total_shuffle_bytes() > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The in-memory distributed file system.
+//!
+//! Stands in for Cosmos/HDFS/GFS: named datasets made of partition "extents"
+//! of rows. Rows are stored decoded; the text [`relation::codec`] round-trip
+//! is exercised at dataset boundaries in tests to keep the representation
+//! honest (everything a stage ships must survive serialization).
+
+use crate::error::{MrError, Result};
+use parking_lot::RwLock;
+use relation::{DatasetStats, Row, Schema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One stored dataset: schema plus partitioned rows.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Row schema.
+    pub schema: Schema,
+    /// Partitions (extents). A freshly-loaded dataset may have any number;
+    /// stage outputs have one per reduce partition.
+    pub partitions: Arc<Vec<Vec<Row>>>,
+}
+
+impl Dataset {
+    /// Build a single-partition dataset.
+    pub fn single(schema: Schema, rows: Vec<Row>) -> Self {
+        Dataset {
+            schema,
+            partitions: Arc::new(vec![rows]),
+        }
+    }
+
+    /// Build from explicit partitions.
+    pub fn partitioned(schema: Schema, partitions: Vec<Vec<Row>>) -> Self {
+        Dataset {
+            schema,
+            partitions: Arc::new(partitions),
+        }
+    }
+
+    /// Total row count.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All rows, concatenated in partition order.
+    pub fn scan(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.len());
+        for p in self.partitions.iter() {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Compute exact statistics for the optimizer.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(&self.schema, &self.scan())
+    }
+
+    /// Validate every row against the schema.
+    pub fn check(&self) -> Result<()> {
+        for p in self.partitions.iter() {
+            for row in p {
+                row.check(&self.schema)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The distributed file system: a concurrent name → dataset map.
+#[derive(Debug, Default)]
+pub struct Dfs {
+    datasets: RwLock<BTreeMap<String, Dataset>>,
+}
+
+impl Dfs {
+    /// Empty DFS.
+    pub fn new() -> Self {
+        Dfs::default()
+    }
+
+    /// Store a dataset under `name`. Fails if the name is taken
+    /// (datasets are immutable once written, like Cosmos extents).
+    pub fn put(&self, name: impl Into<String>, dataset: Dataset) -> Result<()> {
+        let name = name.into();
+        let mut map = self.datasets.write();
+        if map.contains_key(&name) {
+            return Err(MrError::DatasetExists(name));
+        }
+        map.insert(name, dataset);
+        Ok(())
+    }
+
+    /// Store, replacing any existing dataset (for iterative experiments).
+    pub fn put_overwrite(&self, name: impl Into<String>, dataset: Dataset) {
+        self.datasets.write().insert(name.into(), dataset);
+    }
+
+    /// Fetch a dataset by name (cheap: partitions are shared).
+    pub fn get(&self, name: &str) -> Result<Dataset> {
+        self.datasets
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MrError::NoSuchDataset(name.to_string()))
+    }
+
+    /// Remove a dataset.
+    pub fn remove(&self, name: &str) -> Result<Dataset> {
+        self.datasets
+            .write()
+            .remove(name)
+            .ok_or_else(|| MrError::NoSuchDataset(name.to_string()))
+    }
+
+    /// Whether a dataset exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.datasets.read().contains_key(name)
+    }
+
+    /// Names of all stored datasets.
+    pub fn list(&self) -> Vec<String> {
+        self.datasets.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::schema::{ColumnType, Field};
+    use relation::{codec, row};
+
+    fn schema() -> Schema {
+        Schema::timestamped(vec![Field::new("UserId", ColumnType::Str)])
+    }
+
+    fn sample() -> Dataset {
+        Dataset::partitioned(
+            schema(),
+            vec![
+                vec![row![1i64, "u1"], row![2i64, "u2"]],
+                vec![row![3i64, "u3"]],
+            ],
+        )
+    }
+
+    #[test]
+    fn put_get_scan() {
+        let dfs = Dfs::new();
+        dfs.put("logs", sample()).unwrap();
+        let ds = dfs.get("logs").unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.scan()[2], row![3i64, "u3"]);
+    }
+
+    #[test]
+    fn duplicate_put_rejected_but_overwrite_allowed() {
+        let dfs = Dfs::new();
+        dfs.put("x", sample()).unwrap();
+        assert!(matches!(
+            dfs.put("x", sample()),
+            Err(MrError::DatasetExists(_))
+        ));
+        dfs.put_overwrite("x", Dataset::single(schema(), vec![]));
+        assert_eq!(dfs.get("x").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn missing_dataset_errors() {
+        let dfs = Dfs::new();
+        assert!(matches!(dfs.get("nope"), Err(MrError::NoSuchDataset(_))));
+        assert!(dfs.remove("nope").is_err());
+    }
+
+    #[test]
+    fn rows_survive_text_codec_round_trip() {
+        // DFS contents must be representable as text extents.
+        let ds = sample();
+        let text = codec::encode_rows(&ds.scan());
+        let back = codec::decode_rows(&text, &ds.schema).unwrap();
+        assert_eq!(back, ds.scan());
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let stats = sample().stats();
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.distinct_of("UserId"), Some(3));
+    }
+
+    #[test]
+    fn check_validates_all_partitions() {
+        let bad = Dataset::partitioned(
+            schema(),
+            vec![vec![row![1i64, "ok"]], vec![row!["not-a-time", "u"]]],
+        );
+        assert!(bad.check().is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the map-reduce runtime.
+
+use relation::RelationError;
+use std::fmt;
+
+/// Errors raised by the map-reduce runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrError {
+    /// A named dataset was not found in the DFS.
+    NoSuchDataset(String),
+    /// A dataset with this name already exists.
+    DatasetExists(String),
+    /// A stage was misconfigured (bad partitioner columns, arity…).
+    BadStage(String),
+    /// A reducer failed.
+    Reducer {
+        /// Stage name.
+        stage: String,
+        /// Partition index.
+        partition: usize,
+        /// Failure description.
+        message: String,
+    },
+    /// Propagated relational-layer error.
+    Relation(RelationError),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::NoSuchDataset(n) => write!(f, "no such dataset `{n}`"),
+            MrError::DatasetExists(n) => write!(f, "dataset `{n}` already exists"),
+            MrError::BadStage(m) => write!(f, "bad stage: {m}"),
+            MrError::Reducer {
+                stage,
+                partition,
+                message,
+            } => write!(f, "reducer failed in `{stage}` partition {partition}: {message}"),
+            MrError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for MrError {
+    fn from(e: RelationError) -> Self {
+        MrError::Relation(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, MrError>;

@@ -1,0 +1,237 @@
+//! Stages, partitioners, and reducers (the basic M-R model, paper §II-B).
+
+use crate::error::{MrError, Result};
+use relation::hash::{bucket_of, key_hash, stable_hash};
+use relation::{Row, Schema};
+use std::sync::Arc;
+
+/// The map phase: how rows are assigned to reduce partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioner {
+    /// `hash(key columns) mod partitions` — the paper's hash-bucketing trick
+    /// (§III-C.3) that keeps one reducer (and one embedded DSMS instance)
+    /// per machine rather than per key value.
+    KeyHash {
+        /// Key column names.
+        columns: Vec<String>,
+    },
+    /// Partition on the value of a computed bucket column (used by TiMR's
+    /// temporal partitioning, where the "key" is a span index and rows can
+    /// be replicated across spans upstream of the shuffle).
+    BucketColumn {
+        /// Column holding a non-negative bucket index.
+        column: String,
+    },
+    /// Deterministic spread ignoring content (row-hash based), for
+    /// stateless fragments with no key requirement.
+    Spread,
+    /// Everything to partition 0 (a single-node stage).
+    Single,
+}
+
+impl Partitioner {
+    /// Assign `row` (with `schema`) to one of `partitions` buckets.
+    pub fn assign(&self, schema: &Schema, row: &Row, partitions: usize) -> Result<usize> {
+        Ok(match self {
+            Partitioner::KeyHash { columns } => {
+                let mut indices = Vec::with_capacity(columns.len());
+                for c in columns {
+                    indices.push(schema.index_of(c)?);
+                }
+                bucket_of(key_hash(row, &indices), partitions)
+            }
+            Partitioner::BucketColumn { column } => {
+                let idx = schema.index_of(column)?;
+                let v = row.get(idx).as_long().ok_or_else(|| {
+                    MrError::BadStage(format!("bucket column `{column}` is not integral"))
+                })?;
+                if v < 0 {
+                    return Err(MrError::BadStage(format!(
+                        "bucket column `{column}` holds negative value {v}"
+                    )));
+                }
+                (v as usize) % partitions
+            }
+            Partitioner::Spread => bucket_of(stable_hash(row), partitions),
+            Partitioner::Single => 0,
+        })
+    }
+}
+
+/// Context handed to a reducer invocation.
+#[derive(Debug, Clone)]
+pub struct ReducerContext {
+    /// Stage name (for diagnostics).
+    pub stage: String,
+    /// This invocation's partition index.
+    pub partition: usize,
+    /// Total partition count of the stage.
+    pub partitions: usize,
+    /// Execution attempt (0 = first try; >0 after injected failures).
+    pub attempt: usize,
+}
+
+/// The reduce phase: user code invoked once per partition.
+///
+/// A reducer receives, for each stage input dataset, the rows of *its*
+/// partition (in deterministic shuffle order) and returns output rows. It
+/// must be a pure function of `(ctx.partition, inputs)` — the restart
+/// determinism tests re-invoke reducers and compare bytes.
+pub trait Reducer: Send + Sync {
+    /// Output schema, given the input schemas (one per stage input).
+    fn output_schema(&self, inputs: &[Schema]) -> Result<Schema>;
+
+    /// Process one partition.
+    fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>>;
+}
+
+/// Shared reducer handle.
+pub type ReducerRef = Arc<dyn Reducer>;
+
+/// One map-reduce stage.
+#[derive(Clone)]
+pub struct Stage {
+    /// Stage name (unique within a job).
+    pub name: String,
+    /// Input dataset names.
+    pub inputs: Vec<String>,
+    /// Output dataset name.
+    pub output: String,
+    /// Map-phase partitioner (applied to every input).
+    pub partitioner: Partitioner,
+    /// Number of reduce partitions.
+    pub partitions: usize,
+    /// Reduce-phase user code.
+    pub reducer: ReducerRef,
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stage")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("output", &self.output)
+            .field("partitioner", &self.partitioner)
+            .field("partitions", &self.partitions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Stage {
+    /// Build a stage.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        output: impl Into<String>,
+        partitioner: Partitioner,
+        partitions: usize,
+        reducer: ReducerRef,
+    ) -> Result<Self> {
+        let name = name.into();
+        if inputs.is_empty() {
+            return Err(MrError::BadStage(format!("stage `{name}` has no inputs")));
+        }
+        if partitions == 0 {
+            return Err(MrError::BadStage(format!(
+                "stage `{name}` has zero partitions"
+            )));
+        }
+        Ok(Stage {
+            name,
+            inputs,
+            output: output.into(),
+            partitioner,
+            partitions,
+            reducer,
+        })
+    }
+}
+
+/// A reducer that passes rows through unchanged — the identity stage, useful
+/// for repartitioning datasets and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityReducer;
+
+impl Reducer for IdentityReducer {
+    fn output_schema(&self, inputs: &[Schema]) -> Result<Schema> {
+        inputs
+            .first()
+            .cloned()
+            .ok_or_else(|| MrError::BadStage("identity reducer with no input".into()))
+    }
+
+    fn reduce(&self, _ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+        Ok(inputs.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::schema::{ColumnType, Field};
+    use relation::row;
+
+    fn schema() -> Schema {
+        Schema::timestamped(vec![
+            Field::new("UserId", ColumnType::Str),
+            Field::new("Bucket", ColumnType::Long),
+        ])
+    }
+
+    #[test]
+    fn key_hash_groups_same_keys() {
+        let p = Partitioner::KeyHash {
+            columns: vec!["UserId".into()],
+        };
+        let s = schema();
+        let a = p.assign(&s, &row![1i64, "u1", 0i64], 16).unwrap();
+        let b = p.assign(&s, &row![99i64, "u1", 5i64], 16).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucket_column_uses_value_mod_partitions() {
+        let p = Partitioner::BucketColumn {
+            column: "Bucket".into(),
+        };
+        let s = schema();
+        assert_eq!(p.assign(&s, &row![1i64, "u", 5i64], 4).unwrap(), 1);
+        assert_eq!(p.assign(&s, &row![1i64, "u", 3i64], 4).unwrap(), 3);
+        assert!(p.assign(&s, &row![1i64, "u", -1i64], 4).is_err());
+    }
+
+    #[test]
+    fn single_sends_everything_to_zero() {
+        let p = Partitioner::Single;
+        assert_eq!(p.assign(&schema(), &row![1i64, "u", 0i64], 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn stage_validation() {
+        let r: ReducerRef = Arc::new(IdentityReducer);
+        assert!(Stage::new("s", vec![], "out", Partitioner::Single, 1, r.clone()).is_err());
+        assert!(Stage::new(
+            "s",
+            vec!["in".into()],
+            "out",
+            Partitioner::Single,
+            0,
+            r
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn identity_reducer_flattens_inputs() {
+        let ctx = ReducerContext {
+            stage: "s".into(),
+            partition: 0,
+            partitions: 1,
+            attempt: 0,
+        };
+        let out = IdentityReducer
+            .reduce(&ctx, vec![vec![row![1i64]], vec![row![2i64]]])
+            .unwrap();
+        assert_eq!(out, vec![row![1i64], row![2i64]]);
+    }
+}

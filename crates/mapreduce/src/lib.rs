@@ -1,0 +1,37 @@
+//! A deterministic map-reduce runtime over an in-memory distributed file
+//! system.
+//!
+//! This crate stands in for the paper's Cosmos + SCOPE/Dryad cluster
+//! (paper §II-B): datasets live in a [`dfs::Dfs`] as partitioned row files;
+//! jobs are DAGs of [`job::Stage`]s, each with a *map* phase (a
+//! [`job::Partitioner`] assigning rows to reduce partitions) and a *reduce*
+//! phase (a [`job::Reducer`] invoked once per partition). Stages run their
+//! partitions on a local thread pool ([`cluster::Cluster`]).
+//!
+//! Faithfulness properties the TiMR layer depends on:
+//!
+//! - **Determinism.** Partition placement is a pure function of the key
+//!   ([`relation::hash`]), shuffle preserves input order, and reducers are
+//!   pure functions of their partition — so re-running any task yields
+//!   byte-identical output. This is the map-reduce failure-handling model
+//!   the paper leans on (§III-C.1), and [`cluster::FailurePlan`] injects
+//!   task failures to prove it.
+//! - **Cost visibility.** Every stage reports rows mapped, bytes shuffled,
+//!   per-partition reduce times, real wall time, and a *simulated makespan*
+//!   for an arbitrary machine count (partitions scheduled greedily onto
+//!   `machines` workers plus a per-task overhead). The simulated makespan is
+//!   what the span-width experiment (paper Fig 16) sweeps, since a laptop
+//!   cannot time-share 150 physical machines.
+
+pub mod cluster;
+pub mod dfs;
+pub mod error;
+pub mod job;
+pub mod persist;
+pub mod stats;
+
+pub use cluster::{Cluster, ClusterConfig, FailurePlan};
+pub use dfs::{Dataset, Dfs};
+pub use error::{MrError, Result};
+pub use job::{Partitioner, Reducer, ReducerContext, Stage};
+pub use stats::{JobStats, StageStats};

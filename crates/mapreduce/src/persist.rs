@@ -1,0 +1,224 @@
+//! DFS persistence: datasets as text extents on disk.
+//!
+//! Cosmos/HDFS store datasets as append-only extents; this module gives the
+//! in-memory [`crate::Dfs`] the same durability surface so workloads can be
+//! staged once and reused across runs (the experiments binary regenerates
+//! data, but a downstream user will want to point TiMR at files).
+//!
+//! Layout under a root directory:
+//!
+//! ```text
+//! <root>/<dataset>/schema        # one `name:type` per line
+//! <root>/<dataset>/part-00000    # tab-separated rows (relation::codec)
+//! <root>/<dataset>/part-00001
+//! ```
+//!
+//! Dataset names are restricted to `[A-Za-z0-9._-]` so a name can never
+//! escape the root directory.
+
+use crate::dfs::{Dataset, Dfs};
+use crate::error::{MrError, Result};
+use relation::schema::{ColumnType, Field};
+use relation::{codec, Schema};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn io_err(e: std::io::Error, what: &str) -> MrError {
+    MrError::BadStage(format!("{what}: {e}"))
+}
+
+fn check_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(MrError::BadStage(format!(
+            "dataset name `{name}` is not filesystem-safe"
+        )))
+    }
+}
+
+fn type_tag(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Bool => "bool",
+        ColumnType::Int => "int",
+        ColumnType::Long => "long",
+        ColumnType::Double => "double",
+        ColumnType::Str => "str",
+    }
+}
+
+fn parse_type(tag: &str) -> Result<ColumnType> {
+    Ok(match tag {
+        "bool" => ColumnType::Bool,
+        "int" => ColumnType::Int,
+        "long" => ColumnType::Long,
+        "double" => ColumnType::Double,
+        "str" => ColumnType::Str,
+        other => {
+            return Err(MrError::BadStage(format!(
+                "unknown column type `{other}` in schema file"
+            )))
+        }
+    })
+}
+
+/// Write one dataset to `<root>/<name>/`.
+pub fn save_dataset(root: &Path, name: &str, dataset: &Dataset) -> Result<()> {
+    check_name(name)?;
+    let dir = root.join(name);
+    fs::create_dir_all(&dir).map_err(|e| io_err(e, "create dataset dir"))?;
+
+    let mut schema_text = String::new();
+    for f in dataset.schema.fields() {
+        schema_text.push_str(&format!("{}:{}\n", f.name, type_tag(f.ty)));
+    }
+    fs::write(dir.join("schema"), schema_text).map_err(|e| io_err(e, "write schema"))?;
+
+    for (i, partition) in dataset.partitions.iter().enumerate() {
+        let path = dir.join(format!("part-{i:05}"));
+        fs::write(path, codec::encode_rows(partition)).map_err(|e| io_err(e, "write extent"))?;
+    }
+    Ok(())
+}
+
+/// Read one dataset from `<root>/<name>/`.
+pub fn load_dataset(root: &Path, name: &str) -> Result<Dataset> {
+    check_name(name)?;
+    let dir = root.join(name);
+    let schema_text =
+        fs::read_to_string(dir.join("schema")).map_err(|e| io_err(e, "read schema"))?;
+    let mut fields = Vec::new();
+    for line in schema_text.lines() {
+        let (col, tag) = line.split_once(':').ok_or_else(|| {
+            MrError::BadStage(format!("malformed schema line `{line}` in `{name}`"))
+        })?;
+        fields.push(Field::new(col, parse_type(tag)?));
+    }
+    let schema = Schema::new(fields);
+
+    let mut parts: Vec<PathBuf> = fs::read_dir(&dir)
+        .map_err(|e| io_err(e, "list extents"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("part-"))
+        })
+        .collect();
+    parts.sort();
+
+    let mut partitions = Vec::with_capacity(parts.len());
+    for path in parts {
+        let text = fs::read_to_string(&path).map_err(|e| io_err(e, "read extent"))?;
+        let rows = codec::decode_rows(&text, &schema)?;
+        partitions.push(rows);
+    }
+    Ok(Dataset::partitioned(schema, partitions))
+}
+
+impl Dfs {
+    /// Persist every dataset to `<root>/<name>/` directories.
+    pub fn save_to_dir(&self, root: impl AsRef<Path>) -> Result<()> {
+        let root = root.as_ref();
+        for name in self.list() {
+            save_dataset(root, &name, &self.get(&name)?)?;
+        }
+        Ok(())
+    }
+
+    /// Load every dataset directory under `root` into a fresh DFS.
+    pub fn load_from_dir(root: impl AsRef<Path>) -> Result<Dfs> {
+        let root = root.as_ref();
+        let dfs = Dfs::new();
+        let entries = fs::read_dir(root).map_err(|e| io_err(e, "list datasets"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(e, "list datasets"))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().to_string();
+            dfs.put(&name, load_dataset(root, &name)?)?;
+        }
+        Ok(dfs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{row, Value};
+
+    fn sample() -> Dataset {
+        let schema = Schema::timestamped(vec![
+            Field::new("UserId", ColumnType::Str),
+            Field::new("Score", ColumnType::Double),
+        ]);
+        Dataset::partitioned(
+            schema,
+            vec![
+                vec![row![1i64, "u1", 0.5f64], row![2i64, "tab\tin\nname", -1.25f64]],
+                vec![],
+                vec![relation::Row::new(vec![
+                    Value::Long(3),
+                    Value::Null,
+                    Value::Double(0.0),
+                ])],
+            ],
+        )
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "timr-dfs-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn dataset_round_trips_through_disk() {
+        let root = temp_root("roundtrip");
+        let original = sample();
+        save_dataset(&root, "logs", &original).unwrap();
+        let loaded = load_dataset(&root, "logs").unwrap();
+        assert_eq!(loaded.schema, original.schema);
+        assert_eq!(loaded.partitions.as_ref(), original.partitions.as_ref());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn whole_dfs_round_trips() {
+        let root = temp_root("dfs");
+        let dfs = Dfs::new();
+        dfs.put("a", sample()).unwrap();
+        dfs.put("b.2024-01", sample()).unwrap();
+        dfs.save_to_dir(&root).unwrap();
+
+        let loaded = Dfs::load_from_dir(&root).unwrap();
+        assert_eq!(loaded.list(), vec!["a".to_string(), "b.2024-01".to_string()]);
+        assert_eq!(loaded.get("a").unwrap().scan(), dfs.get("a").unwrap().scan());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn unsafe_names_rejected() {
+        let root = temp_root("names");
+        assert!(save_dataset(&root, "../escape", &sample()).is_err());
+        assert!(save_dataset(&root, "", &sample()).is_err());
+        assert!(load_dataset(&root, "a/b").is_err());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn missing_dataset_errors() {
+        let root = temp_root("missing");
+        assert!(load_dataset(&root, "nope").is_err());
+        let _ = fs::remove_dir_all(root);
+    }
+}

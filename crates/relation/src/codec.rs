@@ -1,0 +1,162 @@
+//! Line-oriented text codec for DFS files.
+//!
+//! Datasets in the simulated distributed file system are stored as
+//! tab-separated text, one row per line, mirroring how SCOPE streams in
+//! Cosmos are human-inspectable text extents. The codec is loss-free for the
+//! value types we use: tabs/newlines/backslashes inside strings are escaped,
+//! and `Null` is encoded as the 2-byte marker `\N` (distinct from the empty
+//! string).
+
+use crate::error::{RelationError, Result};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+const NULL_MARKER: &str = "\\N";
+
+fn escape_into(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape(text: &str) -> Result<String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                return Err(RelationError::Codec(format!(
+                    "invalid escape `\\{other}`"
+                )))
+            }
+            None => return Err(RelationError::Codec("dangling backslash".into())),
+        }
+    }
+    Ok(out)
+}
+
+/// Encode one row as a tab-separated line (no trailing newline).
+pub fn encode_row(row: &Row) -> String {
+    let mut line = String::with_capacity(row.width());
+    for (i, v) in row.values().iter().enumerate() {
+        if i > 0 {
+            line.push('\t');
+        }
+        match v {
+            Value::Null => line.push_str(NULL_MARKER),
+            Value::Str(s) => escape_into(s, &mut line),
+            other => line.push_str(&other.to_string()),
+        }
+    }
+    line
+}
+
+/// Decode one tab-separated line against `schema`.
+pub fn decode_row(line: &str, schema: &Schema) -> Result<Row> {
+    let cells: Vec<&str> = if schema.len() == 1 && line.is_empty() {
+        vec![""]
+    } else {
+        line.split('\t').collect()
+    };
+    if cells.len() != schema.len() {
+        return Err(RelationError::Codec(format!(
+            "line has {} cells, schema {} has {}",
+            cells.len(),
+            schema,
+            schema.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(cells.len());
+    for (cell, field) in cells.iter().zip(schema.fields()) {
+        if *cell == NULL_MARKER {
+            values.push(Value::Null);
+        } else if field.ty == crate::schema::ColumnType::Str {
+            values.push(Value::str(unescape(cell)?));
+        } else {
+            values.push(field.ty.parse(cell)?);
+        }
+    }
+    Ok(Row::new(values))
+}
+
+/// Encode many rows, one line each, newline-terminated.
+pub fn encode_rows(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&encode_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode a newline-separated block of rows.
+pub fn decode_rows(text: &str, schema: &Schema) -> Result<Vec<Row>> {
+    text.lines().map(|l| decode_row(l, schema)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{ColumnType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("Time", ColumnType::Long),
+            Field::new("UserId", ColumnType::Str),
+            Field::new("Score", ColumnType::Double),
+        ])
+    }
+
+    #[test]
+    fn round_trip_simple_rows() {
+        let rows = vec![row![1i64, "user-1", 0.5f64], row![2i64, "user-2", -3.25f64]];
+        let text = encode_rows(&rows);
+        assert_eq!(decode_rows(&text, &schema()).unwrap(), rows);
+    }
+
+    #[test]
+    fn round_trip_awkward_strings() {
+        let rows = vec![
+            row![1i64, "tab\there", 0f64],
+            row![2i64, "line\nbreak", 0f64],
+            row![3i64, "back\\slash", 0f64],
+            row![4i64, "", 0f64],
+        ];
+        let text = encode_rows(&rows);
+        assert_eq!(decode_rows(&text, &schema()).unwrap(), rows);
+    }
+
+    #[test]
+    fn null_is_distinct_from_empty_string() {
+        let null_row = Row::new(vec![Value::Long(1), Value::Null, Value::Double(0.0)]);
+        let empty_row = row![1i64, "", 0.0f64];
+        let s = schema();
+        assert_eq!(decode_row(&encode_row(&null_row), &s).unwrap(), null_row);
+        assert_eq!(decode_row(&encode_row(&empty_row), &s).unwrap(), empty_row);
+        assert_ne!(null_row, empty_row);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        assert!(decode_row("1\tonly-two", &schema()).is_err());
+    }
+
+    #[test]
+    fn bad_escape_is_reported() {
+        assert!(decode_row("1\tbad\\q\t0", &schema()).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Stable 64-bit hashing for partition assignment.
+//!
+//! Map-reduce partition placement must be a pure function of the key so that
+//! (a) re-executing a failed reducer sees exactly the same input partition,
+//! and (b) two runs of the same job produce identical stage boundaries. The
+//! standard library's `DefaultHasher` is randomly seeded per process, so we
+//! use FxHash with a fixed seed discipline instead (fast, deterministic,
+//! HashDoS is irrelevant for a simulator).
+//!
+//! [`bucket_of`] implements the paper's trick of partitioning by
+//! `hash(key) % #machines` instead of by raw key, so a reducer (and its
+//! embedded DSMS instance) is instantiated once per *machine*, not once per
+//! key value (paper §III-C.3).
+
+use crate::row::Row;
+use crate::value::Value;
+use rustc_hash::FxHasher;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic 64-bit hash of any hashable value.
+pub fn stable_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Deterministic hash of the key formed by the cells of `row` at `indices`.
+pub fn key_hash(row: &Row, indices: &[usize]) -> u64 {
+    let mut hasher = FxHasher::default();
+    for &i in indices {
+        row.get(i).hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Deterministic hash of a list of values (an extracted key).
+pub fn values_hash(values: &[Value]) -> u64 {
+    let mut hasher = FxHasher::default();
+    for v in values {
+        v.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Map a key hash onto one of `buckets` partitions (paper §III-C.3).
+pub fn bucket_of(hash: u64, buckets: usize) -> usize {
+    assert!(buckets > 0, "cannot bucket into zero partitions");
+    (hash % buckets as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn hashing_is_deterministic_across_calls() {
+        let r = row![5i64, "user-17", 2i32];
+        assert_eq!(key_hash(&r, &[1]), key_hash(&r, &[1]));
+        assert_eq!(stable_hash("abc"), stable_hash("abc"));
+    }
+
+    #[test]
+    fn key_hash_depends_only_on_key_columns() {
+        let a = row![5i64, "user-17", 2i32];
+        let b = row![99i64, "user-17", 7i32];
+        assert_eq!(key_hash(&a, &[1]), key_hash(&b, &[1]));
+        assert_ne!(key_hash(&a, &[0]), key_hash(&b, &[0]));
+    }
+
+    #[test]
+    fn buckets_cover_range_and_spread() {
+        let buckets = 8;
+        let mut seen = vec![false; buckets];
+        for i in 0..1000u64 {
+            let b = bucket_of(stable_hash(&format!("user-{i}")), buckets);
+            assert!(b < buckets);
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn values_hash_matches_key_hash() {
+        let r = row![5i64, "u", 2i32];
+        let key = vec![r.get(1).clone(), r.get(2).clone()];
+        assert_eq!(key_hash(&r, &[1, 2]), values_hash(&key));
+    }
+}

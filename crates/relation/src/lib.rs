@@ -1,0 +1,33 @@
+//! Shared relational data model for the TiMR reproduction.
+//!
+//! Every layer of the system — the temporal DSMS, the map-reduce runtime,
+//! TiMR's compiler, and the behavioral-targeting application — exchanges data
+//! as [`Row`]s of dynamically-typed [`Value`]s described by a [`Schema`].
+//! A dynamic model (rather than generic, statically-typed operators) is what
+//! lets TiMR's optimizer and fragmenter manipulate plans by column name and
+//! ship intermediate rows between map-reduce stages, mirroring how
+//! SCOPE/StreamInsight interoperate in the paper.
+//!
+//! The crate also provides:
+//! - a line-oriented text codec ([`codec`]) used for DFS "files", chosen so
+//!   that intermediate datasets are human-inspectable the way SCOPE streams
+//!   are;
+//! - dataset [`stats`] (cardinalities, distinct counts) consumed by the
+//!   cost-based plan-annotation optimizer (paper §VI);
+//! - stable 64-bit [`hash`]ing used for partitioning keys, so partition
+//!   assignment is reproducible across runs and machines (a prerequisite for
+//!   the paper's repeatability-under-failure argument, §III-C).
+
+pub mod codec;
+pub mod error;
+pub mod hash;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use error::{RelationError, Result};
+pub use row::Row;
+pub use schema::{ColumnType, Field, Schema};
+pub use stats::{ColumnStats, DatasetStats};
+pub use value::Value;

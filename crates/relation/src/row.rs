@@ -1,0 +1,179 @@
+//! Rows: ordered tuples of [`Value`]s.
+
+use crate::error::{RelationError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple of values, interpreted against a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to the values.
+    pub fn values_mut(&mut self) -> &mut Vec<Value> {
+        &mut self.values
+    }
+
+    /// Consume the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the row has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Cell at `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Cell under column `name` of `schema`.
+    pub fn get_named(&self, schema: &Schema, name: &str) -> Result<&Value> {
+        Ok(&self.values[schema.index_of(name)?])
+    }
+
+    /// Validate the row against a schema: arity and per-cell types.
+    pub fn check(&self, schema: &Schema) -> Result<()> {
+        if self.values.len() != schema.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.len(),
+                actual: self.values.len(),
+            });
+        }
+        for (v, f) in self.values.iter().zip(schema.fields()) {
+            if !f.ty.admits(v) {
+                return Err(RelationError::TypeMismatch {
+                    column: f.name.clone(),
+                    expected: f.ty.to_string(),
+                    actual: v.type_name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two rows (the payload combination performed by joins).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row::new(values)
+    }
+
+    /// Extract the cells at `indices`, cloning.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Approximate in-memory width in bytes (sum of cell widths), used by
+    /// the optimizer's exchange-cost model.
+    pub fn width(&self) -> usize {
+        self.values.iter().map(Value::width).sum()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Shorthand for building a row from heterogeneous literals:
+/// `row![1i64, "user", 2i32]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("Time", ColumnType::Long),
+            Field::new("UserId", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn row_macro_and_named_access() {
+        let r = row![10i64, "u1"];
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.get_named(&schema(), "UserId").unwrap(),
+            &Value::str("u1")
+        );
+    }
+
+    #[test]
+    fn check_catches_arity_and_type_errors() {
+        let s = schema();
+        assert!(row![10i64, "u1"].check(&s).is_ok());
+        assert!(matches!(
+            row![10i64].check(&s),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            row![10i64, 5i64].check(&s),
+            Err(RelationError::TypeMismatch { .. })
+        ));
+        // Null inhabits any column type.
+        assert!(Row::new(vec![Value::Long(1), Value::Null]).check(&s).is_ok());
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let r = row![1i64, "a"].concat(&row![2i64]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.project(&[2, 0]), row![2i64, 1i64]);
+    }
+
+    #[test]
+    fn rows_order_lexicographically() {
+        assert!(row![1i64, "a"] < row![1i64, "b"]);
+        assert!(row![1i64] < row![2i64]);
+    }
+}

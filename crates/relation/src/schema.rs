@@ -1,0 +1,273 @@
+//! Column schemas.
+//!
+//! A [`Schema`] is an ordered list of named, typed [`Field`]s. TiMR's
+//! convention (paper §III-A, footnote 2) is that **the first column of every
+//! source, intermediate, and output dataset is `Time`** — the application
+//! timestamp — which is how the framework transparently derives and maintains
+//! temporal information across map-reduce stages. [`Schema::timestamped`]
+//! builds schemas that follow the convention and [`Schema::is_timestamped`]
+//! checks it.
+
+use crate::error::{RelationError, Result};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Name of the mandatory leading timestamp column.
+pub const TIME_COLUMN: &str = "Time";
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// Boolean.
+    Bool,
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    Long,
+    /// 64-bit float.
+    Double,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ColumnType {
+    /// Whether `value` inhabits this type. `Null` inhabits every type.
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Long, Value::Long(_))
+                | (ColumnType::Double, Value::Double(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+
+    /// Parse a textual cell of this type (inverse of `Value`'s `Display`).
+    pub fn parse(self, text: &str) -> Result<Value> {
+        if text.is_empty() {
+            return Ok(Value::Null);
+        }
+        let err = |t: &str| RelationError::Codec(format!("cannot parse `{text}` as {t}"));
+        Ok(match self {
+            ColumnType::Bool => Value::Bool(text.parse().map_err(|_| err("bool"))?),
+            ColumnType::Int => Value::Int(text.parse().map_err(|_| err("int"))?),
+            ColumnType::Long => Value::Long(text.parse().map_err(|_| err("long"))?),
+            ColumnType::Double => Value::Double(text.parse().map_err(|_| err("double"))?),
+            ColumnType::Str => Value::str(text),
+        })
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Bool => "bool",
+            ColumnType::Int => "int",
+            ColumnType::Long => "long",
+            ColumnType::Double => "double",
+            ColumnType::Str => "str",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Field {
+    /// Build a field.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered set of fields. Cheap to clone (fields live behind an `Arc`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Panics if two fields share a name, which
+    /// is a programming error in plan construction, not a data error.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[..i] {
+                assert_ne!(f.name, g.name, "duplicate column `{}` in schema", f.name);
+            }
+        }
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    /// Build a schema whose first column is `Time: long` (TiMR convention),
+    /// followed by the given payload fields.
+    pub fn timestamped(payload: Vec<Field>) -> Self {
+        let mut fields = vec![Field::new(TIME_COLUMN, ColumnType::Long)];
+        fields.extend(payload);
+        Schema::new(fields)
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of column `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| RelationError::UnknownColumn(name.to_string()))
+    }
+
+    /// Field named `name`.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    /// Whether a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Whether the schema follows the TiMR convention of a leading
+    /// `Time: long` column (paper §III-A footnote 2).
+    pub fn is_timestamped(&self) -> bool {
+        self.fields
+            .first()
+            .is_some_and(|f| f.name == TIME_COLUMN && f.ty == ColumnType::Long)
+    }
+
+    /// Concatenate two schemas, suffixing right-side duplicates with `.r`
+    /// (used by joins to produce the combined payload).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        for f in right.fields() {
+            let name = if self.contains(&f.name) {
+                format!("{}.r", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.ty));
+        }
+        Schema::new(fields)
+    }
+
+    /// Project a subset of columns (by name, in the given order).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.field(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Schema::new(fields))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", field.name, field.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bt_schema() -> Schema {
+        // The unified BT schema of paper Fig 9.
+        Schema::timestamped(vec![
+            Field::new("StreamId", ColumnType::Int),
+            Field::new("UserId", ColumnType::Str),
+            Field::new("KwAdId", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn timestamped_schema_leads_with_time() {
+        let s = bt_schema();
+        assert!(s.is_timestamped());
+        assert_eq!(s.index_of("Time").unwrap(), 0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn index_of_unknown_column_errors() {
+        let s = bt_schema();
+        assert!(matches!(
+            s.index_of("Nope"),
+            Err(RelationError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn join_disambiguates_duplicates() {
+        let s = bt_schema();
+        let joined = s.join(&s);
+        assert_eq!(joined.len(), 8);
+        assert!(joined.contains("UserId"));
+        assert!(joined.contains("UserId.r"));
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let s = bt_schema();
+        let p = s.project(&["UserId", "Time"]).unwrap();
+        assert_eq!(p.names(), vec!["UserId", "Time"]);
+        assert!(!p.is_timestamped());
+    }
+
+    #[test]
+    fn column_type_admits_and_parses() {
+        assert!(ColumnType::Long.admits(&Value::Long(1)));
+        assert!(!ColumnType::Long.admits(&Value::Int(1)));
+        assert!(ColumnType::Str.admits(&Value::Null));
+        assert_eq!(ColumnType::Long.parse("42").unwrap(), Value::Long(42));
+        assert_eq!(ColumnType::Str.parse("").unwrap(), Value::Null);
+        assert!(ColumnType::Int.parse("x").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        Schema::new(vec![
+            Field::new("A", ColumnType::Int),
+            Field::new("A", ColumnType::Int),
+        ]);
+    }
+}

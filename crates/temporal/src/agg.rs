@@ -1,0 +1,444 @@
+//! Aggregate specifications and incremental accumulators.
+//!
+//! Snapshot aggregation (paper §II-A.2) reports a value for every maximal
+//! interval over which the set of *active* events is constant. The sweep in
+//! [`crate::operators::aggregate`] adds and removes events as their
+//! lifetimes open and close, so accumulators must support **retraction**:
+//! Count/Sum/Avg keep running sums, Min/Max keep an ordered multiset.
+
+use crate::error::{Result, TemporalError};
+use crate::expr::Expr;
+use relation::{ColumnType, Row, Schema, Value};
+use std::collections::BTreeMap;
+
+/// An aggregate over the active-event snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggExpr {
+    /// Number of active events.
+    Count,
+    /// Sum of a numeric expression.
+    Sum(Expr),
+    /// Minimum of an expression.
+    Min(Expr),
+    /// Maximum of an expression.
+    Max(Expr),
+    /// Mean of a numeric expression (double).
+    Avg(Expr),
+    /// Population standard deviation of a numeric expression (double).
+    StdDev(Expr),
+    /// Number of distinct non-null values of an expression.
+    CountDistinct(Expr),
+}
+
+impl AggExpr {
+    /// Result type of the aggregate against the input schema.
+    pub fn infer_type(&self, schema: &Schema) -> Result<ColumnType> {
+        match self {
+            AggExpr::Count => Ok(ColumnType::Long),
+            AggExpr::Sum(e) => match e.infer_type(schema)? {
+                ColumnType::Double => Ok(ColumnType::Double),
+                ColumnType::Int | ColumnType::Long => Ok(ColumnType::Long),
+                t => Err(TemporalError::Plan(format!("SUM over non-numeric {t}"))),
+            },
+            AggExpr::Min(e) | AggExpr::Max(e) => e.infer_type(schema),
+            AggExpr::Avg(e) => match e.infer_type(schema)? {
+                ColumnType::Int | ColumnType::Long | ColumnType::Double => Ok(ColumnType::Double),
+                t => Err(TemporalError::Plan(format!("AVG over non-numeric {t}"))),
+            },
+            AggExpr::StdDev(e) => match e.infer_type(schema)? {
+                ColumnType::Int | ColumnType::Long | ColumnType::Double => Ok(ColumnType::Double),
+                t => Err(TemporalError::Plan(format!("STDDEV over non-numeric {t}"))),
+            },
+            AggExpr::CountDistinct(_) => Ok(ColumnType::Long),
+        }
+    }
+
+    /// The argument expression, if any.
+    pub fn input_expr(&self) -> Option<&Expr> {
+        match self {
+            AggExpr::Count => None,
+            AggExpr::Sum(e)
+            | AggExpr::Min(e)
+            | AggExpr::Max(e)
+            | AggExpr::Avg(e)
+            | AggExpr::StdDev(e)
+            | AggExpr::CountDistinct(e) => Some(e),
+        }
+    }
+
+    /// Build the matching accumulator.
+    pub fn accumulator(&self) -> Accumulator {
+        match self {
+            AggExpr::Count => Accumulator::Count { n: 0 },
+            AggExpr::Sum(_) => Accumulator::Sum {
+                int_sum: 0,
+                float_sum: 0.0,
+                saw_float: false,
+                n: 0,
+            },
+            AggExpr::Avg(_) => Accumulator::Avg { sum: 0.0, n: 0 },
+            AggExpr::Min(_) => Accumulator::Extreme {
+                values: BTreeMap::new(),
+                min: true,
+            },
+            AggExpr::Max(_) => Accumulator::Extreme {
+                values: BTreeMap::new(),
+                min: false,
+            },
+            AggExpr::StdDev(_) => Accumulator::Moments {
+                sum: 0.0,
+                sum_sq: 0.0,
+                n: 0,
+            },
+            AggExpr::CountDistinct(_) => Accumulator::Distinct {
+                values: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// Evaluate the argument against a row (Count has no argument).
+    pub fn eval_arg(&self, schema: &Schema, row: &Row) -> Result<Value> {
+        match self.input_expr() {
+            None => Ok(Value::Null),
+            Some(e) => e.eval(schema, row),
+        }
+    }
+}
+
+impl std::fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggExpr::Count => write!(f, "COUNT()"),
+            AggExpr::Sum(e) => write!(f, "SUM({e})"),
+            AggExpr::Min(e) => write!(f, "MIN({e})"),
+            AggExpr::Max(e) => write!(f, "MAX({e})"),
+            AggExpr::Avg(e) => write!(f, "AVG({e})"),
+            AggExpr::StdDev(e) => write!(f, "STDDEV({e})"),
+            AggExpr::CountDistinct(e) => write!(f, "COUNT_DISTINCT({e})"),
+        }
+    }
+}
+
+/// Retractable accumulator state for one aggregate.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// COUNT state.
+    Count {
+        /// Active-event count.
+        n: i64,
+    },
+    /// SUM state; tracks whether any float was seen to pick the output type.
+    Sum {
+        /// Integer part of the running sum.
+        int_sum: i64,
+        /// Float running sum (used when any input was a double).
+        float_sum: f64,
+        /// Whether any double flowed in.
+        saw_float: bool,
+        /// Number of non-null values.
+        n: i64,
+    },
+    /// AVG state.
+    Avg {
+        /// Running sum (as double).
+        sum: f64,
+        /// Number of non-null values.
+        n: i64,
+    },
+    /// MIN/MAX state: ordered multiset of active values.
+    Extreme {
+        /// value -> multiplicity.
+        values: BTreeMap<Value, usize>,
+        /// True for MIN, false for MAX.
+        min: bool,
+    },
+    /// STDDEV state: first two moments.
+    Moments {
+        /// Σx.
+        sum: f64,
+        /// Σx².
+        sum_sq: f64,
+        /// Number of non-null values.
+        n: i64,
+    },
+    /// COUNT DISTINCT state: multiset of active values.
+    Distinct {
+        /// value -> multiplicity.
+        values: BTreeMap<Value, usize>,
+    },
+}
+
+impl Accumulator {
+    /// Add one value to the snapshot. Null values are ignored (SQL-style),
+    /// except COUNT, which counts events, not values.
+    pub fn add(&mut self, v: &Value) {
+        match self {
+            Accumulator::Count { n } => *n += 1,
+            Accumulator::Sum {
+                int_sum,
+                float_sum,
+                saw_float,
+                n,
+            } => {
+                if v.is_null() {
+                    return;
+                }
+                if let Value::Double(d) = v {
+                    *saw_float = true;
+                    *float_sum += d;
+                } else if let Some(i) = v.as_long() {
+                    *int_sum += i;
+                    *float_sum += i as f64;
+                }
+                *n += 1;
+            }
+            Accumulator::Avg { sum, n } => {
+                if let Some(d) = v.as_double() {
+                    *sum += d;
+                    *n += 1;
+                }
+            }
+            Accumulator::Extreme { values, .. } => {
+                if !v.is_null() {
+                    *values.entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+            Accumulator::Moments { sum, sum_sq, n } => {
+                if let Some(x) = v.as_double() {
+                    *sum += x;
+                    *sum_sq += x * x;
+                    *n += 1;
+                }
+            }
+            Accumulator::Distinct { values } => {
+                if !v.is_null() {
+                    *values.entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Retract one previously-added value.
+    pub fn remove(&mut self, v: &Value) {
+        match self {
+            Accumulator::Count { n } => *n -= 1,
+            Accumulator::Sum {
+                int_sum,
+                float_sum,
+                n,
+                ..
+            } => {
+                if v.is_null() {
+                    return;
+                }
+                if let Value::Double(d) = v {
+                    *float_sum -= d;
+                } else if let Some(i) = v.as_long() {
+                    *int_sum -= i;
+                    *float_sum -= i as f64;
+                }
+                *n -= 1;
+            }
+            Accumulator::Avg { sum, n } => {
+                if let Some(d) = v.as_double() {
+                    *sum -= d;
+                    *n -= 1;
+                }
+            }
+            Accumulator::Extreme { values, .. } | Accumulator::Distinct { values } => {
+                if v.is_null() {
+                    return;
+                }
+                if let Some(count) = values.get_mut(v) {
+                    *count -= 1;
+                    if *count == 0 {
+                        values.remove(v);
+                    }
+                }
+            }
+            Accumulator::Moments { sum, sum_sq, n } => {
+                if let Some(x) = v.as_double() {
+                    *sum -= x;
+                    *sum_sq -= x * x;
+                    *n -= 1;
+                }
+            }
+        }
+    }
+
+    /// Current aggregate value for the snapshot.
+    pub fn value(&self) -> Value {
+        match self {
+            Accumulator::Count { n } => Value::Long(*n),
+            Accumulator::Sum {
+                int_sum,
+                float_sum,
+                saw_float,
+                n,
+            } => {
+                if *n == 0 {
+                    Value::Null
+                } else if *saw_float {
+                    Value::Double(*float_sum)
+                } else {
+                    Value::Long(*int_sum)
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*sum / *n as f64)
+                }
+            }
+            Accumulator::Extreme { values, min } => {
+                let entry = if *min {
+                    values.keys().next()
+                } else {
+                    values.keys().next_back()
+                };
+                entry.cloned().unwrap_or(Value::Null)
+            }
+            Accumulator::Moments { sum, sum_sq, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    let mean = sum / *n as f64;
+                    let var = (sum_sq / *n as f64 - mean * mean).max(0.0);
+                    Value::Double(var.sqrt())
+                }
+            }
+            Accumulator::Distinct { values } => Value::Long(values.len() as i64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+    use relation::schema::Field;
+
+    #[test]
+    fn count_add_remove() {
+        let mut a = AggExpr::Count.accumulator();
+        a.add(&Value::Null);
+        a.add(&Value::Null);
+        assert_eq!(a.value(), Value::Long(2));
+        a.remove(&Value::Null);
+        assert_eq!(a.value(), Value::Long(1));
+    }
+
+    #[test]
+    fn sum_retracts_and_types() {
+        let mut a = AggExpr::Sum(col("x")).accumulator();
+        a.add(&Value::Long(5));
+        a.add(&Value::Long(7));
+        assert_eq!(a.value(), Value::Long(12));
+        a.remove(&Value::Long(5));
+        assert_eq!(a.value(), Value::Long(7));
+        a.add(&Value::Double(0.5));
+        assert_eq!(a.value(), Value::Double(7.5));
+        a.remove(&Value::Long(7));
+        a.remove(&Value::Double(0.5));
+        assert!(a.value().is_null());
+    }
+
+    #[test]
+    fn min_max_multiset() {
+        let mut mn = AggExpr::Min(col("x")).accumulator();
+        let mut mx = AggExpr::Max(col("x")).accumulator();
+        for v in [3i64, 1, 1, 9] {
+            mn.add(&Value::Long(v));
+            mx.add(&Value::Long(v));
+        }
+        assert_eq!(mn.value(), Value::Long(1));
+        assert_eq!(mx.value(), Value::Long(9));
+        mn.remove(&Value::Long(1));
+        assert_eq!(mn.value(), Value::Long(1)); // one copy remains
+        mn.remove(&Value::Long(1));
+        assert_eq!(mn.value(), Value::Long(3));
+        mx.remove(&Value::Long(9));
+        assert_eq!(mx.value(), Value::Long(3));
+    }
+
+    #[test]
+    fn avg_over_mixed_numerics() {
+        let mut a = AggExpr::Avg(col("x")).accumulator();
+        a.add(&Value::Long(1));
+        a.add(&Value::Double(2.0));
+        assert_eq!(a.value(), Value::Double(1.5));
+    }
+
+    #[test]
+    fn nulls_ignored_except_count() {
+        let mut s = AggExpr::Sum(col("x")).accumulator();
+        s.add(&Value::Null);
+        assert!(s.value().is_null());
+        s.add(&Value::Long(4));
+        s.add(&Value::Null);
+        assert_eq!(s.value(), Value::Long(4));
+    }
+
+    #[test]
+    fn stddev_retracts() {
+        let mut a = AggExpr::StdDev(col("x")).accumulator();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(&Value::Double(v));
+        }
+        // Classic example: population stddev = 2.
+        let got = a.value().as_double().unwrap();
+        assert!((got - 2.0).abs() < 1e-12, "stddev {got}");
+        // Retract down to a two-value set: {2, 4} → stddev 1.
+        for v in [4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.remove(&Value::Double(v));
+        }
+        let got = a.value().as_double().unwrap();
+        assert!((got - 1.0).abs() < 1e-12, "stddev {got}");
+        a.remove(&Value::Double(2.0));
+        a.remove(&Value::Double(4.0));
+        assert!(a.value().is_null());
+    }
+
+    #[test]
+    fn count_distinct_multiset() {
+        let mut a = AggExpr::CountDistinct(col("x")).accumulator();
+        for v in ["a", "b", "a"] {
+            a.add(&Value::str(v));
+        }
+        assert_eq!(a.value(), Value::Long(2));
+        a.remove(&Value::str("a"));
+        assert_eq!(a.value(), Value::Long(2), "one `a` copy remains");
+        a.remove(&Value::str("a"));
+        assert_eq!(a.value(), Value::Long(1));
+        a.add(&Value::Null); // nulls don't count
+        assert_eq!(a.value(), Value::Long(1));
+    }
+
+    #[test]
+    fn infer_types() {
+        let s = Schema::new(vec![
+            Field::new("L", ColumnType::Long),
+            Field::new("D", ColumnType::Double),
+            Field::new("S", ColumnType::Str),
+        ]);
+        assert_eq!(AggExpr::Count.infer_type(&s).unwrap(), ColumnType::Long);
+        assert_eq!(
+            AggExpr::Sum(col("L")).infer_type(&s).unwrap(),
+            ColumnType::Long
+        );
+        assert_eq!(
+            AggExpr::Sum(col("D")).infer_type(&s).unwrap(),
+            ColumnType::Double
+        );
+        assert_eq!(
+            AggExpr::Avg(col("L")).infer_type(&s).unwrap(),
+            ColumnType::Double
+        );
+        assert_eq!(
+            AggExpr::Min(col("S")).infer_type(&s).unwrap(),
+            ColumnType::Str
+        );
+        assert!(AggExpr::Sum(col("S")).infer_type(&s).is_err());
+    }
+}

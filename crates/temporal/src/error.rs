@@ -1,0 +1,46 @@
+//! Error type for the temporal engine.
+
+use relation::RelationError;
+use std::fmt;
+
+/// Errors raised while building or executing CQ plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemporalError {
+    /// Plan construction or validation failed (bad schema, unknown node…).
+    Plan(String),
+    /// Expression evaluation failed at runtime.
+    Eval(String),
+    /// An input stream violated an invariant (schema mismatch, bad rows).
+    Input(String),
+    /// Propagated relational-layer error.
+    Relation(RelationError),
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::Plan(m) => write!(f, "plan error: {m}"),
+            TemporalError::Eval(m) => write!(f, "eval error: {m}"),
+            TemporalError::Input(m) => write!(f, "input error: {m}"),
+            TemporalError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TemporalError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for TemporalError {
+    fn from(e: RelationError) -> Self {
+        TemporalError::Relation(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, TemporalError>;

@@ -1,0 +1,97 @@
+//! Events: payload rows with validity lifetimes.
+
+use crate::time::{Lifetime, Time};
+use relation::Row;
+use std::fmt;
+
+/// One event: a payload valid over `[LE, RE)` (paper §II-A.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    /// Validity interval.
+    pub lifetime: Lifetime,
+    /// Payload columns (the event's schema lives on the enclosing stream).
+    pub payload: Row,
+}
+
+impl Event {
+    /// Build an event with an explicit lifetime.
+    pub fn new(lifetime: Lifetime, payload: Row) -> Self {
+        Event { lifetime, payload }
+    }
+
+    /// Build a point event at `t` (`RE = LE + δ`).
+    pub fn point(t: Time, payload: Row) -> Self {
+        Event {
+            lifetime: Lifetime::point(t),
+            payload,
+        }
+    }
+
+    /// Build an interval event `[start, end)`.
+    pub fn interval(start: Time, end: Time, payload: Row) -> Self {
+        Event {
+            lifetime: Lifetime::new(start, end),
+            payload,
+        }
+    }
+
+    /// LE — the event's application timestamp.
+    pub fn start(&self) -> Time {
+        self.lifetime.start
+    }
+
+    /// RE — the exclusive end of validity.
+    pub fn end(&self) -> Time {
+        self.lifetime.end
+    }
+
+    /// Replace the lifetime, keeping the payload.
+    pub fn with_lifetime(&self, lifetime: Lifetime) -> Event {
+        Event {
+            lifetime,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}) {}",
+            self.lifetime.start, self.lifetime.end, self.payload
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::row;
+
+    #[test]
+    fn point_event_has_tick_lifetime() {
+        let e = Event::point(10, row![10i64, "u"]);
+        assert_eq!(e.start(), 10);
+        assert_eq!(e.end(), 11);
+        assert!(e.lifetime.is_point());
+    }
+
+    #[test]
+    fn events_order_by_lifetime_then_payload() {
+        let a = Event::point(1, row!["a"]);
+        let b = Event::point(1, row!["b"]);
+        let c = Event::point(2, row!["a"]);
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn with_lifetime_keeps_payload() {
+        let e = Event::point(3, row!["x"]);
+        let w = e.with_lifetime(Lifetime::new(3, 10));
+        assert_eq!(w.payload, e.payload);
+        assert_eq!(w.end(), 10);
+    }
+}

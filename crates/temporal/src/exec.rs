@@ -1,0 +1,279 @@
+//! Batch execution of CQ plans.
+//!
+//! Evaluates a [`LogicalPlan`] bottom-up over fully materialized input
+//! streams, memoizing each node's output so DAG fan-out (Multicast) computes
+//! shared sub-plans once. This is the engine TiMR embeds inside every
+//! map-reduce reducer (paper §III-A step 4): the reducer binds its partition
+//! of rows to the fragment's `Source` leaves and returns the root stream.
+
+use crate::error::{Result, TemporalError};
+use crate::operators;
+use crate::plan::{LogicalPlan, NodeId, Operator};
+use crate::stream::EventStream;
+use rustc_hash::FxHashMap;
+
+/// Named input bindings for a plan's `Source` leaves.
+pub type Bindings = FxHashMap<String, EventStream>;
+
+/// Build bindings from `(name, stream)` pairs.
+pub fn bindings(pairs: Vec<(&str, EventStream)>) -> Bindings {
+    pairs
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s))
+        .collect()
+}
+
+/// Execute `plan` against `sources`; returns one stream per plan output.
+pub fn execute(plan: &LogicalPlan, sources: &Bindings) -> Result<Vec<EventStream>> {
+    let mut exec = Executor {
+        sources,
+        group_input: None,
+        cache: FxHashMap::default(),
+        counts: consumer_counts(plan),
+    };
+    plan.roots()
+        .iter()
+        .map(|&root| exec.eval(plan, root))
+        .collect()
+}
+
+/// Execute a single-output plan and return its only stream.
+pub fn execute_single(plan: &LogicalPlan, sources: &Bindings) -> Result<EventStream> {
+    let mut outputs = execute(plan, sources)?;
+    if outputs.len() != 1 {
+        return Err(TemporalError::Plan(format!(
+            "expected a single-output plan, got {} outputs",
+            outputs.len()
+        )));
+    }
+    Ok(outputs.pop().unwrap())
+}
+
+struct Executor<'a> {
+    sources: &'a Bindings,
+    /// Bound stream for `GroupInput` when running a GroupApply sub-plan.
+    group_input: Option<&'a EventStream>,
+    cache: FxHashMap<NodeId, EventStream>,
+    counts: Vec<u32>,
+}
+
+/// Number of consumers per node; only fan-out (Multicast) nodes need
+/// their results cached, so single-consumer intermediates are moved, not
+/// cloned.
+fn consumer_counts(plan: &LogicalPlan) -> Vec<u32> {
+    let mut counts = vec![0u32; plan.nodes().len()];
+    for node in plan.nodes() {
+        for &input in &node.inputs {
+            counts[input] += 1;
+        }
+    }
+    counts
+}
+
+impl<'a> Executor<'a> {
+    fn eval(&mut self, plan: &LogicalPlan, id: NodeId) -> Result<EventStream> {
+        if let Some(hit) = self.cache.get(&id) {
+            return Ok(hit.clone());
+        }
+        let node = plan.node(id);
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        for &input in &node.inputs {
+            inputs.push(self.eval(plan, input)?);
+        }
+        let out = match &node.op {
+            Operator::Source { name, schema } => {
+                let stream = self.sources.get(name).ok_or_else(|| {
+                    TemporalError::Input(format!("no binding for source `{name}`"))
+                })?;
+                if stream.schema() != schema {
+                    return Err(TemporalError::Input(format!(
+                        "source `{name}` bound with schema {}, plan expects {schema}",
+                        stream.schema()
+                    )));
+                }
+                stream.clone()
+            }
+            Operator::GroupInput { .. } => self
+                .group_input
+                .ok_or_else(|| {
+                    TemporalError::Plan("GroupInput outside a GroupApply sub-plan".into())
+                })?
+                .clone(),
+            Operator::Filter { predicate } => operators::filter(&inputs[0], predicate)?,
+            Operator::Project { exprs } => operators::project(&inputs[0], exprs)?,
+            Operator::AlterLifetime { op } => operators::alter_lifetime(&inputs[0], op)?,
+            Operator::Aggregate { aggs } => operators::aggregate(&inputs[0], aggs)?,
+            Operator::GroupApply { keys, subplan } => {
+                let sources = self.sources;
+                let mut run = |sub: &LogicalPlan, group: EventStream| {
+                    let mut inner = Executor {
+                        sources,
+                        group_input: Some(&group),
+                        cache: FxHashMap::default(),
+                        counts: consumer_counts(sub),
+                    };
+                    inner.eval(sub, sub.roots()[0])
+                };
+                operators::group_apply(&inputs[0], keys, subplan, &mut run)?
+            }
+            Operator::Union => {
+                let refs: Vec<&EventStream> = inputs.iter().collect();
+                operators::union(&refs)?
+            }
+            Operator::TemporalJoin { keys, residual } => {
+                operators::temporal_join(&inputs[0], &inputs[1], keys, residual.as_ref())?
+            }
+            Operator::AntiSemiJoin { keys } => {
+                operators::anti_semi_join(&inputs[0], &inputs[1], keys)?
+            }
+            Operator::HopUdo { hop, width, udo } => {
+                operators::hop_udo(&inputs[0], *hop, *width, udo)?
+            }
+        };
+        // Cache only fan-out (Multicast) nodes: single-consumer results
+        // are moved to their parent without an extra full-stream clone.
+        if self.counts.get(id).copied().unwrap_or(0) > 1 {
+            self.cache.insert(id, out.clone());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::event::Event;
+    use crate::expr::{col, lit};
+    use crate::plan::Query;
+    use crate::time::Lifetime;
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+
+    fn bt_schema() -> Schema {
+        Schema::timestamped(vec![
+            Field::new("StreamId", ColumnType::Int),
+            Field::new("UserId", ColumnType::Str),
+            Field::new("KwAdId", ColumnType::Str),
+        ])
+    }
+
+    fn sample_events() -> EventStream {
+        // Clicks (StreamId=1) on two ads by two users, plus a search.
+        EventStream::new(
+            bt_schema(),
+            vec![
+                Event::point(10, row![10i64, 1i32, "u1", "adA"]),
+                Event::point(20, row![20i64, 1i32, "u2", "adA"]),
+                Event::point(25, row![25i64, 2i32, "u1", "cars"]),
+                Event::point(200, row![200i64, 1i32, "u1", "adB"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn running_click_count_end_to_end() {
+        // Example 1: per-ad click count over a 100-tick window.
+        let q = Query::new();
+        let out = q
+            .source("input", bt_schema())
+            .filter(col("StreamId").eq(lit(1)))
+            .group_apply(&["KwAdId"], |g| g.window(100).count("ClickCount"));
+        let plan = q.build(vec![out]).unwrap();
+        let result = execute_single(&plan, &bindings(vec![("input", sample_events())])).unwrap();
+        let n = result.normalize();
+        assert_eq!(
+            n.events(),
+            &[
+                Event::interval(10, 20, row!["adA", 1i64]),
+                Event::interval(20, 110, row!["adA", 2i64]),
+                Event::interval(110, 120, row!["adA", 1i64]),
+                Event::interval(200, 300, row!["adB", 1i64]),
+            ]
+        );
+    }
+
+    #[test]
+    fn multicast_subplans_run_once_and_agree() {
+        // One source feeding two filters then a union: the source node must
+        // be evaluated once (cache) and results must be consistent.
+        let q = Query::new();
+        let input = q.source("input", bt_schema());
+        let clicks = input.clone().filter(col("StreamId").eq(lit(1)));
+        let searches = input.filter(col("StreamId").eq(lit(2)));
+        let out = clicks.union(searches);
+        let plan = q.build(vec![out]).unwrap();
+        let result = execute_single(&plan, &bindings(vec![("input", sample_events())])).unwrap();
+        assert_eq!(result.len(), 4);
+    }
+
+    #[test]
+    fn multi_output_plans_return_each_root() {
+        let q = Query::new();
+        let input = q.source("input", bt_schema());
+        let clicks = input.clone().filter(col("StreamId").eq(lit(1)));
+        let searches = input.filter(col("StreamId").eq(lit(2)));
+        let plan = q.build(vec![clicks, searches]).unwrap();
+        let outs = execute(&plan, &bindings(vec![("input", sample_events())])).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].len(), 3);
+        assert_eq!(outs[1].len(), 1);
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let q = Query::new();
+        let out = q.source("input", bt_schema()).count("N");
+        let plan = q.build(vec![out]).unwrap();
+        assert!(matches!(
+            execute_single(&plan, &bindings(vec![])),
+            Err(TemporalError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_source_schema_is_an_error() {
+        let q = Query::new();
+        let out = q.source("input", bt_schema()).count("N");
+        let plan = q.build(vec![out]).unwrap();
+        let wrong = EventStream::empty(Schema::timestamped(vec![]));
+        assert!(execute_single(&plan, &bindings(vec![("input", wrong)])).is_err());
+    }
+
+    #[test]
+    fn nested_group_apply() {
+        // Group by user, then inside each user group, group by keyword.
+        let q = Query::new();
+        let out = q.source("input", bt_schema()).group_apply(&["UserId"], |g| {
+            g.group_apply(&["KwAdId"], |k| k.window(50).count("N"))
+        });
+        let plan = q.build(vec![out]).unwrap();
+        let result = execute_single(&plan, &bindings(vec![("input", sample_events())])).unwrap();
+        let n = result.normalize();
+        assert_eq!(n.schema().names(), vec!["UserId", "KwAdId", "N"]);
+        assert!(n
+            .events()
+            .iter()
+            .any(|e| e.payload == row!["u1", "cars", 1i64]
+                && e.lifetime == Lifetime::new(25, 75)));
+    }
+
+    #[test]
+    fn physical_order_does_not_change_results() {
+        let q = Query::new();
+        let out = q
+            .source("input", bt_schema())
+            .filter(col("StreamId").eq(lit(1)))
+            .group_apply(&["KwAdId"], |g| g.window(100).count("N"));
+        let plan = q.build(vec![out]).unwrap();
+
+        let forward = sample_events();
+        let mut reversed_events = forward.events().to_vec();
+        reversed_events.reverse();
+        let reversed = EventStream::new(bt_schema(), reversed_events);
+
+        let a = execute_single(&plan, &bindings(vec![("input", forward)])).unwrap();
+        let b = execute_single(&plan, &bindings(vec![("input", reversed)])).unwrap();
+        assert!(a.same_relation(&b));
+    }
+}

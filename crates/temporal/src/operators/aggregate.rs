@@ -1,0 +1,214 @@
+//! Snapshot aggregation (paper §II-A.2).
+//!
+//! An aggregation operator "computes and reports an aggregate result each
+//! time the active event set changes (i.e., every snapshot)". The
+//! implementation is a single endpoint sweep: event lifetimes contribute a
+//! `+payload` at `LE` and a `-payload` at `RE`; between consecutive distinct
+//! endpoints the active set is constant, so one output event covers the whole
+//! segment. Accumulators are retractable ([`crate::agg::Accumulator`]), so
+//! the sweep is `O(n log n)` regardless of window size — this is the
+//! engine-level efficiency the paper contrasts with hand-written reducers.
+//!
+//! Segments with an empty active set produce no output, and adjacent
+//! segments with equal aggregate values are coalesced, so the operator
+//! output is already in canonical form.
+
+use crate::agg::AggExpr;
+use crate::error::Result;
+use crate::event::Event;
+use crate::stream::EventStream;
+use crate::time::{Lifetime, Time};
+use relation::{Field, Row, Schema, Value};
+
+/// Compute snapshot aggregates over the whole stream (grouping is provided
+/// by GroupApply above this operator).
+pub fn aggregate(input: &EventStream, aggs: &[(String, AggExpr)]) -> Result<EventStream> {
+    let in_schema = input.schema();
+    let out_schema = Schema::new(
+        aggs.iter()
+            .map(|(name, a)| Ok(Field::new(name.clone(), a.infer_type(in_schema)?)))
+            .collect::<Result<Vec<_>>>()?,
+    );
+
+    if input.is_empty() {
+        return Ok(EventStream::empty(out_schema));
+    }
+
+    // Pre-evaluate each aggregate's argument for each event.
+    let n_aggs = aggs.len();
+    let mut arg_values: Vec<Vec<Value>> = Vec::with_capacity(input.len());
+    for e in input.events() {
+        let mut vals = Vec::with_capacity(n_aggs);
+        for (_, a) in aggs {
+            vals.push(a.eval_arg(in_schema, &e.payload)?);
+        }
+        arg_values.push(vals);
+    }
+
+    // Endpoint sweep: (time, event index, is_start).
+    let mut endpoints: Vec<(Time, usize, bool)> = Vec::with_capacity(input.len() * 2);
+    for (i, e) in input.events().iter().enumerate() {
+        endpoints.push((e.lifetime.start, i, true));
+        endpoints.push((e.lifetime.end, i, false));
+    }
+    endpoints.sort_unstable_by_key(|&(t, i, is_start)| (t, is_start, i));
+
+    let mut accs: Vec<_> = aggs.iter().map(|(_, a)| a.accumulator()).collect();
+    let mut active: i64 = 0;
+    let mut out: Vec<Event> = Vec::new();
+    let mut pending: Option<(Time, Row)> = None; // open segment start + value
+
+    let mut idx = 0;
+    while idx < endpoints.len() {
+        let t = endpoints[idx].0;
+        // Apply every change at instant t before emitting.
+        while idx < endpoints.len() && endpoints[idx].0 == t {
+            let (_, i, is_start) = endpoints[idx];
+            for (acc, v) in accs.iter_mut().zip(&arg_values[i]) {
+                if is_start {
+                    acc.add(v);
+                } else {
+                    acc.remove(v);
+                }
+            }
+            active += if is_start { 1 } else { -1 };
+            idx += 1;
+        }
+        let value = if active > 0 {
+            Some(Row::new(accs.iter().map(|a| a.value()).collect()))
+        } else {
+            None
+        };
+        // Close the previous segment if the value changed; coalescing is
+        // just "don't close when equal".
+        match (&mut pending, value) {
+            (Some((start, row)), Some(new_row)) if *row == new_row => {
+                let _ = start; // same value: keep the segment open
+            }
+            (p, new_value) => {
+                if let Some((start, row)) = p.take() {
+                    out.push(Event::new(Lifetime::new(start, t), row));
+                }
+                *p = new_value.map(|row| (t, row));
+            }
+        }
+    }
+    debug_assert!(pending.is_none(), "sweep ended with an open segment");
+
+    Ok(EventStream::new(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+    use crate::operators::alter_lifetime;
+    use crate::plan::LifetimeOp;
+    use relation::schema::ColumnType;
+    use relation::row;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("Power", ColumnType::Long)])
+    }
+
+    fn count_of(input: &EventStream) -> EventStream {
+        aggregate(input, &[("N".to_string(), AggExpr::Count)]).unwrap()
+    }
+
+    #[test]
+    fn windowed_count_matches_paper_fig3() {
+        // Paper Figs 2-3: non-zero readings at t=2 and t=4, window w=3.
+        // Count over the last 3 seconds: 1 on [2,4), 2 on [4,5), 1 on [5,7).
+        let input = EventStream::new(
+            schema(),
+            vec![Event::point(2, row![120i64]), Event::point(4, row![370i64])],
+        );
+        let windowed = alter_lifetime(&input, &LifetimeOp::Window(3)).unwrap();
+        let out = count_of(&windowed);
+        assert_eq!(
+            out.events(),
+            &[
+                Event::interval(2, 4, row![1i64]),
+                Event::interval(4, 5, row![2i64]),
+                Event::interval(5, 7, row![1i64]),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_snapshots_emit_nothing() {
+        let input = EventStream::new(
+            schema(),
+            vec![Event::interval(0, 2, row![1i64]), Event::interval(10, 12, row![2i64])],
+        );
+        let out = count_of(&input);
+        assert_eq!(
+            out.events(),
+            &[
+                Event::interval(0, 2, row![1i64]),
+                Event::interval(10, 12, row![1i64]),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_adjacent_values_coalesce() {
+        // Two touching events: count stays 1 across the boundary, so the
+        // output is a single coalesced interval.
+        let input = EventStream::new(
+            schema(),
+            vec![Event::interval(0, 5, row![1i64]), Event::interval(5, 9, row![2i64])],
+        );
+        let out = count_of(&input);
+        assert_eq!(out.events(), &[Event::interval(0, 9, row![1i64])]);
+    }
+
+    #[test]
+    fn multiple_aggregates_in_one_pass() {
+        let input = EventStream::new(
+            schema(),
+            vec![
+                Event::interval(0, 10, row![5i64]),
+                Event::interval(3, 6, row![1i64]),
+            ],
+        );
+        let out = aggregate(
+            &input,
+            &[
+                ("N".to_string(), AggExpr::Count),
+                ("S".to_string(), AggExpr::Sum(col("Power"))),
+                ("Mn".to_string(), AggExpr::Min(col("Power"))),
+                ("Av".to_string(), AggExpr::Avg(col("Power"))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            out.events(),
+            &[
+                Event::interval(0, 3, row![1i64, 5i64, 5i64, 5.0f64]),
+                Event::interval(3, 6, row![2i64, 6i64, 1i64, 3.0f64]),
+                Event::interval(6, 10, row![1i64, 5i64, 5i64, 5.0f64]),
+            ]
+        );
+    }
+
+    #[test]
+    fn result_is_physical_order_insensitive() {
+        let a = EventStream::new(
+            schema(),
+            vec![Event::interval(0, 4, row![1i64]), Event::interval(2, 6, row![2i64])],
+        );
+        let b = EventStream::new(
+            schema(),
+            vec![Event::interval(2, 6, row![2i64]), Event::interval(0, 4, row![1i64])],
+        );
+        assert!(count_of(&a).same_relation(&count_of(&b)));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let out = count_of(&EventStream::empty(schema()));
+        assert!(out.is_empty());
+        assert_eq!(out.schema().names(), vec!["N"]);
+    }
+}

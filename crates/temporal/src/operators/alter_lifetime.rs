@@ -1,0 +1,121 @@
+//! AlterLifetime: windowing and lifetime adjustment (paper §II-A.2, Fig 3).
+
+use crate::error::Result;
+use crate::plan::LifetimeOp;
+use crate::stream::EventStream;
+use crate::time::{ceil_to_grid, Lifetime};
+
+/// Apply a lifetime transformation to every event.
+pub fn alter_lifetime(input: &EventStream, op: &LifetimeOp) -> Result<EventStream> {
+    let events = input
+        .events()
+        .iter()
+        .filter_map(|e| {
+            let lt = e.lifetime;
+            let new = match op {
+                // Sliding window: the event influences output for `w` ticks
+                // after its timestamp.
+                LifetimeOp::Window(w) => Lifetime::new(lt.start, lt.start + w),
+                // Hopping window: quantize so snapshots only change at grid
+                // points. An event at `t` must be active at exactly the grid
+                // instants `T` with `T - width < t <= T`; the smallest is
+                // `ceil(t / hop) * hop` and the end is the first grid point
+                // at or after `t + width`.
+                LifetimeOp::Hop { hop, width } => {
+                    let start = ceil_to_grid(lt.start, *hop);
+                    let end = ceil_to_grid(lt.start + width, *hop);
+                    if start >= end {
+                        // Can only happen for width < hop remainders; the
+                        // event falls between report points and is dropped.
+                        return None;
+                    }
+                    Lifetime::new(start, end)
+                }
+                LifetimeOp::Shift(d) => Lifetime::new(lt.start + d, lt.end + d),
+                LifetimeOp::ExtendBack(d) => Lifetime::new(lt.start - d, lt.end),
+                LifetimeOp::ToPoint => Lifetime::point(lt.start),
+            };
+            Some(e.with_lifetime(new))
+        })
+        .collect();
+    Ok(EventStream::new(input.schema().clone(), events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+
+    fn stream(times: &[i64]) -> EventStream {
+        let schema = Schema::new(vec![Field::new("X", ColumnType::Long)]);
+        EventStream::new(
+            schema,
+            times.iter().map(|&t| Event::point(t, row![t])).collect(),
+        )
+    }
+
+    #[test]
+    fn sliding_window_sets_re() {
+        // Paper Fig 3: window w=3 makes a reading at t active on [t, t+3).
+        let out = alter_lifetime(&stream(&[2, 4]), &LifetimeOp::Window(3)).unwrap();
+        assert_eq!(out.events()[0].lifetime, Lifetime::new(2, 5));
+        assert_eq!(out.events()[1].lifetime, Lifetime::new(4, 7));
+    }
+
+    #[test]
+    fn hopping_window_quantizes_to_grid() {
+        // hop=4, width=6: event at t=1 is active at the single grid report
+        // T=4 (since 4-6 < 1 <= 4 but 8-6 > 1): lifetime [4, 8).
+        let out = alter_lifetime(
+            &stream(&[1]),
+            &LifetimeOp::Hop { hop: 4, width: 6 },
+        )
+        .unwrap();
+        assert_eq!(out.events()[0].lifetime, Lifetime::new(4, 8));
+        // Event exactly on the grid is active at T=4 and T=8: [4, 12).
+        let out = alter_lifetime(
+            &stream(&[4]),
+            &LifetimeOp::Hop { hop: 4, width: 6 },
+        )
+        .unwrap();
+        assert_eq!(out.events()[0].lifetime, Lifetime::new(4, 12));
+    }
+
+    #[test]
+    fn hopping_window_drops_between_report_points() {
+        // hop=10, width=2: an event at t=3 influences no grid report
+        // (next report T=10, but 10-2=8 > 3) and must vanish.
+        let out = alter_lifetime(
+            &stream(&[3]),
+            &LifetimeOp::Hop { hop: 10, width: 2 },
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        // t=9 influences T=10: [10, 20)? end = ceil(9+2)=20? No: ceil(11,10)=20.
+        let out = alter_lifetime(
+            &stream(&[9]),
+            &LifetimeOp::Hop { hop: 10, width: 2 },
+        )
+        .unwrap();
+        assert_eq!(out.events()[0].lifetime, Lifetime::new(10, 20));
+    }
+
+    #[test]
+    fn shift_and_extend_back() {
+        let out = alter_lifetime(&stream(&[10]), &LifetimeOp::Shift(5)).unwrap();
+        assert_eq!(out.events()[0].lifetime, Lifetime::new(15, 16));
+        // GenTrainData (Fig 12): clicks extended back d=5 cover [t-5, t+1).
+        let out = alter_lifetime(&stream(&[10]), &LifetimeOp::ExtendBack(5)).unwrap();
+        assert_eq!(out.events()[0].lifetime, Lifetime::new(5, 11));
+    }
+
+    #[test]
+    fn to_point_collapses_intervals() {
+        let schema = Schema::new(vec![Field::new("X", ColumnType::Long)]);
+        let input = EventStream::new(schema, vec![Event::interval(3, 99, row![0i64])]);
+        let out = alter_lifetime(&input, &LifetimeOp::ToPoint).unwrap();
+        assert_eq!(out.events()[0].lifetime, Lifetime::point(3));
+    }
+}

@@ -1,0 +1,148 @@
+//! AntiSemiJoin: temporal set difference (paper §II-A.2).
+//!
+//! Removes the *portions* of left events that temporally intersect some
+//! matching right event. For point-event left inputs — the paper's usage in
+//! bot elimination (drop activity of flagged bot users, Fig 11) and
+//! non-click derivation (drop impressions that led to a click, Fig 12) —
+//! this reduces to "drop covered points". Interval left events are split
+//! into surviving fragments.
+
+use crate::error::{Result, TemporalError};
+use crate::stream::EventStream;
+use crate::time::{merge_intervals, Lifetime};
+use relation::Value;
+use rustc_hash::FxHashMap;
+
+/// Subtract from `left` the time ranges covered by key-matching events of
+/// `right`.
+pub fn anti_semi_join(
+    left: &EventStream,
+    right: &EventStream,
+    keys: &[(String, String)],
+) -> Result<EventStream> {
+    let lschema = left.schema();
+    let rschema = right.schema();
+    let lkeys: Vec<usize> = keys
+        .iter()
+        .map(|(l, _)| lschema.index_of(l).map_err(TemporalError::from))
+        .collect::<Result<Vec<_>>>()?;
+    let rkeys: Vec<usize> = keys
+        .iter()
+        .map(|(_, r)| rschema.index_of(r).map_err(TemporalError::from))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Per key: merged, disjoint, sorted cover of the right side.
+    let mut covers: FxHashMap<Vec<Value>, Vec<Lifetime>> = FxHashMap::default();
+    for e in right.events() {
+        let key: Vec<Value> = rkeys.iter().map(|&i| e.payload.get(i).clone()).collect();
+        covers.entry(key).or_default().push(e.lifetime);
+    }
+    for intervals in covers.values_mut() {
+        let merged = merge_intervals(std::mem::take(intervals));
+        *intervals = merged;
+    }
+
+    let mut out = Vec::with_capacity(left.len());
+    for e in left.events() {
+        let key: Vec<Value> = lkeys.iter().map(|&i| e.payload.get(i).clone()).collect();
+        match covers.get(&key) {
+            None => out.push(e.clone()),
+            Some(holes) => {
+                for fragment in e.lifetime.subtract_all(holes) {
+                    out.push(e.with_lifetime(fragment));
+                }
+            }
+        }
+    }
+    Ok(EventStream::new(lschema.clone(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+
+    fn user_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("UserId", ColumnType::Str),
+            Field::new("What", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn drops_points_covered_by_matching_intervals() {
+        // Bot-elimination shape: user activity (points) minus bot periods.
+        let activity = EventStream::new(
+            user_schema(),
+            vec![
+                Event::point(5, row!["u1", "search"]),
+                Event::point(50, row!["u1", "click"]),
+                Event::point(5, row!["u2", "search"]),
+            ],
+        );
+        let bot_periods = EventStream::new(
+            Schema::new(vec![Field::new("UserId", ColumnType::Str)]),
+            vec![Event::interval(0, 10, row!["u1"])],
+        );
+        let out = anti_semi_join(
+            &activity,
+            &bot_periods,
+            &[("UserId".to_string(), "UserId".to_string())],
+        )
+        .unwrap();
+        let n = out.normalize();
+        // u1@5 is covered; u1@50 and u2@5 survive.
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.events()[0].payload, row!["u2", "search"]);
+        assert_eq!(n.events()[1].payload, row!["u1", "click"]);
+    }
+
+    #[test]
+    fn interval_left_events_fragment() {
+        let left = EventStream::new(
+            user_schema(),
+            vec![Event::interval(0, 100, row!["u1", "x"])],
+        );
+        let right = EventStream::new(
+            Schema::new(vec![Field::new("UserId", ColumnType::Str)]),
+            vec![
+                Event::interval(10, 20, row!["u1"]),
+                Event::interval(15, 30, row!["u1"]),
+            ],
+        );
+        let out = anti_semi_join(
+            &left,
+            &right,
+            &[("UserId".to_string(), "UserId".to_string())],
+        )
+        .unwrap();
+        assert_eq!(
+            out.events()
+                .iter()
+                .map(|e| e.lifetime)
+                .collect::<Vec<_>>(),
+            vec![Lifetime::new(0, 10), Lifetime::new(30, 100)]
+        );
+    }
+
+    #[test]
+    fn unmatched_keys_pass_through() {
+        let left = EventStream::new(
+            user_schema(),
+            vec![Event::point(1, row!["u9", "x"])],
+        );
+        let right = EventStream::new(
+            Schema::new(vec![Field::new("UserId", ColumnType::Str)]),
+            vec![Event::interval(0, 10, row!["u1"])],
+        );
+        let out = anti_semi_join(
+            &left,
+            &right,
+            &[("UserId".to_string(), "UserId".to_string())],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! GroupApply: apply a sub-plan to each group (paper §II-A.2, Fig 4).
+//!
+//! The input is hash-partitioned on the grouping key; the sub-plan runs once
+//! per group over that group's events; the grouping key columns are
+//! prepended to every output row. Groups are processed in sorted key order
+//! so execution is deterministic even before normalization.
+
+use crate::error::{Result, TemporalError};
+use crate::event::Event;
+use crate::plan::LogicalPlan;
+use crate::stream::EventStream;
+use relation::{Row, Schema, Value};
+use rustc_hash::FxHashMap;
+
+/// Run `subplan` per distinct value of `keys`, prepending the key columns to
+/// output rows. `run_subplan` is supplied by the executor (it knows how to
+/// evaluate a plan against a bound GroupInput).
+pub fn group_apply(
+    input: &EventStream,
+    keys: &[String],
+    subplan: &LogicalPlan,
+    run_subplan: &mut dyn FnMut(&LogicalPlan, EventStream) -> Result<EventStream>,
+) -> Result<EventStream> {
+    let in_schema = input.schema();
+    let key_indices: Vec<usize> = keys
+        .iter()
+        .map(|k| in_schema.index_of(k).map_err(TemporalError::from))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Partition events by key.
+    let mut groups: FxHashMap<Vec<Value>, Vec<Event>> = FxHashMap::default();
+    for e in input.events() {
+        let key: Vec<Value> = key_indices.iter().map(|&i| e.payload.get(i).clone()).collect();
+        groups.entry(key).or_default().push(e.clone());
+    }
+
+    // Deterministic group order.
+    let mut ordered: Vec<(Vec<Value>, Vec<Event>)> = groups.into_iter().collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Output schema: key fields + sub-plan output fields.
+    let sub_out_schema = subplan.schema_of(subplan.roots()[0]).clone();
+    let mut fields = Vec::with_capacity(keys.len() + sub_out_schema.len());
+    for k in keys {
+        fields.push(in_schema.field(k)?.clone());
+    }
+    fields.extend(sub_out_schema.fields().iter().cloned());
+    let out_schema = Schema::new(fields);
+
+    let mut out_events = Vec::new();
+    for (key, events) in ordered {
+        let group_stream = EventStream::new(in_schema.clone(), events);
+        let result = run_subplan(subplan, group_stream)?;
+        for e in result.into_events() {
+            let mut values = Vec::with_capacity(key.len() + e.payload.len());
+            values.extend(key.iter().cloned());
+            values.extend(e.payload.into_values());
+            out_events.push(Event::new(e.lifetime, Row::new(values)));
+        }
+    }
+    Ok(EventStream::new(out_schema, out_events))
+}
+
+#[cfg(test)]
+mod tests {
+    // GroupApply needs the executor to run its sub-plan; behavioral tests
+    // live in `crate::exec` where the recursion is available. Here we test
+    // only the partition-and-prepend mechanics with a stub sub-plan runner.
+    use super::*;
+    use crate::agg::AggExpr;
+    use crate::expr::col;
+    use crate::plan::Query;
+    use relation::schema::{ColumnType, Field};
+    use relation::row;
+
+    #[test]
+    fn partitions_and_prepends_keys() {
+        let schema = Schema::new(vec![
+            Field::new("Id", ColumnType::Str),
+            Field::new("V", ColumnType::Long),
+        ]);
+        let input = EventStream::new(
+            schema.clone(),
+            vec![
+                Event::point(1, row!["b", 10i64]),
+                Event::point(2, row!["a", 20i64]),
+                Event::point(3, row!["b", 30i64]),
+            ],
+        );
+        // Sub-plan: sum V (validated plan; executed here by a stub).
+        let q = Query::new();
+        let sub = q.source("unused", schema.clone()); // placeholder to own arena
+        drop(sub);
+        let q = Query::new();
+        let g = {
+            // Build a real sub-plan the way the builder does.
+            let out = q
+                .source("x", schema.clone())
+                .aggregate(vec![("S".into(), AggExpr::Sum(col("V")))]);
+            q.build(vec![out]).unwrap()
+        };
+
+        let mut stub = |_plan: &LogicalPlan, group: EventStream| {
+            // Stub: emit one point event with the number of group events.
+            let s = Schema::new(vec![Field::new("S", ColumnType::Long)]);
+            Ok(EventStream::new(
+                s,
+                vec![Event::point(0, row![group.len() as i64])],
+            ))
+        };
+        let out = group_apply(&input, &["Id".to_string()], &g, &mut stub).unwrap();
+        assert_eq!(out.schema().names(), vec!["Id", "S"]);
+        // Groups in sorted key order: "a" then "b".
+        assert_eq!(out.events()[0].payload, row!["a", 1i64]);
+        assert_eq!(out.events()[1].payload, row!["b", 2i64]);
+    }
+}

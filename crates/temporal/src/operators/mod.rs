@@ -1,0 +1,27 @@
+//! Physical implementations of the temporal operators.
+//!
+//! Each operator is a pure function from input [`crate::EventStream`]s to an
+//! output stream; semantics are defined on the denoted temporal relation, so
+//! results never depend on the physical order of input events. The batch
+//! executor ([`crate::exec`]) wires these together following a
+//! [`crate::plan::LogicalPlan`].
+
+mod aggregate;
+mod alter_lifetime;
+mod anti_semi_join;
+mod filter;
+mod group_apply;
+mod hop_udo;
+mod project;
+mod temporal_join;
+mod union;
+
+pub use aggregate::aggregate;
+pub use alter_lifetime::alter_lifetime;
+pub use anti_semi_join::anti_semi_join;
+pub use filter::filter;
+pub use group_apply::group_apply;
+pub use hop_udo::hop_udo;
+pub use project::project;
+pub use temporal_join::temporal_join;
+pub use union::union;

@@ -1,0 +1,63 @@
+//! Project: stateless payload transformation (paper §II-A.2).
+
+use crate::error::Result;
+use crate::event::Event;
+use crate::expr::Expr;
+use crate::stream::EventStream;
+use relation::{Field, Row, Schema};
+
+/// Recompute each payload from `exprs`; lifetimes pass through.
+pub fn project(input: &EventStream, exprs: &[(String, Expr)]) -> Result<EventStream> {
+    let in_schema = input.schema();
+    let out_schema = Schema::new(
+        exprs
+            .iter()
+            .map(|(name, e)| Ok(Field::new(name.clone(), e.infer_type(in_schema)?)))
+            .collect::<Result<Vec<_>>>()?,
+    );
+    let mut events = Vec::with_capacity(input.len());
+    for e in input.events() {
+        let mut values = Vec::with_capacity(exprs.len());
+        for (_, expr) in exprs {
+            values.push(expr.eval(in_schema, &e.payload)?);
+        }
+        events.push(Event::new(e.lifetime, Row::new(values)));
+    }
+    Ok(EventStream::new(out_schema, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use relation::schema::ColumnType;
+    use relation::{row, Value};
+
+    #[test]
+    fn computes_new_columns() {
+        let schema = Schema::new(vec![
+            Field::new("Clicks", ColumnType::Long),
+            Field::new("Imps", ColumnType::Long),
+        ]);
+        let input = EventStream::new(schema, vec![Event::point(0, row![3i64, 12i64])]);
+        let exprs = vec![
+            ("Ctr".to_string(), col("Clicks").mul(lit(1.0f64)).div(col("Imps"))),
+            ("Imps".to_string(), col("Imps")),
+        ];
+        let out = project(&input, &exprs).unwrap();
+        assert_eq!(out.schema().names(), vec!["Ctr", "Imps"]);
+        assert_eq!(out.events()[0].payload.get(0), &Value::Double(0.25));
+    }
+
+    #[test]
+    fn reorders_and_drops_columns() {
+        let schema = Schema::new(vec![
+            Field::new("A", ColumnType::Long),
+            Field::new("B", ColumnType::Str),
+        ]);
+        let input = EventStream::new(schema, vec![Event::point(0, row![1i64, "x"])]);
+        let out = project(&input, &[("B".to_string(), col("B"))]).unwrap();
+        assert_eq!(out.schema().names(), vec!["B"]);
+        assert_eq!(out.events()[0].payload, row!["x"]);
+    }
+}

@@ -1,0 +1,178 @@
+//! TemporalJoin: correlate two streams (paper §II-A.2, Fig 4 right).
+//!
+//! Outputs the relational join of left and right events whose equality keys
+//! match, whose lifetimes intersect, and (optionally) whose concatenated
+//! payload satisfies a residual predicate. The output lifetime is the
+//! intersection of the two input lifetimes.
+//!
+//! The common BT pattern — point events on the left joined against a synopsis
+//! of interval events on the right (profiles, model weights) — falls out of
+//! the general interval intersection: a point `[t, t+1)` intersects exactly
+//! the right events whose lifetimes contain `t`.
+
+use crate::error::{Result, TemporalError};
+use crate::event::Event;
+use crate::expr::Expr;
+use crate::stream::EventStream;
+use relation::Value;
+use rustc_hash::FxHashMap;
+
+/// Join `left` and `right` on `keys` (pairs of column names) with an
+/// optional residual predicate over the concatenated payload.
+pub fn temporal_join(
+    left: &EventStream,
+    right: &EventStream,
+    keys: &[(String, String)],
+    residual: Option<&Expr>,
+) -> Result<EventStream> {
+    let lschema = left.schema();
+    let rschema = right.schema();
+    let out_schema = lschema.join(rschema);
+
+    let lkeys: Vec<usize> = keys
+        .iter()
+        .map(|(l, _)| lschema.index_of(l).map_err(TemporalError::from))
+        .collect::<Result<Vec<_>>>()?;
+    let rkeys: Vec<usize> = keys
+        .iter()
+        .map(|(_, r)| rschema.index_of(r).map_err(TemporalError::from))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Hash the right side by key; sort each bucket by LE for early exit.
+    let mut right_index: FxHashMap<Vec<Value>, Vec<&Event>> = FxHashMap::default();
+    for e in right.events() {
+        let key: Vec<Value> = rkeys.iter().map(|&i| e.payload.get(i).clone()).collect();
+        right_index.entry(key).or_default().push(e);
+    }
+    for bucket in right_index.values_mut() {
+        bucket.sort_by_key(|e| (e.lifetime.start, e.lifetime.end));
+    }
+
+    let mut out = Vec::new();
+    for le in left.events() {
+        let key: Vec<Value> = lkeys.iter().map(|&i| le.payload.get(i).clone()).collect();
+        let Some(bucket) = right_index.get(&key) else {
+            continue;
+        };
+        for re in bucket {
+            if re.lifetime.start >= le.lifetime.end {
+                break; // bucket sorted by LE: nothing later can intersect
+            }
+            let Some(lifetime) = le.lifetime.intersect(&re.lifetime) else {
+                continue;
+            };
+            let payload = le.payload.concat(&re.payload);
+            if let Some(pred) = residual {
+                if !pred.eval_predicate(&out_schema, &payload)? {
+                    continue;
+                }
+            }
+            out.push(Event::new(lifetime, payload));
+        }
+    }
+    Ok(EventStream::new(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+
+    fn left_stream() -> EventStream {
+        let schema = Schema::new(vec![
+            Field::new("UserId", ColumnType::Str),
+            Field::new("AdId", ColumnType::Str),
+        ]);
+        EventStream::new(
+            schema,
+            vec![
+                Event::point(5, row!["u1", "adA"]),
+                Event::point(30, row!["u1", "adB"]),
+                Event::point(7, row!["u2", "adA"]),
+            ],
+        )
+    }
+
+    fn right_stream() -> EventStream {
+        // Interval "profile" events per user.
+        let schema = Schema::new(vec![
+            Field::new("UserId", ColumnType::Str),
+            Field::new("Kw", ColumnType::Str),
+        ]);
+        EventStream::new(
+            schema,
+            vec![
+                Event::interval(0, 10, row!["u1", "cars"]),
+                Event::interval(20, 40, row!["u1", "movies"]),
+                Event::interval(0, 3, row!["u2", "games"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn point_probe_hits_covering_intervals_only() {
+        let out = temporal_join(
+            &left_stream(),
+            &right_stream(),
+            &[("UserId".to_string(), "UserId".to_string())],
+            None,
+        )
+        .unwrap();
+        let n = out.normalize();
+        // u1@5 joins cars[0,10); u1@30 joins movies[20,40); u2@7 misses.
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.events()[0].payload, row!["u1", "adA", "u1", "cars"]);
+        assert_eq!(n.events()[0].lifetime, crate::time::Lifetime::point(5));
+        assert_eq!(n.events()[1].payload, row!["u1", "adB", "u1", "movies"]);
+    }
+
+    #[test]
+    fn output_lifetime_is_intersection() {
+        let s = Schema::new(vec![Field::new("K", ColumnType::Str)]);
+        let a = EventStream::new(s.clone(), vec![Event::interval(0, 10, row!["k"])]);
+        let b = EventStream::new(s, vec![Event::interval(5, 20, row!["k"])]);
+        let out = temporal_join(&a, &b, &[("K".to_string(), "K".to_string())], None).unwrap();
+        assert_eq!(out.events()[0].lifetime, crate::time::Lifetime::new(5, 10));
+        assert_eq!(out.schema().names(), vec!["K", "K.r"]);
+    }
+
+    #[test]
+    fn residual_predicate_filters_pairs() {
+        // Paper Fig 4 right: join where left.Power < right.Power + 100.
+        let s = Schema::new(vec![
+            Field::new("Id", ColumnType::Str),
+            Field::new("Power", ColumnType::Long),
+        ]);
+        let a = EventStream::new(s.clone(), vec![Event::interval(0, 10, row!["m", 250i64])]);
+        let b = EventStream::new(
+            s,
+            vec![
+                Event::interval(0, 10, row!["m", 100i64]),
+                Event::interval(0, 10, row!["m", 200i64]),
+            ],
+        );
+        let out = temporal_join(
+            &a,
+            &b,
+            &[("Id".to_string(), "Id".to_string())],
+            Some(&col("Power").lt(col("Power.r").add(lit(100i64)))),
+        )
+        .unwrap();
+        // 250 < 100+100 fails; 250 < 200+100 passes.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.events()[0].payload, row!["m", 250i64, "m", 200i64]);
+    }
+
+    #[test]
+    fn no_keys_means_cross_correlation() {
+        let s = Schema::new(vec![Field::new("A", ColumnType::Long)]);
+        let t = Schema::new(vec![Field::new("B", ColumnType::Long)]);
+        let a = EventStream::new(s, vec![Event::interval(0, 5, row![1i64])]);
+        let b = EventStream::new(t, vec![Event::interval(3, 9, row![2i64])]);
+        let out = temporal_join(&a, &b, &[], None).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.events()[0].lifetime, crate::time::Lifetime::new(3, 5));
+    }
+}

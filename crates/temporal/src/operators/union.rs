@@ -1,0 +1,44 @@
+//! Union: bag merge of same-schema streams (paper §II-A.2).
+
+use crate::error::{Result, TemporalError};
+use crate::stream::EventStream;
+
+/// Merge all inputs into one stream. Schemas must be identical.
+pub fn union(inputs: &[&EventStream]) -> Result<EventStream> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| TemporalError::Plan("union of zero streams".into()))?;
+    let mut out = EventStream::empty(first.schema().clone());
+    for s in inputs {
+        out.merge((*s).clone())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("X", ColumnType::Long)])
+    }
+
+    #[test]
+    fn merges_event_bags() {
+        let a = EventStream::new(schema(), vec![Event::point(1, row![1i64])]);
+        let b = EventStream::new(schema(), vec![Event::point(2, row![2i64])]);
+        let c = EventStream::new(schema(), vec![Event::point(3, row![3i64])]);
+        let out = union(&[&a, &b, &c]).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let a = EventStream::empty(schema());
+        let b = EventStream::empty(Schema::new(vec![Field::new("Y", ColumnType::Long)]));
+        assert!(union(&[&a, &b]).is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Fluent CQ construction (the LINQ analogue of paper §III-A, step 1).
+//!
+//! ```
+//! use temporal::{Query, col, lit, HOUR};
+//! use temporal::agg::AggExpr;
+//! use relation::{Schema, schema::{Field, ColumnType}};
+//!
+//! let schema = Schema::timestamped(vec![
+//!     Field::new("StreamId", ColumnType::Int),
+//!     Field::new("AdId", ColumnType::Str),
+//! ]);
+//! let q = Query::new();
+//! let out = q.source("clicks", schema)
+//!     .filter(col("StreamId").eq(lit(1)))
+//!     .group_apply(&["AdId"], |g| {
+//!         g.window(6 * HOUR)
+//!          .aggregate(vec![("ClickCount".into(), AggExpr::Count)])
+//!     });
+//! let plan = q.build(vec![out]).unwrap();
+//! assert_eq!(plan.roots().len(), 1);
+//! ```
+
+use super::{LifetimeOp, LogicalPlan, NodeId, Operator, PlanNode};
+use crate::agg::AggExpr;
+use crate::error::Result;
+use crate::expr::{col, Expr};
+use crate::time::Duration;
+use crate::udo::UdoRef;
+use relation::Schema;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Arena {
+    nodes: Vec<PlanNode>,
+}
+
+impl Arena {
+    fn add(&mut self, op: Operator, inputs: Vec<NodeId>) -> NodeId {
+        self.nodes.push(PlanNode { op, inputs });
+        self.nodes.len() - 1
+    }
+}
+
+/// A CQ under construction. Clone handles freely; they share the arena.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    arena: Rc<RefCell<Arena>>,
+}
+
+impl Query {
+    /// Start a new query.
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    /// Add a named external input.
+    pub fn source(&self, name: impl Into<String>, schema: Schema) -> StreamHandle {
+        let id = self.arena.borrow_mut().add(
+            Operator::Source {
+                name: name.into(),
+                schema,
+            },
+            vec![],
+        );
+        StreamHandle {
+            query: self.clone(),
+            node: id,
+        }
+    }
+
+    fn group_input(&self, schema: Schema) -> StreamHandle {
+        let id = self
+            .arena
+            .borrow_mut()
+            .add(Operator::GroupInput { schema }, vec![]);
+        StreamHandle {
+            query: self.clone(),
+            node: id,
+        }
+    }
+
+    /// Finish construction: validate the DAG rooted at `outputs` and infer
+    /// schemas.
+    pub fn build(&self, outputs: Vec<StreamHandle>) -> Result<LogicalPlan> {
+        let roots = outputs.iter().map(|h| h.node).collect();
+        LogicalPlan::from_parts(self.arena.borrow().nodes.clone(), roots)
+    }
+}
+
+/// A handle to one stream (node output) inside a [`Query`] under
+/// construction. Cloning a handle and consuming it twice creates the
+/// paper's Multicast.
+#[derive(Debug, Clone)]
+pub struct StreamHandle {
+    query: Query,
+    node: NodeId,
+}
+
+impl StreamHandle {
+    /// The underlying arena node id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    fn derive(&self, op: Operator, inputs: Vec<NodeId>) -> StreamHandle {
+        let id = self.query.arena.borrow_mut().add(op, inputs);
+        StreamHandle {
+            query: self.query.clone(),
+            node: id,
+        }
+    }
+
+    fn schema(&self) -> Schema {
+        // Build-time lookahead: infer this node's schema on a snapshot of
+        // the arena so GroupApply closures can see their input schema.
+        let nodes = self.query.arena.borrow().nodes.clone();
+        let plan = LogicalPlan::from_parts(
+            prune_reachable(&nodes, self.node),
+            vec![0],
+        )
+        .expect("schema lookahead failed: invalid plan prefix");
+        plan.schema_of(0).clone()
+    }
+
+    /// Keep events whose payload satisfies `predicate`.
+    pub fn filter(self, predicate: Expr) -> StreamHandle {
+        self.derive(Operator::Filter { predicate }, vec![self.node])
+    }
+
+    /// Recompute the payload from expressions.
+    pub fn project(self, exprs: Vec<(String, Expr)>) -> StreamHandle {
+        self.derive(Operator::Project { exprs }, vec![self.node])
+    }
+
+    /// Keep only the named columns (a common Project).
+    pub fn select(self, columns: &[&str]) -> StreamHandle {
+        let exprs = columns
+            .iter()
+            .map(|c| (c.to_string(), col(*c)))
+            .collect();
+        self.project(exprs)
+    }
+
+    /// Sliding window of width `w` (`RE = LE + w`).
+    pub fn window(self, w: Duration) -> StreamHandle {
+        self.derive(
+            Operator::AlterLifetime {
+                op: LifetimeOp::Window(w),
+            },
+            vec![self.node],
+        )
+    }
+
+    /// Hopping window: report every `hop`, over the last `width`.
+    pub fn hop_window(self, hop: Duration, width: Duration) -> StreamHandle {
+        self.derive(
+            Operator::AlterLifetime {
+                op: LifetimeOp::Hop { hop, width },
+            },
+            vec![self.node],
+        )
+    }
+
+    /// Shift lifetimes by `delta`.
+    pub fn shift(self, delta: Duration) -> StreamHandle {
+        self.derive(
+            Operator::AlterLifetime {
+                op: LifetimeOp::Shift(delta),
+            },
+            vec![self.node],
+        )
+    }
+
+    /// Extend lifetimes backwards by `delta` (`LE -= delta`).
+    pub fn extend_back(self, delta: Duration) -> StreamHandle {
+        self.derive(
+            Operator::AlterLifetime {
+                op: LifetimeOp::ExtendBack(delta),
+            },
+            vec![self.node],
+        )
+    }
+
+    /// Collapse lifetimes to points at `LE`.
+    pub fn to_point(self) -> StreamHandle {
+        self.derive(
+            Operator::AlterLifetime {
+                op: LifetimeOp::ToPoint,
+            },
+            vec![self.node],
+        )
+    }
+
+    /// Snapshot aggregation.
+    pub fn aggregate(self, aggs: Vec<(String, AggExpr)>) -> StreamHandle {
+        self.derive(Operator::Aggregate { aggs }, vec![self.node])
+    }
+
+    /// Count the active events into a column named `name`.
+    pub fn count(self, name: &str) -> StreamHandle {
+        self.aggregate(vec![(name.to_string(), AggExpr::Count)])
+    }
+
+    /// Apply a sub-query per group of `keys`. The closure receives the
+    /// grouped stream and returns the sub-query's output; the engine
+    /// prepends the key columns to each output row.
+    pub fn group_apply(
+        self,
+        keys: &[&str],
+        f: impl FnOnce(StreamHandle) -> StreamHandle,
+    ) -> StreamHandle {
+        let input_schema = self.schema();
+        let sub_query = Query::new();
+        let group_input = sub_query.group_input(input_schema);
+        let sub_out = f(group_input);
+        let subplan = sub_query
+            .build(vec![sub_out])
+            .expect("invalid group-apply sub-plan");
+        self.derive(
+            Operator::GroupApply {
+                keys: keys.iter().map(|k| k.to_string()).collect(),
+                subplan: Arc::new(subplan),
+            },
+            vec![self.node],
+        )
+    }
+
+    /// Bag union with another same-schema stream.
+    pub fn union(self, other: StreamHandle) -> StreamHandle {
+        self.derive(Operator::Union, vec![self.node, other.node])
+    }
+
+    /// Bag union with several same-schema streams.
+    pub fn union_all(self, others: Vec<StreamHandle>) -> StreamHandle {
+        let mut inputs = vec![self.node];
+        inputs.extend(others.iter().map(|o| o.node));
+        self.derive(Operator::Union, inputs)
+    }
+
+    /// Temporal join with `right` on equality `keys`, with an optional
+    /// residual predicate over the concatenated payload.
+    pub fn temporal_join(
+        self,
+        right: StreamHandle,
+        keys: &[(&str, &str)],
+        residual: Option<Expr>,
+    ) -> StreamHandle {
+        self.derive(
+            Operator::TemporalJoin {
+                keys: keys
+                    .iter()
+                    .map(|(l, r)| (l.to_string(), r.to_string()))
+                    .collect(),
+                residual,
+            },
+            vec![self.node, right.node],
+        )
+    }
+
+    /// Remove portions of this stream's events that temporally intersect a
+    /// matching event in `right`.
+    pub fn anti_semi_join(self, right: StreamHandle, keys: &[(&str, &str)]) -> StreamHandle {
+        self.derive(
+            Operator::AntiSemiJoin {
+                keys: keys
+                    .iter()
+                    .map(|(l, r)| (l.to_string(), r.to_string()))
+                    .collect(),
+            },
+            vec![self.node, right.node],
+        )
+    }
+
+    /// Apply a user-defined operator over a hopping window.
+    pub fn hop_udo(self, hop: Duration, width: Duration, udo: UdoRef) -> StreamHandle {
+        self.derive(Operator::HopUdo { hop, width, udo }, vec![self.node])
+    }
+}
+
+/// Extract the sub-DAG reachable from `root`, remapped so `root` becomes
+/// node 0... in a child-consistent arena (children keep relative order).
+fn prune_reachable(nodes: &[PlanNode], root: NodeId) -> Vec<PlanNode> {
+    // Collect reachable ids in topological (children-first) order.
+    let mut order = Vec::new();
+    let mut seen = vec![false; nodes.len()];
+    fn visit(nodes: &[PlanNode], id: NodeId, seen: &mut [bool], order: &mut Vec<NodeId>) {
+        if seen[id] {
+            return;
+        }
+        seen[id] = true;
+        for &input in &nodes[id].inputs {
+            visit(nodes, input, seen, order);
+        }
+        order.push(id);
+    }
+    visit(nodes, root, &mut seen, &mut order);
+    let mut remap = vec![usize::MAX; nodes.len()];
+    // Root must land at index 0 for the caller; place it first and the rest
+    // after, preserving children-first order for the remainder.
+    let mut new_nodes = Vec::with_capacity(order.len());
+    remap[root] = 0;
+    new_nodes.push(nodes[root].clone());
+    for &id in &order {
+        if id == root {
+            continue;
+        }
+        remap[id] = new_nodes.len();
+        new_nodes.push(nodes[id].clone());
+    }
+    for n in &mut new_nodes {
+        for input in &mut n.inputs {
+            *input = remap[*input];
+        }
+    }
+    new_nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+    use relation::schema::{ColumnType, Field};
+
+    fn schema() -> Schema {
+        Schema::timestamped(vec![Field::new("X", ColumnType::Long)])
+    }
+
+    #[test]
+    fn select_projects_named_columns() {
+        let q = Query::new();
+        let out = q.source("in", schema()).select(&["X"]);
+        let plan = q.build(vec![out]).unwrap();
+        assert_eq!(plan.schema_of(plan.roots()[0]).names(), vec!["X"]);
+    }
+
+    #[test]
+    fn multiple_outputs_supported() {
+        let q = Query::new();
+        let input = q.source("in", schema());
+        let a = input.clone().filter(col("X").gt(lit(0i64)));
+        let b = input.filter(col("X").le(lit(0i64)));
+        let plan = q.build(vec![a, b]).unwrap();
+        assert_eq!(plan.roots().len(), 2);
+    }
+
+    #[test]
+    fn schema_lookahead_inside_group_apply() {
+        let q = Query::new();
+        let out = q
+            .source("in", schema())
+            .group_apply(&["X"], |g| g.window(10).count("N"));
+        let plan = q.build(vec![out]).unwrap();
+        assert_eq!(plan.schema_of(plan.roots()[0]).names(), vec!["X", "N"]);
+    }
+
+    #[test]
+    fn union_all_builds_wide_union() {
+        let q = Query::new();
+        let input = q.source("in", schema());
+        let parts: Vec<_> = (0..3)
+            .map(|i| input.clone().filter(col("X").eq(lit(i as i64))))
+            .collect();
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap();
+        let out = first.union_all(it.collect());
+        let plan = q.build(vec![out]).unwrap();
+        let union = plan
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Operator::Union))
+            .unwrap();
+        assert_eq!(union.inputs.len(), 3);
+    }
+}

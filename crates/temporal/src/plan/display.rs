@@ -1,0 +1,119 @@
+//! Human-readable plan rendering, used in docs, logs, and TiMR's
+//! fragment-boundary debugging.
+
+use super::{LifetimeOp, LogicalPlan, NodeId, Operator};
+use std::fmt;
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &root) in self.roots().iter().enumerate() {
+            writeln!(f, "output {i}:")?;
+            fmt_node(self, root, 1, f)?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_node(
+    plan: &LogicalPlan,
+    id: NodeId,
+    indent: usize,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    let node = plan.node(id);
+    let pad = "  ".repeat(indent);
+    match &node.op {
+        Operator::Source { name, schema } => {
+            writeln!(f, "{pad}Source `{name}` {schema}")?;
+        }
+        Operator::GroupInput { .. } => writeln!(f, "{pad}GroupInput")?,
+        Operator::Filter { predicate } => writeln!(f, "{pad}Filter {predicate}")?,
+        Operator::Project { exprs } => {
+            let cols: Vec<String> = exprs
+                .iter()
+                .map(|(n, e)| format!("{n}={e}"))
+                .collect();
+            writeln!(f, "{pad}Project [{}]", cols.join(", "))?;
+        }
+        Operator::AlterLifetime { op } => {
+            let desc = match op {
+                LifetimeOp::Window(w) => format!("Window w={w}"),
+                LifetimeOp::Hop { hop, width } => format!("HopWindow h={hop} w={width}"),
+                LifetimeOp::Shift(d) => format!("Shift {d}"),
+                LifetimeOp::ExtendBack(d) => format!("ExtendBack {d}"),
+                LifetimeOp::ToPoint => "ToPoint".to_string(),
+            };
+            writeln!(f, "{pad}AlterLifetime {desc}")?;
+        }
+        Operator::Aggregate { aggs } => {
+            let cols: Vec<String> = aggs
+                .iter()
+                .map(|(n, a)| format!("{n}={a}"))
+                .collect();
+            writeln!(f, "{pad}Aggregate [{}]", cols.join(", "))?;
+        }
+        Operator::GroupApply { keys, subplan } => {
+            writeln!(f, "{pad}GroupApply ({})", keys.join(", "))?;
+            // Render the sub-plan indented one extra level.
+            let rendered = format!("{subplan}");
+            for line in rendered.lines() {
+                writeln!(f, "{pad}  | {line}")?;
+            }
+        }
+        Operator::Union => writeln!(f, "{pad}Union")?,
+        Operator::TemporalJoin { keys, residual } => {
+            let ks: Vec<String> = keys.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            match residual {
+                Some(res) => writeln!(f, "{pad}TemporalJoin ({}) where {res}", ks.join(", "))?,
+                None => writeln!(f, "{pad}TemporalJoin ({})", ks.join(", "))?,
+            }
+        }
+        Operator::AntiSemiJoin { keys } => {
+            let ks: Vec<String> = keys.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            writeln!(f, "{pad}AntiSemiJoin ({})", ks.join(", "))?;
+        }
+        Operator::HopUdo { hop, width, udo } => {
+            writeln!(f, "{pad}HopUdo `{}` h={hop} w={width}", udo.name())?;
+        }
+    }
+    for &input in &node.inputs {
+        fmt_node(plan, input, indent + 1, f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::{col, lit};
+    use crate::plan::Query;
+    use relation::schema::{ColumnType, Field};
+    use relation::Schema;
+
+    #[test]
+    fn display_renders_all_operators() {
+        let schema = Schema::timestamped(vec![
+            Field::new("StreamId", ColumnType::Int),
+            Field::new("UserId", ColumnType::Str),
+        ]);
+        let q = Query::new();
+        let input = q.source("in", schema);
+        let bots = input.clone().group_apply(&["UserId"], |g| {
+            g.filter(col("StreamId").eq(lit(1)))
+                .window(100)
+                .count("N")
+        });
+        let out = input.anti_semi_join(bots, &[("UserId", "UserId")]);
+        let plan = q.build(vec![out]).unwrap();
+        let text = plan.to_string();
+        for needle in [
+            "AntiSemiJoin",
+            "GroupApply (UserId)",
+            "Filter (StreamId = 1)",
+            "Window w=100",
+            "Aggregate [N=COUNT()]",
+            "Source `in`",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Event streams and their canonical normal form.
+//!
+//! A stream is a bag of events plus the schema of their payloads. Because
+//! operator semantics are defined on the *temporal relation* an event bag
+//! denotes (paper §II-A), two streams are equivalent iff they denote the same
+//! relation. [`EventStream::normalize`] computes a canonical representative:
+//! events split/merged so that equal payloads with adjacent or overlapping
+//! lifetimes are coalesced into maximal intervals, then stably sorted.
+//! Every equivalence test in the repository — repeatability under reducer
+//! restart, temporal-partitioning correctness, batch-vs-incremental executor
+//! agreement — compares normal forms.
+
+use crate::error::{Result, TemporalError};
+use crate::event::Event;
+use crate::time::Lifetime;
+use relation::{Row, Schema};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// A bag of events with a shared payload schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventStream {
+    schema: Schema,
+    events: Vec<Event>,
+}
+
+impl EventStream {
+    /// Build a stream from parts.
+    pub fn new(schema: Schema, events: Vec<Event>) -> Self {
+        EventStream { schema, events }
+    }
+
+    /// An empty stream of the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        EventStream {
+            schema,
+            events: Vec::new(),
+        }
+    }
+
+    /// Build a stream of point events from `(time, row)` pairs.
+    pub fn from_points(schema: Schema, points: Vec<(i64, Row)>) -> Self {
+        let events = points
+            .into_iter()
+            .map(|(t, row)| Event::point(t, row))
+            .collect();
+        EventStream { schema, events }
+    }
+
+    /// The payload schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The events (arbitrary physical order).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consume into the event vector.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Validate every payload against the schema.
+    pub fn check(&self) -> Result<()> {
+        for e in &self.events {
+            e.payload
+                .check(&self.schema)
+                .map_err(TemporalError::Relation)?;
+        }
+        Ok(())
+    }
+
+    /// Merge another stream into this one. Schemas must be identical.
+    pub fn merge(&mut self, other: EventStream) -> Result<()> {
+        if other.schema != self.schema {
+            return Err(TemporalError::Input(format!(
+                "cannot merge streams with schemas {} and {}",
+                self.schema, other.schema
+            )));
+        }
+        self.events.extend(other.events);
+        Ok(())
+    }
+
+    /// Canonical normal form of the temporal relation this stream denotes.
+    ///
+    /// For each distinct payload, the union of its lifetimes is re-expressed
+    /// as maximal disjoint intervals; the result is sorted by
+    /// `(LE, RE, payload)`. Two streams denote the same relation iff their
+    /// normal forms are equal.
+    ///
+    /// Note: this is *set* semantics per payload — two coincident identical
+    /// events coalesce. The paper's operators never rely on duplicate
+    /// multiplicity of *identical* payload+lifetime pairs (counts are taken
+    /// before payloads collapse), and a canonical form must be
+    /// duplicate-insensitive to make restart/partitioning comparisons sound.
+    pub fn normalize(&self) -> EventStream {
+        let mut by_payload: FxHashMap<&Row, Vec<Lifetime>> = FxHashMap::default();
+        for e in &self.events {
+            by_payload.entry(&e.payload).or_default().push(e.lifetime);
+        }
+        let mut events = Vec::with_capacity(self.events.len());
+        for (payload, lifetimes) in by_payload {
+            for lt in crate::time::merge_intervals(lifetimes) {
+                events.push(Event::new(lt, payload.clone()));
+            }
+        }
+        events.sort();
+        EventStream {
+            schema: self.schema.clone(),
+            events,
+        }
+    }
+
+    /// Whether two streams denote the same temporal relation.
+    pub fn same_relation(&self, other: &EventStream) -> bool {
+        self.schema == other.schema && self.normalize().events == other.normalize().events
+    }
+
+    /// The earliest LE, if any events exist.
+    pub fn min_time(&self) -> Option<i64> {
+        self.events.iter().map(|e| e.start()).min()
+    }
+
+    /// The latest RE, if any events exist.
+    pub fn max_time(&self) -> Option<i64> {
+        self.events.iter().map(|e| e.end()).max()
+    }
+}
+
+impl fmt::Display for EventStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stream {} ({} events)", self.schema, self.events.len())?;
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("V", ColumnType::Str)])
+    }
+
+    #[test]
+    fn normalize_coalesces_adjacent_equal_payloads() {
+        let s = EventStream::new(
+            schema(),
+            vec![
+                Event::interval(0, 5, row!["a"]),
+                Event::interval(5, 10, row!["a"]),
+                Event::interval(12, 15, row!["a"]),
+                Event::interval(3, 7, row!["b"]),
+            ],
+        );
+        let n = s.normalize();
+        assert_eq!(
+            n.events(),
+            &[
+                Event::interval(0, 10, row!["a"]),
+                Event::interval(3, 7, row!["b"]),
+                Event::interval(12, 15, row!["a"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn normalize_is_order_insensitive() {
+        let a = EventStream::new(
+            schema(),
+            vec![Event::point(1, row!["x"]), Event::point(2, row!["y"])],
+        );
+        let b = EventStream::new(
+            schema(),
+            vec![Event::point(2, row!["y"]), Event::point(1, row!["x"])],
+        );
+        assert!(a.same_relation(&b));
+    }
+
+    #[test]
+    fn normalize_merges_overlapping_same_payload() {
+        let a = EventStream::new(
+            schema(),
+            vec![
+                Event::interval(0, 8, row!["a"]),
+                Event::interval(4, 12, row!["a"]),
+            ],
+        );
+        assert_eq!(a.normalize().events(), &[Event::interval(0, 12, row!["a"])]);
+    }
+
+    #[test]
+    fn merge_requires_identical_schema() {
+        let mut a = EventStream::empty(schema());
+        let other = EventStream::empty(Schema::new(vec![Field::new("W", ColumnType::Str)]));
+        assert!(a.merge(other).is_err());
+    }
+
+    #[test]
+    fn check_validates_payloads() {
+        let ok = EventStream::new(schema(), vec![Event::point(0, row!["a"])]);
+        assert!(ok.check().is_ok());
+        let bad = EventStream::new(schema(), vec![Event::point(0, row![1i64])]);
+        assert!(bad.check().is_err());
+    }
+
+    #[test]
+    fn min_max_time() {
+        let s = EventStream::new(
+            schema(),
+            vec![Event::interval(3, 9, row!["a"]), Event::point(1, row!["b"])],
+        );
+        assert_eq!(s.min_time(), Some(1));
+        assert_eq!(s.max_time(), Some(9));
+        assert_eq!(EventStream::empty(schema()).min_time(), None);
+    }
+}

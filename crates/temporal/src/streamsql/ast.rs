@@ -1,0 +1,90 @@
+//! Abstract syntax for the StreamSQL dialect.
+
+use crate::agg::AggExpr;
+use crate::expr::Expr;
+use relation::Schema;
+
+/// A window duration with unit already resolved to ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Duration {
+    /// Length in ticks.
+    pub ticks: i64,
+}
+
+/// A window clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowClause {
+    /// `WINDOW d` — sliding window.
+    Sliding(Duration),
+    /// `WINDOW d EVERY h` — hopping window of width `d` reporting every `h`.
+    Hopping {
+        /// Window width.
+        width: Duration,
+        /// Report period.
+        hop: Duration,
+    },
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// A scalar expression with an output name.
+    Expr {
+        /// Output column name.
+        name: String,
+        /// The expression.
+        expr: Expr,
+    },
+    /// An aggregate with an output name.
+    Agg {
+        /// Output column name.
+        name: String,
+        /// The aggregate.
+        agg: AggExpr,
+    },
+}
+
+/// A FROM source.
+#[derive(Debug, Clone)]
+pub enum SourceRef {
+    /// A named stream with an inline payload schema.
+    Stream {
+        /// Stream (dataset) name.
+        name: String,
+        /// Declared payload schema.
+        schema: Schema,
+    },
+    /// A parenthesized sub-query.
+    Subquery {
+        /// The nested query.
+        query: Box<Query>,
+        /// Optional alias (unused for name resolution; documents intent).
+        alias: Option<String>,
+    },
+}
+
+/// One SELECT statement.
+#[derive(Debug, Clone)]
+pub struct Select {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM source.
+    pub source: SourceRef,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<String>,
+    /// Window clause.
+    pub window: Option<WindowClause>,
+    /// HAVING predicate (applied to the aggregate output).
+    pub having: Option<Expr>,
+}
+
+/// A query: one or more selects combined with UNION ALL.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The unioned selects (length ≥ 1).
+    pub selects: Vec<Select>,
+}

@@ -1,0 +1,222 @@
+//! Tokenizer for the StreamSQL dialect.
+
+use crate::error::{Result, TemporalError};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (uppercased keywords matched case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// One of `( ) , * + - / = < > <= >= <>`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+impl Token {
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Whether this token is the given symbol.
+    pub fn is_sym(&self, sym: &str) -> bool {
+        matches!(&self.kind, TokenKind::Symbol(s) if *s == sym)
+    }
+}
+
+fn err(offset: usize, msg: impl std::fmt::Display) -> TemporalError {
+    TemporalError::Plan(format!("StreamSQL lex error at byte {offset}: {msg}"))
+}
+
+/// Tokenize StreamSQL text.
+pub fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' | ')' | ',' | '*' | '+' | '-' | '/' | '=' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    _ => "=",
+                };
+                out.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '<' => {
+                let sym = match bytes.get(i + 1).copied() {
+                    Some(b'=') => {
+                        i += 1;
+                        "<="
+                    }
+                    Some(b'>') => {
+                        i += 1;
+                        "<>"
+                    }
+                    _ => "<",
+                };
+                out.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '>' => {
+                let sym = if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                    ">="
+                } else {
+                    ">"
+                };
+                out.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err(start, "unterminated string literal")),
+                        Some(b'\'') => {
+                            // '' escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let lit = &text[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        lit.parse()
+                            .map_err(|_| err(start, format!("bad float `{lit}`")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        lit.parse()
+                            .map_err(|_| err(start, format!("bad integer `{lit}`")))?,
+                    )
+                };
+                out.push(Token { kind, offset: start });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(text[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => return Err(err(start, format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: text.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = tokenize("SELECT a, COUNT(*) FROM s(a INT) WHERE a >= 10.5").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "SELECT"));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Symbol(">="))));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Float(f) if *f == 10.5)));
+        assert!(matches!(kinds.last().unwrap(), TokenKind::Eof));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert!(matches!(&toks[0].kind, TokenKind::Str(s) if s == "it's"));
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn two_char_symbols() {
+        let toks = tokenize("a <> b <= c >= d < e > f").unwrap();
+        let syms: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<>", "<=", ">=", "<", ">"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT ?").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Lowering: StreamSQL AST → [`crate::LogicalPlan`] via the query builder.
+
+use super::ast::{Query as SqlQuery, Select, SelectItem, SourceRef, WindowClause};
+use crate::error::{Result, TemporalError};
+use crate::expr::col;
+use crate::plan::{LogicalPlan, Query, StreamHandle};
+use relation::schema::Field;
+use relation::Schema;
+
+/// Lower a parsed query to an executable plan.
+pub fn lower(ast: &SqlQuery) -> Result<LogicalPlan> {
+    let builder = Query::new();
+    let (handle, _schema) = lower_query(&builder, ast)?;
+    builder.build(vec![handle])
+}
+
+fn err(msg: impl std::fmt::Display) -> TemporalError {
+    TemporalError::Plan(format!("StreamSQL: {msg}"))
+}
+
+fn lower_query(builder: &Query, ast: &SqlQuery) -> Result<(StreamHandle, Schema)> {
+    let mut lowered = ast
+        .selects
+        .iter()
+        .map(|s| lower_select(builder, s))
+        .collect::<Result<Vec<_>>>()?;
+    let (first, first_schema) = lowered.remove(0);
+    for (_, schema) in &lowered {
+        if schema != &first_schema {
+            return Err(err(format!(
+                "UNION ALL branches have different schemas: {first_schema} vs {schema}"
+            )));
+        }
+    }
+    if lowered.is_empty() {
+        return Ok((first, first_schema));
+    }
+    let rest: Vec<StreamHandle> = lowered.into_iter().map(|(h, _)| h).collect();
+    Ok((first.union_all(rest), first_schema))
+}
+
+fn lower_select(builder: &Query, select: &Select) -> Result<(StreamHandle, Schema)> {
+    // FROM.
+    let (mut handle, mut schema) = match &select.source {
+        SourceRef::Stream { name, schema } => {
+            (builder.source(name.clone(), schema.clone()), schema.clone())
+        }
+        SourceRef::Subquery { query, .. } => lower_query(builder, query)?,
+    };
+
+    // WHERE.
+    if let Some(pred) = &select.where_clause {
+        let t = pred.infer_type(&schema)?;
+        if t != relation::ColumnType::Bool {
+            return Err(err(format!("WHERE predicate has type {t}, expected bool")));
+        }
+        handle = handle.filter(pred.clone());
+    }
+
+    // Split the select list.
+    let mut star = false;
+    let mut scalars: Vec<(String, crate::expr::Expr)> = Vec::new();
+    let mut aggs: Vec<(String, crate::agg::AggExpr)> = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Star => star = true,
+            SelectItem::Expr { name, expr } => scalars.push((name.clone(), expr.clone())),
+            SelectItem::Agg { name, agg } => aggs.push((name.clone(), agg.clone())),
+        }
+    }
+    if star && (!scalars.is_empty() || !aggs.is_empty()) {
+        return Err(err("SELECT * cannot be combined with other items"));
+    }
+    if star && !select.group_by.is_empty() {
+        return Err(err("SELECT * cannot be used with GROUP BY"));
+    }
+
+    // Validate group-by columns exist.
+    for g in &select.group_by {
+        if !schema.contains(g) {
+            return Err(err(format!("unknown column `{g}` in GROUP BY ({schema})")));
+        }
+    }
+
+    let window = |h: StreamHandle| -> StreamHandle {
+        match select.window {
+            Some(WindowClause::Sliding(d)) => h.window(d.ticks),
+            Some(WindowClause::Hopping { width, hop }) => h.hop_window(hop.ticks, width.ticks),
+            None => h,
+        }
+    };
+
+    if aggs.is_empty() {
+        // Plain selection/projection (window allowed: it only adjusts
+        // lifetimes).
+        if select.having.is_some() {
+            return Err(err("HAVING requires aggregates"));
+        }
+        if !select.group_by.is_empty() {
+            return Err(err("GROUP BY requires aggregates in the SELECT list"));
+        }
+        handle = window(handle);
+        if star {
+            return Ok((handle, schema));
+        }
+        // Validate and compute the output schema.
+        let mut fields = Vec::with_capacity(scalars.len());
+        for (name, e) in &scalars {
+            let ty = e.infer_type(&schema).map_err(err)?;
+            fields.push(Field::new(name.clone(), ty));
+        }
+        let out_schema = Schema::new(fields);
+        handle = handle.project(scalars);
+        return Ok((handle, out_schema));
+    }
+
+    // Aggregation path: every scalar item must be a GROUP BY column.
+    for (name, e) in &scalars {
+        match e {
+            crate::expr::Expr::Column(c) if select.group_by.contains(c) => {
+                let _ = name;
+            }
+            _ => {
+                return Err(err(format!(
+                    "non-aggregate item `{name}` must be a GROUP BY column"
+                )))
+            }
+        }
+    }
+    for (_, a) in &aggs {
+        if let Some(e) = a.input_expr() {
+            e.infer_type(&schema).map_err(err)?;
+        }
+    }
+
+    let agg_out = if select.group_by.is_empty() {
+        window(handle).aggregate(aggs.clone())
+    } else {
+        let keys: Vec<&str> = select.group_by.iter().map(String::as_str).collect();
+        let aggs_for_group = aggs.clone();
+        handle.group_apply(&keys, move |g| window(g).aggregate(aggs_for_group))
+    };
+
+    // Schema after aggregation: group keys then aggregate columns.
+    let mut agg_fields = Vec::new();
+    for g in &select.group_by {
+        agg_fields.push(schema.field(g)?.clone());
+    }
+    for (name, a) in &aggs {
+        agg_fields.push(Field::new(name.clone(), a.infer_type(&schema)?));
+    }
+    schema = Schema::new(agg_fields);
+    let mut out = agg_out;
+
+    // HAVING over the aggregate output.
+    if let Some(having) = &select.having {
+        let t = having.infer_type(&schema)?;
+        if t != relation::ColumnType::Bool {
+            return Err(err(format!("HAVING predicate has type {t}, expected bool")));
+        }
+        out = out.filter(having.clone());
+    }
+
+    // Final projection in SELECT-list order.
+    let mut fields = Vec::new();
+    let mut exprs = Vec::new();
+    for item in &select.items {
+        let name = match item {
+            SelectItem::Expr { name, .. } | SelectItem::Agg { name, .. } => name.clone(),
+            SelectItem::Star => unreachable!("star rejected above"),
+        };
+        let source_col = match item {
+            SelectItem::Expr { expr, .. } => match expr {
+                crate::expr::Expr::Column(c) => c.clone(),
+                _ => unreachable!("validated above"),
+            },
+            _ => name.clone(),
+        };
+        fields.push(Field::new(name.clone(), schema.field(&source_col)?.ty));
+        exprs.push((name, col(source_col)));
+    }
+    let out_schema = Schema::new(fields);
+    Ok((out.project(exprs), out_schema))
+}

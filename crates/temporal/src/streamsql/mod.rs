@@ -1,0 +1,251 @@
+//! A StreamSQL dialect front-end.
+//!
+//! The paper's user surface is "a temporal language (e.g., LINQ or
+//! StreamSQL)" (§III). The fluent [`crate::Query`] builder is our LINQ
+//! analogue; this module is the StreamSQL analogue: a small declarative
+//! dialect compiled to the same [`crate::LogicalPlan`]s, so textual
+//! queries run identically on the embedded DSMS, on TiMR, and on the
+//! incremental executor.
+//!
+//! ```
+//! use temporal::streamsql::parse_query;
+//!
+//! // Example 1 (RunningClickCount) as StreamSQL:
+//! let plan = parse_query(
+//!     "SELECT AdId, COUNT(*) AS ClickCount \
+//!      FROM clicks(AdId STRING, StreamId INT) \
+//!      WHERE StreamId = 1 \
+//!      GROUP BY AdId \
+//!      WINDOW 6 HOURS",
+//! ).unwrap();
+//! assert_eq!(plan.roots().len(), 1);
+//! ```
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query    := select (UNION ALL select)*
+//! select   := SELECT items FROM source [WHERE expr]
+//!             [GROUP BY ident, ...] [window] [HAVING expr]
+//! items    := * | item, ...       item := expr [AS ident] | agg
+//! agg      := COUNT(*) | SUM(expr) | MIN(expr) | MAX(expr) | AVG(expr)
+//! source   := name(col TYPE, ...) | ( query ) [AS name]
+//! window   := WINDOW dur | WINDOW dur EVERY dur     dur := n unit
+//! unit     := TICKS|SECONDS|MINUTES|HOURS|DAYS (singular accepted)
+//! ```
+//!
+//! Sources declare their payload schema inline (`name(col TYPE, …)`)
+//! because StreamSQL queries are self-contained texts with no ambient
+//! catalog; a nested `(query) AS name` pipes one select into another.
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{Duration as SqlDuration, Query as SqlQuery, Select, SelectItem, SourceRef};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use lower::lower;
+pub use parser::parse;
+
+use crate::error::Result;
+use crate::plan::LogicalPlan;
+
+/// Parse a StreamSQL text into an executable CQ plan.
+pub fn parse_query(text: &str) -> Result<LogicalPlan> {
+    let tokens = tokenize(text)?;
+    let ast = parse(&tokens)?;
+    lower(&ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{bindings, execute_single};
+    use crate::{Event, EventStream, HOUR};
+    use relation::schema::{ColumnType, Field};
+    use relation::{row, Schema};
+
+    fn click_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("AdId", ColumnType::Str),
+            Field::new("StreamId", ColumnType::Int),
+        ])
+    }
+
+    fn clicks() -> EventStream {
+        EventStream::new(
+            click_schema(),
+            vec![
+                Event::point(10, row!["a", 1i32]),
+                Event::point(20, row!["a", 1i32]),
+                Event::point(30, row!["a", 2i32]),
+                Event::point(40, row!["b", 1i32]),
+            ],
+        )
+    }
+
+    #[test]
+    fn running_click_count_in_streamsql() {
+        let plan = parse_query(
+            "SELECT AdId, COUNT(*) AS ClickCount \
+             FROM clicks(AdId STRING, StreamId INT) \
+             WHERE StreamId = 1 \
+             GROUP BY AdId \
+             WINDOW 100 TICKS",
+        )
+        .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())]))
+            .unwrap()
+            .normalize();
+        assert_eq!(
+            out.events(),
+            &[
+                Event::interval(10, 20, row!["a", 1i64]),
+                Event::interval(20, 110, row!["a", 2i64]),
+                Event::interval(40, 140, row!["b", 1i64]),
+                Event::interval(110, 120, row!["a", 1i64]),
+            ]
+        );
+    }
+
+    #[test]
+    fn projection_and_arithmetic() {
+        let plan = parse_query(
+            "SELECT AdId AS Ad, StreamId * 10 + 1 AS X \
+             FROM clicks(AdId STRING, StreamId INT)",
+        )
+        .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())])).unwrap();
+        assert_eq!(out.schema().names(), vec!["Ad", "X"]);
+        assert_eq!(out.events()[0].payload, row!["a", 11i64]);
+    }
+
+    #[test]
+    fn select_star_passes_through() {
+        let plan =
+            parse_query("SELECT * FROM clicks(AdId STRING, StreamId INT) WHERE StreamId = 1")
+                .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())])).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema(), &click_schema());
+    }
+
+    #[test]
+    fn hopping_window_and_having() {
+        // Bot-elimination shape: users with > 1 click per 100-tick window,
+        // refreshed every 50 ticks.
+        let plan = parse_query(
+            "SELECT AdId, COUNT(*) AS N \
+             FROM clicks(AdId STRING, StreamId INT) \
+             GROUP BY AdId \
+             WINDOW 100 TICKS EVERY 50 TICKS \
+             HAVING N > 1",
+        )
+        .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())]))
+            .unwrap()
+            .normalize();
+        // Only "a" ever reaches 2 in a window.
+        assert!(out.events().iter().all(|e| e.payload.get(0).as_str() == Some("a")));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let plan = parse_query(
+            "SELECT COUNT(*) AS N, SUM(StreamId) AS S \
+             FROM clicks(AdId STRING, StreamId INT) WINDOW 1000 TICKS",
+        )
+        .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())]))
+            .unwrap()
+            .normalize();
+        // Final snapshot covers all four events.
+        assert!(out
+            .events()
+            .iter()
+            .any(|e| e.payload == row![4i64, 5i64]));
+    }
+
+    #[test]
+    fn extended_aggregates() {
+        // Distinct ads and the spread of StreamId values per window.
+        let plan = parse_query(
+            "SELECT COUNT_DISTINCT(AdId) AS Ads, STDDEV(StreamId) AS Spread \
+             FROM clicks(AdId STRING, StreamId INT) WINDOW 1000 TICKS",
+        )
+        .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())]))
+            .unwrap()
+            .normalize();
+        // Final snapshot: ads {a, b}; stream ids {1,1,2,1} -> stddev
+        // sqrt(3/16).
+        let last = out
+            .events()
+            .iter()
+            .find(|e| e.payload.get(0).as_long() == Some(2))
+            .expect("snapshot with both ads");
+        let spread = last.payload.get(1).as_double().unwrap();
+        assert!((spread - (3.0f64 / 16.0).sqrt()).abs() < 1e-12, "spread {spread}");
+    }
+
+    #[test]
+    fn union_all_of_selects() {
+        let plan = parse_query(
+            "SELECT AdId FROM clicks(AdId STRING, StreamId INT) WHERE StreamId = 1 \
+             UNION ALL \
+             SELECT AdId FROM clicks(AdId STRING, StreamId INT) WHERE StreamId = 2",
+        )
+        .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())])).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn nested_subquery() {
+        let plan = parse_query(
+            "SELECT Ad, COUNT(*) AS N FROM \
+               (SELECT AdId AS Ad FROM clicks(AdId STRING, StreamId INT) WHERE StreamId = 1) \
+             AS only_clicks \
+             GROUP BY Ad WINDOW 1000 TICKS",
+        )
+        .unwrap();
+        let out = execute_single(&plan, &bindings(vec![("clicks", clicks())]))
+            .unwrap()
+            .normalize();
+        assert!(out.events().iter().any(|e| e.payload == row!["a", 2i64]));
+    }
+
+    #[test]
+    fn duration_units() {
+        let plan = parse_query(
+            "SELECT AdId, COUNT(*) AS N FROM c(AdId STRING) GROUP BY AdId WINDOW 6 HOURS",
+        )
+        .unwrap();
+        assert_eq!(plan.max_window_extent(), 6 * HOUR);
+        let plan = parse_query(
+            "SELECT AdId, COUNT(*) AS N FROM c(AdId STRING) GROUP BY AdId WINDOW 1 DAY",
+        )
+        .unwrap();
+        assert_eq!(plan.max_window_extent(), 24 * HOUR);
+    }
+
+    #[test]
+    fn useful_errors() {
+        for (sql, needle) in [
+            ("SELECT FROM x(A INT)", "expected"),
+            ("SELECT A x(A INT)", "expected FROM"),
+            ("SELECT A FROM x(A INT) WINDOW 5 PARSECS", "duration unit"),
+            ("SELECT COUNT(*) AS N, A FROM x(A INT)", "GROUP BY"),
+            ("SELECT B FROM x(A INT)", "unknown column"),
+            ("SELECT A FROM x(A INT) WHERE 'lit'", "bool"),
+        ] {
+            let err = parse_query(sql).unwrap_err().to_string();
+            assert!(
+                err.to_lowercase().contains(&needle.to_lowercase()),
+                "query `{sql}` gave `{err}`, expected to contain `{needle}`"
+            );
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Recursive-descent parser for the StreamSQL dialect.
+
+use super::ast::{Duration, Query, Select, SelectItem, SourceRef, WindowClause};
+use super::lexer::{Token, TokenKind};
+use crate::agg::AggExpr;
+use crate::error::{Result, TemporalError};
+use crate::expr::{col, lit, Expr, Func};
+use crate::time::{DAY, HOUR, MIN, SEC};
+use relation::schema::{ColumnType, Field};
+use relation::Schema;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+fn perr(tok: &Token, msg: impl std::fmt::Display) -> TemporalError {
+    TemporalError::Plan(format!(
+        "StreamSQL parse error at byte {}: {msg}",
+        tok.offset
+    ))
+}
+
+/// Parse a token stream into a query AST.
+pub fn parse(tokens: &[Token]) -> Result<Query> {
+    let mut p = Parser { tokens, pos: 0 };
+    let query = p.query()?;
+    if !matches!(p.peek().kind, TokenKind::Eof) {
+        return Err(perr(p.peek(), "trailing input after query"));
+    }
+    Ok(query)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &'a Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = self.peek();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(perr(self.peek(), format!("expected {kw}")))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek().is_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(perr(self.peek(), format!("expected `{sym}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(perr(self.peek(), "expected an identifier")),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut selects = vec![self.select()?];
+        while self.peek().is_kw("UNION") {
+            self.bump();
+            self.expect_kw("ALL")?;
+            selects.push(self.select()?);
+        }
+        Ok(Query { selects })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let items = self.select_items()?;
+        self.expect_kw("FROM")?;
+        let source = self.source()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.ident()?);
+            while self.eat_sym(",") {
+                group_by.push(self.ident()?);
+            }
+        }
+        let window = if self.eat_kw("WINDOW") {
+            let width = self.duration()?;
+            if self.eat_kw("EVERY") {
+                Some(WindowClause::Hopping {
+                    width,
+                    hop: self.duration()?,
+                })
+            } else {
+                Some(WindowClause::Sliding(width))
+            }
+        } else {
+            None
+        };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            items,
+            source,
+            where_clause,
+            group_by,
+            window,
+            having,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        if self.eat_sym("*") {
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(",") {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn agg_kind(name: &str) -> Option<fn(Expr) -> AggExpr> {
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Some(AggExpr::Sum),
+            "MIN" => Some(AggExpr::Min),
+            "MAX" => Some(AggExpr::Max),
+            "AVG" => Some(AggExpr::Avg),
+            "STDDEV" => Some(AggExpr::StdDev),
+            "COUNT_DISTINCT" => Some(AggExpr::CountDistinct),
+            _ => None,
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // COUNT(*) / SUM(e) / MIN / MAX / AVG get special handling; other
+        // identifiers fall through to expression parsing.
+        if let TokenKind::Ident(name) = &self.peek().kind {
+            let upper = name.to_ascii_uppercase();
+            let next_is_paren = self
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.is_sym("("));
+            if next_is_paren && upper == "COUNT" {
+                self.bump();
+                self.expect_sym("(")?;
+                self.expect_sym("*")?;
+                self.expect_sym(")")?;
+                let out = self.alias_or("Count")?;
+                return Ok(SelectItem::Agg {
+                    name: out,
+                    agg: AggExpr::Count,
+                });
+            }
+            if next_is_paren {
+                if let Some(make) = Self::agg_kind(&upper) {
+                    self.bump();
+                    self.expect_sym("(")?;
+                    let inner = self.expr()?;
+                    self.expect_sym(")")?;
+                    let out = self.alias_or(&upper)?;
+                    return Ok(SelectItem::Agg {
+                        name: out,
+                        agg: make(inner),
+                    });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let default = match &expr {
+            Expr::Column(c) => c.clone(),
+            _ => "Expr".to_string(),
+        };
+        let name = self.alias_or(&default)?;
+        Ok(SelectItem::Expr { name, expr })
+    }
+
+    fn alias_or(&mut self, default: &str) -> Result<String> {
+        if self.eat_kw("AS") {
+            self.ident()
+        } else {
+            Ok(default.to_string())
+        }
+    }
+
+    fn source(&mut self) -> Result<SourceRef> {
+        if self.eat_sym("(") {
+            let query = self.query()?;
+            self.expect_sym(")")?;
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(SourceRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut fields = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let ty_tok = self.peek();
+            let ty_name = self.ident()?;
+            let ty = match ty_name.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" => ColumnType::Int,
+                "LONG" | "BIGINT" => ColumnType::Long,
+                "DOUBLE" | "FLOAT" => ColumnType::Double,
+                "STRING" | "VARCHAR" | "TEXT" => ColumnType::Str,
+                "BOOL" | "BOOLEAN" => ColumnType::Bool,
+                other => {
+                    return Err(perr(ty_tok, format!("unknown column type `{other}`")))
+                }
+            };
+            fields.push(Field::new(col_name, ty));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(SourceRef::Stream {
+            name,
+            schema: Schema::new(fields),
+        })
+    }
+
+    fn duration(&mut self) -> Result<Duration> {
+        let tok = self.peek();
+        let n = match tok.kind {
+            TokenKind::Int(n) => {
+                self.bump();
+                n
+            }
+            _ => return Err(perr(tok, "expected a duration count")),
+        };
+        let unit_tok = self.peek();
+        let unit = self.ident()?;
+        let per = match unit.to_ascii_uppercase().trim_end_matches('S') {
+            "TICK" => 1,
+            "SECOND" | "SEC" => SEC,
+            "MINUTE" | "MIN" => MIN,
+            "HOUR" | "HR" => HOUR,
+            "DAY" => DAY,
+            other => {
+                return Err(perr(
+                    unit_tok,
+                    format!("unknown duration unit `{other}` (TICKS/SECONDS/MINUTES/HOURS/DAYS)"),
+                ))
+            }
+        };
+        Ok(Duration { ticks: n * per })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            left = left.or(self.and_expr()?);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            left = left.and(self.not_expr()?);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        for (sym, f) in [
+            ("=", Expr::eq as fn(Expr, Expr) -> Expr),
+            ("<>", Expr::ne),
+            ("<=", Expr::le),
+            (">=", Expr::ge),
+            ("<", Expr::lt),
+            (">", Expr::gt),
+        ] {
+            if self.eat_sym(sym) {
+                let right = self.add_expr()?;
+                return Ok(f(left, right));
+            }
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            if self.eat_sym("+") {
+                left = left.add(self.mul_expr()?);
+            } else if self.eat_sym("-") {
+                left = left.sub(self.mul_expr()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.primary()?;
+        loop {
+            if self.eat_sym("*") {
+                left = left.mul(self.primary()?);
+            } else if self.eat_sym("/") {
+                left = left.div(self.primary()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let tok = self.peek();
+        match &tok.kind {
+            TokenKind::Int(n) => {
+                let n = *n;
+                self.bump();
+                Ok(lit(n))
+            }
+            TokenKind::Float(f) => {
+                let f = *f;
+                self.bump();
+                Ok(lit(f))
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(lit(s.as_str()))
+            }
+            TokenKind::Symbol("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            TokenKind::Symbol("-") => {
+                self.bump();
+                Ok(lit(0i64).sub(self.primary()?))
+            }
+            TokenKind::Ident(name) => {
+                let func = match name.to_ascii_uppercase().as_str() {
+                    "SQRT" => Some(Func::Sqrt),
+                    "ABS" => Some(Func::Abs),
+                    "LN" => Some(Func::Ln),
+                    "EXP" => Some(Func::Exp),
+                    "POW" => Some(Func::Pow),
+                    _ => None,
+                };
+                let name = name.clone();
+                self.bump();
+                if let (Some(func), true) = (func, self.peek().is_sym("(")) {
+                    self.bump();
+                    let mut args = vec![self.expr()?];
+                    while self.eat_sym(",") {
+                        args.push(self.expr()?);
+                    }
+                    self.expect_sym(")")?;
+                    let arity = args.len();
+                    if arity
+                        != match func {
+                            Func::Pow | Func::Min2 | Func::Max2 => 2,
+                            _ => 1,
+                        }
+                    {
+                        return Err(perr(tok, format!("wrong arity {arity} for function")));
+                    }
+                    return Ok(Expr::Call { func, args });
+                }
+                Ok(col(name))
+            }
+            other => Err(perr(tok, format!("expected an expression, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::tokenize;
+    use super::*;
+
+    fn parse_ok(sql: &str) -> Query {
+        parse(&tokenize(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_full_select() {
+        let q = parse_ok(
+            "SELECT A, COUNT(*) AS N, SUM(B) AS S FROM s(A STRING, B LONG) \
+             WHERE B > 3 AND NOT A = 'x' GROUP BY A WINDOW 5 MINUTES HAVING N > 1",
+        );
+        let sel = &q.selects[0];
+        assert_eq!(sel.items.len(), 3);
+        assert_eq!(sel.group_by, vec!["A"]);
+        assert!(matches!(
+            sel.window,
+            Some(WindowClause::Sliding(Duration { ticks: 300 }))
+        ));
+        assert!(sel.having.is_some());
+    }
+
+    #[test]
+    fn parses_hopping_window() {
+        let q = parse_ok("SELECT COUNT(*) AS N FROM s(A INT) WINDOW 6 HOURS EVERY 15 MINUTES");
+        assert!(matches!(
+            q.selects[0].window,
+            Some(WindowClause::Hopping {
+                width: Duration { ticks: 21_600 },
+                hop: Duration { ticks: 900 }
+            })
+        ));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse_ok("SELECT A + B * 2 AS X FROM s(A INT, B INT)");
+        match &q.selects[0].items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert_eq!(expr.to_string(), "(A + (B * 2))");
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_all_and_subquery() {
+        let q = parse_ok(
+            "SELECT A FROM (SELECT A FROM s(A INT) UNION ALL SELECT A FROM t(A INT)) AS u",
+        );
+        match &q.selects[0].source {
+            SourceRef::Subquery { query, alias } => {
+                assert_eq!(query.selects.len(), 2);
+                assert_eq!(alias.as_deref(), Some("u"));
+            }
+            other => panic!("unexpected source {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse(&tokenize("SELECT A").unwrap()).is_err());
+        assert!(parse(&tokenize("SELECT A FROM s(A INT) garbage").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Online/offline equivalence (paper §VII): the same plans, fed a live
+//! stream event-by-event, emit exactly the relation the batch/TiMR path
+//! computes — across plan shapes and punctuation cadences.
+
+use proptest::prelude::*;
+use timr_suite::relation::schema::{ColumnType, Field};
+use timr_suite::relation::{row, Schema};
+use timr_suite::temporal::exec::{bindings, execute_single};
+use timr_suite::temporal::expr::{col, lit};
+use timr_suite::temporal::rt::RtSession;
+use timr_suite::temporal::{Event, EventStream, LogicalPlan, Query};
+
+fn payload() -> Schema {
+    Schema::new(vec![
+        Field::new("StreamId", ColumnType::Int),
+        Field::new("K", ColumnType::Str),
+    ])
+}
+
+fn plans() -> Vec<(&'static str, LogicalPlan)> {
+    let mut out = Vec::new();
+
+    let q = Query::new();
+    let p = q
+        .source("in", payload())
+        .filter(col("StreamId").eq(lit(1)))
+        .group_apply(&["K"], |g| g.window(25).count("N"));
+    out.push(("windowed_count", q.build(vec![p]).unwrap()));
+
+    let q = Query::new();
+    let input = q.source("in", payload());
+    let hot = input
+        .clone()
+        .filter(col("StreamId").eq(lit(1)))
+        .group_apply(&["K"], |g| {
+            g.window(30).count("N").filter(col("N").gt(lit(2i64)))
+        });
+    let p = input.anti_semi_join(hot, &[("K", "K")]);
+    out.push(("rate_limiter", q.build(vec![p]).unwrap()));
+
+    let q = Query::new();
+    let input = q.source("in", payload());
+    let profile = input
+        .clone()
+        .filter(col("StreamId").eq(lit(2)))
+        .group_apply(&["K"], |g| g.window(40).count("Cnt"));
+    let p = input
+        .clone()
+        .filter(col("StreamId").eq(lit(0)))
+        .temporal_join(profile, &[("K", "K")], None);
+    out.push(("profile_join", q.build(vec![p]).unwrap()));
+
+    out
+}
+
+fn events_from(raw: &[(i64, u8, u8)]) -> Vec<Event> {
+    let mut events: Vec<Event> = raw
+        .iter()
+        .map(|(t, sid, k)| Event::point(*t, row![(*sid % 3) as i32, format!("k{}", k % 5)]))
+        .collect();
+    events.sort();
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn online_equals_offline_for_all_plan_shapes(
+        raw in prop::collection::vec((0i64..300, 0u8..3, 0u8..5), 1..80),
+        cadence in 1usize..20,
+    ) {
+        let events = events_from(&raw);
+        for (name, plan) in plans() {
+            let offline = execute_single(
+                &plan,
+                &bindings(vec![(
+                    "in",
+                    EventStream::new(payload(), events.clone()),
+                )]),
+            )
+            .unwrap()
+            .normalize();
+
+            let mut session = RtSession::new(plan).unwrap();
+            let mut online = Vec::new();
+            for (i, e) in events.iter().enumerate() {
+                session.push("in", e.clone()).unwrap();
+                if i % cadence == 0 {
+                    online.extend(session.punctuate(e.start()).unwrap());
+                }
+            }
+            online.extend(session.close().unwrap());
+            let online_stream =
+                EventStream::new(offline.schema().clone(), online).normalize();
+            prop_assert!(
+                offline.same_relation(&online_stream),
+                "plan `{}` diverged online (cadence {})", name, cadence
+            );
+        }
+    }
+}
+
+#[test]
+fn session_rejects_unknown_source_and_late_events() {
+    let (_, plan) = plans().remove(0);
+    let mut session = RtSession::new(plan).unwrap();
+    assert!(session
+        .push("nope", Event::point(1, row![1i32, "k0"]))
+        .is_err());
+    session.push("in", Event::point(100, row![1i32, "k0"])).unwrap();
+    session.punctuate(100).unwrap();
+    assert!(session.push("in", Event::point(50, row![1i32, "k0"])).is_err());
+}
