@@ -104,23 +104,53 @@ impl GenConfig {
             AdClassSpec::new(
                 "deodorant",
                 &[
-                    "celebrity", "icarly", "tattoo", "games", "chat", "videos", "hannah",
-                    "exam", "music",
+                    "celebrity",
+                    "icarly",
+                    "tattoo",
+                    "games",
+                    "chat",
+                    "videos",
+                    "hannah",
+                    "exam",
+                    "music",
                 ],
                 &[
-                    "verizon", "construct", "service", "ford", "hotels", "jobless", "pilot",
-                    "credit", "craigslist",
+                    "verizon",
+                    "construct",
+                    "service",
+                    "ford",
+                    "hotels",
+                    "jobless",
+                    "pilot",
+                    "credit",
+                    "craigslist",
                 ],
             ),
             AdClassSpec::new(
                 "laptop",
-                &["dell", "laptops", "computers", "juris", "toshiba", "vostro", "hp"],
-                &["pregnant", "stars", "wang", "vera", "dancing", "myspace", "facebook"],
+                &[
+                    "dell",
+                    "laptops",
+                    "computers",
+                    "juris",
+                    "toshiba",
+                    "vostro",
+                    "hp",
+                ],
+                &[
+                    "pregnant", "stars", "wang", "vera", "dancing", "myspace", "facebook",
+                ],
             ),
             AdClassSpec::new(
                 "cellphone",
                 &[
-                    "blackberry", "curve", "enable", "tmobile", "phones", "wireless", "att",
+                    "blackberry",
+                    "curve",
+                    "enable",
+                    "tmobile",
+                    "phones",
+                    "wireless",
+                    "att",
                     "verizon",
                 ],
                 &[
@@ -130,12 +160,26 @@ impl GenConfig {
             ),
             AdClassSpec::new(
                 "movies",
-                &["trailer", "imdb", "tickets", "showtimes", "actors", "cinema"],
+                &[
+                    "trailer",
+                    "imdb",
+                    "tickets",
+                    "showtimes",
+                    "actors",
+                    "cinema",
+                ],
                 &["gardening", "mortgage", "tax", "plumber"],
             ),
             AdClassSpec::new(
                 "dieting",
-                &["calories", "weightloss", "fitness", "recipes", "yoga", "lowcarb"],
+                &[
+                    "calories",
+                    "weightloss",
+                    "fitness",
+                    "recipes",
+                    "yoga",
+                    "lowcarb",
+                ],
                 &["pizza", "beer", "casino", "cigarettes"],
             ),
         ];

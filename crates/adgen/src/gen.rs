@@ -207,10 +207,8 @@ pub fn generate(config: &GenConfig) -> GeneratedLog {
             t += next_gap(&mut rng, bg_rate);
         }
         if !pool.is_empty() && !is_bot {
-            let planted_rate = config.searches_per_user_per_day
-                * config.planted_search_weight
-                * mult
-                / day as f64;
+            let planted_rate =
+                config.searches_per_user_per_day * config.planted_search_weight * mult / day as f64;
             let mut t = next_gap(&mut rng, planted_rate);
             while t < config.duration {
                 searches.push((t, pool[rng.gen_range(0..pool.len())].to_string()));
@@ -250,7 +248,10 @@ pub fn generate(config: &GenConfig) -> GeneratedLog {
                 recent.push_back((*st, kw.as_str()));
                 search_idx += 1;
             }
-            while recent.front().is_some_and(|(st, _)| *st <= imp_t - 6 * HOUR) {
+            while recent
+                .front()
+                .is_some_and(|(st, _)| *st <= imp_t - 6 * HOUR)
+            {
                 recent.pop_front();
             }
 
@@ -300,7 +301,12 @@ pub fn generate(config: &GenConfig) -> GeneratedLog {
     }
 
     events.sort_by(|a, b| {
-        (a.time, &a.user, a.stream as i32, &a.kw_ad).cmp(&(b.time, &b.user, b.stream as i32, &b.kw_ad))
+        (a.time, &a.user, a.stream as i32, &a.kw_ad).cmp(&(
+            b.time,
+            &b.user,
+            b.stream as i32,
+            &b.kw_ad,
+        ))
     });
     GeneratedLog { events, truth }
 }
@@ -435,7 +441,11 @@ mod tests {
                     && c.time > e.time
                     && c.time <= e.time + cfg.max_click_delay
             });
-            let slot = if profile_has_kw { &mut with_kw } else { &mut without };
+            let slot = if profile_has_kw {
+                &mut with_kw
+            } else {
+                &mut without
+            };
             slot.1 += 1;
             if clicked {
                 slot.0 += 1;

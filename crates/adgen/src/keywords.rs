@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn vocabulary_layout() {
         let v = Vocabulary::new(vec!["icarly".into(), "dell".into()], 100, 1.0);
-        assert_eq!(v.planted_keywords(), &["icarly".to_string(), "dell".to_string()]);
+        assert_eq!(
+            v.planted_keywords(),
+            &["icarly".to_string(), "dell".to_string()]
+        );
         assert_eq!(v.keywords.len(), 102);
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..100 {

@@ -18,20 +18,12 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Precision/recall of a recovered keyword set against the planted
     /// positives of `ad_class`. Returns `(precision, recall)`.
-    pub fn positive_precision_recall(
-        &self,
-        ad_class: &str,
-        recovered: &[String],
-    ) -> (f64, f64) {
+    pub fn positive_precision_recall(&self, ad_class: &str, recovered: &[String]) -> (f64, f64) {
         score(self.positive_keywords.get(ad_class), recovered)
     }
 
     /// Precision/recall against the planted negatives of `ad_class`.
-    pub fn negative_precision_recall(
-        &self,
-        ad_class: &str,
-        recovered: &[String],
-    ) -> (f64, f64) {
+    pub fn negative_precision_recall(&self, ad_class: &str, recovered: &[String]) -> (f64, f64) {
         score(self.negative_keywords.get(ad_class), recovered)
     }
 }
@@ -65,9 +57,18 @@ mod tests {
         let mut gt = GroundTruth::default();
         gt.positive_keywords.insert(
             "deodorant".into(),
-            vec!["icarly".into(), "celebrity".into(), "exam".into(), "music".into()],
+            vec![
+                "icarly".into(),
+                "celebrity".into(),
+                "exam".into(),
+                "music".into(),
+            ],
         );
-        let recovered = vec!["icarly".to_string(), "celebrity".to_string(), "junk".to_string()];
+        let recovered = vec![
+            "icarly".to_string(),
+            "celebrity".to_string(),
+            "junk".to_string(),
+        ];
         let (p, r) = gt.positive_precision_recall("deodorant", &recovered);
         assert!((p - 2.0 / 3.0).abs() < 1e-9);
         assert!((r - 0.5).abs() < 1e-9);

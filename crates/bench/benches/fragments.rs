@@ -58,11 +58,9 @@ fn bench_fragments(c: &mut Criterion) {
         let mut p = params.clone();
         p.machines = machines;
         let q = train_query(&p);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(machines),
-            &machines,
-            |b, _| b.iter(|| run(&rows, &p, q.annotation.clone(), "bkt")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(machines), &machines, |b, _| {
+            b.iter(|| run(&rows, &p, q.annotation.clone(), "bkt"))
+        });
     }
     group.finish();
 }

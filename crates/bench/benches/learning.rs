@@ -31,8 +31,7 @@ fn bench_learning(c: &mut Criterion) {
     let examples =
         bt::pipeline::BtPipeline::load_examples(&dfs, &artifacts.labels, &artifacts.train_rows)
             .unwrap();
-    let scores =
-        scores_from_examples(&examples, params.min_support, params.min_example_support);
+    let scores = scores_from_examples(&examples, params.min_support, params.min_example_support);
     let per_ad = by_ad(&examples);
     let ad = "laptop";
     let ad_examples = per_ad.get(ad).cloned().unwrap_or_default();

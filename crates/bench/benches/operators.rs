@@ -38,9 +38,7 @@ fn bench_windowed_count(c: &mut Criterion) {
         let plan = q.build(vec![out]).unwrap();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                execute_single(&plan, &bindings(vec![("in", input.clone())])).unwrap()
-            })
+            b.iter(|| execute_single(&plan, &bindings(vec![("in", input.clone())])).unwrap())
         });
     }
     group.finish();

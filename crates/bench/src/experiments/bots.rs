@@ -21,11 +21,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     let raw = dfs.get("logs").expect("raw logs");
     let clean = dfs.get(&clean_name).expect("clean logs");
     let clean_stream = EventEncoding::Interval
-        .decode_stream(&clean.scan(), &log_payload())
+        .decode_stream(clean.iter(), &log_payload())
         .expect("decode clean");
 
     let mut raw_counts: FxHashMap<String, u64> = FxHashMap::default();
-    for r in raw.scan() {
+    for r in raw.iter() {
         *raw_counts
             .entry(r.get(2).as_str().unwrap_or_default().to_string())
             .or_insert(0) += 1;

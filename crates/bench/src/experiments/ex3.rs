@@ -69,10 +69,9 @@ pub fn run(ctx: &mut Ctx) -> String {
         machines: params.machines,
         ..Default::default()
     };
-    let opt_cost = annotation_cost(&query.plan, &query.annotation, &stats, &cfg)
-        .expect("cost of optimized");
-    let naive_cost =
-        annotation_cost(&query.plan, &naive, &stats, &cfg).expect("cost of naive");
+    let opt_cost =
+        annotation_cost(&query.plan, &query.annotation, &stats, &cfg).expect("cost of optimized");
+    let naive_cost = annotation_cost(&query.plan, &naive, &stats, &cfg).expect("cost of naive");
     let auto = optimize(&query.plan, &stats, &cfg).expect("optimizer runs");
     let auto_single_key = auto
         .annotation

@@ -40,11 +40,19 @@ pub fn run(ctx: &mut Ctx) -> String {
     // ---- processing time ----
     let t0 = Instant::now();
     let artifacts = BtPipeline::new(params.clone())
-        .run(&ctx.workload.dfs, &ctx.workload.cluster, "logs", "fig14_timr")
+        .run(
+            &ctx.workload.dfs,
+            &ctx.workload.cluster,
+            "logs",
+            "fig14_timr",
+        )
         .expect("TiMR pipeline");
     let timr_time = t0.elapsed();
-    let timr_wall: std::time::Duration =
-        artifacts.stats.iter().map(|(_, s)| s.total_wall_time()).sum();
+    let timr_wall: std::time::Duration = artifacts
+        .stats
+        .iter()
+        .map(|(_, s)| s.total_wall_time())
+        .sum();
 
     let t0 = Instant::now();
     bt::baselines::custom::run_custom(

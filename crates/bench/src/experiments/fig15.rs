@@ -22,7 +22,7 @@ fn decode(
 ) -> EventStream {
     let ds = ctx.workload.dfs.get(dataset).expect("dataset exists");
     encoding
-        .decode_stream(&ds.scan(), &payload)
+        .decode_stream(ds.iter(), &payload)
         .expect("decode dataset")
 }
 
@@ -53,17 +53,18 @@ pub fn run(ctx: &mut Ctx) -> String {
     let params = ctx.workload.bt_params();
     let artifacts_names = {
         let a = ctx.artifacts();
-        (
-            a.clean.clone(),
-            a.labels.clone(),
-            a.train_rows.clone(),
-        )
+        (a.clean.clone(), a.labels.clone(), a.train_rows.clone())
     };
     let (clean, labels, train_rows) = artifacts_names;
 
     let logs = decode(ctx, "logs", queries::log_payload(), EventEncoding::Point);
     let clean_s = decode(ctx, &clean, queries::log_payload(), EventEncoding::Interval);
-    let labels_s = decode(ctx, &labels, queries::labels_payload(), EventEncoding::Interval);
+    let labels_s = decode(
+        ctx,
+        &labels,
+        queries::labels_payload(),
+        EventEncoding::Interval,
+    );
     let train_s = decode(
         ctx,
         &train_rows,

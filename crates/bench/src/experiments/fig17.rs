@@ -17,7 +17,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     let scores = ctx.scores().to_vec();
     let mut out = String::new();
 
-    for (fig, ad) in [("Fig 17", "deodorant"), ("Fig 18", "laptop"), ("Fig 19", "cellphone")] {
+    for (fig, ad) in [
+        ("Fig 17", "deodorant"),
+        ("Fig 18", "laptop"),
+        ("Fig 19", "cellphone"),
+    ] {
         let mut ad_scores: Vec<_> = scores.iter().filter(|s| s.ad == ad).collect();
         ad_scores.sort_by(|a, b| b.z.total_cmp(&a.z));
         let positive: Vec<_> = ad_scores.iter().filter(|s| s.z > 0.0).take(9).collect();
@@ -28,9 +32,15 @@ pub fn run(ctx: &mut Ctx) -> String {
         let mut table = Table::new(&["+Keyword", "Score", "-Keyword", "Score"]);
         for i in 0..positive.len().max(negative.len()) {
             table.row(vec![
-                positive.get(i).map(|s| s.keyword.clone()).unwrap_or_default(),
+                positive
+                    .get(i)
+                    .map(|s| s.keyword.clone())
+                    .unwrap_or_default(),
                 positive.get(i).map(|s| f3(s.z)).unwrap_or_default(),
-                negative.get(i).map(|s| s.keyword.clone()).unwrap_or_default(),
+                negative
+                    .get(i)
+                    .map(|s| s.keyword.clone())
+                    .unwrap_or_default(),
                 negative.get(i).map(|s| f3(s.z)).unwrap_or_default(),
             ]);
         }

@@ -37,9 +37,7 @@ pub fn run(ctx: &mut Ctx) -> String {
     for ad in &ads {
         let mut cells = vec![ad.clone()];
         for t in thresholds {
-            cells.push(
-                retained_dimensions(ad, &Scheme::KeZ { threshold: t }, &scores).to_string(),
-            );
+            cells.push(retained_dimensions(ad, &Scheme::KeZ { threshold: t }, &scores).to_string());
         }
         cells.push(bt::baselines::f_ex::CATEGORY_COUNT.to_string());
         table.row(cells);

@@ -33,8 +33,7 @@ pub fn run(ctx: &mut Ctx) -> String {
 
     let mut out = String::new();
     for (fig, ad) in [("Fig 22", "movies"), ("Fig 23", "dieting")] {
-        let (Some(train_examples), Some(test_examples)) =
-            (train_by_ad.get(ad), test_by_ad.get(ad))
+        let (Some(train_examples), Some(test_examples)) = (train_by_ad.get(ad), test_by_ad.get(ad))
         else {
             out.push_str(&format!("{fig} — {ad}: insufficient examples\n"));
             continue;
@@ -48,16 +47,11 @@ pub fn run(ctx: &mut Ctx) -> String {
 
         for scheme in &schemes {
             let single: std::collections::BTreeMap<String, Vec<bt::Example>> =
-                [(ad.to_string(), train_examples.clone())].into_iter().collect();
+                [(ad.to_string(), train_examples.clone())]
+                    .into_iter()
+                    .collect();
             let models = train_models(&single, scheme, &scores, &LrConfig::default());
-            let curve = lift_coverage(
-                ad,
-                &models[ad],
-                test_examples,
-                scheme,
-                &scores,
-                &COVERAGES,
-            );
+            let curve = lift_coverage(ad, &models[ad], test_examples, scheme, &scores, &COVERAGES);
             let mut cells = vec![scheme.to_string()];
             cells.extend(curve.iter().map(|p| f3(p.lift)));
             table.row(cells);

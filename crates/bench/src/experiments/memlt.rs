@@ -34,12 +34,7 @@ pub fn run(ctx: &mut Ctx) -> String {
         };
         let single: std::collections::BTreeMap<String, Vec<bt::Example>> =
             [(ad.to_string(), examples.clone())].into_iter().collect();
-        let mut table = Table::new(&[
-            "Scheme",
-            "Mean UBP entries",
-            "Model dims",
-            "Learning time",
-        ]);
+        let mut table = Table::new(&["Scheme", "Mean UBP entries", "Model dims", "Learning time"]);
         for scheme in &schemes {
             let models = train_models(&single, scheme, &scores, &LrConfig::default());
             let m = &models[ad];

@@ -3,6 +3,7 @@
 //! Every experiment consumes a shared [`Ctx`] (workload + lazily-computed
 //! pipeline artifacts) and returns a printable report.
 
+pub mod bench_pr1;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -156,6 +157,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "rt",
             artifact: "§VII: real-time readiness — online output equals offline output",
             run: rt_exp::run,
+        },
+        Experiment {
+            name: "pr1",
+            artifact: "PR 1: parallel map/shuffle speedup (writes BENCH_PR1.json)",
+            run: bench_pr1::run,
         },
     ]
 }

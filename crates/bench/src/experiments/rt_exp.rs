@@ -32,8 +32,7 @@ pub fn run(ctx: &mut Ctx) -> String {
         .iter()
         .position(|n| matches!(n.op, temporal::plan::Operator::Filter { .. }))
         .expect("filter exists");
-    let annotation =
-        Annotation::none().exchange(filter, 0, ExchangeKey::keys(&["KwAdId"]));
+    let annotation = Annotation::none().exchange(filter, 0, ExchangeKey::keys(&["KwAdId"]));
 
     // Offline: TiMR over the DFS.
     let job = TimrJob::new("rt_offline", plan.clone())
@@ -68,11 +67,8 @@ pub fn run(ctx: &mut Ctx) -> String {
     online_events.extend(session.close().expect("close"));
     let elapsed = start.elapsed();
 
-    let online_stream = temporal::EventStream::new(
-        offline_stream.schema().clone(),
-        online_events,
-    )
-    .normalize();
+    let online_stream =
+        temporal::EventStream::new(offline_stream.schema().clone(), online_events).normalize();
     let identical = offline_stream.same_relation(&online_stream);
     assert!(identical, "online and offline results must be identical");
 

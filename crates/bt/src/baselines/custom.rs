@@ -20,9 +20,7 @@
 
 use crate::params::BtParams;
 use crate::ztest::{has_support, z_score, KeywordCounts};
-use mapreduce::{
-    Cluster, Dfs, JobStats, MrError, Partitioner, Reducer, ReducerContext, Stage,
-};
+use mapreduce::{Cluster, Dfs, JobStats, MrError, Partitioner, Reducer, ReducerContext, Stage};
 use relation::schema::{ColumnType, Field};
 use relation::{row, Row, Schema, Value};
 use rustc_hash::FxHashMap;
@@ -111,8 +109,7 @@ impl UserStageReducer {
         let in_bot_period = |t: i64| bot_periods.iter().any(|&(s, e)| s <= t && t < e);
 
         // ---- clean activity, labelled examples, UBP sweep ----
-        let clean: Vec<&(i64, i32, &str)> =
-            events.iter().filter(|e| !in_bot_period(e.0)).collect();
+        let clean: Vec<&(i64, i32, &str)> = events.iter().filter(|e| !in_bot_period(e.0)).collect();
 
         // Click lookup for non-click determination.
         let clicks: Vec<(i64, &str)> = clean
@@ -180,8 +177,7 @@ impl Reducer for UserStageReducer {
         Ok(user_stage_schema())
     }
 
-    fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> mapreduce::Result<Vec<Row>> {
-        let rows: Vec<Row> = inputs.into_iter().flatten().collect();
+    fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> mapreduce::Result<Vec<Row>> {
         let bad = |m: &str| MrError::Reducer {
             stage: ctx.stage.clone(),
             partition: ctx.partition,
@@ -190,7 +186,7 @@ impl Reducer for UserStageReducer {
         // Group by user, then time-sort each user's events — the manual
         // "pre-sorting of data" the paper's strawman discussion calls out.
         let mut by_user: FxHashMap<String, Vec<(i64, i32, String)>> = FxHashMap::default();
-        for r in &rows {
+        for r in inputs.iter().flatten() {
             let t = r.get(0).as_long().ok_or_else(|| bad("bad Time"))?;
             let sid = r.get(1).as_int().ok_or_else(|| bad("bad StreamId"))?;
             let user = r.get(2).as_str().ok_or_else(|| bad("bad UserId"))?;
@@ -206,8 +202,10 @@ impl Reducer for UserStageReducer {
         let mut out = Vec::new();
         for (user, mut events) in users {
             events.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
-            let borrowed: Vec<(i64, i32, &str)> =
-                events.iter().map(|(t, s, k)| (*t, *s, k.as_str())).collect();
+            let borrowed: Vec<(i64, i32, &str)> = events
+                .iter()
+                .map(|(t, s, k)| (*t, *s, k.as_str()))
+                .collect();
             self.process_user(&borrowed, &mut out, &user);
         }
         Ok(out)
@@ -226,7 +224,7 @@ impl Reducer for AdStageReducer {
         Ok(ad_stage_schema())
     }
 
-    fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> mapreduce::Result<Vec<Row>> {
+    fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> mapreduce::Result<Vec<Row>> {
         let bad = |m: &str| MrError::Reducer {
             stage: ctx.stage.clone(),
             partition: ctx.partition,
@@ -235,10 +233,14 @@ impl Reducer for AdStageReducer {
         let mut totals: FxHashMap<String, (i64, i64)> = FxHashMap::default();
         let mut per_kw: FxHashMap<(String, String), (i64, i64)> = FxHashMap::default();
         let mut max_t = 0i64;
-        for r in inputs.into_iter().flatten() {
+        for r in inputs.iter().flatten() {
             let t = r.get(0).as_long().ok_or_else(|| bad("bad Time"))?;
             max_t = max_t.max(t);
-            let ad = r.get(2).as_str().ok_or_else(|| bad("bad AdId"))?.to_string();
+            let ad = r
+                .get(2)
+                .as_str()
+                .ok_or_else(|| bad("bad AdId"))?
+                .to_string();
             let label = r.get(3).as_int().ok_or_else(|| bad("bad Label"))?;
             match r.get(4) {
                 Value::Null => {
@@ -400,7 +402,8 @@ mod tests {
         rows.push(row![t, 0i32, "x0", "adA"]);
         rows.push(row![t + MIN, 1i32, "x0", "adA"]);
         let dfs = Dfs::new();
-        dfs.put("logs", Dataset::single(logs_schema(), rows)).unwrap();
+        dfs.put("logs", Dataset::single(logs_schema(), rows))
+            .unwrap();
         run_custom(&dfs, &Cluster::new(), "logs", "c", &BtParams::default()).unwrap();
         let scores = dfs.get("c_scores").unwrap().scan();
         let hot: Vec<&Row> = scores
@@ -422,7 +425,8 @@ mod tests {
             rows.push(row![HOUR + i * 12 * MIN, 1i32, "bot", "adA"]);
         }
         let dfs = Dfs::new();
-        dfs.put("logs", Dataset::single(logs_schema(), rows)).unwrap();
+        dfs.put("logs", Dataset::single(logs_schema(), rows))
+            .unwrap();
         run_custom(&dfs, &Cluster::new(), "logs", "c", &BtParams::default()).unwrap();
         let examples = dfs.get("c_examples").unwrap().scan();
         // Clicks before detection survive, the long tail does not.

@@ -61,7 +61,10 @@ mod tests {
             .collect();
         // 50k keywords collapse into at most CATEGORY_COUNT dimensions.
         assert!(cats.len() as u64 <= CATEGORY_COUNT);
-        assert!(cats.len() as u64 > CATEGORY_COUNT / 2, "most categories hit");
+        assert!(
+            cats.len() as u64 > CATEGORY_COUNT / 2,
+            "most categories hit"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ mod tests {
             user: "u".into(),
             ad: ad.into(),
             label: 0,
-            features: kws.iter().map(|k| (k.to_string(), 1.0)).collect::<FxHashMap<_, _>>(),
+            features: kws
+                .iter()
+                .map(|k| (k.to_string(), 1.0))
+                .collect::<FxHashMap<_, _>>(),
         }
     }
 

@@ -253,8 +253,7 @@ pub fn lift_coverage(
     coverages
         .iter()
         .map(|&c| {
-            let k = ((c * ranked.len() as f64).ceil() as usize)
-                .clamp(1, ranked.len().max(1));
+            let k = ((c * ranked.len() as f64).ceil() as usize).clamp(1, ranked.len().max(1));
             let top = &ranked[..k.min(ranked.len())];
             let top_ctr = if top.is_empty() {
                 0.0
@@ -302,14 +301,8 @@ pub fn keyword_set_lift(
     type SubsetPredicate<'a> = Box<dyn Fn(&Example) -> bool + 'a>;
     let rows: Vec<(&'static str, SubsetPredicate)> = vec![
         ("All", Box::new(|_| true)),
-        (
-            ">=1 pos kw",
-            Box::new(move |e: &Example| has(e, positive)),
-        ),
-        (
-            ">=1 neg kw",
-            Box::new(move |e: &Example| has(e, negative)),
-        ),
+        (">=1 pos kw", Box::new(move |e: &Example| has(e, positive))),
+        (">=1 neg kw", Box::new(move |e: &Example| has(e, negative))),
         (
             "Only pos kws",
             Box::new(move |e: &Example| has(e, positive) && !has(e, negative)),
@@ -335,7 +328,11 @@ pub fn keyword_set_lift(
                 clicks,
                 examples,
                 ctr: c,
-                lift_pct: if overall > 0.0 { (c / overall - 1.0) * 100.0 } else { 0.0 },
+                lift_pct: if overall > 0.0 {
+                    (c / overall - 1.0) * 100.0
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -479,7 +476,10 @@ mod tests {
         let all = &rows[0];
         let pos_row = &rows[1];
         let neg_row = &rows[2];
-        assert!(pos_row.lift_pct > 50.0, "positive subset lifts: {pos_row:?}");
+        assert!(
+            pos_row.lift_pct > 50.0,
+            "positive subset lifts: {pos_row:?}"
+        );
         assert!(neg_row.lift_pct < 0.0, "negative subset drops: {neg_row:?}");
         assert_eq!(all.examples, 100);
     }

@@ -71,19 +71,13 @@ impl LrModel {
 
 /// Balance the dataset by sampling negatives (paper: "we create a balanced
 /// dataset by sampling the negative examples").
-pub fn balance<'a>(
-    examples: &'a [Example],
-    config: &LrConfig,
-) -> Vec<&'a Example> {
+pub fn balance<'a>(examples: &'a [Example], config: &LrConfig) -> Vec<&'a Example> {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let positives: Vec<&Example> = examples.iter().filter(|e| e.label == 1).collect();
     let negatives: Vec<&Example> = examples.iter().filter(|e| e.label == 0).collect();
     let keep = ((positives.len() as f64 * config.negatives_per_positive).ceil() as usize)
         .min(negatives.len());
-    let mut sampled: Vec<&Example> = negatives
-        .choose_multiple(&mut rng, keep)
-        .copied()
-        .collect();
+    let mut sampled: Vec<&Example> = negatives.choose_multiple(&mut rng, keep).copied().collect();
     sampled.extend(positives);
     sampled.shuffle(&mut rng);
     sampled
@@ -191,7 +185,11 @@ mod tests {
     fn learns_separable_data() {
         let data = separable(500);
         let model = train(&data, &LrConfig::default());
-        assert!(model.weights["good"] > 1.0, "good weight {:?}", model.weights["good"]);
+        assert!(
+            model.weights["good"] > 1.0,
+            "good weight {:?}",
+            model.weights["good"]
+        );
         assert!(model.weights["bad"] < -1.0);
         let pos = model.predict(&example(1, &[("good", 1.0)]).features);
         let neg = model.predict(&example(0, &[("bad", 1.0)]).features);

@@ -132,8 +132,8 @@ impl BtPipeline {
     pub fn load_scores(dfs: &Dfs, dataset: &str) -> Result<Vec<KeywordScore>> {
         let ds = dfs.get(dataset)?;
         let mut out = Vec::with_capacity(ds.len());
-        for r in ds.scan() {
-            out.push(parse_score_row(&r, 2)?);
+        for r in ds.iter() {
+            out.push(parse_score_row(r, 2)?);
         }
         out.sort_by(|a, b| (&a.ad, &a.keyword).cmp(&(&b.ad, &b.keyword)));
         Ok(out)
@@ -144,8 +144,8 @@ impl BtPipeline {
     pub fn load_custom_scores(dfs: &Dfs, dataset: &str) -> Result<Vec<KeywordScore>> {
         let ds = dfs.get(dataset)?;
         let mut out = Vec::with_capacity(ds.len());
-        for r in ds.scan() {
-            out.push(parse_score_row(&r, 1)?);
+        for r in ds.iter() {
+            out.push(parse_score_row(r, 1)?);
         }
         out.sort_by(|a, b| (&a.ad, &a.keyword).cmp(&(&b.ad, &b.keyword)));
         Ok(out)
@@ -161,13 +161,13 @@ impl BtPipeline {
                 .ok_or_else(|| BtError::Pipeline(format!("expected string at column {i}")))
         };
         let mut examples: FxHashMap<(i64, String, String), Example> = FxHashMap::default();
-        for r in dfs.get(labels)?.scan() {
+        for r in dfs.get(labels)?.iter() {
             let t = r
                 .get(0)
                 .as_long()
                 .ok_or_else(|| BtError::Pipeline("bad Time".into()))?;
-            let user = get(&r, 2)?;
-            let ad = get(&r, 3)?;
+            let user = get(r, 2)?;
+            let ad = get(r, 3)?;
             let label = r.get(4).as_int().unwrap_or(0) as u8;
             examples.insert(
                 (t, user.clone(), ad.clone()),
@@ -180,14 +180,14 @@ impl BtPipeline {
                 },
             );
         }
-        for r in dfs.get(train_rows)?.scan() {
+        for r in dfs.get(train_rows)?.iter() {
             let t = r
                 .get(0)
                 .as_long()
                 .ok_or_else(|| BtError::Pipeline("bad Time".into()))?;
-            let user = get(&r, 2)?;
-            let ad = get(&r, 3)?;
-            let kw = get(&r, 5)?;
+            let user = get(r, 2)?;
+            let ad = get(r, 3)?;
+            let kw = get(r, 5)?;
             let cnt = r.get(6).as_double().unwrap_or(1.0);
             if let Some(e) = examples.get_mut(&(t, user, ad)) {
                 e.features.insert(kw, cnt);
@@ -244,11 +244,8 @@ mod tests {
         let log = generate(&cfg);
         let truth = log.truth.clone();
         let dfs = Dfs::new();
-        dfs.put(
-            "raw",
-            Dataset::single(adgen::unified_schema(), log.rows()),
-        )
-        .unwrap();
+        dfs.put("raw", Dataset::single(adgen::unified_schema(), log.rows()))
+            .unwrap();
         let params = BtParams {
             machines: 4,
             ..Default::default()
@@ -272,8 +269,10 @@ mod tests {
         let mut hits = 0usize;
         let mut total = 0usize;
         for ad in truth.positive_keywords.keys() {
-            let mut ad_scores: Vec<&KeywordScore> =
-                scores.iter().filter(|s| &s.ad == ad && s.z > 1.96).collect();
+            let mut ad_scores: Vec<&KeywordScore> = scores
+                .iter()
+                .filter(|s| &s.ad == ad && s.z > 1.96)
+                .collect();
             ad_scores.sort_by(|a, b| b.z.total_cmp(&a.z));
             for s in ad_scores.iter().take(5) {
                 total += 1;
@@ -334,10 +333,7 @@ mod tests {
         );
         for k in shared {
             let (za, zb) = (a[k], b[k]);
-            assert!(
-                (za - zb).abs() < 1e-6,
-                "z mismatch for {k:?}: {za} vs {zb}"
-            );
+            assert!((za - zb).abs() < 1e-6, "z mismatch for {k:?}: {za} vs {zb}");
         }
     }
 }

@@ -26,9 +26,7 @@ use timr::{Annotation, ExchangeKey};
 /// `s(1-s)/n` with the smoothed proportion `s = (clicks + ½)/(examples+1)`
 /// (Agresti–Coull-style; keeps the variance positive at zero clicks).
 fn variance_term(clicks: Expr, examples: Expr) -> Expr {
-    let s = clicks
-        .add(lit(0.5))
-        .div(examples.clone().add(lit(1.0)));
+    let s = clicks.add(lit(0.5)).div(examples.clone().add(lit(1.0)));
     s.clone().mul(lit(1.0).sub(s)).div(examples)
 }
 

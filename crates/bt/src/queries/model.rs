@@ -163,10 +163,7 @@ pub fn scoring_query(_params: &BtParams) -> BtQuery {
         .project(vec![
             ("UserId".to_string(), col("UserId")),
             ("AdId".to_string(), col("AdId")),
-            (
-                "Contribution".to_string(),
-                col("Weight").mul(col("Cnt")),
-            ),
+            ("Contribution".to_string(), col("Weight").mul(col("Cnt"))),
         ]);
     let summed = contributions.group_apply(&["UserId", "AdId"], |g| {
         g.aggregate(vec![(
@@ -174,12 +171,10 @@ pub fn scoring_query(_params: &BtParams) -> BtQuery {
             AggExpr::Sum(col("Contribution")),
         )])
     });
-    let sigmoid: Expr = lit(1.0).div(
-        lit(1.0).add(Expr::call(
-            Func::Exp,
-            vec![lit(0.0).sub(col("LinearScore"))],
-        )),
-    );
+    let sigmoid: Expr = lit(1.0).div(lit(1.0).add(Expr::call(
+        Func::Exp,
+        vec![lit(0.0).sub(col("LinearScore"))],
+    )));
     let out = summed.project(vec![
         ("UserId".to_string(), col("UserId")),
         ("AdId".to_string(), col("AdId")),
@@ -259,7 +254,13 @@ mod tests {
             horizon: 100, // retrain every 100 ticks over the last 100
             ..Default::default()
         };
-        let btq = model_query(&params, LrConfig { epochs: 3, ..Default::default() });
+        let btq = model_query(
+            &params,
+            LrConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         let out = execute_single(&btq.plan, &bindings(vec![("train_rows", train_rows())]))
             .unwrap()
             .normalize();
@@ -317,6 +318,10 @@ mod tests {
         let frags = timr::fragment::fragment(&s.plan, &s.annotation).unwrap();
         // Weight-renaming prep (stateless spread), the keyword-keyed join,
         // and the (user, ad)-keyed summation.
-        assert_eq!(frags.len(), 3, "scoring splits into prep + join + summation");
+        assert_eq!(
+            frags.len(),
+            3,
+            "scoring splits into prep + join + summation"
+        );
     }
 }

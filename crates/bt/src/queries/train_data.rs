@@ -32,10 +32,8 @@ fn labelled_stream(input: &StreamHandle, params: &BtParams) -> StreamHandle {
     // A click at time c covers [c-d, c]: any impression it covers became a
     // click rather than a non-click.
     let clicks_back = clicks.clone().extend_back(params.click_window);
-    let non_clicks = impressions.anti_semi_join(
-        clicks_back,
-        &[("UserId", "UserId"), ("KwAdId", "KwAdId")],
-    );
+    let non_clicks =
+        impressions.anti_semi_join(clicks_back, &[("UserId", "UserId"), ("KwAdId", "KwAdId")]);
     let label = |h: StreamHandle, value: i32| {
         h.project(vec![
             ("UserId".to_string(), col("UserId")),
@@ -243,10 +241,7 @@ mod tests {
             assert_eq!(vals[4], Value::Long(1));
         }
         // The click example carries Label=1, the others 0.
-        let labels: Vec<i32> = rows
-            .iter()
-            .map(|(_, v)| v[2].as_int().unwrap())
-            .collect();
+        let labels: Vec<i32> = rows.iter().map(|(_, v)| v[2].as_int().unwrap()).collect();
         assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 1);
     }
 
@@ -309,7 +304,10 @@ mod tests {
             let dfs = Dfs::new();
             dfs.put(
                 "clean_logs",
-                Dataset::single(EventEncoding::Point.dataset_schema(&log_payload()), rows.clone()),
+                Dataset::single(
+                    EventEncoding::Point.dataset_schema(&log_payload()),
+                    rows.clone(),
+                ),
             )
             .unwrap();
             let out = TimrJob::new(name, btq.plan.clone())

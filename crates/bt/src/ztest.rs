@@ -69,13 +69,11 @@ pub fn z_score(c: &KeywordCounts) -> Option<f64> {
     }
     let p_with = c.ctr_with();
     let p_without = c.ctr_without();
-    let smooth = |clicks: i64, examples: i64| {
-        (clicks as f64 + 0.5) / (examples as f64 + 1.0)
-    };
+    let smooth = |clicks: i64, examples: i64| (clicks as f64 + 0.5) / (examples as f64 + 1.0);
     let s_with = smooth(c.clicks_with, i_with);
     let s_without = smooth(c.total_clicks - c.clicks_with, i_without);
-    let var = s_with * (1.0 - s_with) / i_with as f64
-        + s_without * (1.0 - s_without) / i_without as f64;
+    let var =
+        s_with * (1.0 - s_with) / i_with as f64 + s_without * (1.0 - s_without) / i_without as f64;
     if var <= 0.0 {
         return None;
     }

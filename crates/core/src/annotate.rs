@@ -121,9 +121,7 @@ impl Annotation {
         let pad = "  ".repeat(indent);
         let node = plan.node(id);
         match &node.op {
-            Operator::Source { name, .. } => {
-                out.push_str(&format!("{pad}Source `{name}`\n"))
-            }
+            Operator::Source { name, .. } => out.push_str(&format!("{pad}Source `{name}`\n")),
             Operator::GroupApply { keys, .. } => {
                 out.push_str(&format!("{pad}GroupApply ({})\n", keys.join(", ")))
             }
@@ -203,10 +201,10 @@ pub fn join_right_column<'a>(op: &'a Operator, left_col: &str) -> Option<&'a str
 #[cfg(test)]
 mod tests {
     use super::*;
-    use temporal::expr::{col, lit};
-    use temporal::plan::Query;
     use relation::schema::{ColumnType, Field};
     use relation::Schema;
+    use temporal::expr::{col, lit};
+    use temporal::plan::Query;
 
     fn bt_payload() -> Schema {
         Schema::new(vec![

@@ -164,18 +164,14 @@ impl Reducer for DsmsReducer {
         Ok(self.output_encoding.dataset_schema(payload))
     }
 
-    fn reduce(
-        &self,
-        ctx: &ReducerContext,
-        inputs: Vec<Vec<Row>>,
-    ) -> mapreduce::Result<Vec<Row>> {
+    fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> mapreduce::Result<Vec<Row>> {
         let to_mr = |e: TimrError| MrError::Reducer {
             stage: ctx.stage.clone(),
             partition: ctx.partition,
             message: e.to_string(),
         };
         let mut sources: Bindings = FxHashMap::default();
-        for (binding, rows) in self.inputs.iter().zip(&inputs) {
+        for (binding, rows) in self.inputs.iter().zip(inputs) {
             let stream = binding
                 .encoding
                 .decode_stream(rows, &binding.payload)

@@ -261,9 +261,9 @@ fn resolve_key(
     if explicit.is_empty() {
         // No exchange below this fragment: stateless fragments may spread,
         // stateful ones must run on a single partition.
-        let all_stateless = interior
-            .iter()
-            .all(|&id| plan.node(id).op.is_stateless() || matches!(plan.node(id).op, Operator::Source { .. }));
+        let all_stateless = interior.iter().all(|&id| {
+            plan.node(id).op.is_stateless() || matches!(plan.node(id).op, Operator::Source { .. })
+        });
         return Ok(if all_stateless {
             FragmentKey::Spread
         } else {
@@ -408,9 +408,9 @@ fn build_fragment_plan(
                     )
                 }
             };
-            let existing = nodes.iter().position(|n| {
-                matches!(&n.op, Operator::Source { name: n2, .. } if *n2 == name)
-            });
+            let existing = nodes
+                .iter()
+                .position(|n| matches!(&n.op, Operator::Source { name: n2, .. } if *n2 == name));
             let src_id = match existing {
                 Some(i) => i,
                 None => {
@@ -563,7 +563,10 @@ mod tests {
         let ann = Annotation::none()
             .exchange(join, 0, ExchangeKey::keys(&["UserId"]))
             .exchange(join, 1, ExchangeKey::Single);
-        assert!(fragment(&plan, &ann).unwrap_err().to_string().contains("mismatched"));
+        assert!(fragment(&plan, &ann)
+            .unwrap_err()
+            .to_string()
+            .contains("mismatched"));
     }
 
     #[test]

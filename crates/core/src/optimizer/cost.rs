@@ -112,26 +112,21 @@ pub fn estimate_plan(
                 let input = &out[&node.inputs[0]];
                 Estimate {
                     rows: input.rows,
-                    width: input.width * (exprs.len() as f64
-                        / input.distinct.len().max(1) as f64)
-                        .clamp(0.2, 2.0),
+                    width: input.width
+                        * (exprs.len() as f64 / input.distinct.len().max(1) as f64).clamp(0.2, 2.0),
                     distinct: exprs
                         .iter()
                         .filter_map(|(name, e)| match e {
-                            Expr::Column(c) => input
-                                .distinct
-                                .get(c)
-                                .map(|d| (name.clone(), *d)),
+                            Expr::Column(c) => input.distinct.get(c).map(|d| (name.clone(), *d)),
                             _ => Some((name.clone(), input.rows.sqrt().max(1.0))),
                         })
                         .collect(),
                     histograms: exprs
                         .iter()
                         .filter_map(|(name, e)| match e {
-                            Expr::Column(c) => input
-                                .histograms
-                                .get(c)
-                                .map(|h| (name.clone(), h.clone())),
+                            Expr::Column(c) => {
+                                input.histograms.get(c).map(|h| (name.clone(), h.clone()))
+                            }
                             _ => None,
                         })
                         .collect(),
@@ -161,12 +156,7 @@ pub fn estimate_plan(
                 let sub_schema = subplan.schema_of(subplan.roots()[0]);
                 let mut distinct: BTreeMap<String, f64> = keys
                     .iter()
-                    .map(|k| {
-                        (
-                            k.clone(),
-                            input.distinct.get(k).copied().unwrap_or(1.0),
-                        )
-                    })
+                    .map(|k| (k.clone(), input.distinct.get(k).copied().unwrap_or(1.0)))
                     .collect();
                 for f in sub_schema.fields() {
                     distinct.insert(f.name.clone(), rows.sqrt().max(1.0));
@@ -399,7 +389,10 @@ mod tests {
     fn union_sums_rows() {
         let q = Query::new();
         let a = q.source("logs", payload());
-        let u = a.clone().filter(col("StreamId").eq(lit(1))).union(a.filter(col("StreamId").eq(lit(2))));
+        let u = a
+            .clone()
+            .filter(col("StreamId").eq(lit(1)))
+            .union(a.filter(col("StreamId").eq(lit(2))));
         let plan = q.build(vec![u]).unwrap();
         let est = estimate_plan(&plan, &stats());
         assert!((est[&plan.roots()[0]].rows - 50.0).abs() < 2.0);

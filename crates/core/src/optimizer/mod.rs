@@ -132,8 +132,7 @@ pub fn annotation_cost(
                 // fragment's dominant input.
                 let mut d = f64::INFINITY;
                 for (_, input) in &frag.inputs {
-                    if let crate::fragment::FragmentInput::Intermediate { producer_root } = input
-                    {
+                    if let crate::fragment::FragmentInput::Intermediate { producer_root } = input {
                         d = d.min(est[producer_root].key_distinct(cols));
                     }
                 }
@@ -146,7 +145,8 @@ pub fn annotation_cost(
         };
         // Interior node ids in the original plan are not tracked on the
         // Fragment; approximate CPU with the fragment root's estimate.
-        let cpu = est[&frag.root].rows * config.cpu_cost_per_row * frag.plan.operator_count() as f64;
+        let cpu =
+            est[&frag.root].rows * config.cpu_cost_per_row * frag.plan.operator_count() as f64;
         total += cpu / parallelism;
     }
     Ok(total)
@@ -170,9 +170,7 @@ pub fn optimize(
         .nodes()
         .iter()
         .enumerate()
-        .filter(|(id, n)| {
-            !matches!(n.op, Operator::Source { .. }) && plan.consumers(*id).len() > 1
-        })
+        .filter(|(id, n)| !matches!(n.op, Operator::Source { .. }) && plan.consumers(*id).len() > 1)
         .map(|(id, _)| id)
         .collect();
     shared.sort_unstable();
@@ -228,8 +226,9 @@ impl<'a> Search<'a> {
         match discipline {
             Discipline::Any => self.config.machines as f64,
             Discipline::Single => 1.0,
-            Discipline::Keys(cols) => (self.config.machines as f64)
-                .min(self.est[&at].key_distinct(cols).max(1.0)),
+            Discipline::Keys(cols) => {
+                (self.config.machines as f64).min(self.est[&at].key_distinct(cols).max(1.0))
+            }
         }
     }
 
@@ -266,7 +265,13 @@ impl<'a> Search<'a> {
     }
 
     /// Cheapest way to satisfy `req` on the edge into `child`.
-    fn optimize_edge(&mut self, child: NodeId, consumer: NodeId, input_idx: usize, req: &Discipline) -> Option<Choice> {
+    fn optimize_edge(
+        &mut self,
+        child: NodeId,
+        consumer: NodeId,
+        input_idx: usize,
+        req: &Discipline,
+    ) -> Option<Choice> {
         if self.shared.contains(&child) {
             // Materialization boundary: always exchange; the child's own
             // cost is accounted once at top level.
@@ -403,8 +408,7 @@ impl<'a> Search<'a> {
                     let Some(rc) = self.optimize_edge(right, id, 1, &p) else {
                         continue;
                     };
-                    let cost =
-                        lc.cost + rc.cost + self.op_cost(id) / self.parallelism(&p, id);
+                    let cost = lc.cost + rc.cost + self.op_cost(id) / self.parallelism(&p, id);
                     if best.as_ref().is_none_or(|b| cost < b.cost) {
                         let mut exchanges = lc.exchanges;
                         exchanges.extend(rc.exchanges);
@@ -472,10 +476,10 @@ mod tests {
     fn example3_partitions_once_by_userid() {
         let q = Query::new();
         let input = q.source("logs", payload());
-        let profiles = input.clone().filter(col("StreamId").eq(lit(2))).group_apply(
-            &["UserId", "Keyword"],
-            |g| g.window(100).count("N"),
-        );
+        let profiles = input
+            .clone()
+            .filter(col("StreamId").eq(lit(2)))
+            .group_apply(&["UserId", "Keyword"], |g| g.window(100).count("N"));
         let clicks = input.filter(col("StreamId").eq(lit(1)));
         let joined = clicks.temporal_join(profiles, &[("UserId", "UserId")], None);
         let plan = q.build(vec![joined]).unwrap();
@@ -514,12 +518,14 @@ mod tests {
     fn optimizer_beats_naive_annotation_on_example3() {
         let q = Query::new();
         let input = q.source("logs", payload());
-        let profiles = input.clone().filter(col("StreamId").eq(lit(2))).group_apply(
-            &["UserId", "Keyword"],
-            |g| g.window(100).count("N"),
-        );
+        let profiles = input
+            .clone()
+            .filter(col("StreamId").eq(lit(2)))
+            .group_apply(&["UserId", "Keyword"], |g| g.window(100).count("N"));
         let clicks = input.filter(col("StreamId").eq(lit(1)));
-        let joined = clicks.clone().temporal_join(profiles.clone(), &[("UserId", "UserId")], None);
+        let joined = clicks
+            .clone()
+            .temporal_join(profiles.clone(), &[("UserId", "UserId")], None);
         let plan = q.build(vec![joined]).unwrap();
 
         let join_id = plan.roots()[0];
@@ -533,7 +539,11 @@ mod tests {
         // Naive: partition UBP generation by {UserId, Keyword}, then
         // repartition by {UserId} for the join.
         let naive = Annotation::none()
-            .exchange(filter_under_ga, 0, ExchangeKey::keys(&["UserId", "Keyword"]))
+            .exchange(
+                filter_under_ga,
+                0,
+                ExchangeKey::keys(&["UserId", "Keyword"]),
+            )
             .exchange(join_id, 0, ExchangeKey::keys(&["UserId"]))
             .exchange(join_id, 1, ExchangeKey::keys(&["UserId"]));
         // (The filter edge exchange keys the bottom fragment.)

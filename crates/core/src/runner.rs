@@ -116,9 +116,7 @@ impl TimrOutput {
     /// Decode the output dataset back into an event stream.
     pub fn stream(&self, dfs: &Dfs) -> Result<EventStream> {
         let dataset = dfs.get(&self.dataset)?;
-        let stream = self
-            .encoding
-            .decode_stream(&dataset.scan(), &self.payload)?;
+        let stream = self.encoding.decode_stream(dataset.iter(), &self.payload)?;
         Ok(stream.normalize())
     }
 }
@@ -169,7 +167,9 @@ mod tests {
             .position(|n| matches!(n.op, Operator::Filter { .. }))
             .unwrap();
         let ann = Annotation::none().exchange(filter, 0, ExchangeKey::keys(&["KwAdId"]));
-        TimrJob::new("rcc", plan).with_annotation(ann).with_machines(machines)
+        TimrJob::new("rcc", plan)
+            .with_annotation(ann)
+            .with_machines(machines)
     }
 
     fn reference_result(rows: &[Row]) -> EventStream {
@@ -231,7 +231,10 @@ mod tests {
         // Stage name depends on node ids; if the kill didn't match any
         // stage the retries stay 0 — assert output equality regardless,
         // and retries only when the name matched.
-        assert_eq!(clean, failed, "restarted reducers must emit identical bytes");
+        assert_eq!(
+            clean, failed,
+            "restarted reducers must emit identical bytes"
+        );
         let _ = r1;
     }
 
@@ -244,13 +247,9 @@ mod tests {
             .source("logs", bt_payload())
             .filter(col("StreamId").eq(lit(1)))
             .group_apply(&["UserId", "KwAdId"], |g| g.window(50).count("N"));
-        let per_ad = per_user
-            .group_apply(&["KwAdId"], |g| {
-                g.aggregate(vec![(
-                    "Users".into(),
-                    temporal::agg::AggExpr::Count,
-                )])
-            });
+        let per_ad = per_user.group_apply(&["KwAdId"], |g| {
+            g.aggregate(vec![("Users".into(), temporal::agg::AggExpr::Count)])
+        });
         let plan = q.build(vec![per_ad]).unwrap();
         let gas: Vec<usize> = plan
             .nodes()

@@ -16,7 +16,9 @@
 
 use crate::bridge::EventEncoding;
 use crate::error::{Result, TimrError};
-use mapreduce::{Cluster, Dataset, Dfs, MrError, Partitioner, Reducer, ReducerContext, Stage, StageStats};
+use mapreduce::{
+    Cluster, Dataset, Dfs, MrError, Partitioner, Reducer, ReducerContext, Stage, StageStats,
+};
 use relation::schema::{ColumnType, Field};
 use relation::{Row, Schema, Value};
 use rustc_hash::FxHashMap;
@@ -85,26 +87,30 @@ impl TemporalPartitionJob {
         let input = dfs.get(&source_name)?;
 
         // ---- map/expand phase: replicate rows into overlapping spans ----
-        let rows = input.scan();
+        // Both passes stream over the shared DFS partitions; nothing is
+        // copied until the replicated (span, row) pairs are built.
         let time_idx = input.schema.index_of(relation::schema::TIME_COLUMN)?;
         let mut min_t = Time::MAX;
         let mut max_t = Time::MIN;
-        for r in &rows {
-            let t = r.get(time_idx).as_long().ok_or_else(|| {
-                TimrError::Compile("non-integral Time in source row".into())
-            })?;
+        for r in input.iter() {
+            let t = r
+                .get(time_idx)
+                .as_long()
+                .ok_or_else(|| TimrError::Compile("non-integral Time in source row".into()))?;
             min_t = min_t.min(t);
             max_t = max_t.max(t);
         }
-        if rows.is_empty() {
-            return Err(TimrError::Compile("temporal partitioning of an empty dataset".into()));
+        if input.is_empty() {
+            return Err(TimrError::Compile(
+                "temporal partitioning of an empty dataset".into(),
+            ));
         }
         let t0 = min_t;
         let s = self.span_width;
         let n_spans = (((max_t - t0) / s) + 1) as usize;
 
-        let mut expanded: Vec<Row> = Vec::with_capacity(rows.len() * 2);
-        for r in rows.iter() {
+        let mut expanded: Vec<Row> = Vec::with_capacity(input.len() * 2);
+        for r in input.iter() {
             let t = r.get(time_idx).as_long().expect("validated above");
             let d = t - t0;
             let lo = d / s; // first span whose input range contains t
@@ -116,16 +122,13 @@ impl TemporalPartitionJob {
                 expanded.push(Row::new(values));
             }
         }
-        let replication = expanded.len() as f64 / rows.len() as f64;
+        let replication = expanded.len() as f64 / input.len() as f64;
 
         let mut fields = vec![Field::new(SPAN_COLUMN, ColumnType::Long)];
         fields.extend(input.schema.fields().iter().cloned());
         let expanded_schema = Schema::new(fields);
         let expanded_name = format!("{}__spans", self.name);
-        dfs.put_overwrite(
-            &expanded_name,
-            Dataset::single(expanded_schema, expanded),
-        );
+        dfs.put_overwrite(&expanded_name, Dataset::single(expanded_schema, expanded));
 
         // ---- reduce phase: one DSMS per span, output clipped to the
         //      span's owned interval ----
@@ -167,7 +170,7 @@ impl TemporalPartitionJob {
     ) -> Result<temporal::EventStream> {
         let ds = dfs.get(&out.dataset)?;
         Ok(EventEncoding::Interval
-            .decode_stream(&ds.scan(), &out.payload)?
+            .decode_stream(ds.iter(), &out.payload)?
             .normalize())
     }
 }
@@ -191,15 +194,16 @@ impl Reducer for SpanReducer {
         Ok(EventEncoding::Interval.dataset_schema(payload))
     }
 
-    fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> mapreduce::Result<Vec<Row>> {
+    fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> mapreduce::Result<Vec<Row>> {
         let to_mr = |m: String| MrError::Reducer {
             stage: ctx.stage.clone(),
             partition: ctx.partition,
             message: m,
         };
-        // Strip the leading span column.
+        // Strip the leading span column (the one copy this reducer makes —
+        // the borrowed shuffle rows themselves are shared across attempts).
         let rows: Vec<Row> = inputs
-            .into_iter()
+            .iter()
             .flatten()
             .map(|r| Row::new(r.values()[1..].to_vec()))
             .collect();
@@ -257,11 +261,15 @@ mod tests {
     }
 
     fn log_rows(n: i64) -> Vec<Row> {
-        (0..n).map(|i| row![i * 3 % 997, format!("ad{}", i % 4)]).collect()
+        (0..n)
+            .map(|i| row![i * 3 % 997, format!("ad{}", i % 4)])
+            .collect()
     }
 
     fn reference(rows: &[Row]) -> temporal::EventStream {
-        let stream = EventEncoding::Point.decode_stream(rows, &payload()).unwrap();
+        let stream = EventEncoding::Point
+            .decode_stream(rows, &payload())
+            .unwrap();
         execute_single(&sliding_count_plan(), &bindings(vec![("logs", stream)]))
             .unwrap()
             .normalize()

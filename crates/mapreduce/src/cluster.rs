@@ -68,6 +68,44 @@ pub struct Cluster {
     config: ClusterConfig,
 }
 
+/// Output of one map task: per-reduce-partition sub-buckets for a single
+/// input extent, plus accounting.
+struct MapTaskOut {
+    sub: Vec<Vec<Row>>,
+    rows: u64,
+    bytes: u64,
+}
+
+/// Map-phase accounting carried alongside the shuffle buckets.
+struct MapPhase {
+    map_rows: u64,
+    shuffle_bytes: u64,
+    map_tasks: usize,
+    map_time: Duration,
+    shuffle_time: Duration,
+}
+
+/// Scan one extent and split it into per-partition sub-buckets. Runs on
+/// the worker pool, one call per `(input, extent)` pair.
+fn map_extent(
+    extent: &[Row],
+    partitioner: &crate::job::CompiledPartitioner,
+    partitions: usize,
+) -> Result<MapTaskOut> {
+    let mut sub: Vec<Vec<Row>> = (0..partitions).map(|_| Vec::new()).collect();
+    let mut bytes = 0u64;
+    for row in extent {
+        bytes += row.width() as u64;
+        let p = partitioner.assign(row, partitions)?;
+        sub[p].push(row.clone());
+    }
+    Ok(MapTaskOut {
+        sub,
+        rows: extent.len() as u64,
+        bytes,
+    })
+}
+
 impl Cluster {
     /// Cluster with default configuration.
     pub fn new() -> Self {
@@ -79,8 +117,86 @@ impl Cluster {
         Cluster { config }
     }
 
-    /// Run one stage: map (partition) each input dataset, then reduce each
-    /// partition on the thread pool, writing the output dataset to the DFS.
+    /// Parallel map/shuffle: one map task per input extent on the worker
+    /// pool, then a deterministic merge.
+    ///
+    /// Returns `buckets[input][partition]` holding exactly the rows the
+    /// serial scan would produce, in the same order: tasks are merged in
+    /// `(input, extent)` order and each task preserves row order within
+    /// its extent, so the shuffle output is independent of thread count
+    /// and scheduling — the repeatability property (paper §III-C.1) that
+    /// restart determinism is built on.
+    fn map_shuffle(
+        &self,
+        stage: &Stage,
+        inputs: &[Dataset],
+    ) -> Result<(Vec<Vec<Vec<Row>>>, MapPhase)> {
+        let map_start = Instant::now();
+        // One compiled partitioner per input (schemas can differ).
+        let assigners = inputs
+            .iter()
+            .map(|d| stage.partitioner.compile(&d.schema))
+            .collect::<Result<Vec<_>>>()?;
+        // One map task per (input, extent), in deterministic order.
+        let tasks: Vec<(usize, usize)> = inputs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, d)| (0..d.partitions.len()).map(move |e| (i, e)))
+            .collect();
+        let results: Vec<Mutex<Option<Result<MapTaskOut>>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let threads = self.config.threads.max(1).min(tasks.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    let (i, e) = tasks[t];
+                    let out = map_extent(&inputs[i].partitions[e], &assigners[i], stage.partitions);
+                    *results[t].lock() = Some(out);
+                });
+            }
+        });
+        let map_time = map_start.elapsed();
+
+        // Merge sub-buckets in task order == (input, extent) order. Errors
+        // propagate from the lowest task index so failure is deterministic
+        // too.
+        let shuffle_start = Instant::now();
+        let mut buckets: Vec<Vec<Vec<Row>>> = inputs
+            .iter()
+            .map(|_| (0..stage.partitions).map(|_| Vec::new()).collect())
+            .collect();
+        let mut map_rows = 0u64;
+        let mut shuffle_bytes = 0u64;
+        for (slot, &(i, _)) in results.into_iter().zip(&tasks) {
+            let mut out = slot
+                .into_inner()
+                .expect("worker pool left a map task unexecuted")?;
+            map_rows += out.rows;
+            shuffle_bytes += out.bytes;
+            for (bucket, sub) in buckets[i].iter_mut().zip(out.sub.iter_mut()) {
+                bucket.append(sub);
+            }
+        }
+        Ok((
+            buckets,
+            MapPhase {
+                map_rows,
+                shuffle_bytes,
+                map_tasks: tasks.len(),
+                map_time,
+                shuffle_time: shuffle_start.elapsed(),
+            },
+        ))
+    }
+
+    /// Run one stage: map (partition) each input dataset in parallel, then
+    /// reduce each partition on the thread pool, writing the output
+    /// dataset to the DFS.
     pub fn run_stage(&self, dfs: &Dfs, stage: &Stage) -> Result<StageStats> {
         let wall_start = Instant::now();
         let inputs: Vec<Dataset> = stage
@@ -90,43 +206,26 @@ impl Cluster {
             .collect::<Result<Vec<_>>>()?;
 
         // ---- map / shuffle ----
-        let mut map_rows = 0u64;
-        let mut shuffle_bytes = 0u64;
-        // buckets[input][partition] -> rows, preserving scan order so the
-        // shuffle is deterministic.
-        let mut buckets: Vec<Vec<Vec<Row>>> = inputs
-            .iter()
-            .map(|_| (0..stage.partitions).map(|_| Vec::new()).collect())
-            .collect();
-        for (i, input) in inputs.iter().enumerate() {
-            for row in input.scan() {
-                map_rows += 1;
-                shuffle_bytes += row.width() as u64;
-                let p = stage.partitioner.assign(&input.schema, &row, stage.partitions)?;
-                buckets[i][p].push(row);
-            }
-        }
+        let (mut buckets, map_phase) = self.map_shuffle(stage, &inputs)?;
 
         // ---- reduce ----
-        // Move each partition's inputs into a slot the workers pull from.
-        let mut tasks: Vec<Option<Vec<Vec<Row>>>> = (0..stage.partitions)
+        // Transpose buckets to per-partition inputs once; workers (and
+        // every restart attempt) borrow them — no per-attempt copies.
+        let reduce_start = Instant::now();
+        let task_inputs: Vec<Vec<Vec<Row>>> = (0..stage.partitions)
             .map(|p| {
-                Some(
-                    buckets
-                        .iter_mut()
-                        .map(|per_input| std::mem::take(&mut per_input[p]))
-                        .collect(),
-                )
+                buckets
+                    .iter_mut()
+                    .map(|per_input| std::mem::take(&mut per_input[p]))
+                    .collect()
             })
             .collect();
-        let task_slots: Vec<Mutex<Option<Vec<Vec<Row>>>>> =
-            tasks.drain(..).map(Mutex::new).collect();
         type TaskResult = Result<(Vec<Row>, Duration, u64)>;
         let results: Vec<Mutex<Option<TaskResult>>> =
             (0..stage.partitions).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
 
-        let run_task = |partition: usize, input_rows: &Vec<Vec<Row>>| {
+        let run_task = |partition: usize, input_rows: &[Vec<Row>]| {
             let mut attempt = 0;
             loop {
                 let ctx = ReducerContext {
@@ -135,7 +234,11 @@ impl Cluster {
                     partitions: stage.partitions,
                     attempt,
                 };
-                if self.config.failures.should_fail(&stage.name, partition, attempt) {
+                if self
+                    .config
+                    .failures
+                    .should_fail(&stage.name, partition, attempt)
+                {
                     attempt += 1;
                     if attempt >= self.config.max_attempts {
                         return Err(MrError::Reducer {
@@ -147,7 +250,7 @@ impl Cluster {
                     continue;
                 }
                 let start = Instant::now();
-                let out = stage.reducer.reduce(&ctx, input_rows.clone())?;
+                let out = stage.reducer.reduce(&ctx, input_rows)?;
                 return Ok((out, start.elapsed(), attempt as u64));
             }
         };
@@ -160,11 +263,7 @@ impl Cluster {
                     if p >= stage.partitions {
                         break;
                     }
-                    let input_rows = task_slots[p]
-                        .lock()
-                        .take()
-                        .expect("task taken twice");
-                    let result = run_task(p, &input_rows);
+                    let result = run_task(p, &task_inputs[p]);
                     *results[p].lock() = Some(result);
                 });
             }
@@ -184,16 +283,24 @@ impl Cluster {
             partition_times.push(took);
             partitions_out.push(rows);
         }
+        let reduce_wall_time = reduce_start.elapsed();
 
         let out_schema = stage
             .reducer
             .output_schema(&inputs.iter().map(|d| d.schema.clone()).collect::<Vec<_>>())?;
-        dfs.put_overwrite(&stage.output, Dataset::partitioned(out_schema, partitions_out));
+        dfs.put_overwrite(
+            &stage.output,
+            Dataset::partitioned(out_schema, partitions_out),
+        );
 
         Ok(StageStats {
             name: stage.name.clone(),
-            map_rows,
-            shuffle_bytes,
+            map_rows: map_phase.map_rows,
+            map_tasks: map_phase.map_tasks,
+            map_time: map_phase.map_time,
+            shuffle_time: map_phase.shuffle_time,
+            shuffle_bytes: map_phase.shuffle_bytes,
+            reduce_wall_time,
             output_rows,
             partitions: stage.partitions,
             partition_times,
@@ -232,7 +339,8 @@ mod tests {
 
     fn dfs_with_input(n: usize) -> Dfs {
         let dfs = Dfs::new();
-        dfs.put("in", Dataset::single(schema(), input_rows(n))).unwrap();
+        dfs.put("in", Dataset::single(schema(), input_rows(n)))
+            .unwrap();
         dfs
     }
 
@@ -249,7 +357,7 @@ mod tests {
             ]))
         }
 
-        fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+        fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> Result<Vec<Row>> {
             let n: usize = inputs.iter().map(Vec::len).sum();
             Ok(vec![row![ctx.partition as i64, n as i64]])
         }
@@ -276,11 +384,7 @@ mod tests {
         let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
         assert_eq!(stats.map_rows, 100);
         let out = dfs.get("out").unwrap();
-        let total: i64 = out
-            .scan()
-            .iter()
-            .map(|r| r.get(1).as_long().unwrap())
-            .sum();
+        let total: i64 = out.scan().iter().map(|r| r.get(1).as_long().unwrap()).sum();
         assert_eq!(total, 100);
     }
 
@@ -288,15 +392,7 @@ mod tests {
     fn identity_stage_preserves_all_rows() {
         let dfs = dfs_with_input(50);
         let r: ReducerRef = Arc::new(IdentityReducer);
-        let stage = Stage::new(
-            "id",
-            vec!["in".into()],
-            "copy",
-            Partitioner::Spread,
-            8,
-            r,
-        )
-        .unwrap();
+        let stage = Stage::new("id", vec!["in".into()], "copy", Partitioner::Spread, 8, r).unwrap();
         Cluster::new().run_stage(&dfs, &stage).unwrap();
         let mut original = dfs.get("in").unwrap().scan();
         let mut copied = dfs.get("copy").unwrap().scan();
@@ -307,21 +403,89 @@ mod tests {
 
     #[test]
     fn output_is_identical_with_and_without_injected_failures() {
-        let run = |failures: FailurePlan| {
-            let dfs = dfs_with_input(100);
+        // Multi-extent input so the parallel map phase actually has
+        // several tasks whose merge order matters.
+        let multi_extent_input = || {
+            let rows = input_rows(400);
+            Dataset::partitioned(schema(), rows.chunks(100).map(|c| c.to_vec()).collect())
+        };
+        // Returns (shuffle buckets, output partitions, stats) for one run.
+        let run = |threads: usize, failures: FailurePlan| {
+            let dfs = Dfs::new();
+            dfs.put("in", multi_extent_input()).unwrap();
             let cluster = Cluster::with_config(ClusterConfig {
-                threads: 4,
+                threads,
                 failures,
                 max_attempts: 3,
             });
-            let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
-            (dfs.get("out").unwrap().partitions.as_ref().clone(), stats)
+            let stage = count_stage(4);
+            let inputs = vec![dfs.get("in").unwrap()];
+            let (buckets, _) = cluster.map_shuffle(&stage, &inputs).unwrap();
+            let stats = cluster.run_stage(&dfs, &stage).unwrap();
+            let out = dfs.get("out").unwrap().partitions.as_ref().clone();
+            (buckets, out, stats)
         };
-        let (clean, s1) = run(FailurePlan::none());
-        let (with_failures, s2) = run(FailurePlan::none().kill("count", 1).kill("count", 3));
+
+        let (serial_buckets, clean, s1) = run(1, FailurePlan::none());
+        let (parallel_buckets, parallel_clean, _) = run(8, FailurePlan::none());
+        let (killed_buckets, with_failures, s2) =
+            run(8, FailurePlan::none().kill("count", 1).kill("count", 3));
+
+        // Shuffle buckets must be byte-identical across thread counts and
+        // failure plans: the deterministic (input, extent) merge order.
+        assert_eq!(
+            serial_buckets, parallel_buckets,
+            "shuffle must be independent of thread count"
+        );
+        assert_eq!(
+            serial_buckets, killed_buckets,
+            "shuffle must be independent of injected failures"
+        );
+        // And so must the reduce outputs.
+        assert_eq!(
+            clean, parallel_clean,
+            "output must be independent of thread count"
+        );
         assert_eq!(clean, with_failures, "restart must be deterministic");
+        assert_eq!(s1.map_tasks, 4, "one map task per input extent");
         assert_eq!(s1.task_retries, 0);
         assert_eq!(s2.task_retries, 2);
+    }
+
+    #[test]
+    fn parallel_map_preserves_serial_scan_order() {
+        // An identity stage over a multi-extent input: with a single
+        // reduce partition, the output must equal the serial scan order
+        // exactly (not just as a multiset), for any thread count.
+        let rows = input_rows(250);
+        let extents: Vec<Vec<Row>> = rows.chunks(50).map(|c| c.to_vec()).collect();
+        let expected = rows;
+        for threads in [1, 2, 8] {
+            let dfs = Dfs::new();
+            dfs.put("in", Dataset::partitioned(schema(), extents.clone()))
+                .unwrap();
+            let cluster = Cluster::with_config(ClusterConfig {
+                threads,
+                failures: FailurePlan::none(),
+                max_attempts: 1,
+            });
+            let stage = Stage::new(
+                "id",
+                vec!["in".into()],
+                "out",
+                Partitioner::Single,
+                1,
+                Arc::new(IdentityReducer) as ReducerRef,
+            )
+            .unwrap();
+            let stats = cluster.run_stage(&dfs, &stage).unwrap();
+            assert_eq!(stats.map_tasks, 5);
+            assert_eq!(
+                dfs.get("out").unwrap().scan(),
+                expected,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]
@@ -351,13 +515,15 @@ mod tests {
                     Field::new("B", ColumnType::Long),
                 ]))
             }
-            fn reduce(&self, _: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+            fn reduce(&self, _: &ReducerContext, inputs: &[Vec<Row>]) -> Result<Vec<Row>> {
                 Ok(vec![row![inputs[0].len() as i64, inputs[1].len() as i64]])
             }
         }
         let dfs = Dfs::new();
-        dfs.put("a", Dataset::single(schema(), input_rows(5))).unwrap();
-        dfs.put("b", Dataset::single(schema(), input_rows(9))).unwrap();
+        dfs.put("a", Dataset::single(schema(), input_rows(5)))
+            .unwrap();
+        dfs.put("b", Dataset::single(schema(), input_rows(9)))
+            .unwrap();
         let stage = Stage::new(
             "two",
             vec!["a".into(), "b".into()],
@@ -387,7 +553,15 @@ mod tests {
                 id.clone(),
             )
             .unwrap(),
-            Stage::new("s2", vec!["mid".into()], "final", Partitioner::Single, 1, id).unwrap(),
+            Stage::new(
+                "s2",
+                vec!["mid".into()],
+                "final",
+                Partitioner::Single,
+                1,
+                id,
+            )
+            .unwrap(),
         ];
         let stats = Cluster::new().run_job(&dfs, &stages).unwrap();
         assert_eq!(stats.stages.len(), 2);

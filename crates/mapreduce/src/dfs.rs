@@ -49,6 +49,9 @@ impl Dataset {
     }
 
     /// All rows, concatenated in partition order.
+    ///
+    /// This materializes a deep copy; prefer [`Dataset::iter`] when
+    /// borrowed access is enough.
     pub fn scan(&self) -> Vec<Row> {
         let mut out = Vec::with_capacity(self.len());
         for p in self.partitions.iter() {
@@ -57,9 +60,16 @@ impl Dataset {
         out
     }
 
-    /// Compute exact statistics for the optimizer.
+    /// Borrowing iteration over all rows in partition order — the same
+    /// order as [`Dataset::scan`], without copying anything.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.partitions.iter().flatten()
+    }
+
+    /// Compute exact statistics for the optimizer, streaming over the
+    /// shared partitions (no copy of the dataset is materialized).
     pub fn stats(&self) -> DatasetStats {
-        DatasetStats::compute(&self.schema, &self.scan())
+        DatasetStats::compute(&self.schema, self.iter())
     }
 
     /// Validate every row against the schema.
@@ -185,6 +195,14 @@ mod tests {
         let text = codec::encode_rows(&ds.scan());
         let back = codec::decode_rows(&text, &ds.schema).unwrap();
         assert_eq!(back, ds.scan());
+    }
+
+    #[test]
+    fn iter_matches_scan_order() {
+        let ds = sample();
+        let borrowed: Vec<Row> = ds.iter().cloned().collect();
+        assert_eq!(borrowed, ds.scan());
+        assert_eq!(ds.iter().count(), ds.len());
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for MrError {
                 stage,
                 partition,
                 message,
-            } => write!(f, "reducer failed in `{stage}` partition {partition}: {message}"),
+            } => write!(
+                f,
+                "reducer failed in `{stage}` partition {partition}: {message}"
+            ),
             MrError::Relation(e) => write!(f, "{e}"),
         }
     }

@@ -30,19 +30,58 @@ pub enum Partitioner {
 }
 
 impl Partitioner {
-    /// Assign `row` (with `schema`) to one of `partitions` buckets.
-    pub fn assign(&self, schema: &Schema, row: &Row, partitions: usize) -> Result<usize> {
+    /// Resolve column names against `schema` once, yielding an assigner
+    /// usable in the map hot loop without per-row name lookups.
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledPartitioner> {
         Ok(match self {
             Partitioner::KeyHash { columns } => {
                 let mut indices = Vec::with_capacity(columns.len());
                 for c in columns {
                     indices.push(schema.index_of(c)?);
                 }
-                bucket_of(key_hash(row, &indices), partitions)
+                CompiledPartitioner::KeyHash { indices }
             }
-            Partitioner::BucketColumn { column } => {
-                let idx = schema.index_of(column)?;
-                let v = row.get(idx).as_long().ok_or_else(|| {
+            Partitioner::BucketColumn { column } => CompiledPartitioner::BucketColumn {
+                column: column.clone(),
+                index: schema.index_of(column)?,
+            },
+            Partitioner::Spread => CompiledPartitioner::Spread,
+            Partitioner::Single => CompiledPartitioner::Single,
+        })
+    }
+
+    /// Assign `row` (with `schema`) to one of `partitions` buckets.
+    ///
+    /// Convenience for one-off assignments; bulk callers should
+    /// [`Partitioner::compile`] once and assign through that.
+    pub fn assign(&self, schema: &Schema, row: &Row, partitions: usize) -> Result<usize> {
+        self.compile(schema)?.assign(row, partitions)
+    }
+}
+
+/// A [`Partitioner`] with its column references resolved to indices for a
+/// specific input schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledPartitioner {
+    /// Hash of the key cells at `indices`.
+    KeyHash { indices: Vec<usize> },
+    /// Value of the bucket cell at `index` (name kept for diagnostics).
+    BucketColumn { column: String, index: usize },
+    /// Whole-row hash.
+    Spread,
+    /// Everything to partition 0.
+    Single,
+}
+
+impl CompiledPartitioner {
+    /// Assign `row` to one of `partitions` buckets.
+    pub fn assign(&self, row: &Row, partitions: usize) -> Result<usize> {
+        Ok(match self {
+            CompiledPartitioner::KeyHash { indices } => {
+                bucket_of(key_hash(row, indices), partitions)
+            }
+            CompiledPartitioner::BucketColumn { column, index } => {
+                let v = row.get(*index).as_long().ok_or_else(|| {
                     MrError::BadStage(format!("bucket column `{column}` is not integral"))
                 })?;
                 if v < 0 {
@@ -52,8 +91,8 @@ impl Partitioner {
                 }
                 (v as usize) % partitions
             }
-            Partitioner::Spread => bucket_of(stable_hash(row), partitions),
-            Partitioner::Single => 0,
+            CompiledPartitioner::Spread => bucket_of(stable_hash(row), partitions),
+            CompiledPartitioner::Single => 0,
         })
     }
 }
@@ -77,12 +116,16 @@ pub struct ReducerContext {
 /// partition (in deterministic shuffle order) and returns output rows. It
 /// must be a pure function of `(ctx.partition, inputs)` — the restart
 /// determinism tests re-invoke reducers and compare bytes.
+///
+/// Inputs are borrowed: the runtime hands every attempt (including
+/// failure-injected restarts) the same shuffle buckets without copying
+/// them, so reducers clone only what they keep.
 pub trait Reducer: Send + Sync {
     /// Output schema, given the input schemas (one per stage input).
     fn output_schema(&self, inputs: &[Schema]) -> Result<Schema>;
 
     /// Process one partition.
-    fn reduce(&self, ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>>;
+    fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> Result<Vec<Row>>;
 }
 
 /// Shared reducer handle.
@@ -160,16 +203,16 @@ impl Reducer for IdentityReducer {
             .ok_or_else(|| MrError::BadStage("identity reducer with no input".into()))
     }
 
-    fn reduce(&self, _ctx: &ReducerContext, inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
-        Ok(inputs.into_iter().flatten().collect())
+    fn reduce(&self, _ctx: &ReducerContext, inputs: &[Vec<Row>]) -> Result<Vec<Row>> {
+        Ok(inputs.iter().flatten().cloned().collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relation::schema::{ColumnType, Field};
     use relation::row;
+    use relation::schema::{ColumnType, Field};
 
     fn schema() -> Schema {
         Schema::timestamped(vec![
@@ -201,6 +244,43 @@ mod tests {
     }
 
     #[test]
+    fn compiled_partitioner_matches_uncompiled() {
+        let s = schema();
+        let rows = [
+            row![1i64, "u1", 0i64],
+            row![2i64, "u2", 5i64],
+            row![3i64, "u3", 7i64],
+        ];
+        for p in [
+            Partitioner::KeyHash {
+                columns: vec!["UserId".into()],
+            },
+            Partitioner::BucketColumn {
+                column: "Bucket".into(),
+            },
+            Partitioner::Spread,
+            Partitioner::Single,
+        ] {
+            let compiled = p.compile(&s).unwrap();
+            for r in &rows {
+                assert_eq!(
+                    compiled.assign(r, 8).unwrap(),
+                    p.assign(&s, r, 8).unwrap(),
+                    "{p:?} on {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_unknown_columns() {
+        let p = Partitioner::KeyHash {
+            columns: vec!["Nope".into()],
+        };
+        assert!(p.compile(&schema()).is_err());
+    }
+
+    #[test]
     fn single_sends_everything_to_zero() {
         let p = Partitioner::Single;
         assert_eq!(p.assign(&schema(), &row![1i64, "u", 0i64], 8).unwrap(), 0);
@@ -210,15 +290,7 @@ mod tests {
     fn stage_validation() {
         let r: ReducerRef = Arc::new(IdentityReducer);
         assert!(Stage::new("s", vec![], "out", Partitioner::Single, 1, r.clone()).is_err());
-        assert!(Stage::new(
-            "s",
-            vec!["in".into()],
-            "out",
-            Partitioner::Single,
-            0,
-            r
-        )
-        .is_err());
+        assert!(Stage::new("s", vec!["in".into()], "out", Partitioner::Single, 0, r).is_err());
     }
 
     #[test]
@@ -230,7 +302,7 @@ mod tests {
             attempt: 0,
         };
         let out = IdentityReducer
-            .reduce(&ctx, vec![vec![row![1i64]], vec![row![2i64]]])
+            .reduce(&ctx, &[vec![row![1i64]], vec![row![2i64]]])
             .unwrap();
         assert_eq!(out, vec![row![1i64], row![2i64]]);
     }

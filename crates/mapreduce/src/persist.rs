@@ -160,7 +160,10 @@ mod tests {
         Dataset::partitioned(
             schema,
             vec![
-                vec![row![1i64, "u1", 0.5f64], row![2i64, "tab\tin\nname", -1.25f64]],
+                vec![
+                    row![1i64, "u1", 0.5f64],
+                    row![2i64, "tab\tin\nname", -1.25f64],
+                ],
                 vec![],
                 vec![relation::Row::new(vec![
                     Value::Long(3),
@@ -172,10 +175,7 @@ mod tests {
     }
 
     fn temp_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "timr-dfs-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("timr-dfs-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -201,8 +201,14 @@ mod tests {
         dfs.save_to_dir(&root).unwrap();
 
         let loaded = Dfs::load_from_dir(&root).unwrap();
-        assert_eq!(loaded.list(), vec!["a".to_string(), "b.2024-01".to_string()]);
-        assert_eq!(loaded.get("a").unwrap().scan(), dfs.get("a").unwrap().scan());
+        assert_eq!(
+            loaded.list(),
+            vec!["a".to_string(), "b.2024-01".to_string()]
+        );
+        assert_eq!(
+            loaded.get("a").unwrap().scan(),
+            dfs.get("a").unwrap().scan()
+        );
         let _ = fs::remove_dir_all(root);
     }
 

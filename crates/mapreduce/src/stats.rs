@@ -9,8 +9,17 @@ pub struct StageStats {
     pub name: String,
     /// Rows read by the map phase.
     pub map_rows: u64,
+    /// Map tasks executed (one per `(input, extent)` pair).
+    pub map_tasks: usize,
+    /// Wall-clock time of the parallel map phase (scan + partition).
+    pub map_time: Duration,
+    /// Wall-clock time merging per-task sub-buckets into shuffle buckets
+    /// (deterministic `(input, extent)` order).
+    pub shuffle_time: Duration,
     /// Bytes moved through the shuffle (sum of row widths).
     pub shuffle_bytes: u64,
+    /// Wall-clock time of the parallel reduce phase.
+    pub reduce_wall_time: Duration,
     /// Rows produced by all reducers.
     pub output_rows: u64,
     /// Number of reduce partitions.
@@ -31,7 +40,11 @@ impl StageStats {
 
     /// Longest single partition (the parallel critical path).
     pub fn max_partition_time(&self) -> Duration {
-        self.partition_times.iter().max().copied().unwrap_or_default()
+        self.partition_times
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Makespan of scheduling this stage's partitions greedily (LPT) onto
@@ -71,6 +84,21 @@ impl JobStats {
     /// Total shuffle bytes across stages.
     pub fn total_shuffle_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.shuffle_bytes).sum()
+    }
+
+    /// Total map-phase wall time across stages.
+    pub fn total_map_time(&self) -> Duration {
+        self.stages.iter().map(|s| s.map_time).sum()
+    }
+
+    /// Total shuffle-merge wall time across stages.
+    pub fn total_shuffle_time(&self) -> Duration {
+        self.stages.iter().map(|s| s.shuffle_time).sum()
+    }
+
+    /// Total reduce-phase wall time across stages.
+    pub fn total_reduce_wall_time(&self) -> Duration {
+        self.stages.iter().map(|s| s.reduce_wall_time).sum()
     }
 
     /// Total wall time across stages (stages run serially).

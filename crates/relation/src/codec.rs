@@ -37,11 +37,7 @@ fn unescape(text: &str) -> Result<String> {
             Some('\\') => out.push('\\'),
             Some('t') => out.push('\t'),
             Some('n') => out.push('\n'),
-            Some(other) => {
-                return Err(RelationError::Codec(format!(
-                    "invalid escape `\\{other}`"
-                )))
-            }
+            Some(other) => return Err(RelationError::Codec(format!("invalid escape `\\{other}`"))),
             None => return Err(RelationError::Codec("dangling backslash".into())),
         }
     }

@@ -42,7 +42,10 @@ impl fmt::Display for RelationError {
                 "type mismatch in `{column}`: expected {expected}, got {actual}"
             ),
             RelationError::ArityMismatch { expected, actual } => {
-                write!(f, "arity mismatch: schema has {expected} fields, row has {actual}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} fields, row has {actual}"
+                )
             }
             RelationError::Codec(msg) => write!(f, "codec error: {msg}"),
             RelationError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),

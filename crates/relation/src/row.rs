@@ -142,10 +142,7 @@ mod tests {
     fn row_macro_and_named_access() {
         let r = row![10i64, "u1"];
         assert_eq!(r.len(), 2);
-        assert_eq!(
-            r.get_named(&schema(), "UserId").unwrap(),
-            &Value::str("u1")
-        );
+        assert_eq!(r.get_named(&schema(), "UserId").unwrap(), &Value::str("u1"));
     }
 
     #[test]
@@ -161,7 +158,9 @@ mod tests {
             Err(RelationError::TypeMismatch { .. })
         ));
         // Null inhabits any column type.
-        assert!(Row::new(vec![Value::Long(1), Value::Null]).check(&s).is_ok());
+        assert!(Row::new(vec![Value::Long(1), Value::Null])
+            .check(&s)
+            .is_ok());
     }
 
     #[test]

@@ -85,15 +85,21 @@ pub struct DatasetStats {
 }
 
 impl DatasetStats {
-    /// Exact statistics computed by a full scan. Fine at simulator scale;
-    /// a production system would sample.
-    pub fn compute(schema: &Schema, rows: &[Row]) -> Self {
+    /// Exact statistics computed in one streaming pass over borrowed rows
+    /// — no materialized copy of the dataset is required. Fine at simulator
+    /// scale; a production system would sample.
+    pub fn compute<'a, I>(schema: &Schema, rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Row>,
+    {
         const HISTOGRAM_BUCKETS: usize = 32;
         let mut distinct: Vec<FxHashSet<crate::value::Value>> =
             (0..schema.len()).map(|_| FxHashSet::default()).collect();
         let mut numeric: Vec<Vec<f64>> = (0..schema.len()).map(|_| Vec::new()).collect();
         let mut width_sum = 0usize;
+        let mut n = 0u64;
         for row in rows {
+            n += 1;
             width_sum += row.width();
             for (i, v) in row.values().iter().enumerate() {
                 distinct[i].insert(v.clone());
@@ -103,11 +109,11 @@ impl DatasetStats {
             }
         }
         DatasetStats {
-            rows: rows.len() as u64,
-            avg_row_width: if rows.is_empty() {
+            rows: n,
+            avg_row_width: if n == 0 {
                 0.0
             } else {
-                width_sum as f64 / rows.len() as f64
+                width_sum as f64 / n as f64
             },
             columns: schema
                 .fields()
@@ -118,7 +124,7 @@ impl DatasetStats {
                     name: f.name.clone(),
                     distinct: set.len() as u64,
                     // Histogram only when the column is (mostly) numeric.
-                    histogram: if samples.len() * 2 >= rows.len() && !rows.is_empty() {
+                    histogram: if samples.len() as u64 * 2 >= n && n > 0 {
                         Histogram::build(samples, HISTOGRAM_BUCKETS)
                     } else {
                         None
@@ -194,10 +200,7 @@ mod tests {
         let (schema, rows) = sample();
         let stats = DatasetStats::compute(&schema, &rows);
         // 2 users x 2 keywords = 4, equals the row count clamp.
-        assert_eq!(
-            stats.distinct_of_key(&["UserId".into(), "Kw".into()]),
-            4
-        );
+        assert_eq!(stats.distinct_of_key(&["UserId".into(), "Kw".into()]), 4);
         // Per-column estimate is untouched by the clamp.
         assert_eq!(stats.distinct_of_key(&["UserId".into()]), 2);
     }
@@ -207,7 +210,13 @@ mod tests {
         // Uniform 0..999: selectivity of `< x` should be ≈ x/1000.
         let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
         let h = Histogram::build(samples, 32).unwrap();
-        for (x, want) in [(0.0, 0.0), (250.0, 0.25), (500.0, 0.5), (999.0, 1.0), (5000.0, 1.0)] {
+        for (x, want) in [
+            (0.0, 0.0),
+            (250.0, 0.25),
+            (500.0, 0.5),
+            (999.0, 1.0),
+            (5000.0, 1.0),
+        ] {
             let got = h.selectivity_lt(x);
             assert!(
                 (got - want).abs() < 0.05,

@@ -258,11 +258,13 @@ mod tests {
 
     #[test]
     fn order_is_total_including_nan() {
-        let mut vs = [Value::Double(f64::NAN),
+        let mut vs = [
+            Value::Double(f64::NAN),
             Value::Double(1.0),
             Value::Null,
             Value::str("a"),
-            Value::Long(5)];
+            Value::Long(5),
+        ];
         vs.sort();
         // Type rank: Null < Long < Double < Str; NaN sorts after ordinary
         // doubles under the IEEE total order.

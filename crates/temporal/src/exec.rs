@@ -17,10 +17,7 @@ pub type Bindings = FxHashMap<String, EventStream>;
 
 /// Build bindings from `(name, stream)` pairs.
 pub fn bindings(pairs: Vec<(&str, EventStream)>) -> Bindings {
-    pairs
-        .into_iter()
-        .map(|(n, s)| (n.to_string(), s))
-        .collect()
+    pairs.into_iter().map(|(n, s)| (n.to_string(), s)).collect()
 }
 
 /// Execute `plan` against `sources`; returns one stream per plan output.
@@ -142,7 +139,7 @@ impl<'a> Executor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::event::Event;
     use crate::expr::{col, lit};
     use crate::plan::Query;
@@ -244,9 +241,11 @@ mod tests {
     fn nested_group_apply() {
         // Group by user, then inside each user group, group by keyword.
         let q = Query::new();
-        let out = q.source("input", bt_schema()).group_apply(&["UserId"], |g| {
-            g.group_apply(&["KwAdId"], |k| k.window(50).count("N"))
-        });
+        let out = q
+            .source("input", bt_schema())
+            .group_apply(&["UserId"], |g| {
+                g.group_apply(&["KwAdId"], |k| k.window(50).count("N"))
+            });
         let plan = q.build(vec![out]).unwrap();
         let result = execute_single(&plan, &bindings(vec![("input", sample_events())])).unwrap();
         let n = result.normalize();
@@ -254,8 +253,7 @@ mod tests {
         assert!(n
             .events()
             .iter()
-            .any(|e| e.payload == row!["u1", "cars", 1i64]
-                && e.lifetime == Lifetime::new(25, 75)));
+            .any(|e| e.payload == row!["u1", "cars", 1i64] && e.lifetime == Lifetime::new(25, 75)));
     }
 
     #[test]

@@ -444,11 +444,7 @@ fn eval_func(func: Func, vals: &[Value]) -> Result<Value> {
             Value::Int(v) => Value::Int(v.wrapping_abs()),
             Value::Long(v) => Value::Long(v.wrapping_abs()),
             Value::Double(v) => Value::Double(v.abs()),
-            other => {
-                return Err(TemporalError::Eval(format!(
-                    "abs on non-numeric {other}"
-                )))
-            }
+            other => return Err(TemporalError::Eval(format!("abs on non-numeric {other}"))),
         },
         Func::Min2 => {
             if f(0)? <= f(1)? {
@@ -576,9 +572,7 @@ mod tests {
         let r = sample();
         // Right side would error (comparing string with <), but AND
         // short-circuits on the false left side.
-        let e = col("StreamId")
-            .eq(lit(99))
-            .and(col("UserId").lt(lit(1i64)));
+        let e = col("StreamId").eq(lit(99)).and(col("UserId").lt(lit(1i64)));
         assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(false));
     }
 
@@ -592,11 +586,7 @@ mod tests {
             Field::new("J", ColumnType::Long),
         ]);
         let r = row![0.5f64, 100i64, 0.25f64, 400i64];
-        let var = |p: &str, n: &str| {
-            col(p)
-                .mul(lit(1.0f64).sub(col(p)))
-                .div(col(n))
-        };
+        let var = |p: &str, n: &str| col(p).mul(lit(1.0f64).sub(col(p))).div(col(n));
         let e = var("P", "I").add(var("Q", "J")).sqrt();
         let got = e.eval(&s, &r).unwrap().as_double().unwrap();
         let want = (0.5 * 0.5 / 100.0 + 0.25 * 0.75 / 400.0f64).sqrt();

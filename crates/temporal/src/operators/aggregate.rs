@@ -104,8 +104,8 @@ mod tests {
     use crate::expr::col;
     use crate::operators::alter_lifetime;
     use crate::plan::LifetimeOp;
-    use relation::schema::ColumnType;
     use relation::row;
+    use relation::schema::ColumnType;
 
     fn schema() -> Schema {
         Schema::new(vec![Field::new("Power", ColumnType::Long)])
@@ -139,7 +139,10 @@ mod tests {
     fn empty_snapshots_emit_nothing() {
         let input = EventStream::new(
             schema(),
-            vec![Event::interval(0, 2, row![1i64]), Event::interval(10, 12, row![2i64])],
+            vec![
+                Event::interval(0, 2, row![1i64]),
+                Event::interval(10, 12, row![2i64]),
+            ],
         );
         let out = count_of(&input);
         assert_eq!(
@@ -157,7 +160,10 @@ mod tests {
         // output is a single coalesced interval.
         let input = EventStream::new(
             schema(),
-            vec![Event::interval(0, 5, row![1i64]), Event::interval(5, 9, row![2i64])],
+            vec![
+                Event::interval(0, 5, row![1i64]),
+                Event::interval(5, 9, row![2i64]),
+            ],
         );
         let out = count_of(&input);
         assert_eq!(out.events(), &[Event::interval(0, 9, row![1i64])]);
@@ -196,11 +202,17 @@ mod tests {
     fn result_is_physical_order_insensitive() {
         let a = EventStream::new(
             schema(),
-            vec![Event::interval(0, 4, row![1i64]), Event::interval(2, 6, row![2i64])],
+            vec![
+                Event::interval(0, 4, row![1i64]),
+                Event::interval(2, 6, row![2i64]),
+            ],
         );
         let b = EventStream::new(
             schema(),
-            vec![Event::interval(2, 6, row![2i64]), Event::interval(0, 4, row![1i64])],
+            vec![
+                Event::interval(2, 6, row![2i64]),
+                Event::interval(0, 4, row![1i64]),
+            ],
         );
         assert!(count_of(&a).same_relation(&count_of(&b)));
     }

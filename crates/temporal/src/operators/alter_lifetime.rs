@@ -68,18 +68,10 @@ mod tests {
     fn hopping_window_quantizes_to_grid() {
         // hop=4, width=6: event at t=1 is active at the single grid report
         // T=4 (since 4-6 < 1 <= 4 but 8-6 > 1): lifetime [4, 8).
-        let out = alter_lifetime(
-            &stream(&[1]),
-            &LifetimeOp::Hop { hop: 4, width: 6 },
-        )
-        .unwrap();
+        let out = alter_lifetime(&stream(&[1]), &LifetimeOp::Hop { hop: 4, width: 6 }).unwrap();
         assert_eq!(out.events()[0].lifetime, Lifetime::new(4, 8));
         // Event exactly on the grid is active at T=4 and T=8: [4, 12).
-        let out = alter_lifetime(
-            &stream(&[4]),
-            &LifetimeOp::Hop { hop: 4, width: 6 },
-        )
-        .unwrap();
+        let out = alter_lifetime(&stream(&[4]), &LifetimeOp::Hop { hop: 4, width: 6 }).unwrap();
         assert_eq!(out.events()[0].lifetime, Lifetime::new(4, 12));
     }
 
@@ -87,18 +79,10 @@ mod tests {
     fn hopping_window_drops_between_report_points() {
         // hop=10, width=2: an event at t=3 influences no grid report
         // (next report T=10, but 10-2=8 > 3) and must vanish.
-        let out = alter_lifetime(
-            &stream(&[3]),
-            &LifetimeOp::Hop { hop: 10, width: 2 },
-        )
-        .unwrap();
+        let out = alter_lifetime(&stream(&[3]), &LifetimeOp::Hop { hop: 10, width: 2 }).unwrap();
         assert!(out.is_empty());
         // t=9 influences T=10: [10, 20)? end = ceil(9+2)=20? No: ceil(11,10)=20.
-        let out = alter_lifetime(
-            &stream(&[9]),
-            &LifetimeOp::Hop { hop: 10, width: 2 },
-        )
-        .unwrap();
+        let out = alter_lifetime(&stream(&[9]), &LifetimeOp::Hop { hop: 10, width: 2 }).unwrap();
         assert_eq!(out.events()[0].lifetime, Lifetime::new(10, 20));
     }
 

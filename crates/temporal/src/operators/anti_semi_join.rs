@@ -119,20 +119,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            out.events()
-                .iter()
-                .map(|e| e.lifetime)
-                .collect::<Vec<_>>(),
+            out.events().iter().map(|e| e.lifetime).collect::<Vec<_>>(),
             vec![Lifetime::new(0, 10), Lifetime::new(30, 100)]
         );
     }
 
     #[test]
     fn unmatched_keys_pass_through() {
-        let left = EventStream::new(
-            user_schema(),
-            vec![Event::point(1, row!["u9", "x"])],
-        );
+        let left = EventStream::new(user_schema(), vec![Event::point(1, row!["u9", "x"])]);
         let right = EventStream::new(
             Schema::new(vec![Field::new("UserId", ColumnType::Str)]),
             vec![Event::interval(0, 10, row!["u1"])],

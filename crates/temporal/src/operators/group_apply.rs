@@ -30,7 +30,10 @@ pub fn group_apply(
     // Partition events by key.
     let mut groups: FxHashMap<Vec<Value>, Vec<Event>> = FxHashMap::default();
     for e in input.events() {
-        let key: Vec<Value> = key_indices.iter().map(|&i| e.payload.get(i).clone()).collect();
+        let key: Vec<Value> = key_indices
+            .iter()
+            .map(|&i| e.payload.get(i).clone())
+            .collect();
         groups.entry(key).or_default().push(e.clone());
     }
 
@@ -70,8 +73,8 @@ mod tests {
     use crate::agg::AggExpr;
     use crate::expr::col;
     use crate::plan::Query;
-    use relation::schema::{ColumnType, Field};
     use relation::row;
+    use relation::schema::{ColumnType, Field};
 
     #[test]
     fn partitions_and_prepends_keys() {

@@ -41,7 +41,10 @@ mod tests {
         ]);
         let input = EventStream::new(schema, vec![Event::point(0, row![3i64, 12i64])]);
         let exprs = vec![
-            ("Ctr".to_string(), col("Clicks").mul(lit(1.0f64)).div(col("Imps"))),
+            (
+                "Ctr".to_string(),
+                col("Clicks").mul(lit(1.0f64)).div(col("Imps")),
+            ),
             ("Imps".to_string(), col("Imps")),
         ];
         let out = project(&input, &exprs).unwrap();

@@ -116,11 +116,8 @@ impl StreamHandle {
         // Build-time lookahead: infer this node's schema on a snapshot of
         // the arena so GroupApply closures can see their input schema.
         let nodes = self.query.arena.borrow().nodes.clone();
-        let plan = LogicalPlan::from_parts(
-            prune_reachable(&nodes, self.node),
-            vec![0],
-        )
-        .expect("schema lookahead failed: invalid plan prefix");
+        let plan = LogicalPlan::from_parts(prune_reachable(&nodes, self.node), vec![0])
+            .expect("schema lookahead failed: invalid plan prefix");
         plan.schema_of(0).clone()
     }
 
@@ -136,10 +133,7 @@ impl StreamHandle {
 
     /// Keep only the named columns (a common Project).
     pub fn select(self, columns: &[&str]) -> StreamHandle {
-        let exprs = columns
-            .iter()
-            .map(|c| (c.to_string(), col(*c)))
-            .collect();
+        let exprs = columns.iter().map(|c| (c.to_string(), col(*c))).collect();
         self.project(exprs)
     }
 

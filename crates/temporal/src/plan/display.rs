@@ -29,10 +29,7 @@ fn fmt_node(
         Operator::GroupInput { .. } => writeln!(f, "{pad}GroupInput")?,
         Operator::Filter { predicate } => writeln!(f, "{pad}Filter {predicate}")?,
         Operator::Project { exprs } => {
-            let cols: Vec<String> = exprs
-                .iter()
-                .map(|(n, e)| format!("{n}={e}"))
-                .collect();
+            let cols: Vec<String> = exprs.iter().map(|(n, e)| format!("{n}={e}")).collect();
             writeln!(f, "{pad}Project [{}]", cols.join(", "))?;
         }
         Operator::AlterLifetime { op } => {
@@ -46,10 +43,7 @@ fn fmt_node(
             writeln!(f, "{pad}AlterLifetime {desc}")?;
         }
         Operator::Aggregate { aggs } => {
-            let cols: Vec<String> = aggs
-                .iter()
-                .map(|(n, a)| format!("{n}={a}"))
-                .collect();
+            let cols: Vec<String> = aggs.iter().map(|(n, a)| format!("{n}={a}")).collect();
             writeln!(f, "{pad}Aggregate [{}]", cols.join(", "))?;
         }
         Operator::GroupApply { keys, subplan } => {
@@ -98,9 +92,7 @@ mod tests {
         let q = Query::new();
         let input = q.source("in", schema);
         let bots = input.clone().group_apply(&["UserId"], |g| {
-            g.filter(col("StreamId").eq(lit(1)))
-                .window(100)
-                .count("N")
+            g.filter(col("StreamId").eq(lit(1))).window(100).count("N")
         });
         let out = input.anti_semi_join(bots, &[("UserId", "UserId")]);
         let plan = q.build(vec![out]).unwrap();

@@ -264,12 +264,7 @@ impl LogicalPlan {
     pub fn topo_order(&self) -> Vec<NodeId> {
         let mut order = Vec::with_capacity(self.nodes.len());
         let mut visited = vec![false; self.nodes.len()];
-        fn visit(
-            nodes: &[PlanNode],
-            id: NodeId,
-            visited: &mut [bool],
-            order: &mut Vec<NodeId>,
-        ) {
+        fn visit(nodes: &[PlanNode], id: NodeId, visited: &mut [bool], order: &mut Vec<NodeId>) {
             if visited[id] {
                 return;
             }
@@ -395,9 +390,7 @@ fn infer_node_schema(op: &Operator, inputs: &[Schema]) -> Result<Schema> {
                     return Err(TemporalError::Plan("window width must be positive".into()))
                 }
                 LifetimeOp::Hop { hop, width } if *hop <= 0 || *width <= 0 => {
-                    return Err(TemporalError::Plan(
-                        "hop and width must be positive".into(),
-                    ))
+                    return Err(TemporalError::Plan("hop and width must be positive".into()))
                 }
                 LifetimeOp::ExtendBack(d) if *d < 0 => {
                     return Err(TemporalError::Plan("extend-back must be ≥ 0".into()))
@@ -409,7 +402,9 @@ fn infer_node_schema(op: &Operator, inputs: &[Schema]) -> Result<Schema> {
         Operator::Aggregate { aggs } => {
             expect_arity(op, inputs, 1)?;
             if aggs.is_empty() {
-                return Err(TemporalError::Plan("aggregate needs at least one agg".into()));
+                return Err(TemporalError::Plan(
+                    "aggregate needs at least one agg".into(),
+                ));
             }
             let fields = aggs
                 .iter()
@@ -465,7 +460,9 @@ fn infer_node_schema(op: &Operator, inputs: &[Schema]) -> Result<Schema> {
         }
         Operator::Union => {
             if inputs.len() < 2 {
-                return Err(TemporalError::Plan("union needs at least two inputs".into()));
+                return Err(TemporalError::Plan(
+                    "union needs at least two inputs".into(),
+                ));
             }
             for s in &inputs[1..] {
                 if s != &inputs[0] {
@@ -592,7 +589,9 @@ mod tests {
     #[test]
     fn filter_predicate_must_be_boolean() {
         let q = Query::new();
-        let out = q.source("in", bt_schema()).filter(col("Time").add(lit(1i64)));
+        let out = q
+            .source("in", bt_schema())
+            .filter(col("Time").add(lit(1i64)));
         assert!(q.build(vec![out]).is_err());
     }
 
@@ -624,8 +623,7 @@ mod tests {
             .union(input.filter(col("StreamId").eq(lit(2))));
         let plan = q.build(vec![out]).unwrap();
         let order = plan.topo_order();
-        let pos =
-            |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
         for (id, node) in plan.nodes().iter().enumerate() {
             for &input in &node.inputs {
                 assert!(pos(input) < pos(id));

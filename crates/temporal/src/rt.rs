@@ -166,8 +166,8 @@ mod tests {
     use crate::exec::bindings;
     use crate::expr::{col, lit};
     use crate::plan::Query;
-    use relation::schema::{ColumnType, Field};
     use relation::row;
+    use relation::schema::{ColumnType, Field};
 
     fn schema() -> Schema {
         Schema::timestamped(vec![
@@ -239,6 +239,9 @@ mod tests {
         let piece_total: i64 = all.iter().map(|e| e.lifetime.duration()).sum();
         assert_eq!(piece_total, normalized.events()[0].lifetime.duration());
         // The single count event covers [1, 11).
-        assert_eq!(normalized.events()[0].lifetime, crate::time::Lifetime::new(1, 11));
+        assert_eq!(
+            normalized.events()[0].lifetime,
+            crate::time::Lifetime::new(1, 11)
+        );
     }
 }

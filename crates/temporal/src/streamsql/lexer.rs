@@ -135,9 +135,7 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>> {
             _ if c.is_ascii_digit() => {
                 let mut j = i;
                 let mut is_float = false;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     if bytes[j] == b'.' {
                         is_float = true;
                     }
@@ -155,7 +153,10 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>> {
                             .map_err(|_| err(start, format!("bad integer `{lit}`")))?,
                     )
                 };
-                out.push(Token { kind, offset: start });
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
@@ -191,7 +192,9 @@ mod tests {
         let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
         assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "SELECT"));
         assert!(kinds.iter().any(|k| matches!(k, TokenKind::Symbol(">="))));
-        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Float(f) if *f == 10.5)));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TokenKind::Float(f) if *f == 10.5)));
         assert!(matches!(kinds.last().unwrap(), TokenKind::Eof));
     }
 

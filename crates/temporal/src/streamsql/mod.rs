@@ -147,7 +147,10 @@ mod tests {
             .unwrap()
             .normalize();
         // Only "a" ever reaches 2 in a window.
-        assert!(out.events().iter().all(|e| e.payload.get(0).as_str() == Some("a")));
+        assert!(out
+            .events()
+            .iter()
+            .all(|e| e.payload.get(0).as_str() == Some("a")));
         assert!(!out.is_empty());
     }
 
@@ -162,10 +165,7 @@ mod tests {
             .unwrap()
             .normalize();
         // Final snapshot covers all four events.
-        assert!(out
-            .events()
-            .iter()
-            .any(|e| e.payload == row![4i64, 5i64]));
+        assert!(out.events().iter().any(|e| e.payload == row![4i64, 5i64]));
     }
 
     #[test]
@@ -187,7 +187,10 @@ mod tests {
             .find(|e| e.payload.get(0).as_long() == Some(2))
             .expect("snapshot with both ads");
         let spread = last.payload.get(1).as_double().unwrap();
-        assert!((spread - (3.0f64 / 16.0).sqrt()).abs() < 1e-12, "spread {spread}");
+        assert!(
+            (spread - (3.0f64 / 16.0).sqrt()).abs() < 1e-12,
+            "spread {spread}"
+        );
     }
 
     #[test]

@@ -171,10 +171,7 @@ impl<'a> Parser<'a> {
         // identifiers fall through to expression parsing.
         if let TokenKind::Ident(name) = &self.peek().kind {
             let upper = name.to_ascii_uppercase();
-            let next_is_paren = self
-                .tokens
-                .get(self.pos + 1)
-                .is_some_and(|t| t.is_sym("("));
+            let next_is_paren = self.tokens.get(self.pos + 1).is_some_and(|t| t.is_sym("("));
             if next_is_paren && upper == "COUNT" {
                 self.bump();
                 self.expect_sym("(")?;
@@ -244,9 +241,7 @@ impl<'a> Parser<'a> {
                 "DOUBLE" | "FLOAT" => ColumnType::Double,
                 "STRING" | "VARCHAR" | "TEXT" => ColumnType::Str,
                 "BOOL" | "BOOLEAN" => ColumnType::Bool,
-                other => {
-                    return Err(perr(ty_tok, format!("unknown column type `{other}`")))
-                }
+                other => return Err(perr(ty_tok, format!("unknown column type `{other}`"))),
             };
             fields.push(Field::new(col_name, ty));
             if !self.eat_sym(",") {

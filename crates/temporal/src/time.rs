@@ -195,10 +195,7 @@ mod tests {
             Lifetime::new(2, 6),
             Lifetime::new(10, 12),
         ]);
-        assert_eq!(
-            merged,
-            vec![Lifetime::new(0, 8), Lifetime::new(10, 12)]
-        );
+        assert_eq!(merged, vec![Lifetime::new(0, 8), Lifetime::new(10, 12)]);
     }
 
     #[test]

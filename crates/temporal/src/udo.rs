@@ -30,8 +30,7 @@ pub trait WindowUdo: Send + Sync + fmt::Debug {
     /// Compute output rows for the window ending at `window_end`
     /// (events are those with `LE` in `(window_end - width, window_end]`,
     /// in ascending `LE` order).
-    fn apply(&self, window_end: Time, input_schema: &Schema, events: &[Event])
-        -> Result<Vec<Row>>;
+    fn apply(&self, window_end: Time, input_schema: &Schema, events: &[Event]) -> Result<Vec<Row>>;
 }
 
 /// Shared handle to a UDO instance stored inside plans.

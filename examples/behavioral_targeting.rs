@@ -26,7 +26,11 @@ fn main() {
     let mut cfg = GenConfig::small(7);
     cfg.users = 800;
     let log = generate(&cfg);
-    println!("generated {} events; overall CTR {:.3}", log.events.len(), log.overall_ctr());
+    println!(
+        "generated {} events; overall CTR {:.3}",
+        log.events.len(),
+        log.overall_ctr()
+    );
 
     let dfs = Dfs::new();
     dfs.put(
@@ -67,12 +71,11 @@ fn main() {
     }
 
     // 4. Train and evaluate: 50/50 time split, KE-z at 80% confidence.
-    let examples =
-        BtPipeline::load_examples(&dfs, &artifacts.labels, &artifacts.train_rows).expect("examples");
+    let examples = BtPipeline::load_examples(&dfs, &artifacts.labels, &artifacts.train_rows)
+        .expect("examples");
     let mid = cfg.duration / 2;
     let (train, test) = split_by_time(&examples, mid);
-    let train_scores =
-        scores_from_examples(&train, params.min_support, params.min_example_support);
+    let train_scores = scores_from_examples(&train, params.min_support, params.min_example_support);
     let scheme = Scheme::KeZ { threshold: 1.28 };
     let models = train_models(&by_ad(&train), &scheme, &train_scores, &LrConfig::default());
 

@@ -62,10 +62,7 @@ fn main() {
         .collect();
     dfs.put(
         "clicks",
-        Dataset::single(
-            EventEncoding::Point.dataset_schema(events.schema()),
-            rows,
-        ),
+        Dataset::single(EventEncoding::Point.dataset_schema(events.schema()), rows),
     )
     .expect("fresh DFS");
 
@@ -74,8 +71,7 @@ fn main() {
         .iter()
         .position(|n| matches!(n.op, timr_suite::temporal::plan::Operator::Filter { .. }))
         .expect("filter exists");
-    let annotation =
-        Annotation::none().exchange(filter_node, 0, ExchangeKey::keys(&["AdId"]));
+    let annotation = Annotation::none().exchange(filter_node, 0, ExchangeKey::keys(&["AdId"]));
 
     let job = TimrJob::new("quickstart", plan)
         .with_annotation(annotation)

@@ -37,7 +37,10 @@ fn main() {
         session
             .push(
                 "feed",
-                Event::point(e.time, row![e.stream as i32, e.user.as_str(), e.kw_ad.as_str()]),
+                Event::point(
+                    e.time,
+                    row![e.stream as i32, e.user.as_str(), e.kw_ad.as_str()],
+                ),
             )
             .expect("in-order feed");
         if e.time >= next_tick {

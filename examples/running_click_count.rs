@@ -45,11 +45,7 @@ fn main() {
         .position(|n| matches!(n.op, timr_suite::temporal::plan::Operator::Filter { .. }))
         .expect("filter exists");
     let job = TimrJob::new("rcc", plan)
-        .with_annotation(Annotation::none().exchange(
-            filter,
-            0,
-            ExchangeKey::keys(&["KwAdId"]),
-        ))
+        .with_annotation(Annotation::none().exchange(filter, 0, ExchangeKey::keys(&["KwAdId"])))
         .with_machines(8);
 
     let start = std::time::Instant::now();

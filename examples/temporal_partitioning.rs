@@ -15,8 +15,7 @@ use timr_suite::timr::EventEncoding;
 
 fn main() {
     // A global 30-minute sliding count: no key column to partition on.
-    let payload =
-        timr_suite::relation::Schema::new(vec![Field::new("AdId", ColumnType::Str)]);
+    let payload = timr_suite::relation::Schema::new(vec![Field::new("AdId", ColumnType::Str)]);
     let q = Query::new();
     let out = q
         .source("clicks", payload.clone())
@@ -32,7 +31,10 @@ fn main() {
         .collect();
 
     println!("span-width sweep over {events} events (overlap = plan horizon = 30 min):\n");
-    println!("{:>10}  {:>6}  {:>12}  {:>10}", "span", "spans", "replication", "wall time");
+    println!(
+        "{:>10}  {:>6}  {:>12}  {:>10}",
+        "span", "spans", "replication", "wall time"
+    );
     let mut reference: Option<timr_suite::temporal::EventStream> = None;
     for (label, width) in [
         ("15 min", 15 * MIN),

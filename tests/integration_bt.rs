@@ -95,13 +95,19 @@ fn end_to_end_recovers_planted_structure_and_lifts_ctr() {
     let mut kez_lift_sum = 0.0;
     let mut kepop_lift_sum = 0.0;
     let mut ads = 0.0;
-    for scheme_pair in [(
-        Scheme::KeZ { threshold: 1.28 },
-        Scheme::KePop { n: 30 },
-    )] {
-        let kez_models = train_models(&train_by_ad, &scheme_pair.0, &train_scores, &LrConfig::default());
-        let kepop_models =
-            train_models(&train_by_ad, &scheme_pair.1, &train_scores, &LrConfig::default());
+    for scheme_pair in [(Scheme::KeZ { threshold: 1.28 }, Scheme::KePop { n: 30 })] {
+        let kez_models = train_models(
+            &train_by_ad,
+            &scheme_pair.0,
+            &train_scores,
+            &LrConfig::default(),
+        );
+        let kepop_models = train_models(
+            &train_by_ad,
+            &scheme_pair.1,
+            &train_scores,
+            &LrConfig::default(),
+        );
         for (ad, test_examples) in &test_by_ad {
             let (Some(a), Some(b)) = (kez_models.get(ad), kepop_models.get(ad)) else {
                 continue;
@@ -134,8 +140,7 @@ fn keyword_subsets_shift_ctr_in_the_planted_direction() {
     let examples =
         BtPipeline::load_examples(&s.dfs, &s.artifacts.labels, &s.artifacts.train_rows).unwrap();
     let (train, test) = split_by_time(&examples, s.duration / 2);
-    let scores =
-        scores_from_examples(&train, s.params.min_support, s.params.min_example_support);
+    let scores = scores_from_examples(&train, s.params.min_support, s.params.min_example_support);
     let test_by_ad = by_ad(&test);
 
     let mut positive_lifts = 0;

@@ -108,7 +108,11 @@ fn session_rejects_unknown_source_and_late_events() {
     assert!(session
         .push("nope", Event::point(1, row![1i32, "k0"]))
         .is_err());
-    session.push("in", Event::point(100, row![1i32, "k0"])).unwrap();
+    session
+        .push("in", Event::point(100, row![1i32, "k0"]))
+        .unwrap();
     session.punctuate(100).unwrap();
-    assert!(session.push("in", Event::point(50, row![1i32, "k0"])).is_err());
+    assert!(session
+        .push("in", Event::point(50, row![1i32, "k0"]))
+        .is_err());
 }

@@ -25,7 +25,9 @@ fn sample_rows(n: i64) -> Vec<Row> {
 }
 
 fn sample_stream(rows: &[Row]) -> EventStream {
-    EventEncoding::Point.decode_stream(rows, &payload()).unwrap()
+    EventEncoding::Point
+        .decode_stream(rows, &payload())
+        .unwrap()
 }
 
 #[test]
@@ -62,8 +64,7 @@ fn sql_plan_runs_on_timr_and_matches_single_node() {
     .unwrap();
 
     let rows = sample_rows(600);
-    let reference =
-        execute_single(&plan, &bindings(vec![("logs", sample_stream(&rows))])).unwrap();
+    let reference = execute_single(&plan, &bindings(vec![("logs", sample_stream(&rows))])).unwrap();
 
     let dfs = Dfs::new();
     dfs.put(

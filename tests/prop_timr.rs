@@ -52,7 +52,10 @@ fn dfs_with(rows: &[Row]) -> Dfs {
     let dfs = Dfs::new();
     dfs.put(
         "logs",
-        Dataset::single(EventEncoding::Point.dataset_schema(&payload()), rows.to_vec()),
+        Dataset::single(
+            EventEncoding::Point.dataset_schema(&payload()),
+            rows.to_vec(),
+        ),
     )
     .unwrap();
     dfs

@@ -1,0 +1,246 @@
+//! Vendored minimal `criterion` stand-in.
+//!
+//! Provides the API surface the workspace's `harness = false` benches
+//! use — `Criterion`, `benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a plain timing loop instead of the real statistical machinery.
+//! Each benchmark prints its median iteration time (and throughput when
+//! declared) to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration workload, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One warm-up, then `sample_size` timed runs; report the median.
+        black_box(f());
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(name, sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        last: None,
+    };
+    f(&mut bencher);
+    match bencher.last {
+        Some(t) => {
+            let rate = throughput.map(|tp| {
+                let per_sec = |n: u64| n as f64 / t.as_secs_f64().max(1e-12);
+                match tp {
+                    Throughput::Elements(n) => format!("  ({:.0} elem/s)", per_sec(n)),
+                    Throughput::Bytes(n) => format!("  ({:.0} B/s)", per_sec(n)),
+                }
+            });
+            println!("bench {label:<40} {:>12.3?}{}", t, rate.unwrap_or_default());
+        }
+        None => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    criterion_group!(
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn groups_run() {
+        benches();
+        configured();
+    }
+}

@@ -1,0 +1,118 @@
+//! Vendored minimal implementation of the `rustc-hash` crate: the Fx
+//! multiply-rotate hash used by rustc. Deterministic (no per-process
+//! seeding), which the map-reduce runtime's repeatability guarantee
+//! relies on.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// Builder producing default [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The Fx hash function: rotate, xor, multiply per 8-byte word.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |s: &str| {
+            let mut hasher = FxHasher::default();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h("user-42"), h("user-42"));
+        assert_ne!(h("user-42"), h("user-43"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, u64> = FxHashMap::default();
+        *m.entry("a".into()).or_insert(0) += 1;
+        *m.entry("a".into()).or_insert(0) += 1;
+        assert_eq!(m["a"], 2);
+        let mut s: FxHashSet<i64> = FxHashSet::default();
+        s.insert(1);
+        s.insert(1);
+        assert_eq!(s.len(), 1);
+    }
+}

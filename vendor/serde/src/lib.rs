@@ -1,0 +1,297 @@
+//! Vendored minimal `serde` stand-in.
+//!
+//! The real serde is a zero-cost visitor framework; this stand-in keeps
+//! the same *user-facing* surface (`Serialize` / `Deserialize` traits and
+//! `#[derive(Serialize, Deserialize)]`) but routes everything through an
+//! owned [`Value`] tree, which is all the JSON round-tripping in this
+//! workspace needs. `serde_json` (also vendored) renders and parses that
+//! tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the interchange format between
+/// `Serialize`, `Deserialize`, and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Field order is preserved (serialization is deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object by name.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Error::expected("object", other),
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    fn expected<T>(what: &str, got: &Value) -> Result<T, Error> {
+        Err(Error(format!("expected {what}, got {got:?}")))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable to a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Error::expected("bool", other),
+        }
+    }
+}
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) if *n <= i64::MAX as u64 => *n as i64,
+                    other => return Error::expected("integer", other),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => return Error::expected("unsigned integer", other),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            other => Error::expected("number", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Error::expected("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Error::expected("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+// Tuples serialize as fixed-length arrays, matching real serde's JSON shape.
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let out = ($({
+                            let _ = $n; // positional
+                            $t::from_value(
+                                it.next().ok_or_else(|| Error("tuple too short".into()))?,
+                            )?
+                        },)+);
+                        if it.next().is_some() {
+                            return Err(Error("tuple too long".into()));
+                        }
+                        Ok(out)
+                    }
+                    other => Error::expected("array", other),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_value(&42i64.to_value()), Ok(42));
+        assert_eq!(u64::from_value(&7u64.to_value()), Ok(7));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<i64>::from_value(&Value::Null), Ok(None));
+        let pair = ("kw".to_string(), 2.5f64);
+        assert_eq!(<(String, f64)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.field("a"), Ok(&Value::Int(1)));
+        assert!(v.field("b").is_err());
+    }
+}

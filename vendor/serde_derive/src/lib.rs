@@ -1,0 +1,131 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` implementation.
+//!
+//! Parses the derive input with raw `proc_macro` tokens (no syn/quote —
+//! those aren't available offline) and supports what this workspace
+//! derives on: plain structs with named fields. The generated impls
+//! target the vendored `serde` crate's `Value`-tree traits.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and named-field list from a derive input.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    // Skip attributes / visibility / doc comments until `struct NAME`.
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            if s == "enum" || s == "union" {
+                panic!("vendored serde_derive only supports structs with named fields");
+            }
+        }
+    }
+    let name = name.expect("no `struct` keyword in derive input");
+    // The next brace group is the field block.
+    for tt in iter {
+        if let TokenTree::Group(g) = &tt {
+            if g.delimiter() == Delimiter::Brace {
+                return StructDef {
+                    name,
+                    fields: parse_fields(g.stream()),
+                };
+            }
+        }
+    }
+    panic!("struct `{name}` has no named-field block (tuple/unit structs unsupported)");
+}
+
+/// Field names: in each top-level comma-separated chunk, the ident
+/// immediately before the first lone `:` (i.e. not part of `::`).
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut prev: Option<String> = None;
+    let mut angle_depth = 0i32;
+    let mut seen_colon_in_chunk = false;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => seen_colon_in_chunk = false,
+                ':' if angle_depth == 0 && !seen_colon_in_chunk => {
+                    let part_of_path = p.spacing() == Spacing::Joint
+                        && matches!(
+                            tokens.peek(),
+                            Some(TokenTree::Punct(q)) if q.as_char() == ':'
+                        );
+                    if !part_of_path {
+                        seen_colon_in_chunk = true;
+                        fields.push(
+                            prev.take()
+                                .expect("field `:` not preceded by an identifier"),
+                        );
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) => prev = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let pushes: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{pushes}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let inits: String = def
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
