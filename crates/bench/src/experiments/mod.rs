@@ -4,6 +4,7 @@
 //! pipeline artifacts) and returns a printable report.
 
 pub mod bench_pr1;
+pub mod bench_pr2;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -162,6 +163,12 @@ pub fn registry() -> Vec<Experiment> {
             name: "pr1",
             artifact: "PR 1: parallel map/shuffle speedup (writes BENCH_PR1.json)",
             run: bench_pr1::run,
+        },
+        Experiment {
+            name: "pr2",
+            artifact:
+                "PR 2: compiled DSMS hot path vs interpreted baseline (writes BENCH_PR2.json)",
+            run: bench_pr2::run,
         },
     ]
 }

@@ -17,7 +17,7 @@ use relation::{Row, Schema};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use temporal::exec::Bindings;
+use temporal::exec::{Bindings, ExecMode};
 use temporal::plan::LogicalPlan;
 use temporal::EventStream;
 
@@ -47,6 +47,26 @@ pub fn compile(
     machines: usize,
     source_encodings: &BTreeMap<String, EventEncoding>,
 ) -> Result<CompiledJob> {
+    compile_with_mode(
+        plan,
+        annotation,
+        job_name,
+        machines,
+        source_encodings,
+        ExecMode::Compiled,
+    )
+}
+
+/// [`compile`] with an explicit DSMS operator-implementation mode for the
+/// embedded reducers (used by benchmarks to pin the interpreted baseline).
+pub fn compile_with_mode(
+    plan: &LogicalPlan,
+    annotation: &Annotation,
+    job_name: &str,
+    machines: usize,
+    source_encodings: &BTreeMap<String, EventEncoding>,
+    exec_mode: ExecMode,
+) -> Result<CompiledJob> {
     if machines == 0 {
         return Err(TimrError::Compile("machines must be positive".into()));
     }
@@ -56,7 +76,7 @@ pub fn compile(
     let mut output_payload = plan.schema_of(plan.roots()[0]).clone();
 
     for frag in &fragments {
-        let stage = compile_fragment(frag, job_name, machines, source_encodings)?;
+        let stage = compile_fragment(frag, job_name, machines, source_encodings, exec_mode)?;
         if frag.is_final {
             output = stage.output.clone();
             output_payload = frag.plan.schema_of(frag.plan.roots()[0]).clone();
@@ -76,6 +96,7 @@ fn compile_fragment(
     job_name: &str,
     machines: usize,
     source_encodings: &BTreeMap<String, EventEncoding>,
+    exec_mode: ExecMode,
 ) -> Result<Stage> {
     let (partitioner, partitions) = match &frag.key {
         FragmentKey::Keys(cols) => (
@@ -127,6 +148,7 @@ fn compile_fragment(
         plan: frag.plan.clone(),
         inputs: bindings,
         output_encoding: EventEncoding::Interval,
+        exec_mode,
     };
     Stage::new(
         format!("{job_name}/f{}", frag.root),
@@ -156,6 +178,7 @@ pub struct DsmsReducer {
     plan: LogicalPlan,
     inputs: Vec<InputBinding>,
     output_encoding: EventEncoding,
+    exec_mode: ExecMode,
 }
 
 impl Reducer for DsmsReducer {
@@ -178,8 +201,12 @@ impl Reducer for DsmsReducer {
                 .map_err(to_mr)?;
             sources.insert(binding.source_name.clone(), stream);
         }
-        let result: EventStream = temporal::exec::execute_single(&self.plan, &sources)
-            .map_err(|e| to_mr(TimrError::Temporal(e)))?;
+        // Bindings are rebuilt per reduce call, so hand the executor
+        // ownership: the decoded partition is moved into the plan and the
+        // first in-place operator mutates it with zero survivor clones.
+        let result: EventStream =
+            temporal::exec::execute_single_owned(&self.plan, sources, self.exec_mode)
+                .map_err(|e| to_mr(TimrError::Temporal(e)))?;
         pull_through_queue(self.output_encoding, result).map_err(to_mr)
     }
 }

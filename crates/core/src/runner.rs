@@ -2,11 +2,12 @@
 
 use crate::annotate::Annotation;
 use crate::bridge::EventEncoding;
-use crate::compile::{compile, CompiledJob};
+use crate::compile::{compile_with_mode, CompiledJob};
 use crate::error::Result;
 use mapreduce::{Cluster, Dfs, JobStats};
 use relation::Schema;
 use std::collections::BTreeMap;
+use temporal::exec::ExecMode;
 use temporal::plan::LogicalPlan;
 use temporal::EventStream;
 
@@ -24,6 +25,10 @@ pub struct TimrJob {
     pub machines: usize,
     /// Lifetime encoding per raw source dataset (default Point).
     pub source_encodings: BTreeMap<String, EventEncoding>,
+    /// DSMS operator-implementation mode for the embedded reducers
+    /// (default [`ExecMode::Compiled`]; the interpreted baseline is kept
+    /// for benchmarks).
+    pub exec_mode: ExecMode,
 }
 
 /// Result of running a job.
@@ -48,7 +53,14 @@ impl TimrJob {
             annotation: Annotation::none(),
             machines: 4,
             source_encodings: BTreeMap::new(),
+            exec_mode: ExecMode::Compiled,
         }
+    }
+
+    /// Set the DSMS operator-implementation mode for the embedded reducers.
+    pub fn with_exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.exec_mode = exec_mode;
+        self
     }
 
     /// Set the annotation.
@@ -89,12 +101,13 @@ impl TimrJob {
 
     /// Compile to map-reduce stages without running.
     pub fn compile(&self) -> Result<CompiledJob> {
-        compile(
+        compile_with_mode(
             &self.plan,
             &self.annotation,
             &self.name,
             self.machines,
             &self.source_encodings,
+            self.exec_mode,
         )
     }
 

@@ -10,7 +10,9 @@
 
 use crate::error::{RelationError, Result};
 use crate::value::Value;
+use rustc_hash::FxHashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Name of the mandatory leading timestamp column.
@@ -93,23 +95,46 @@ impl Field {
     }
 }
 
-/// An ordered set of fields. Cheap to clone (fields live behind an `Arc`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// An ordered set of fields. Cheap to clone (fields live behind an `Arc`),
+/// with a name→index map built once at construction so by-name lookup is
+/// O(1) on every hot path (expression compilation, partitioners, codecs).
+#[derive(Debug, Clone)]
 pub struct Schema {
     fields: Arc<[Field]>,
+    index: Arc<FxHashMap<String, usize>>,
+}
+
+/// Identity is the ordered field list; the index map is derived state.
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl Eq for Schema {}
+
+impl Hash for Schema {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.fields.hash(state);
+    }
 }
 
 impl Schema {
     /// Build a schema from fields. Panics if two fields share a name, which
     /// is a programming error in plan construction, not a data error.
     pub fn new(fields: Vec<Field>) -> Self {
+        let mut index = FxHashMap::default();
+        index.reserve(fields.len());
         for (i, f) in fields.iter().enumerate() {
-            for g in &fields[..i] {
-                assert_ne!(f.name, g.name, "duplicate column `{}` in schema", f.name);
-            }
+            assert!(
+                index.insert(f.name.clone(), i).is_none(),
+                "duplicate column `{}` in schema",
+                f.name
+            );
         }
         Schema {
             fields: fields.into(),
+            index: Arc::new(index),
         }
     }
 
@@ -136,11 +161,11 @@ impl Schema {
         self.fields.is_empty()
     }
 
-    /// Index of column `name`.
+    /// Index of column `name` (O(1): hash lookup, not a field scan).
     pub fn index_of(&self, name: &str) -> Result<usize> {
-        self.fields
-            .iter()
-            .position(|f| f.name == name)
+        self.index
+            .get(name)
+            .copied()
             .ok_or_else(|| RelationError::UnknownColumn(name.to_string()))
     }
 
@@ -151,7 +176,7 @@ impl Schema {
 
     /// Whether a column with this name exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.fields.iter().any(|f| f.name == name)
+        self.index.contains_key(name)
     }
 
     /// Column names in order.

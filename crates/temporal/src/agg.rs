@@ -6,6 +6,7 @@
 //! lifetimes open and close, so accumulators must support **retraction**:
 //! Count/Sum/Avg keep running sums, Min/Max keep an ordered multiset.
 
+use crate::compiled::CompiledExpr;
 use crate::error::{Result, TemporalError};
 use crate::expr::Expr;
 use relation::{ColumnType, Row, Schema, Value};
@@ -102,6 +103,12 @@ impl AggExpr {
             None => Ok(Value::Null),
             Some(e) => e.eval(schema, row),
         }
+    }
+
+    /// Compile the argument against a schema for index-resolved per-event
+    /// evaluation (`None` for COUNT, which takes no argument).
+    pub fn compile_arg(&self, schema: &Schema) -> Option<CompiledExpr> {
+        self.input_expr().map(|e| CompiledExpr::compile(e, schema))
     }
 }
 

@@ -1,0 +1,265 @@
+//! Compiled scalar expressions: index-resolved, allocation-free evaluation.
+//!
+//! [`Expr::eval`] re-resolves every column reference by *name* on every row.
+//! With the schema's hash index that lookup is O(1), but it still hashes a
+//! string per column per event — pure overhead inside reducer hot loops that
+//! evaluate the same expression millions of times. [`CompiledExpr`] performs
+//! the name→index resolution **once per operator invocation** and then
+//! evaluates against `&Row` alone.
+//!
+//! Compilation is deliberately **infallible** and performs *no* static type
+//! checking beyond index resolution. The interpreted evaluator's observable
+//! behaviour includes lazily-surfaced errors (an unknown column only errors
+//! if evaluation actually reaches it — `AND`/`OR` short-circuiting can skip
+//! it entirely), so an eager `compile → Result` would reject expressions the
+//! interpreter happily evaluates. Instead, unknown columns compile to a
+//! deferred-error node that reproduces the interpreter's error at the same
+//! evaluation point. Literal-only subtrees are constant-folded, but only
+//! when their evaluation succeeds; failing subtrees are left intact so the
+//! error still surfaces at eval time, exactly as interpreted.
+//!
+//! Equivalence `CompiledExpr::eval(row) ≡ Expr::eval(schema, row)` — values
+//! *and* error cases — is asserted by property tests over randomized
+//! schemas, rows, and expression trees (`tests/prop_compiled.rs`).
+
+use crate::error::{Result, TemporalError};
+use crate::expr::{eval_arith, eval_cmp, eval_func, BinOp, Expr, Func};
+use relation::{RelationError, Row, Schema, Value};
+
+/// An expression resolved against a fixed input [`Schema`], evaluable
+/// against bare rows of that schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledExpr {
+    node: Node,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    /// Column reference, resolved to its index.
+    Col(usize),
+    /// Column that does not exist in the schema: errors *when evaluated*,
+    /// matching the interpreter's lazy unknown-column error.
+    MissingCol(String),
+    /// Literal (also the result of successful constant folding).
+    Lit(Value),
+    Binary {
+        op: BinOp,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Not(Box<Node>),
+    Call {
+        func: Func,
+        args: Vec<Node>,
+    },
+}
+
+impl CompiledExpr {
+    /// Resolve `expr` against `schema`. Never fails: unknown columns become
+    /// deferred-error nodes so the error semantics of [`Expr::eval`]
+    /// (including short-circuit skipping) are preserved exactly.
+    pub fn compile(expr: &Expr, schema: &Schema) -> CompiledExpr {
+        CompiledExpr {
+            node: fold(compile_node(expr, schema)),
+        }
+    }
+
+    /// Evaluate against one row. Identical observable behaviour to
+    /// [`Expr::eval`] on the schema this was compiled against.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        self.node.eval(row)
+    }
+
+    /// Evaluate as a filter predicate: Null counts as false.
+    pub fn eval_predicate(&self, row: &Row) -> Result<bool> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(TemporalError::Eval(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+}
+
+fn compile_node(expr: &Expr, schema: &Schema) -> Node {
+    match expr {
+        Expr::Column(name) => match schema.index_of(name) {
+            Ok(i) => Node::Col(i),
+            Err(_) => Node::MissingCol(name.clone()),
+        },
+        Expr::Literal(v) => Node::Lit(v.clone()),
+        Expr::Binary { op, left, right } => Node::Binary {
+            op: *op,
+            left: Box::new(fold(compile_node(left, schema))),
+            right: Box::new(fold(compile_node(right, schema))),
+        },
+        Expr::Not(e) => Node::Not(Box::new(fold(compile_node(e, schema)))),
+        Expr::Call { func, args } => Node::Call {
+            func: *func,
+            args: args.iter().map(|a| fold(compile_node(a, schema))).collect(),
+        },
+    }
+}
+
+/// Constant-fold a subtree that reads no columns, but only when its
+/// evaluation succeeds — a failing subtree must keep failing at eval time.
+fn fold(node: Node) -> Node {
+    if matches!(node, Node::Lit(_) | Node::Col(_) | Node::MissingCol(_)) || node.reads_columns() {
+        return node;
+    }
+    let empty = Row::new(Vec::new());
+    match node.eval(&empty) {
+        Ok(v) => Node::Lit(v),
+        Err(_) => node,
+    }
+}
+
+impl Node {
+    fn reads_columns(&self) -> bool {
+        match self {
+            Node::Col(_) => true,
+            Node::Lit(_) | Node::MissingCol(_) => false,
+            Node::Binary { left, right, .. } => left.reads_columns() || right.reads_columns(),
+            Node::Not(e) => e.reads_columns(),
+            Node::Call { args, .. } => args.iter().any(Node::reads_columns),
+        }
+    }
+
+    /// Mirror of [`Expr::eval`], with names pre-resolved.
+    fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            Node::Col(i) => Ok(row.get(*i).clone()),
+            Node::MissingCol(name) => Err(TemporalError::Relation(RelationError::UnknownColumn(
+                name.clone(),
+            ))),
+            Node::Lit(v) => Ok(v.clone()),
+            Node::Binary { op, left, right } => {
+                let l = left.eval(row)?;
+                // Short-circuit booleans before evaluating the right side.
+                if *op == BinOp::And {
+                    return match l.as_bool() {
+                        Some(false) => Ok(Value::Bool(false)),
+                        Some(true) => right.eval(row),
+                        None => Ok(Value::Null),
+                    };
+                }
+                if *op == BinOp::Or {
+                    return match l.as_bool() {
+                        Some(true) => Ok(Value::Bool(true)),
+                        Some(false) => right.eval(row),
+                        None => Ok(Value::Null),
+                    };
+                }
+                let r = right.eval(row)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => eval_arith(*op, &l, &r),
+                    BinOp::Eq => Ok(Value::Bool(l.loose_eq(&r))),
+                    BinOp::Ne => Ok(Value::Bool(!l.loose_eq(&r))),
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => eval_cmp(*op, &l, &r),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            Node::Not(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                v => v
+                    .as_bool()
+                    .map(|b| Value::Bool(!b))
+                    .ok_or_else(|| TemporalError::Eval("NOT on non-boolean".into())),
+            },
+            Node::Call { func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = a.eval(row)?;
+                    if v.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    vals.push(v);
+                }
+                eval_func(*func, &vals)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use relation::row;
+    use relation::schema::{ColumnType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("StreamId", ColumnType::Int),
+            Field::new("Count", ColumnType::Long),
+            Field::new("Ctr", ColumnType::Double),
+            Field::new("UserId", ColumnType::Str),
+        ])
+    }
+
+    fn sample() -> Row {
+        row![1i32, 42i64, 0.25f64, "u1"]
+    }
+
+    fn both(e: &Expr) -> (Result<Value>, Result<Value>) {
+        let s = schema();
+        let r = sample();
+        (e.eval(&s, &r), CompiledExpr::compile(e, &s).eval(&r))
+    }
+
+    #[test]
+    fn matches_interpreter_on_bt_shapes() {
+        for e in [
+            col("StreamId").eq(lit(1)),
+            col("Count").add(lit(1i32)).mul(col("Ctr")),
+            col("UserId").eq(lit("u1")).and(col("Count").gt(lit(10i64))),
+            col("Count").div(lit(0i64)),
+            col("Ctr").sqrt().sub(lit(0.5f64)).abs(),
+        ] {
+            let (interp, compiled) = both(&e);
+            assert_eq!(interp.unwrap(), compiled.unwrap(), "expr: {e}");
+        }
+    }
+
+    #[test]
+    fn unknown_column_errors_lazily_like_interpreter() {
+        let s = schema();
+        let r = sample();
+        // Reached: both error.
+        let e = col("Nope").add(lit(1i64));
+        assert!(e.eval(&s, &r).is_err());
+        assert!(CompiledExpr::compile(&e, &s).eval(&r).is_err());
+        // Short-circuited away: both succeed.
+        let e = col("StreamId").eq(lit(99)).and(col("Nope").lt(lit(1i64)));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(false));
+        assert_eq!(
+            CompiledExpr::compile(&e, &s).eval(&r).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn literal_subtrees_fold_only_on_success() {
+        let s = schema();
+        // 2 + 3 folds to a literal...
+        let c = CompiledExpr::compile(&lit(2i64).add(lit(3i64)), &s);
+        assert_eq!(c.node, Node::Lit(Value::Long(5)));
+        // ...but an erroring literal subtree must stay and keep erroring.
+        let bad = lit("x").add(lit(1i64));
+        let c = CompiledExpr::compile(&bad, &s);
+        assert!(c.eval(&sample()).is_err());
+        assert!(bad.eval(&s, &sample()).is_err());
+    }
+
+    #[test]
+    fn predicate_null_is_false() {
+        let s = Schema::new(vec![Field::new("X", ColumnType::Long)]);
+        let r = Row::new(vec![Value::Null]);
+        let c = CompiledExpr::compile(&col("X").gt(lit(0i64)), &s);
+        assert!(!c.eval_predicate(&r).unwrap());
+    }
+}

@@ -5,6 +5,14 @@
 //! shared sub-plans once. This is the engine TiMR embeds inside every
 //! map-reduce reducer (paper §III-A step 4): the reducer binds its partition
 //! of rows to the fragment's `Source` leaves and returns the root stream.
+//!
+//! Execution is consumer-count aware: every operator receives its inputs
+//! **by value**. A single-consumer intermediate is moved straight into its
+//! parent, so in-place operators (Filter, AlterLifetime, …) mutate it with
+//! no copy; a Multicast result is cached with its remaining-consumer count,
+//! handed out as O(1) Arc-backed clones, and *moved out* of the cache to
+//! its final consumer — the last consumer gets uniquely-owned storage, not
+//! a deep clone.
 
 use crate::error::{Result, TemporalError};
 use crate::operators;
@@ -15,6 +23,19 @@ use rustc_hash::FxHashMap;
 /// Named input bindings for a plan's `Source` leaves.
 pub type Bindings = FxHashMap<String, EventStream>;
 
+/// Which operator implementations the executor dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compiled: index-resolved expressions, hash-then-compare keys,
+    /// in-place single-consumer execution (the default).
+    #[default]
+    Compiled,
+    /// The PR 1 interpreted operators ([`operators::interpreted`]):
+    /// per-row name resolution and clone-based streams. Kept as the
+    /// benchmark baseline; output is byte-identical to `Compiled`.
+    Interpreted,
+}
+
 /// Build bindings from `(name, stream)` pairs.
 pub fn bindings(pairs: Vec<(&str, EventStream)>) -> Bindings {
     pairs.into_iter().map(|(n, s)| (n.to_string(), s)).collect()
@@ -22,11 +43,41 @@ pub fn bindings(pairs: Vec<(&str, EventStream)>) -> Bindings {
 
 /// Execute `plan` against `sources`; returns one stream per plan output.
 pub fn execute(plan: &LogicalPlan, sources: &Bindings) -> Result<Vec<EventStream>> {
+    execute_with_mode(plan, sources, ExecMode::Compiled)
+}
+
+/// Execute `plan` with an explicit operator-implementation mode.
+///
+/// The caller keeps its bindings, so every source stream stays shared
+/// (Arc-backed) and the first operator over each source copies survivors.
+/// Callers that rebuild bindings per invocation — the embedded DSMS
+/// reducer decodes a fresh partition every reduce call — should use
+/// [`execute_owned`] instead to hand the executor unique storage.
+pub fn execute_with_mode(
+    plan: &LogicalPlan,
+    sources: &Bindings,
+    mode: ExecMode,
+) -> Result<Vec<EventStream>> {
+    execute_owned(plan, sources.clone(), mode) // O(1) per stream: Arc bumps
+}
+
+/// Execute `plan` taking **ownership** of the bindings. Each `Source`
+/// stream is moved out of the map at its last reference in the plan, so
+/// when the caller held the only handle, the first in-place operator
+/// (Filter, AlterLifetime, …) mutates the decoded partition directly —
+/// zero survivor clones.
+pub fn execute_owned(
+    plan: &LogicalPlan,
+    sources: Bindings,
+    mode: ExecMode,
+) -> Result<Vec<EventStream>> {
     let mut exec = Executor {
+        source_refs: source_refs(plan),
         sources,
         group_input: None,
         cache: FxHashMap::default(),
         counts: consumer_counts(plan),
+        mode,
     };
     plan.roots()
         .iter()
@@ -36,7 +87,29 @@ pub fn execute(plan: &LogicalPlan, sources: &Bindings) -> Result<Vec<EventStream
 
 /// Execute a single-output plan and return its only stream.
 pub fn execute_single(plan: &LogicalPlan, sources: &Bindings) -> Result<EventStream> {
-    let mut outputs = execute(plan, sources)?;
+    execute_single_with_mode(plan, sources, ExecMode::Compiled)
+}
+
+/// Execute a single-output plan with an explicit mode.
+pub fn execute_single_with_mode(
+    plan: &LogicalPlan,
+    sources: &Bindings,
+    mode: ExecMode,
+) -> Result<EventStream> {
+    single(execute_with_mode(plan, sources, mode)?)
+}
+
+/// Execute a single-output plan taking ownership of the bindings
+/// (see [`execute_owned`]).
+pub fn execute_single_owned(
+    plan: &LogicalPlan,
+    sources: Bindings,
+    mode: ExecMode,
+) -> Result<EventStream> {
+    single(execute_owned(plan, sources, mode)?)
+}
+
+fn single(mut outputs: Vec<EventStream>) -> Result<EventStream> {
     if outputs.len() != 1 {
         return Err(TemporalError::Plan(format!(
             "expected a single-output plan, got {} outputs",
@@ -47,16 +120,27 @@ pub fn execute_single(plan: &LogicalPlan, sources: &Bindings) -> Result<EventStr
 }
 
 struct Executor<'a> {
-    sources: &'a Bindings,
+    /// Owned source bindings, drained as the plan consumes them: a stream
+    /// is moved out at its last `Source` reference.
+    sources: Bindings,
+    /// Remaining `Source`-node references per binding name. Names also
+    /// referenced inside GroupApply sub-plans are pinned to `u32::MAX`
+    /// (evaluated once per group — they must never be moved out).
+    source_refs: FxHashMap<String, u32>,
     /// Bound stream for `GroupInput` when running a GroupApply sub-plan.
     group_input: Option<&'a EventStream>,
-    cache: FxHashMap<NodeId, EventStream>,
+    /// Multicast results awaiting further consumers: stream + how many
+    /// consumers have not taken it yet.
+    cache: FxHashMap<NodeId, (EventStream, u32)>,
     counts: Vec<u32>,
+    mode: ExecMode,
 }
 
-/// Number of consumers per node; only fan-out (Multicast) nodes need
-/// their results cached, so single-consumer intermediates are moved, not
-/// cloned.
+/// Number of consumers per node, **including plan roots** (each root is
+/// consumed once by the caller). Only nodes with more than one consumer —
+/// Multicast fan-out — need their results cached; single-consumer
+/// intermediates are moved, not cloned, and the cached entry is moved out
+/// on its last consumer.
 fn consumer_counts(plan: &LogicalPlan) -> Vec<u32> {
     let mut counts = vec![0u32; plan.nodes().len()];
     for node in plan.nodes() {
@@ -64,20 +148,74 @@ fn consumer_counts(plan: &LogicalPlan) -> Vec<u32> {
             counts[input] += 1;
         }
     }
+    for &root in plan.roots() {
+        counts[root] += 1;
+    }
     counts
+}
+
+/// Remaining `Source` references per binding name, counted across the
+/// whole plan. A name referenced inside a GroupApply sub-plan is pinned
+/// to `u32::MAX`: the sub-plan runs once per group, so its sources can
+/// never be drained from the outer bindings.
+fn source_refs(plan: &LogicalPlan) -> FxHashMap<String, u32> {
+    let mut refs = FxHashMap::default();
+    collect_source_refs(plan, false, &mut refs);
+    refs
+}
+
+fn collect_source_refs(plan: &LogicalPlan, pin: bool, refs: &mut FxHashMap<String, u32>) {
+    for node in plan.nodes() {
+        match &node.op {
+            Operator::Source { name, .. } => {
+                let entry = refs.entry(name.clone()).or_insert(0);
+                *entry = if pin {
+                    u32::MAX
+                } else {
+                    entry.saturating_add(1)
+                };
+            }
+            Operator::GroupApply { subplan, .. } => {
+                collect_source_refs(subplan, true, refs);
+            }
+            _ => {}
+        }
+    }
 }
 
 impl<'a> Executor<'a> {
     fn eval(&mut self, plan: &LogicalPlan, id: NodeId) -> Result<EventStream> {
-        if let Some(hit) = self.cache.get(&id) {
-            return Ok(hit.clone());
+        if let Some((stream, remaining)) = self.cache.get_mut(&id) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                // Last consumer: move the stream out instead of cloning,
+                // so downstream in-place operators get unique ownership.
+                let (stream, _) = self.cache.remove(&id).expect("entry just seen");
+                return Ok(stream);
+            }
+            return Ok(stream.clone()); // O(1): Arc-backed storage
         }
         let node = plan.node(id);
         let mut inputs = Vec::with_capacity(node.inputs.len());
         for &input in &node.inputs {
             inputs.push(self.eval(plan, input)?);
         }
-        let out = match &node.op {
+        let out = self.apply(plan, &node.op, inputs)?;
+        let consumers = self.counts.get(id).copied().unwrap_or(0);
+        if consumers > 1 {
+            self.cache.insert(id, (out.clone(), consumers - 1));
+        }
+        Ok(out)
+    }
+
+    fn apply(
+        &mut self,
+        _plan: &LogicalPlan,
+        op: &Operator,
+        mut inputs: Vec<EventStream>,
+    ) -> Result<EventStream> {
+        let interpreted = self.mode == ExecMode::Interpreted;
+        Ok(match op {
             Operator::Source { name, schema } => {
                 let stream = self.sources.get(name).ok_or_else(|| {
                     TemporalError::Input(format!("no binding for source `{name}`"))
@@ -88,7 +226,21 @@ impl<'a> Executor<'a> {
                         stream.schema()
                     )));
                 }
-                stream.clone()
+                let remaining = self
+                    .source_refs
+                    .get_mut(name)
+                    .expect("source_refs covers every Source in the plan");
+                if *remaining != u32::MAX {
+                    *remaining -= 1;
+                }
+                if *remaining == 0 {
+                    // Last reference: move the binding out. When the caller
+                    // gave up its handle (execute_owned), downstream
+                    // in-place operators now own the storage outright.
+                    self.sources.remove(name).expect("binding just seen")
+                } else {
+                    stream.clone() // O(1): Arc-backed storage
+                }
             }
             Operator::GroupInput { .. } => self
                 .group_input
@@ -96,43 +248,107 @@ impl<'a> Executor<'a> {
                     TemporalError::Plan("GroupInput outside a GroupApply sub-plan".into())
                 })?
                 .clone(),
-            Operator::Filter { predicate } => operators::filter(&inputs[0], predicate)?,
-            Operator::Project { exprs } => operators::project(&inputs[0], exprs)?,
-            Operator::AlterLifetime { op } => operators::alter_lifetime(&inputs[0], op)?,
-            Operator::Aggregate { aggs } => operators::aggregate(&inputs[0], aggs)?,
+            Operator::Filter { predicate } => {
+                let input = inputs.pop().expect("filter has one input");
+                if interpreted {
+                    operators::interpreted::filter(&input, predicate)?
+                } else {
+                    operators::filter(input, predicate)?
+                }
+            }
+            Operator::Project { exprs } => {
+                let input = inputs.pop().expect("project has one input");
+                if interpreted {
+                    operators::interpreted::project(&input, exprs)?
+                } else {
+                    operators::project(input, exprs)?
+                }
+            }
+            Operator::AlterLifetime { op } => {
+                let input = inputs.pop().expect("alter_lifetime has one input");
+                if interpreted {
+                    operators::interpreted::alter_lifetime(&input, op)?
+                } else {
+                    operators::alter_lifetime(input, op)?
+                }
+            }
+            Operator::Aggregate { aggs } => {
+                let input = inputs.pop().expect("aggregate has one input");
+                if interpreted {
+                    operators::interpreted::aggregate(&input, aggs)?
+                } else {
+                    operators::aggregate(&input, aggs)?
+                }
+            }
             Operator::GroupApply { keys, subplan } => {
-                let sources = self.sources;
+                let input = inputs.pop().expect("group_apply has one input");
+                // Hoisted out of the per-group closure: the ref/consumer
+                // tables are recomputed per plan, not per group, and the
+                // sub-bindings stay empty unless the sub-plan actually
+                // names outer sources (rare — sub-plans read GroupInput).
+                let sub_refs = source_refs(subplan);
+                let sub_counts = consumer_counts(subplan);
+                let sub_sources = if sub_refs.is_empty() {
+                    Bindings::default()
+                } else {
+                    self.sources.clone() // O(1) per stream: Arc bumps
+                };
+                let mode = self.mode;
                 let mut run = |sub: &LogicalPlan, group: EventStream| {
                     let mut inner = Executor {
-                        sources,
+                        sources: sub_sources.clone(),
+                        source_refs: sub_refs.clone(),
                         group_input: Some(&group),
                         cache: FxHashMap::default(),
-                        counts: consumer_counts(sub),
+                        counts: sub_counts.clone(),
+                        mode,
                     };
                     inner.eval(sub, sub.roots()[0])
                 };
-                operators::group_apply(&inputs[0], keys, subplan, &mut run)?
+                if interpreted {
+                    operators::interpreted::group_apply(&input, keys, subplan, &mut run)?
+                } else {
+                    operators::group_apply(input, keys, subplan, &mut run)?
+                }
             }
             Operator::Union => {
-                let refs: Vec<&EventStream> = inputs.iter().collect();
-                operators::union(&refs)?
+                if interpreted {
+                    let refs: Vec<&EventStream> = inputs.iter().collect();
+                    operators::interpreted::union(&refs)?
+                } else {
+                    operators::union(inputs)?
+                }
             }
             Operator::TemporalJoin { keys, residual } => {
-                operators::temporal_join(&inputs[0], &inputs[1], keys, residual.as_ref())?
+                if interpreted {
+                    operators::interpreted::temporal_join(
+                        &inputs[0],
+                        &inputs[1],
+                        keys,
+                        residual.as_ref(),
+                    )?
+                } else {
+                    operators::temporal_join(&inputs[0], &inputs[1], keys, residual.as_ref())?
+                }
             }
             Operator::AntiSemiJoin { keys } => {
-                operators::anti_semi_join(&inputs[0], &inputs[1], keys)?
+                let right = inputs.pop().expect("anti_semi_join has two inputs");
+                let left = inputs.pop().expect("anti_semi_join has two inputs");
+                if interpreted {
+                    operators::interpreted::anti_semi_join(&left, &right, keys)?
+                } else {
+                    operators::anti_semi_join(left, &right, keys)?
+                }
             }
             Operator::HopUdo { hop, width, udo } => {
-                operators::hop_udo(&inputs[0], *hop, *width, udo)?
+                let input = inputs.pop().expect("hop_udo has one input");
+                if interpreted {
+                    operators::interpreted::hop_udo(&input, *hop, *width, udo)?
+                } else {
+                    operators::hop_udo(input, *hop, *width, udo)?
+                }
             }
-        };
-        // Cache only fan-out (Multicast) nodes: single-consumer results
-        // are moved to their parent without an extra full-stream clone.
-        if self.counts.get(id).copied().unwrap_or(0) > 1 {
-            self.cache.insert(id, out.clone());
-        }
-        Ok(out)
+        })
     }
 }
 
@@ -273,5 +489,51 @@ mod tests {
         let a = execute_single(&plan, &bindings(vec![("input", forward)])).unwrap();
         let b = execute_single(&plan, &bindings(vec![("input", reversed)])).unwrap();
         assert!(a.same_relation(&b));
+    }
+
+    #[test]
+    fn interpreted_and_compiled_modes_agree_exactly() {
+        // Not just the same relation: byte-identical event vectors, the
+        // repeatability requirement for restarted reducers.
+        let q = Query::new();
+        let input = q.source("input", bt_schema());
+        let clicks = input.clone().filter(col("StreamId").eq(lit(1)));
+        let searches = input.filter(col("StreamId").eq(lit(2)));
+        let out = clicks
+            .union(searches)
+            .group_apply(&["UserId", "KwAdId"], |g| g.window(100).count("N"));
+        let plan = q.build(vec![out]).unwrap();
+        let srcs = bindings(vec![("input", sample_events())]);
+        let compiled = execute_single_with_mode(&plan, &srcs, ExecMode::Compiled).unwrap();
+        let interpreted = execute_single_with_mode(&plan, &srcs, ExecMode::Interpreted).unwrap();
+        assert_eq!(compiled, interpreted);
+    }
+
+    #[test]
+    fn multicast_cache_moves_out_on_last_consumer() {
+        // A diamond (source → two filters → union) evaluated through the
+        // counting cache must still produce the right result and leave the
+        // cache empty (every entry moved out by its last consumer).
+        let q = Query::new();
+        let input = q.source("input", bt_schema());
+        let a = input.clone().filter(col("StreamId").eq(lit(1)));
+        let b = input.filter(col("StreamId").ge(lit(1)));
+        let out = a.union(b);
+        let plan = q.build(vec![out]).unwrap();
+        let srcs = bindings(vec![("input", sample_events())]);
+        let mut exec = Executor {
+            source_refs: source_refs(&plan),
+            sources: srcs,
+            group_input: None,
+            cache: FxHashMap::default(),
+            counts: consumer_counts(&plan),
+            mode: ExecMode::Compiled,
+        };
+        let result = exec.eval(&plan, plan.roots()[0]).unwrap();
+        assert_eq!(result.len(), 7); // 3 clicks + all 4
+        assert!(
+            exec.cache.is_empty(),
+            "all multicast entries should be moved out by their last consumer"
+        );
     }
 }

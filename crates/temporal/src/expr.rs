@@ -375,7 +375,7 @@ fn numeric_result(op: BinOp, a: ColumnType, b: ColumnType) -> Result<ColumnType>
     })
 }
 
-fn eval_arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     // Promote to the widest operand type present.
     if matches!(l, Value::Double(_)) || matches!(r, Value::Double(_)) {
         let (a, b) = (to_f64(l)?, to_f64(r)?);
@@ -413,7 +413,7 @@ fn eval_arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     }
 }
 
-fn eval_cmp(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_cmp(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     use std::cmp::Ordering;
     let ord = match (l, r) {
         (Value::Str(a), Value::Str(b)) => a.cmp(b),
@@ -433,7 +433,7 @@ fn eval_cmp(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     Ok(Value::Bool(b))
 }
 
-fn eval_func(func: Func, vals: &[Value]) -> Result<Value> {
+pub(crate) fn eval_func(func: Func, vals: &[Value]) -> Result<Value> {
     let f = |i: usize| to_f64(&vals[i]);
     Ok(match func {
         Func::Sqrt => Value::Double(f(0)?.sqrt()),

@@ -1,0 +1,106 @@
+//! Zero-allocation grouping/join keys: hash-then-compare.
+//!
+//! The interpreted operators materialized a `Vec<Value>` key per *event* to
+//! use as a `HashMap` key — one heap allocation plus value clones for every
+//! event on both sides of a join. A [`KeySelector`] instead resolves the key
+//! columns to indices once, hashes the key cells **in place**
+//! ([`relation::hash::key_hash`], deterministic FxHash), and buckets by the
+//! 64-bit hash. Distinct keys that collide on the hash are separated by an
+//! index-wise [`Value`] equality check against a representative row — the
+//! same strict `PartialEq` the old `Vec<Value>` map keys used — so operator
+//! results are bit-for-bit identical to the interpreted path. A key is only
+//! materialized with [`KeySelector::extract`] when one is needed per *group*
+//! (e.g. GroupApply's deterministic sorted-key group order), never per event.
+
+use crate::error::{Result, TemporalError};
+use relation::hash::key_hash;
+use relation::{Row, Schema, Value};
+
+/// Key columns of one schema, resolved to indices.
+#[derive(Debug, Clone)]
+pub struct KeySelector {
+    indices: Vec<usize>,
+}
+
+impl KeySelector {
+    /// Resolve `names` against `schema`.
+    pub fn new<S: AsRef<str>>(schema: &Schema, names: &[S]) -> Result<Self> {
+        let indices = names
+            .iter()
+            .map(|n| schema.index_of(n.as_ref()).map_err(TemporalError::from))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(KeySelector { indices })
+    }
+
+    /// Deterministic 64-bit hash of the key cells of `row`, with no key
+    /// materialization.
+    pub fn hash(&self, row: &Row) -> u64 {
+        key_hash(row, &self.indices)
+    }
+
+    /// Whether `a`'s key under `self` equals `b`'s key under `other`
+    /// (index-wise strict [`Value`] equality, as `Vec<Value>` map keys used).
+    pub fn matches(&self, a: &Row, other: &KeySelector, b: &Row) -> bool {
+        debug_assert_eq!(self.indices.len(), other.indices.len());
+        self.indices
+            .iter()
+            .zip(&other.indices)
+            .all(|(&i, &j)| a.get(i) == b.get(j))
+    }
+
+    /// Whether two rows of the same schema share a key.
+    pub fn matches_same(&self, a: &Row, b: &Row) -> bool {
+        self.matches(a, self, b)
+    }
+
+    /// Materialize the key (used once per group, not per event).
+    pub fn extract(&self, row: &Row) -> Vec<Value> {
+        self.indices.iter().map(|&i| row.get(i).clone()).collect()
+    }
+
+    /// The resolved key column indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::hash::values_hash;
+    use relation::row;
+    use relation::schema::{ColumnType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("Time", ColumnType::Long),
+            Field::new("UserId", ColumnType::Str),
+            Field::new("KwAdId", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn hash_agrees_with_materialized_key_hash() {
+        let s = schema();
+        let sel = KeySelector::new(&s, &["UserId", "KwAdId"]).unwrap();
+        let r = row![5i64, "u1", "adA"];
+        assert_eq!(sel.hash(&r), values_hash(&sel.extract(&r)));
+    }
+
+    #[test]
+    fn matches_compares_cells_across_schemas() {
+        let left = schema();
+        let right = Schema::new(vec![Field::new("Uid", ColumnType::Str)]);
+        let lsel = KeySelector::new(&left, &["UserId"]).unwrap();
+        let rsel = KeySelector::new(&right, &["Uid"]).unwrap();
+        let a = row![1i64, "u1", "adA"];
+        assert!(lsel.matches(&a, &rsel, &row!["u1"]));
+        assert!(!lsel.matches(&a, &rsel, &row!["u2"]));
+        assert!(lsel.matches_same(&a, &row![9i64, "u1", "other"]));
+    }
+
+    #[test]
+    fn unknown_key_column_errors() {
+        assert!(KeySelector::new(&schema(), &["Nope"]).is_err());
+    }
+}

@@ -29,10 +29,12 @@
 //! TiMR's temporal-partitioning correctness proof compare.
 
 pub mod agg;
+pub mod compiled;
 pub mod error;
 pub mod event;
 pub mod exec;
 pub mod expr;
+pub mod key;
 pub mod operators;
 pub mod plan;
 pub mod rt;
@@ -41,6 +43,7 @@ pub mod streamsql;
 pub mod time;
 pub mod udo;
 
+pub use compiled::CompiledExpr;
 pub use error::{Result, TemporalError};
 pub use event::Event;
 pub use expr::{col, lit, Expr};

@@ -12,6 +12,11 @@
 //! Segments with an empty active set produce no output, and adjacent
 //! segments with equal aggregate values are coalesced, so the operator
 //! output is already in canonical form.
+//!
+//! Aggregate arguments are compiled once against the input schema
+//! ([`crate::agg::AggExpr::compile_arg`]); the sweep itself is shared with
+//! the interpreted baseline, so the two modes can only differ in how the
+//! per-event argument values are produced — and those are value-identical.
 
 use crate::agg::AggExpr;
 use crate::error::Result;
@@ -34,17 +39,31 @@ pub fn aggregate(input: &EventStream, aggs: &[(String, AggExpr)]) -> Result<Even
         return Ok(EventStream::empty(out_schema));
     }
 
-    // Pre-evaluate each aggregate's argument for each event.
-    let n_aggs = aggs.len();
-    let mut arg_values: Vec<Vec<Value>> = Vec::with_capacity(input.len());
+    // Pre-evaluate each aggregate's argument for each event, through the
+    // compiled (index-resolved) expressions, into one flat stride-`n_aggs`
+    // buffer — no per-event allocation.
+    let compiled: Vec<_> = aggs.iter().map(|(_, a)| a.compile_arg(in_schema)).collect();
+    let mut arg_values: Vec<Value> = Vec::with_capacity(input.len() * aggs.len());
     for e in input.events() {
-        let mut vals = Vec::with_capacity(n_aggs);
-        for (_, a) in aggs {
-            vals.push(a.eval_arg(in_schema, &e.payload)?);
+        for c in &compiled {
+            arg_values.push(match c {
+                None => Value::Null,
+                Some(c) => c.eval(&e.payload)?,
+            });
         }
-        arg_values.push(vals);
     }
+    sweep(input, aggs, &arg_values, out_schema)
+}
 
+/// The endpoint sweep over pre-evaluated argument values (one flat buffer,
+/// stride `aggs.len()`, event-major). Shared by the compiled operator
+/// above and the interpreted baseline.
+pub(crate) fn sweep(
+    input: &EventStream,
+    aggs: &[(String, AggExpr)],
+    arg_values: &[Value],
+    out_schema: Schema,
+) -> Result<EventStream> {
     // Endpoint sweep: (time, event index, is_start).
     let mut endpoints: Vec<(Time, usize, bool)> = Vec::with_capacity(input.len() * 2);
     for (i, e) in input.events().iter().enumerate() {
@@ -53,6 +72,7 @@ pub fn aggregate(input: &EventStream, aggs: &[(String, AggExpr)]) -> Result<Even
     }
     endpoints.sort_unstable_by_key(|&(t, i, is_start)| (t, is_start, i));
 
+    let n_aggs = aggs.len();
     let mut accs: Vec<_> = aggs.iter().map(|(_, a)| a.accumulator()).collect();
     let mut active: i64 = 0;
     let mut out: Vec<Event> = Vec::new();
@@ -64,7 +84,10 @@ pub fn aggregate(input: &EventStream, aggs: &[(String, AggExpr)]) -> Result<Even
         // Apply every change at instant t before emitting.
         while idx < endpoints.len() && endpoints[idx].0 == t {
             let (_, i, is_start) = endpoints[idx];
-            for (acc, v) in accs.iter_mut().zip(&arg_values[i]) {
+            for (acc, v) in accs
+                .iter_mut()
+                .zip(&arg_values[i * n_aggs..(i + 1) * n_aggs])
+            {
                 if is_start {
                     acc.add(v);
                 } else {
@@ -123,7 +146,7 @@ mod tests {
             schema(),
             vec![Event::point(2, row![120i64]), Event::point(4, row![370i64])],
         );
-        let windowed = alter_lifetime(&input, &LifetimeOp::Window(3)).unwrap();
+        let windowed = alter_lifetime(input, &LifetimeOp::Window(3)).unwrap();
         let out = count_of(&windowed);
         assert_eq!(
             out.events(),

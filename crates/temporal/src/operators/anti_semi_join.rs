@@ -6,61 +6,92 @@
 //! non-click derivation (drop impressions that led to a click, Fig 12) —
 //! this reduces to "drop covered points". Interval left events are split
 //! into surviving fragments.
+//!
+//! Keys are hash-then-compare ([`KeySelector`]); covers for distinct keys
+//! that collide on the hash stay separate (each keeps a representative
+//! right row for the cell comparison — merging covers across colliding
+//! keys would wrongly subtract one key's intervals from another's events).
+//! Left events are consumed and **moved** to the output in the common
+//! no-overlap case; only genuine fragmenting clones a payload.
 
-use crate::error::{Result, TemporalError};
+use crate::error::Result;
+use crate::event::Event;
+use crate::key::KeySelector;
 use crate::stream::EventStream;
 use crate::time::{merge_intervals, Lifetime};
-use relation::Value;
+use relation::Row;
 use rustc_hash::FxHashMap;
+
+/// One right-side key's merged cover, with a representative row to resolve
+/// hash collisions by actual cell comparison.
+struct Cover {
+    repr: Row,
+    intervals: Vec<Lifetime>,
+}
 
 /// Subtract from `left` the time ranges covered by key-matching events of
 /// `right`.
 pub fn anti_semi_join(
-    left: &EventStream,
+    left: EventStream,
     right: &EventStream,
     keys: &[(String, String)],
 ) -> Result<EventStream> {
-    let lschema = left.schema();
+    let lschema = left.schema().clone();
     let rschema = right.schema();
-    let lkeys: Vec<usize> = keys
-        .iter()
-        .map(|(l, _)| lschema.index_of(l).map_err(TemporalError::from))
-        .collect::<Result<Vec<_>>>()?;
-    let rkeys: Vec<usize> = keys
-        .iter()
-        .map(|(_, r)| rschema.index_of(r).map_err(TemporalError::from))
-        .collect::<Result<Vec<_>>>()?;
+    let lnames: Vec<&str> = keys.iter().map(|(l, _)| l.as_str()).collect();
+    let rnames: Vec<&str> = keys.iter().map(|(_, r)| r.as_str()).collect();
+    let lsel = KeySelector::new(&lschema, &lnames)?;
+    let rsel = KeySelector::new(rschema, &rnames)?;
 
     // Per key: merged, disjoint, sorted cover of the right side.
-    let mut covers: FxHashMap<Vec<Value>, Vec<Lifetime>> = FxHashMap::default();
+    let mut covers: FxHashMap<u64, Vec<Cover>> = FxHashMap::default();
     for e in right.events() {
-        let key: Vec<Value> = rkeys.iter().map(|&i| e.payload.get(i).clone()).collect();
-        covers.entry(key).or_default().push(e.lifetime);
+        let bucket = covers.entry(rsel.hash(&e.payload)).or_default();
+        match bucket
+            .iter_mut()
+            .find(|c| rsel.matches_same(&c.repr, &e.payload))
+        {
+            Some(c) => c.intervals.push(e.lifetime),
+            None => bucket.push(Cover {
+                repr: e.payload.clone(),
+                intervals: vec![e.lifetime],
+            }),
+        }
     }
-    for intervals in covers.values_mut() {
-        let merged = merge_intervals(std::mem::take(intervals));
-        *intervals = merged;
+    for bucket in covers.values_mut() {
+        for c in bucket {
+            let merged = merge_intervals(std::mem::take(&mut c.intervals));
+            c.intervals = merged;
+        }
     }
 
     let mut out = Vec::with_capacity(left.len());
-    for e in left.events() {
-        let key: Vec<Value> = lkeys.iter().map(|&i| e.payload.get(i).clone()).collect();
-        match covers.get(&key) {
-            None => out.push(e.clone()),
-            Some(holes) => {
-                for fragment in e.lifetime.subtract_all(holes) {
-                    out.push(e.with_lifetime(fragment));
+    for mut e in left.into_events() {
+        let cover = covers
+            .get(&lsel.hash(&e.payload))
+            .and_then(|b| b.iter().find(|c| lsel.matches(&e.payload, &rsel, &c.repr)));
+        match cover {
+            None => out.push(e),
+            Some(c) => {
+                let mut fragments = e.lifetime.subtract_all(&c.intervals).into_iter();
+                if let Some(first) = fragments.next() {
+                    // The moved event carries the first fragment (the
+                    // common single-fragment case clones nothing); any
+                    // further fragments clone the payload.
+                    let extra: Vec<Event> = fragments.map(|lt| e.with_lifetime(lt)).collect();
+                    e.lifetime = first;
+                    out.push(e);
+                    out.extend(extra);
                 }
             }
         }
     }
-    Ok(EventStream::new(lschema.clone(), out))
+    Ok(EventStream::new(lschema, out))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::Event;
     use relation::schema::{ColumnType, Field};
     use relation::{row, Schema};
 
@@ -87,7 +118,7 @@ mod tests {
             vec![Event::interval(0, 10, row!["u1"])],
         );
         let out = anti_semi_join(
-            &activity,
+            activity,
             &bot_periods,
             &[("UserId".to_string(), "UserId".to_string())],
         )
@@ -113,7 +144,7 @@ mod tests {
             ],
         );
         let out = anti_semi_join(
-            &left,
+            left,
             &right,
             &[("UserId".to_string(), "UserId".to_string())],
         )
@@ -132,7 +163,7 @@ mod tests {
             vec![Event::interval(0, 10, row!["u1"])],
         );
         let out = anti_semi_join(
-            &left,
+            left,
             &right,
             &[("UserId".to_string(), "UserId".to_string())],
         )

@@ -4,9 +4,16 @@
 //! per group over that group's events; the grouping key columns are
 //! prepended to every output row. Groups are processed in sorted key order
 //! so execution is deterministic even before normalization.
+//!
+//! Partitioning is hash-then-compare: events bucket by the 64-bit key hash
+//! (no per-event key materialization) and are **moved** into their group,
+//! not cloned; hash collisions between distinct keys are separated by
+//! comparing key cells against each group's first event. One key per
+//! *group* is materialized at the end for the deterministic sort.
 
-use crate::error::{Result, TemporalError};
+use crate::error::Result;
 use crate::event::Event;
+use crate::key::KeySelector;
 use crate::plan::LogicalPlan;
 use crate::stream::EventStream;
 use relation::{Row, Schema, Value};
@@ -16,29 +23,34 @@ use rustc_hash::FxHashMap;
 /// output rows. `run_subplan` is supplied by the executor (it knows how to
 /// evaluate a plan against a bound GroupInput).
 pub fn group_apply(
-    input: &EventStream,
+    input: EventStream,
     keys: &[String],
     subplan: &LogicalPlan,
     run_subplan: &mut dyn FnMut(&LogicalPlan, EventStream) -> Result<EventStream>,
 ) -> Result<EventStream> {
-    let in_schema = input.schema();
-    let key_indices: Vec<usize> = keys
-        .iter()
-        .map(|k| in_schema.index_of(k).map_err(TemporalError::from))
-        .collect::<Result<Vec<_>>>()?;
+    let in_schema = input.schema().clone();
+    let sel = KeySelector::new(&in_schema, keys)?;
 
-    // Partition events by key.
-    let mut groups: FxHashMap<Vec<Value>, Vec<Event>> = FxHashMap::default();
-    for e in input.events() {
-        let key: Vec<Value> = key_indices
-            .iter()
-            .map(|&i| e.payload.get(i).clone())
-            .collect();
-        groups.entry(key).or_default().push(e.clone());
+    // Partition events by key hash, moving each event into its group; a
+    // bucket holds one group per distinct key that hashes there.
+    let mut buckets: FxHashMap<u64, Vec<Vec<Event>>> = FxHashMap::default();
+    for e in input.into_events() {
+        let groups = buckets.entry(sel.hash(&e.payload)).or_default();
+        match groups
+            .iter_mut()
+            .find(|g| sel.matches_same(&g[0].payload, &e.payload))
+        {
+            Some(g) => g.push(e),
+            None => groups.push(vec![e]),
+        }
     }
 
-    // Deterministic group order.
-    let mut ordered: Vec<(Vec<Value>, Vec<Event>)> = groups.into_iter().collect();
+    // Deterministic group order: materialize one key per group and sort.
+    let mut ordered: Vec<(Vec<Value>, Vec<Event>)> = buckets
+        .into_values()
+        .flatten()
+        .map(|g| (sel.extract(&g[0].payload), g))
+        .collect();
     ordered.sort_by(|a, b| a.0.cmp(&b.0));
 
     // Output schema: key fields + sub-plan output fields.
@@ -111,7 +123,7 @@ mod tests {
                 vec![Event::point(0, row![group.len() as i64])],
             ))
         };
-        let out = group_apply(&input, &["Id".to_string()], &g, &mut stub).unwrap();
+        let out = group_apply(input, &["Id".to_string()], &g, &mut stub).unwrap();
         assert_eq!(out.schema().names(), vec!["Id", "S"]);
         // Groups in sorted key order: "a" then "b".
         assert_eq!(out.events()[0].payload, row!["a", 1i64]);

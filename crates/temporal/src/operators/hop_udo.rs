@@ -14,22 +14,23 @@ use crate::stream::EventStream;
 use crate::time::{ceil_to_grid, Duration, Lifetime};
 use crate::udo::UdoRef;
 
-/// Apply `udo` to each hopping window of `input`.
+/// Apply `udo` to each hopping window of `input`. Consumes the input and
+/// sorts its events in place (no copy when uniquely owned).
 pub fn hop_udo(
-    input: &EventStream,
+    input: EventStream,
     hop: Duration,
     width: Duration,
     udo: &UdoRef,
 ) -> Result<EventStream> {
-    let in_schema = input.schema();
-    let out_schema = udo.output_schema(in_schema)?;
+    let in_schema = input.schema().clone();
+    let out_schema = udo.output_schema(&in_schema)?;
     if input.is_empty() {
         return Ok(EventStream::empty(out_schema));
     }
 
     // Sort events by timestamp once; slide a two-pointer window across grid
     // instants.
-    let mut events: Vec<Event> = input.events().to_vec();
+    let mut events: Vec<Event> = input.into_events();
     events.sort_by_key(|e| e.lifetime.start);
     let min_t = events.first().map(|e| e.start()).unwrap();
     let max_t = events.last().map(|e| e.start()).unwrap();
@@ -46,7 +47,7 @@ pub fn hop_udo(
             hi += 1;
         }
         if lo < hi {
-            for row in udo.apply(t, in_schema, &events[lo..hi])? {
+            for row in udo.apply(t, &in_schema, &events[lo..hi])? {
                 out.push(Event::new(Lifetime::new(t, t + hop), row));
             }
         }
@@ -75,7 +76,7 @@ mod tests {
     fn udo_runs_once_per_nonempty_window() {
         let udo: UdoRef = Arc::new(WindowCountUdo);
         // hop=10, width=20; events at 5, 12, 31.
-        let out = hop_udo(&stream(&[5, 12, 31]), 10, 20, &udo).unwrap();
+        let out = hop_udo(stream(&[5, 12, 31]), 10, 20, &udo).unwrap();
         // Windows: T=10 -> {5}, T=20 -> {5,12}, T=30 -> {12}, T=40 -> {31},
         // T=50 -> {31}.
         let got: Vec<(i64, i64, i64)> = out
@@ -107,7 +108,7 @@ mod tests {
     fn window_boundaries_are_half_open_left() {
         let udo: UdoRef = Arc::new(WindowCountUdo);
         // width=10, hop=10: event at exactly T-width is excluded.
-        let out = hop_udo(&stream(&[10, 20]), 10, 10, &udo).unwrap();
+        let out = hop_udo(stream(&[10, 20]), 10, 10, &udo).unwrap();
         let counts: Vec<i64> = out
             .events()
             .iter()
@@ -123,7 +124,7 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_output_with_schema() {
         let udo: UdoRef = Arc::new(WindowCountUdo);
-        let out = hop_udo(&stream(&[]), 10, 10, &udo).unwrap();
+        let out = hop_udo(stream(&[]), 10, 10, &udo).unwrap();
         assert!(out.is_empty());
         assert_eq!(out.schema().names(), vec!["WindowEnd", "Events"]);
     }

@@ -5,6 +5,14 @@
 //! results never depend on the physical order of input events. The batch
 //! executor ([`crate::exec`]) wires these together following a
 //! [`crate::plan::LogicalPlan`].
+//!
+//! The default implementations here are the *compiled* forms: expressions
+//! are index-resolved once per invocation ([`crate::compiled`]), join and
+//! grouping keys hash in place ([`crate::key`]), and single-consumer inputs
+//! are consumed and mutated in place rather than cloned. The PR 1
+//! interpreted forms are preserved verbatim in [`interpreted`] as the
+//! benchmark baseline and property-test reference; both produce
+//! byte-identical outputs.
 
 mod aggregate;
 mod alter_lifetime;
@@ -12,6 +20,7 @@ mod anti_semi_join;
 mod filter;
 mod group_apply;
 mod hop_udo;
+pub mod interpreted;
 mod project;
 mod temporal_join;
 mod union;

@@ -1,13 +1,21 @@
 //! Project: stateless payload transformation (paper §II-A.2).
 
+use crate::compiled::CompiledExpr;
 use crate::error::Result;
 use crate::event::Event;
 use crate::expr::Expr;
 use crate::stream::EventStream;
-use relation::{Field, Row, Schema};
+use relation::{Field, Row, Schema, Value};
 
-/// Recompute each payload from `exprs`; lifetimes pass through.
-pub fn project(input: &EventStream, exprs: &[(String, Expr)]) -> Result<EventStream> {
+/// Recompute each payload from `exprs`; lifetimes pass through. The
+/// expressions are compiled once against the input schema. A
+/// uniquely-owned input has its event vector reused, each payload replaced
+/// in place — and a passthrough column (a bare column reference no other
+/// output expression reads) is **moved** out of the old payload rather
+/// than cloned, so carrying a string id through a projection costs
+/// nothing. Shared storage is rebuilt from borrowed events; the old
+/// payloads are never cloned wholesale, only read.
+pub fn project(mut input: EventStream, exprs: &[(String, Expr)]) -> Result<EventStream> {
     let in_schema = input.schema();
     let out_schema = Schema::new(
         exprs
@@ -15,13 +23,60 @@ pub fn project(input: &EventStream, exprs: &[(String, Expr)]) -> Result<EventStr
             .map(|(name, e)| Ok(Field::new(name.clone(), e.infer_type(in_schema)?)))
             .collect::<Result<Vec<_>>>()?,
     );
-    let mut events = Vec::with_capacity(input.len());
-    for e in input.events() {
-        let mut values = Vec::with_capacity(exprs.len());
-        for (_, expr) in exprs {
-            values.push(expr.eval(in_schema, &e.payload)?);
+    let compiled: Vec<CompiledExpr> = exprs
+        .iter()
+        .map(|(_, e)| CompiledExpr::compile(e, in_schema))
+        .collect();
+    // Output expr j may take input column i by move iff expr j is `col(i)`
+    // and no expression (including itself, again) reads column i elsewhere.
+    let mut refs = vec![0usize; in_schema.len()];
+    for (_, e) in exprs {
+        for name in e.referenced_columns() {
+            if let Ok(i) = in_schema.index_of(name) {
+                refs[i] += 1;
+            }
         }
-        events.push(Event::new(e.lifetime, Row::new(values)));
+    }
+    let moves: Vec<Option<usize>> = exprs
+        .iter()
+        .map(|(_, e)| match e {
+            Expr::Column(name) => match in_schema.index_of(name) {
+                Ok(i) if refs[i] == 1 => Some(i),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    let eval_row = |payload: &Row| -> Result<Row> {
+        let mut values = Vec::with_capacity(compiled.len());
+        for c in &compiled {
+            values.push(c.eval(payload)?);
+        }
+        Ok(Row::new(values))
+    };
+    if !input.is_unique() {
+        let mut events = Vec::with_capacity(input.len());
+        for e in input.events() {
+            events.push(Event::new(e.lifetime, eval_row(&e.payload)?));
+        }
+        return Ok(EventStream::new(out_schema, events));
+    }
+    let mut events = input.into_events();
+    for e in &mut events {
+        let mut values = Vec::with_capacity(compiled.len());
+        for (c, mv) in compiled.iter().zip(&moves) {
+            values.push(match mv {
+                Some(_) => Value::Null, // placeholder, replaced below
+                None => c.eval(&e.payload)?,
+            });
+        }
+        let old = e.payload.values_mut();
+        for (slot, mv) in values.iter_mut().zip(&moves) {
+            if let Some(i) = *mv {
+                *slot = std::mem::replace(&mut old[i], Value::Null);
+            }
+        }
+        e.payload = Row::new(values);
     }
     Ok(EventStream::new(out_schema, events))
 }
@@ -29,6 +84,7 @@ pub fn project(input: &EventStream, exprs: &[(String, Expr)]) -> Result<EventStr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::Event;
     use crate::expr::{col, lit};
     use relation::schema::ColumnType;
     use relation::{row, Value};
@@ -47,7 +103,7 @@ mod tests {
             ),
             ("Imps".to_string(), col("Imps")),
         ];
-        let out = project(&input, &exprs).unwrap();
+        let out = project(input, &exprs).unwrap();
         assert_eq!(out.schema().names(), vec!["Ctr", "Imps"]);
         assert_eq!(out.events()[0].payload.get(0), &Value::Double(0.25));
     }
@@ -59,8 +115,21 @@ mod tests {
             Field::new("B", ColumnType::Str),
         ]);
         let input = EventStream::new(schema, vec![Event::point(0, row![1i64, "x"])]);
-        let out = project(&input, &[("B".to_string(), col("B"))]).unwrap();
+        let out = project(input, &[("B".to_string(), col("B"))]).unwrap();
         assert_eq!(out.schema().names(), vec!["B"]);
         assert_eq!(out.events()[0].payload, row!["x"]);
+    }
+
+    #[test]
+    fn shared_input_is_left_untouched() {
+        let schema = Schema::new(vec![Field::new("A", ColumnType::Long)]);
+        let original = EventStream::new(schema, vec![Event::point(0, row![7i64])]);
+        let out = project(
+            original.clone(),
+            &[("A2".to_string(), col("A").add(lit(1i64)))],
+        )
+        .unwrap();
+        assert_eq!(original.events()[0].payload, row![7i64]);
+        assert_eq!(out.events()[0].payload, row![8i64]);
     }
 }

@@ -9,12 +9,20 @@
 //! of interval events on the right (profiles, model weights) — falls out of
 //! the general interval intersection: a point `[t, t+1)` intersects exactly
 //! the right events whose lifetimes contain `t`.
+//!
+//! Keys are hash-then-compare ([`KeySelector`]): both sides bucket by the
+//! 64-bit hash of their key cells, with no per-event `Vec<Value>` key
+//! allocation; colliding distinct keys are rejected by an index-wise cell
+//! comparison per candidate pair. Buckets stay sorted by `(LE, RE)` —
+//! stable, so events with equal lifetimes keep input order — which makes
+//! the output event order identical to a by-key index, collisions or not.
 
-use crate::error::{Result, TemporalError};
+use crate::compiled::CompiledExpr;
+use crate::error::Result;
 use crate::event::Event;
 use crate::expr::Expr;
+use crate::key::KeySelector;
 use crate::stream::EventStream;
-use relation::Value;
 use rustc_hash::FxHashMap;
 
 /// Join `left` and `right` on `keys` (pairs of column names) with an
@@ -29,20 +37,20 @@ pub fn temporal_join(
     let rschema = right.schema();
     let out_schema = lschema.join(rschema);
 
-    let lkeys: Vec<usize> = keys
-        .iter()
-        .map(|(l, _)| lschema.index_of(l).map_err(TemporalError::from))
-        .collect::<Result<Vec<_>>>()?;
-    let rkeys: Vec<usize> = keys
-        .iter()
-        .map(|(_, r)| rschema.index_of(r).map_err(TemporalError::from))
-        .collect::<Result<Vec<_>>>()?;
+    let lnames: Vec<&str> = keys.iter().map(|(l, _)| l.as_str()).collect();
+    let rnames: Vec<&str> = keys.iter().map(|(_, r)| r.as_str()).collect();
+    let lsel = KeySelector::new(lschema, &lnames)?;
+    let rsel = KeySelector::new(rschema, &rnames)?;
+    let compiled_residual = residual.map(|p| CompiledExpr::compile(p, &out_schema));
 
-    // Hash the right side by key; sort each bucket by LE for early exit.
-    let mut right_index: FxHashMap<Vec<Value>, Vec<&Event>> = FxHashMap::default();
+    // Hash the right side by key hash; sort each bucket by LE for early
+    // exit (stable: equal lifetimes keep insertion order).
+    let mut right_index: FxHashMap<u64, Vec<&Event>> = FxHashMap::default();
     for e in right.events() {
-        let key: Vec<Value> = rkeys.iter().map(|&i| e.payload.get(i).clone()).collect();
-        right_index.entry(key).or_default().push(e);
+        right_index
+            .entry(rsel.hash(&e.payload))
+            .or_default()
+            .push(e);
     }
     for bucket in right_index.values_mut() {
         bucket.sort_by_key(|e| (e.lifetime.start, e.lifetime.end));
@@ -50,8 +58,7 @@ pub fn temporal_join(
 
     let mut out = Vec::new();
     for le in left.events() {
-        let key: Vec<Value> = lkeys.iter().map(|&i| le.payload.get(i).clone()).collect();
-        let Some(bucket) = right_index.get(&key) else {
+        let Some(bucket) = right_index.get(&lsel.hash(&le.payload)) else {
             continue;
         };
         for re in bucket {
@@ -61,9 +68,12 @@ pub fn temporal_join(
             let Some(lifetime) = le.lifetime.intersect(&re.lifetime) else {
                 continue;
             };
+            if !lsel.matches(&le.payload, &rsel, &re.payload) {
+                continue; // hash collision between distinct keys
+            }
             let payload = le.payload.concat(&re.payload);
-            if let Some(pred) = residual {
-                if !pred.eval_predicate(&out_schema, &payload)? {
+            if let Some(pred) = &compiled_residual {
+                if !pred.eval_predicate(&payload)? {
                     continue;
                 }
             }

@@ -3,14 +3,15 @@
 use crate::error::{Result, TemporalError};
 use crate::stream::EventStream;
 
-/// Merge all inputs into one stream. Schemas must be identical.
-pub fn union(inputs: &[&EventStream]) -> Result<EventStream> {
-    let first = inputs
-        .first()
+/// Merge all inputs into one stream, consuming them (uniquely-owned inputs
+/// move their events, no copies). Schemas must be identical.
+pub fn union(inputs: Vec<EventStream>) -> Result<EventStream> {
+    let mut it = inputs.into_iter();
+    let mut out = it
+        .next()
         .ok_or_else(|| TemporalError::Plan("union of zero streams".into()))?;
-    let mut out = EventStream::empty(first.schema().clone());
-    for s in inputs {
-        out.merge((*s).clone())?;
+    for s in it {
+        out.merge(s)?;
     }
     Ok(out)
 }
@@ -31,7 +32,7 @@ mod tests {
         let a = EventStream::new(schema(), vec![Event::point(1, row![1i64])]);
         let b = EventStream::new(schema(), vec![Event::point(2, row![2i64])]);
         let c = EventStream::new(schema(), vec![Event::point(3, row![3i64])]);
-        let out = union(&[&a, &b, &c]).unwrap();
+        let out = union(vec![a, b, c]).unwrap();
         assert_eq!(out.len(), 3);
     }
 
@@ -39,6 +40,6 @@ mod tests {
     fn schema_mismatch_rejected() {
         let a = EventStream::empty(schema());
         let b = EventStream::empty(Schema::new(vec![Field::new("Y", ColumnType::Long)]));
-        assert!(union(&[&a, &b]).is_err());
+        assert!(union(vec![a, b]).is_err());
     }
 }

@@ -16,25 +16,35 @@ use crate::time::Lifetime;
 use relation::{Row, Schema};
 use rustc_hash::FxHashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A bag of events with a shared payload schema.
+///
+/// Event storage lives behind an `Arc`, so cloning a stream (Multicast
+/// fan-out, source bindings, executor cache hits) is O(1) and shares the
+/// payloads. Mutation goes through [`EventStream::events_mut`], which is
+/// copy-on-write: a uniquely-owned stream — the common case for
+/// single-consumer operator inputs — mutates in place with no copy at all.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventStream {
     schema: Schema,
-    events: Vec<Event>,
+    events: Arc<Vec<Event>>,
 }
 
 impl EventStream {
     /// Build a stream from parts.
     pub fn new(schema: Schema, events: Vec<Event>) -> Self {
-        EventStream { schema, events }
+        EventStream {
+            schema,
+            events: Arc::new(events),
+        }
     }
 
     /// An empty stream of the given schema.
     pub fn empty(schema: Schema) -> Self {
         EventStream {
             schema,
-            events: Vec::new(),
+            events: Arc::new(Vec::new()),
         }
     }
 
@@ -44,7 +54,10 @@ impl EventStream {
             .into_iter()
             .map(|(t, row)| Event::point(t, row))
             .collect();
-        EventStream { schema, events }
+        EventStream {
+            schema,
+            events: Arc::new(events),
+        }
     }
 
     /// The payload schema.
@@ -57,9 +70,26 @@ impl EventStream {
         &self.events
     }
 
-    /// Consume into the event vector.
+    /// Mutable access to the events. Copy-on-write: no copy when this
+    /// stream is the sole owner of its storage.
+    pub fn events_mut(&mut self) -> &mut Vec<Event> {
+        Arc::make_mut(&mut self.events)
+    }
+
+    /// Whether this stream is the sole owner of its event storage.
+    ///
+    /// In-place operators branch on this: a uniquely-owned stream is
+    /// mutated directly, while shared storage (a Multicast consumer or a
+    /// source still held by the bindings map) is rebuilt from borrowed
+    /// events — copying only what survives instead of letting
+    /// [`Self::events_mut`] deep-clone the whole vector first.
+    pub fn is_unique(&mut self) -> bool {
+        Arc::get_mut(&mut self.events).is_some()
+    }
+
+    /// Consume into the event vector (no copy when uniquely owned).
     pub fn into_events(self) -> Vec<Event> {
-        self.events
+        Arc::try_unwrap(self.events).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Number of events.
@@ -74,12 +104,12 @@ impl EventStream {
 
     /// Append an event.
     pub fn push(&mut self, event: Event) {
-        self.events.push(event);
+        self.events_mut().push(event);
     }
 
     /// Validate every payload against the schema.
     pub fn check(&self) -> Result<()> {
-        for e in &self.events {
+        for e in self.events.iter() {
             e.payload
                 .check(&self.schema)
                 .map_err(TemporalError::Relation)?;
@@ -95,7 +125,7 @@ impl EventStream {
                 self.schema, other.schema
             )));
         }
-        self.events.extend(other.events);
+        self.events_mut().extend(other.into_events());
         Ok(())
     }
 
@@ -113,7 +143,7 @@ impl EventStream {
     /// duplicate-insensitive to make restart/partitioning comparisons sound.
     pub fn normalize(&self) -> EventStream {
         let mut by_payload: FxHashMap<&Row, Vec<Lifetime>> = FxHashMap::default();
-        for e in &self.events {
+        for e in self.events.iter() {
             by_payload.entry(&e.payload).or_default().push(e.lifetime);
         }
         let mut events = Vec::with_capacity(self.events.len());
@@ -125,7 +155,7 @@ impl EventStream {
         events.sort();
         EventStream {
             schema: self.schema.clone(),
-            events,
+            events: Arc::new(events),
         }
     }
 
@@ -148,7 +178,7 @@ impl EventStream {
 impl fmt::Display for EventStream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "stream {} ({} events)", self.schema, self.events.len())?;
-        for e in &self.events {
+        for e in self.events.iter() {
             writeln!(f, "  {e}")?;
         }
         Ok(())

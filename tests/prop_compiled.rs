@@ -1,0 +1,234 @@
+//! Property tests for the compiled hot path (PR 2): the compiled
+//! expression evaluator and the in-place operators must be *observably
+//! identical* to their interpreted PR 1 baselines — values and error
+//! cases — because repeatability of restarted reducers (paper §III-C.1)
+//! requires the two executor modes to produce byte-identical streams.
+
+use proptest::prelude::*;
+use timr_suite::relation::schema::{ColumnType, Field};
+use timr_suite::relation::{Row, Schema, Value};
+use timr_suite::temporal::operators::{alter_lifetime, filter, interpreted, project};
+use timr_suite::temporal::plan::LifetimeOp;
+use timr_suite::temporal::{col, lit, CompiledExpr, Event, EventStream, Expr, Lifetime};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("I", ColumnType::Int),
+        Field::new("L", ColumnType::Long),
+        Field::new("D", ColumnType::Double),
+        Field::new("S", ColumnType::Str),
+        Field::new("B", ColumnType::Bool),
+    ])
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        -1000i32..1000,
+        -10_000i64..10_000,
+        -1e6f64..1e6,
+        0u8..3,
+        any::<bool>(),
+        0u8..32,
+    )
+        .prop_map(|(i, l, d, s, b, nulls)| {
+            let mut vals = vec![
+                Value::Int(i),
+                Value::Long(l),
+                Value::Double(d),
+                Value::from(format!("u{s}")),
+                Value::Bool(b),
+            ];
+            for (k, v) in vals.iter_mut().enumerate() {
+                if nulls & (1 << k) != 0 {
+                    *v = Value::Null;
+                }
+            }
+            Row::new(vals)
+        })
+}
+
+fn apply_op(a: Expr, b: Expr, op: usize) -> Expr {
+    match op {
+        0 => a.add(b),
+        1 => a.sub(b),
+        2 => a.mul(b),
+        3 => a.div(b),
+        4 => a.eq(b),
+        5 => a.ne(b),
+        6 => a.lt(b),
+        7 => a.le(b),
+        8 => a.gt(b),
+        9 => a.ge(b),
+        10 => a.and(b),
+        _ => a.or(b),
+    }
+}
+
+/// Random expression trees over the test schema — including references to
+/// a column that does not exist (`Missing`), type errors (arithmetic on
+/// strings/booleans), division by zero, and sqrt of negatives, so the
+/// error paths get exercised as much as the value paths.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        prop_oneof![
+            Just("I"),
+            Just("L"),
+            Just("D"),
+            Just("S"),
+            Just("B"),
+            Just("Missing"),
+        ]
+        .prop_map(col),
+        (-100i64..100).prop_map(lit),
+        (-50.0f64..50.0).prop_map(lit),
+        Just(lit(0i64)), // division-by-zero fodder
+        Just(lit("u1")),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+        Just(Expr::Literal(Value::Null)),
+    ];
+    leaf.prop_recursive(3, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..12).prop_map(|(a, b, op)| apply_op(a, b, op)),
+            inner.clone().prop_map(Expr::not),
+            inner.clone().prop_map(Expr::sqrt),
+            inner.prop_map(Expr::abs),
+        ]
+    })
+}
+
+fn arb_events(max_len: usize) -> impl Strategy<Value = Vec<(i64, i64, Row)>> {
+    prop::collection::vec((0i64..200, 1i64..50, arb_row()), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(s, w, r)| (s, s + w, r)).collect())
+}
+
+fn stream_of(events: &[(i64, i64, Row)]) -> EventStream {
+    EventStream::new(
+        schema(),
+        events
+            .iter()
+            .map(|(s, e, r)| Event::new(Lifetime::new(*s, *e), r.clone()))
+            .collect(),
+    )
+}
+
+fn arb_lifetime_op() -> impl Strategy<Value = LifetimeOp> {
+    prop_oneof![
+        (1i64..50).prop_map(LifetimeOp::Window),
+        (1i64..20, 1i64..40).prop_map(|(hop, width)| LifetimeOp::Hop { hop, width }),
+        (-20i64..20).prop_map(LifetimeOp::Shift),
+        (0i64..20).prop_map(LifetimeOp::ExtendBack),
+        Just(LifetimeOp::ToPoint),
+    ]
+}
+
+/// A menu of projection expressions mixing movable passthroughs (bare
+/// columns), repeated references (not movable), computations, and errors.
+fn proj_menu(idx: usize) -> (String, Expr) {
+    let exprs: Vec<(&str, Expr)> = vec![
+        ("A", col("S")),
+        ("B", col("L")),
+        ("C", col("L").mul(lit(3i64)).add(col("I"))),
+        ("D2", col("D").mul(col("D"))),
+        ("E", col("S")),
+        ("F", col("B").and(col("L").gt(lit(0i64)))),
+        ("G", col("Missing").add(lit(1i64))),
+        ("H", col("L").div(col("I"))),
+    ];
+    let (name, e) = &exprs[idx % exprs.len()];
+    (format!("{name}{idx}"), e.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `CompiledExpr::eval` is observably identical to `Expr::eval`:
+    /// equal values when both succeed, and errors at exactly the same
+    /// inputs (short-circuiting included).
+    #[test]
+    fn compiled_expr_matches_interpreter(e in arb_expr(), r in arb_row()) {
+        let s = schema();
+        let interp = e.eval(&s, &r);
+        let comp = CompiledExpr::compile(&e, &s).eval(&r);
+        match (interp, comp) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "expr: {}", e),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "diverged on {}: {:?} vs {:?}", e, a, b),
+        }
+    }
+
+    /// Predicate semantics (Null → false, non-boolean → error) agree too.
+    #[test]
+    fn compiled_predicate_matches_interpreter(e in arb_expr(), r in arb_row()) {
+        let s = schema();
+        let interp = e.eval_predicate(&s, &r);
+        let comp = CompiledExpr::compile(&e, &s).eval_predicate(&r);
+        match (interp, comp) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "expr: {}", e),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "diverged on {}: {:?} vs {:?}", e, a, b),
+        }
+    }
+
+    /// The in-place filter equals the interpreted baseline on both the
+    /// uniquely-owned and the shared-storage path, and never mutates a
+    /// stream another consumer still holds.
+    #[test]
+    fn filter_matches_interpreted(events in arb_events(40), e in arb_expr()) {
+        let input = stream_of(&events);
+        let baseline = interpreted::filter(&input, &e);
+        // Shared path: a clone of `input` is alive during the call.
+        let shared = filter(input.clone(), &e);
+        // Owned path: the operator holds the only handle.
+        let owned = filter(stream_of(&events), &e);
+        prop_assert_eq!(input, stream_of(&events), "shared input mutated");
+        match (baseline, shared, owned) {
+            (Ok(b), Ok(s), Ok(o)) => {
+                prop_assert_eq!(&b, &s);
+                prop_assert_eq!(&b, &o);
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            (b, s, o) => prop_assert!(
+                false, "diverged: base {:?} shared {:?} owned {:?}", b, s, o
+            ),
+        }
+    }
+
+    /// In-place lifetime alteration equals the interpreted baseline on
+    /// both storage paths.
+    #[test]
+    fn alter_lifetime_matches_interpreted(events in arb_events(40), op in arb_lifetime_op()) {
+        let input = stream_of(&events);
+        let baseline = interpreted::alter_lifetime(&input, &op).unwrap();
+        let shared = alter_lifetime(input.clone(), &op).unwrap();
+        let owned = alter_lifetime(stream_of(&events), &op).unwrap();
+        prop_assert_eq!(input, stream_of(&events), "shared input mutated");
+        prop_assert_eq!(&baseline, &shared);
+        prop_assert_eq!(&baseline, &owned);
+    }
+
+    /// Projection — including the move-out of passthrough columns on the
+    /// owned path — equals the interpreted baseline.
+    #[test]
+    fn project_matches_interpreted(
+        events in arb_events(40),
+        picks in prop::collection::vec(0usize..8, 1..6),
+    ) {
+        let exprs: Vec<(String, Expr)> =
+            picks.iter().enumerate().map(|(j, &i)| proj_menu(i * 8 + j)).collect();
+        let input = stream_of(&events);
+        let baseline = interpreted::project(&input, &exprs);
+        let shared = project(input.clone(), &exprs);
+        let owned = project(stream_of(&events), &exprs);
+        prop_assert_eq!(input, stream_of(&events), "shared input mutated");
+        match (baseline, shared, owned) {
+            (Ok(b), Ok(s), Ok(o)) => {
+                prop_assert_eq!(&b, &s);
+                prop_assert_eq!(&b, &o);
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            (b, s, o) => prop_assert!(
+                false, "diverged: base {:?} shared {:?} owned {:?}", b, s, o
+            ),
+        }
+    }
+}

@@ -2,14 +2,18 @@
 //!
 //! Implements the subset of the proptest API this workspace's property
 //! tests use: the `proptest!`, `prop_compose!`, `prop_oneof!` and
-//! `prop_assert*!` macros, `Strategy` with `prop_map`, integer-range /
-//! tuple / `Just` / `any::<T>()` / collection / simple-regex string
-//! strategies, and `ProptestConfig::with_cases`. Failing cases are
+//! `prop_assert*!` macros, `Strategy` with `prop_map` / `prop_recursive`,
+//! integer-range / tuple / `Just` / `any::<T>()` / collection /
+//! simple-regex string strategies, and `ProptestConfig::with_cases`.
+//! `BoxedStrategy` is reference-counted (like upstream's arc-based boxed
+//! strategies), so recursion closures can clone their inner strategy for
+//! several branches of a `prop_oneof!`. Failing cases are
 //! reported with their case number but are **not shrunk** — rerunning the
 //! same binary reproduces them exactly, because generation is seeded from
 //! the test's module path and case index alone.
 
 use std::ops::Range;
+use std::rc::Rc;
 
 // ---- deterministic RNG --------------------------------------------------
 
@@ -104,18 +108,75 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        Box::new(self)
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategies: `self` generates the leaves; `recurse` maps a
+    /// strategy for sub-values to a strategy for composite values. Nesting
+    /// is bounded by `depth`; the size/branch hints of the upstream API are
+    /// accepted but unused (there is no shrinking to budget for).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
     }
 }
 
 /// A type-erased strategy (what `prop_oneof!` arms are coerced to).
-pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+/// Reference-counted so it is cheap to `clone`, matching upstream.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
 
 impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
 
     fn generate(&self, rng: &mut TestRng) -> V {
-        (**self).generate(rng)
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_recursive`]. Each generation
+/// either stops at a leaf (always at depth 0, and with probability 1/4
+/// above it, so trees stay moderate) or expands one composite level.
+pub struct Recursive<V> {
+    leaf: BoxedStrategy<V>,
+    #[allow(clippy::type_complexity)]
+    recurse: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    depth: u32,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        if self.depth == 0 || rng.below(4) == 0 {
+            return self.leaf.generate(rng);
+        }
+        let inner = Recursive {
+            leaf: self.leaf.clone(),
+            recurse: Rc::clone(&self.recurse),
+            depth: self.depth - 1,
+        };
+        (self.recurse)(BoxedStrategy(Rc::new(inner))).generate(rng)
     }
 }
 
@@ -231,6 +292,7 @@ tuple_strategy! {
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
 }
 
 /// `any::<T>()` — arbitrary values over the whole domain of `T`.
