@@ -113,6 +113,7 @@ fn run_once(input: &Dataset, threads: usize) -> Run {
         threads,
         failures: FailurePlan::none(),
         max_attempts: 1,
+        ..ClusterConfig::default()
     });
     let stats = cluster.run_stage(&dfs, &stage).expect("stage runs");
     let output = dfs
@@ -168,12 +169,7 @@ fn run_seed_algorithm(input: &Dataset, threads: usize) -> (Duration, Vec<Vec<Row
                     break;
                 }
                 let input_rows = slots[p].lock().unwrap().take().expect("task taken twice");
-                let ctx = ReducerContext {
-                    stage: "pr1/seed".into(),
-                    partition: p,
-                    partitions: PARTITIONS,
-                    attempt: 0,
-                };
+                let ctx = ReducerContext::standalone("pr1/seed", p, PARTITIONS);
                 // The seed cloned the inputs on every attempt.
                 let cloned = input_rows.clone();
                 let out = reducer.reduce(&ctx, &cloned).expect("reduce");

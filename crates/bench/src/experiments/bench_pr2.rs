@@ -321,6 +321,7 @@ fn run_job_once(log: &Dataset, mode: ExecMode, threads: usize) -> JobRun {
         threads,
         failures: FailurePlan::none(),
         max_attempts: 1,
+        ..ClusterConfig::default()
     });
     let out = click_score_job(mode).run(&dfs, &cluster).expect("job runs");
     JobRun {

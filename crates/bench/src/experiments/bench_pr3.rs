@@ -1,0 +1,387 @@
+//! PR 3 acceptance benchmark: parallel GroupApply on the shared worker
+//! pool.
+//!
+//! Two measurements, both over BT-shaped workloads whose plans are
+//! dominated by GroupApply fan-out:
+//!
+//! 1. **Standalone DSMS**: the UBP profile query (filter + GroupApply per
+//!    `(UserId, KwAdId)` with a sliding count) and the feature-selection
+//!    z-test query (two GroupApplies + TemporalJoin + z expression),
+//!    executed through [`temporal::exec::ExecOptions`] at 1, 2 and N
+//!    worker threads. Outputs must be *byte-identical* (`==`, not just
+//!    the same relation) at every width — groups merge in sorted-key
+//!    order, so thread count must never leak into results.
+//! 2. **End-to-end**: the z-test query as a TiMR job on a single reduce
+//!    partition, sweeping the cluster's `dsms_threads` knob. The DFS
+//!    output partitions must match byte-for-byte across widths; the wall
+//!    ratio of 1 thread vs N is the headline speedup.
+//!
+//! Results go to `BENCH_PR3.json` for machine consumption. The file
+//! records `cores`: on a single-core host the speedups hover near 1.0x —
+//! the determinism assertions still bind, and the speedup materializes
+//! wherever `cores >= threads`.
+
+use crate::table::Table;
+use bt::queries::{feature_selection, labels_payload, log_payload, stream_id, train_rows_payload};
+use bt::BtParams;
+use mapreduce::{Cluster, ClusterConfig, Dataset, Dfs, FailurePlan};
+use relation::{row, Row};
+use std::time::{Duration, Instant};
+use temporal::exec::{bindings, execute_single_with_options, Bindings, ExecOptions};
+use temporal::expr::{col, lit};
+use temporal::plan::{LogicalPlan, Query};
+use temporal::{Event, EventStream};
+use timr::{EventEncoding, TimrJob};
+
+/// Events in the profile-query log (6 000 `(user, kw)` groups).
+const PROFILE_EVENTS: usize = 120_000;
+const PROFILE_USERS: usize = 1_500;
+const PROFILE_KWS: usize = 40;
+/// Labelled examples / training rows for the z-test query
+/// (1 500 `(ad, keyword)` groups).
+const ZTEST_LABELS: usize = 50_000;
+const ZTEST_ROWS: usize = 100_000;
+const ZTEST_ADS: usize = 60;
+const ZTEST_KWS: usize = 250;
+/// Timed repetitions per measurement (minimum is reported).
+const REPS: usize = 3;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// The UBP profile query (paper Fig 12 left half): keyword events,
+/// grouped per `(UserId, KwAdId)`, sliding 6-hour activity count.
+fn profile_plan(params: &BtParams) -> LogicalPlan {
+    let q = Query::new();
+    let out = q
+        .source("logs", log_payload())
+        .filter(col("StreamId").eq(lit(stream_id::KEYWORD)))
+        .group_apply(&["UserId", "KwAdId"], |g| g.window(params.tau).count("Cnt"));
+    q.build(vec![out]).unwrap()
+}
+
+/// Synthetic keyword log: `i` cycles users fast and keywords at a
+/// coprime stride, so the group count is `lcm(USERS, KWS)` = 6 000 with
+/// ~20 events each — enough groups to fan out, enough per-group work to
+/// measure.
+fn profile_sources() -> Bindings {
+    let events = (0..PROFILE_EVENTS)
+        .map(|i| {
+            Event::point(
+                (i as i64) * 40,
+                row![
+                    stream_id::KEYWORD,
+                    format!("user-{:05}", i % PROFILE_USERS),
+                    format!("kw-{:03}", (i * 7) % PROFILE_KWS)
+                ],
+            )
+        })
+        .collect();
+    bindings(vec![("logs", EventStream::new(log_payload(), events))])
+}
+
+fn ztest_label_row(i: usize) -> (i64, String, String, i32) {
+    (
+        (i as i64) * 50,
+        format!("user-{:05}", i % 4_000),
+        format!("ad-{:03}", i % ZTEST_ADS),
+        i32::from(i % 9 == 0),
+    )
+}
+
+/// Labels + training rows feeding the z-test query: `(ad, keyword)`
+/// pairs stride coprimely for `lcm(ADS, KWS)` = 1 500 per-keyword groups
+/// of ~66 rows, plus 60 per-ad total groups.
+fn ztest_sources() -> Bindings {
+    let labels = (0..ZTEST_LABELS)
+        .map(|i| {
+            let (t, user, ad, label) = ztest_label_row(i);
+            Event::point(t, row![user, ad, label])
+        })
+        .collect();
+    let rows = (0..ZTEST_ROWS)
+        .map(|i| {
+            let (t, user, ad, label) = ztest_label_row(i);
+            Event::point(
+                t,
+                row![
+                    user,
+                    ad,
+                    label,
+                    format!("kw-{:04}", (i * 3) % ZTEST_KWS),
+                    1i64 + (i as i64) % 5
+                ],
+            )
+        })
+        .collect();
+    bindings(vec![
+        ("labels", EventStream::new(labels_payload(), labels)),
+        ("train_rows", EventStream::new(train_rows_payload(), rows)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Standalone DSMS sweep
+// ---------------------------------------------------------------------------
+
+struct ThreadRun {
+    threads: usize,
+    wall: Duration,
+}
+
+/// Execute `plan` at each thread count, asserting every output is
+/// byte-identical to the 1-thread run.
+fn sweep_plan(
+    name: &str,
+    plan: &LogicalPlan,
+    sources: &Bindings,
+    thread_counts: &[usize],
+) -> Vec<ThreadRun> {
+    let mut runs = Vec::new();
+    let mut reference: Option<EventStream> = None;
+    for &threads in thread_counts {
+        let options = ExecOptions::default().threads(threads);
+        let mut best: Option<(Duration, EventStream)> = None;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let out = execute_single_with_options(plan, sources, &options).expect("plan runs");
+            let elapsed = start.elapsed();
+            if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
+                best = Some((elapsed, out));
+            }
+        }
+        let (wall, out) = best.expect("REPS > 0");
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(
+                r.events(),
+                out.events(),
+                "{name}: {threads}-thread output must be byte-identical to 1-thread"
+            ),
+        }
+        runs.push(ThreadRun { threads, wall });
+    }
+    runs
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end job (z-test through TiMR, sweeping `dsms_threads`)
+// ---------------------------------------------------------------------------
+
+struct JobRun {
+    dsms_threads: usize,
+    wall: Duration,
+    reduce_wall: Duration,
+    output: Vec<Vec<Row>>,
+}
+
+fn ztest_dfs() -> Dfs {
+    let labels: Vec<Row> = (0..ZTEST_LABELS)
+        .map(|i| {
+            let (t, user, ad, label) = ztest_label_row(i);
+            row![t, user, ad, label]
+        })
+        .collect();
+    let rows: Vec<Row> = (0..ZTEST_ROWS)
+        .map(|i| {
+            let (t, user, ad, label) = ztest_label_row(i);
+            row![
+                t,
+                user,
+                ad,
+                label,
+                format!("kw-{:04}", (i * 3) % ZTEST_KWS),
+                1i64 + (i as i64) % 5
+            ]
+        })
+        .collect();
+    let dfs = Dfs::new();
+    dfs.put(
+        "labels",
+        Dataset::single(
+            EventEncoding::Point.dataset_schema(&labels_payload()),
+            labels,
+        ),
+    )
+    .expect("fresh DFS");
+    dfs.put(
+        "train_rows",
+        Dataset::single(
+            EventEncoding::Point.dataset_schema(&train_rows_payload()),
+            rows,
+        ),
+    )
+    .expect("fresh DFS");
+    dfs
+}
+
+/// One reduce partition and one cluster worker: the embedded DSMS's
+/// per-group fan-out is the only parallelism lever, so the sweep
+/// isolates exactly what PR 3 added.
+fn run_job_once(params: &BtParams, dsms_threads: usize) -> JobRun {
+    let dfs = ztest_dfs();
+    let cluster = Cluster::with_config(ClusterConfig {
+        threads: 1,
+        failures: FailurePlan::none(),
+        max_attempts: 1,
+        dsms_threads,
+    });
+    let btq = feature_selection::query(params);
+    let out = TimrJob::new("pr3", btq.plan)
+        .with_annotation(btq.annotation)
+        .with_machines(1)
+        .run(&dfs, &cluster)
+        .expect("job runs");
+    JobRun {
+        dsms_threads,
+        wall: out.stats.stages.iter().map(|s| s.wall_time).sum(),
+        reduce_wall: out.stats.stages.iter().map(|s| s.reduce_wall_time).sum(),
+        output: dfs
+            .get(&out.dataset)
+            .expect("output")
+            .partitions
+            .as_ref()
+            .clone(),
+    }
+}
+
+/// Run every thread count `REPS` times, **interleaved** (1, 2, N, 1, 2,
+/// N, …) so transient system noise lands on all widths evenly; keep each
+/// width's fastest run by reduce wall time.
+fn best_jobs(params: &BtParams, thread_counts: &[usize]) -> Vec<JobRun> {
+    let mut runs: Vec<Vec<JobRun>> = thread_counts.iter().map(|_| Vec::new()).collect();
+    for _ in 0..REPS {
+        for (slot, &t) in runs.iter_mut().zip(thread_counts) {
+            slot.push(run_job_once(params, t));
+        }
+    }
+    runs.into_iter()
+        .map(|v| {
+            v.into_iter()
+                .min_by_key(|r| r.reduce_wall)
+                .expect("REPS > 0")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+fn speedup(base: Duration, other: Duration) -> f64 {
+    base.as_secs_f64() / other.as_secs_f64().max(1e-9)
+}
+
+/// Run the experiment.
+pub fn run(_ctx: &mut super::Ctx) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Sweep up to at least 4 workers even on smaller hosts: the
+    // byte-identical assertions must hold under oversubscription too.
+    let max_threads = cores.max(4);
+    let thread_counts = [1, 2, max_threads];
+    let params = BtParams::default();
+
+    let mut table = Table::new(&["Query", "Threads", "Wall ms", "Speedup vs 1"]);
+    let mut query_json = Vec::new();
+
+    let profile = profile_plan(&params);
+    let ztest = feature_selection::query(&params);
+    let standalone = [
+        ("profile_ubp", &profile, profile_sources(), PROFILE_EVENTS),
+        (
+            "ztest",
+            &ztest.plan,
+            ztest_sources(),
+            ZTEST_LABELS + ZTEST_ROWS,
+        ),
+    ];
+    for (name, plan, sources, events) in standalone {
+        let runs = sweep_plan(name, plan, &sources, &thread_counts);
+        let base = runs[0].wall;
+        let mut runs_json = Vec::new();
+        for r in &runs {
+            let s = speedup(base, r.wall);
+            table.row(vec![
+                name.into(),
+                r.threads.to_string(),
+                format!("{:.1}", ms(r.wall)),
+                format!("{s:.2}x"),
+            ]);
+            runs_json.push(serde_json::Value::Object(vec![
+                ("threads".into(), serde_json::Value::UInt(r.threads as u64)),
+                ("wall_ms".into(), serde_json::Value::Float(ms(r.wall))),
+                ("speedup_vs_1".into(), serde_json::Value::Float(s)),
+            ]));
+        }
+        query_json.push(serde_json::Value::Object(vec![
+            ("query".into(), serde_json::Value::Str(name.into())),
+            ("events".into(), serde_json::Value::UInt(events as u64)),
+            ("runs".into(), serde_json::Value::Array(runs_json)),
+        ]));
+    }
+
+    let jobs = best_jobs(&params, &thread_counts);
+    for j in &jobs[1..] {
+        assert_eq!(
+            jobs[0].output, j.output,
+            "dsms_threads={} changed the DFS output",
+            j.dsms_threads
+        );
+    }
+    let e2e_speedup = speedup(jobs[0].wall, jobs.last().expect("non-empty sweep").wall);
+    let mut e2e_json = Vec::new();
+    for j in &jobs {
+        let s = speedup(jobs[0].wall, j.wall);
+        table.row(vec![
+            "e2e ztest job".into(),
+            j.dsms_threads.to_string(),
+            format!("{:.1}", ms(j.wall)),
+            format!("{s:.2}x"),
+        ]);
+        e2e_json.push(serde_json::Value::Object(vec![
+            (
+                "dsms_threads".into(),
+                serde_json::Value::UInt(j.dsms_threads as u64),
+            ),
+            ("wall_ms".into(), serde_json::Value::Float(ms(j.wall))),
+            (
+                "reduce_wall_ms".into(),
+                serde_json::Value::Float(ms(j.reduce_wall)),
+            ),
+            ("speedup_vs_1".into(), serde_json::Value::Float(s)),
+        ]));
+    }
+
+    let json = serde_json::Value::Object(vec![
+        ("experiment".into(), serde_json::Value::Str("pr3".into())),
+        ("cores".into(), serde_json::Value::UInt(cores as u64)),
+        (
+            "max_threads".into(),
+            serde_json::Value::UInt(max_threads as u64),
+        ),
+        ("byte_identical".into(), serde_json::Value::Bool(true)),
+        ("queries".into(), serde_json::Value::Array(query_json)),
+        ("e2e".into(), serde_json::Value::Array(e2e_json)),
+        ("e2e_speedup".into(), serde_json::Value::Float(e2e_speedup)),
+    ]);
+    let rendered = serde_json::to_string_pretty(&json).expect("value serializes");
+    if let Err(e) = std::fs::write("BENCH_PR3.json", format!("{rendered}\n")) {
+        eprintln!("warning: could not write BENCH_PR3.json: {e}");
+    }
+
+    format!(
+        "PR 3 — parallel GroupApply on the shared worker pool, threads \
+         {thread_counts:?} on {cores} core(s) (best of {REPS}; written to \
+         BENCH_PR3.json):\n{}\
+         outputs byte-identical at every width; e2e speedup 1 → \
+         {max_threads} threads: {e2e_speedup:.2}x\n",
+        table.render(),
+    )
+}

@@ -5,6 +5,7 @@
 
 pub mod bench_pr1;
 pub mod bench_pr2;
+pub mod bench_pr3;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -169,6 +170,11 @@ pub fn registry() -> Vec<Experiment> {
             artifact:
                 "PR 2: compiled DSMS hot path vs interpreted baseline (writes BENCH_PR2.json)",
             run: bench_pr2::run,
+        },
+        Experiment {
+            name: "pr3",
+            artifact: "PR 3: parallel GroupApply on the shared worker pool (writes BENCH_PR3.json)",
+            run: bench_pr3::run,
         },
     ]
 }

@@ -17,7 +17,7 @@ use relation::{Row, Schema};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use temporal::exec::{Bindings, ExecMode};
+use temporal::exec::{Bindings, ExecMode, ExecOptions};
 use temporal::plan::LogicalPlan;
 use temporal::EventStream;
 
@@ -204,8 +204,12 @@ impl Reducer for DsmsReducer {
         // Bindings are rebuilt per reduce call, so hand the executor
         // ownership: the decoded partition is moved into the plan and the
         // first in-place operator mutates it with zero survivor clones.
+        // The embedded DSMS fans GroupApply groups out on the cluster's
+        // per-reducer pool (the `dsms_threads` knob); the merge is
+        // sorted-key ordered, so output stays byte-identical at any width.
+        let options = ExecOptions::with_mode(self.exec_mode).on_pool(Arc::clone(&ctx.dsms_pool));
         let result: EventStream =
-            temporal::exec::execute_single_owned(&self.plan, sources, self.exec_mode)
+            temporal::exec::execute_single_owned_with_options(&self.plan, sources, &options)
                 .map_err(|e| to_mr(TimrError::Temporal(e)))?;
         pull_through_queue(self.output_encoding, result).map_err(to_mr)
     }

@@ -231,6 +231,7 @@ mod tests {
                 threads: 4,
                 failures,
                 max_attempts: 3,
+                ..Default::default()
             });
             let out = click_count_job(4).run(&dfs, &cluster).unwrap();
             (

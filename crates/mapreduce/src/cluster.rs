@@ -4,9 +4,9 @@ use crate::dfs::{Dataset, Dfs};
 use crate::error::{MrError, Result};
 use crate::job::{ReducerContext, Stage};
 use crate::stats::{JobStats, StageStats};
-use parking_lot::Mutex;
+use pool::WorkerPool;
 use relation::Row;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which task attempts should be killed, to exercise the restart path
@@ -42,8 +42,14 @@ impl FailurePlan {
 /// Cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Local worker threads executing reduce tasks.
+    /// Local worker threads executing map and reduce tasks.
     pub threads: usize,
+    /// Worker threads handed to each reduce task's embedded DSMS for
+    /// intra-operator parallelism (per-group GroupApply fan-out). Kept at
+    /// 1 by default: stages with many reduce partitions already fill the
+    /// task pool, so per-group threads would only oversubscribe. Raise it
+    /// for group-heavy stages with few partitions.
+    pub dsms_threads: usize,
     /// Injected failures.
     pub failures: FailurePlan,
     /// Maximum attempts per task before the job fails.
@@ -56,6 +62,7 @@ impl Default for ClusterConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            dsms_threads: 1,
             failures: FailurePlan::none(),
             max_attempts: 3,
         }
@@ -63,9 +70,20 @@ impl Default for ClusterConfig {
 }
 
 /// The execution engine: runs stages against a [`Dfs`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
+    /// Task pool shared by the map/shuffle and reduce phases.
+    pool: WorkerPool,
+    /// Pool handle threaded through [`ReducerContext`] into embedded
+    /// DSMS executions.
+    dsms_pool: Arc<WorkerPool>,
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Cluster::with_config(ClusterConfig::default())
+    }
 }
 
 /// Output of one map task: per-reduce-partition sub-buckets for a single
@@ -114,7 +132,13 @@ impl Cluster {
 
     /// Cluster with explicit configuration.
     pub fn with_config(config: ClusterConfig) -> Self {
-        Cluster { config }
+        let pool = WorkerPool::new(config.threads);
+        let dsms_pool = Arc::new(WorkerPool::new(config.dsms_threads));
+        Cluster {
+            config,
+            pool,
+            dsms_pool,
+        }
     }
 
     /// Parallel map/shuffle: one map task per input extent on the worker
@@ -143,22 +167,9 @@ impl Cluster {
             .enumerate()
             .flat_map(|(i, d)| (0..d.partitions.len()).map(move |e| (i, e)))
             .collect();
-        let results: Vec<Mutex<Option<Result<MapTaskOut>>>> =
-            tasks.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let threads = self.config.threads.max(1).min(tasks.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= tasks.len() {
-                        break;
-                    }
-                    let (i, e) = tasks[t];
-                    let out = map_extent(&inputs[i].partitions[e], &assigners[i], stage.partitions);
-                    *results[t].lock() = Some(out);
-                });
-            }
+        let results: Vec<Result<MapTaskOut>> = self.pool.run(tasks.len(), |t| {
+            let (i, e) = tasks[t];
+            map_extent(&inputs[i].partitions[e], &assigners[i], stage.partitions)
         });
         let map_time = map_start.elapsed();
 
@@ -172,10 +183,8 @@ impl Cluster {
             .collect();
         let mut map_rows = 0u64;
         let mut shuffle_bytes = 0u64;
-        for (slot, &(i, _)) in results.into_iter().zip(&tasks) {
-            let mut out = slot
-                .into_inner()
-                .expect("worker pool left a map task unexecuted")?;
+        for (out, &(i, _)) in results.into_iter().zip(&tasks) {
+            let mut out = out?;
             map_rows += out.rows;
             shuffle_bytes += out.bytes;
             for (bucket, sub) in buckets[i].iter_mut().zip(out.sub.iter_mut()) {
@@ -221,10 +230,6 @@ impl Cluster {
             })
             .collect();
         type TaskResult = Result<(Vec<Row>, Duration, u64)>;
-        let results: Vec<Mutex<Option<TaskResult>>> =
-            (0..stage.partitions).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-
         let run_task = |partition: usize, input_rows: &[Vec<Row>]| {
             let mut attempt = 0;
             loop {
@@ -233,6 +238,7 @@ impl Cluster {
                     partition,
                     partitions: stage.partitions,
                     attempt,
+                    dsms_pool: Arc::clone(&self.dsms_pool),
                 };
                 if self
                     .config
@@ -255,29 +261,17 @@ impl Cluster {
             }
         };
 
-        let threads = self.config.threads.max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(stage.partitions) {
-                scope.spawn(|| loop {
-                    let p = next.fetch_add(1, Ordering::Relaxed);
-                    if p >= stage.partitions {
-                        break;
-                    }
-                    let result = run_task(p, &task_inputs[p]);
-                    *results[p].lock() = Some(result);
-                });
-            }
-        });
+        let results: Vec<TaskResult> = self
+            .pool
+            .run(stage.partitions, |p| run_task(p, &task_inputs[p]));
 
         // ---- collect ----
         let mut partitions_out: Vec<Vec<Row>> = Vec::with_capacity(stage.partitions);
         let mut partition_times = Vec::with_capacity(stage.partitions);
         let mut output_rows = 0u64;
         let mut task_retries = 0u64;
-        for slot in results {
-            let (rows, took, retries) = slot
-                .into_inner()
-                .expect("worker pool left a task unexecuted")?;
+        for result in results {
+            let (rows, took, retries) = result?;
             output_rows += rows.len() as u64;
             task_retries += retries;
             partition_times.push(took);
@@ -417,6 +411,7 @@ mod tests {
                 threads,
                 failures,
                 max_attempts: 3,
+                ..ClusterConfig::default()
             });
             let stage = count_stage(4);
             let inputs = vec![dfs.get("in").unwrap()];
@@ -468,6 +463,7 @@ mod tests {
                 threads,
                 failures: FailurePlan::none(),
                 max_attempts: 1,
+                ..ClusterConfig::default()
             });
             let stage = Stage::new(
                 "id",
@@ -497,6 +493,7 @@ mod tests {
                 kill_first_attempt: vec![("count".into(), 0)],
             },
             max_attempts: 1,
+            ..ClusterConfig::default()
         });
         assert!(matches!(
             cluster.run_stage(&dfs, &count_stage(2)),

@@ -108,6 +108,25 @@ pub struct ReducerContext {
     pub partitions: usize,
     /// Execution attempt (0 = first try; >0 after injected failures).
     pub attempt: usize,
+    /// Worker pool for intra-reducer parallelism (the cluster's
+    /// `dsms_threads` knob): the embedded DSMS fans GroupApply groups out
+    /// on it. All pool results merge in deterministic task order, so using
+    /// it never violates the reducer purity contract below.
+    pub dsms_pool: Arc<pool::WorkerPool>,
+}
+
+impl ReducerContext {
+    /// A context for driving a reducer by hand (tests, baselines): named
+    /// stage/partition, first attempt, sequential DSMS pool.
+    pub fn standalone(stage: impl Into<String>, partition: usize, partitions: usize) -> Self {
+        ReducerContext {
+            stage: stage.into(),
+            partition,
+            partitions,
+            attempt: 0,
+            dsms_pool: Arc::new(pool::WorkerPool::sequential()),
+        }
+    }
 }
 
 /// The reduce phase: user code invoked once per partition.
@@ -295,12 +314,7 @@ mod tests {
 
     #[test]
     fn identity_reducer_flattens_inputs() {
-        let ctx = ReducerContext {
-            stage: "s".into(),
-            partition: 0,
-            partitions: 1,
-            attempt: 0,
-        };
+        let ctx = ReducerContext::standalone("s", 0, 1);
         let out = IdentityReducer
             .reduce(&ctx, &[vec![row![1i64]], vec![row![2i64]]])
             .unwrap();

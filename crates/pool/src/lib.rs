@@ -1,0 +1,188 @@
+//! Shared chunked worker pool.
+//!
+//! Both parallel runtimes in this workspace — the map-reduce cluster's
+//! map/shuffle and reduce phases, and the DSMS's per-group GroupApply
+//! fan-out — have the same shape: a fixed list of independent tasks, a
+//! small set of worker threads pulling task indices from an atomic
+//! counter, and a **deterministic merge** of the results in task order so
+//! output is byte-identical regardless of thread count or scheduling (the
+//! repeatability property the paper's restart handling is built on,
+//! §III-C.1). [`WorkerPool`] extracts that shape so the runtimes share one
+//! implementation instead of hand-rolled `std::thread::scope` loops.
+//!
+//! The pool is configuration, not threads: workers are scoped to each
+//! [`WorkerPool::run`] call (no idle threads between calls, results may
+//! borrow from the caller's stack), and a pool handle can be shared
+//! freely across layers — the cluster threads one `Arc<WorkerPool>` from
+//! its config through every reducer into the embedded DSMS executor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width worker pool executing indexed task lists.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl Default for WorkerPool {
+    /// One worker per available core.
+    fn default() -> Self {
+        WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+}
+
+impl WorkerPool {
+    /// Pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded pool: tasks run inline on the caller's thread.
+    pub fn sequential() -> Self {
+        WorkerPool::new(1)
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `task(i)` for every `i in 0..tasks` and return the results in
+    /// task order.
+    ///
+    /// Workers pull indices from a shared atomic counter, so any worker
+    /// may execute any task — but the result vector is indexed by task,
+    /// making the collected output (and therefore any in-order merge the
+    /// caller performs) independent of thread count and scheduling. With
+    /// one worker, or at most one task, everything runs inline on the
+    /// calling thread with no spawns and no locks.
+    ///
+    /// A panicking task propagates the panic to the caller when the
+    /// worker scope joins.
+    pub fn run<T, F>(&self, tasks: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            return (0..tasks).map(task).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks {
+                        break;
+                    }
+                    let out = task(t);
+                    *slots[t].lock().expect("worker pool slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker pool slot poisoned")
+                    .expect("worker pool left a task unexecuted")
+            })
+            .collect()
+    }
+
+    /// Run `task(i, item)` for every item, **moving** each item into its
+    /// task, and return the results in item order.
+    ///
+    /// This is [`WorkerPool::run`] for task lists that own their inputs
+    /// (e.g. GroupApply moving each group's events into its sub-plan run).
+    pub fn map<I, T, F>(&self, items: Vec<I>, task: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| task(i, item))
+                .collect();
+        }
+        let inputs: Vec<Mutex<Option<I>>> =
+            items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        self.run(inputs.len(), |i| {
+            let item = inputs[i]
+                .lock()
+                .expect("worker pool slot poisoned")
+                .take()
+                .expect("worker pool task input taken twice");
+            task(i, item)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_task_order_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.run(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_moves_items_and_preserves_order() {
+        let items: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        for threads in [1, 4] {
+            let out = WorkerPool::new(threads).map(items.clone(), |i, s| format!("{i}:{s}"));
+            let expected: Vec<String> = (0..50).map(|i| format!("{i}:item-{i}")).collect();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_threads_are_fine() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        let out: Vec<usize> = WorkerPool::new(4).run(0, |i| i);
+        assert!(out.is_empty());
+        let out: Vec<u8> = WorkerPool::new(4).map(Vec::<u8>::new(), |_, b| b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn errors_are_ordinary_results() {
+        // Fallible tasks return Result values; the caller propagates the
+        // first error in task order, keeping failure deterministic.
+        let pool = WorkerPool::new(4);
+        let out: Vec<Result<usize, String>> = pool.run(10, |i| {
+            if i % 3 == 0 {
+                Err(format!("task {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        let first_err = out.into_iter().find_map(Result::err);
+        assert_eq!(first_err.as_deref(), Some("task 0"));
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let data: Vec<i64> = (0..1000).collect();
+        let sums = WorkerPool::new(4).run(10, |i| data[i * 100..(i + 1) * 100].iter().sum::<i64>());
+        assert_eq!(sums.iter().sum::<i64>(), data.iter().sum::<i64>());
+    }
+}

@@ -18,7 +18,9 @@ use crate::error::{Result, TemporalError};
 use crate::operators;
 use crate::plan::{LogicalPlan, NodeId, Operator};
 use crate::stream::EventStream;
+use pool::WorkerPool;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// Named input bindings for a plan's `Source` leaves.
 pub type Bindings = FxHashMap<String, EventStream>;
@@ -34,6 +36,55 @@ pub enum ExecMode {
     /// per-row name resolution and clone-based streams. Kept as the
     /// benchmark baseline; output is byte-identical to `Compiled`.
     Interpreted,
+}
+
+/// Execution choices threaded through the executor: which operator
+/// implementations to dispatch to, and the worker pool GroupApply fans
+/// groups out on.
+///
+/// The pool defaults to sequential, so plain `execute_*` calls behave
+/// exactly as before. The TiMR reducer builds its options from the
+/// cluster's [`ReducerContext`] pool handle, so standalone executions and
+/// embedded reducers share one pool configuration end to end. Output is
+/// byte-identical for every pool width (groups merge in sorted-key
+/// order), so options only affect performance, never results.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Operator-implementation mode.
+    pub mode: ExecMode,
+    /// Worker pool for intra-operator (per-group) parallelism.
+    pub pool: Arc<WorkerPool>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            mode: ExecMode::default(),
+            pool: Arc::new(WorkerPool::sequential()),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Default options with an explicit mode.
+    pub fn with_mode(mode: ExecMode) -> Self {
+        ExecOptions {
+            mode,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Replace the pool with a fresh one of `threads` workers.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.pool = Arc::new(WorkerPool::new(threads));
+        self
+    }
+
+    /// Share an existing pool handle.
+    pub fn on_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
+    }
 }
 
 /// Build bindings from `(name, stream)` pairs.
@@ -61,6 +112,15 @@ pub fn execute_with_mode(
     execute_owned(plan, sources.clone(), mode) // O(1) per stream: Arc bumps
 }
 
+/// [`execute_with_mode`] with full [`ExecOptions`] (mode + worker pool).
+pub fn execute_with_options(
+    plan: &LogicalPlan,
+    sources: &Bindings,
+    options: &ExecOptions,
+) -> Result<Vec<EventStream>> {
+    execute_owned_with_options(plan, sources.clone(), options)
+}
+
 /// Execute `plan` taking **ownership** of the bindings. Each `Source`
 /// stream is moved out of the map at its last reference in the plan, so
 /// when the caller held the only handle, the first in-place operator
@@ -71,13 +131,23 @@ pub fn execute_owned(
     sources: Bindings,
     mode: ExecMode,
 ) -> Result<Vec<EventStream>> {
+    execute_owned_with_options(plan, sources, &ExecOptions::with_mode(mode))
+}
+
+/// [`execute_owned`] with full [`ExecOptions`] (mode + worker pool).
+pub fn execute_owned_with_options(
+    plan: &LogicalPlan,
+    sources: Bindings,
+    options: &ExecOptions,
+) -> Result<Vec<EventStream>> {
     let mut exec = Executor {
         source_refs: source_refs(plan),
         sources,
         group_input: None,
         cache: FxHashMap::default(),
         counts: consumer_counts(plan),
-        mode,
+        mode: options.mode,
+        pool: Arc::clone(&options.pool),
     };
     plan.roots()
         .iter()
@@ -99,6 +169,15 @@ pub fn execute_single_with_mode(
     single(execute_with_mode(plan, sources, mode)?)
 }
 
+/// Execute a single-output plan with full [`ExecOptions`].
+pub fn execute_single_with_options(
+    plan: &LogicalPlan,
+    sources: &Bindings,
+    options: &ExecOptions,
+) -> Result<EventStream> {
+    single(execute_with_options(plan, sources, options)?)
+}
+
 /// Execute a single-output plan taking ownership of the bindings
 /// (see [`execute_owned`]).
 pub fn execute_single_owned(
@@ -107,6 +186,16 @@ pub fn execute_single_owned(
     mode: ExecMode,
 ) -> Result<EventStream> {
     single(execute_owned(plan, sources, mode)?)
+}
+
+/// Execute a single-output plan taking ownership of the bindings, with
+/// full [`ExecOptions`].
+pub fn execute_single_owned_with_options(
+    plan: &LogicalPlan,
+    sources: Bindings,
+    options: &ExecOptions,
+) -> Result<EventStream> {
+    single(execute_owned_with_options(plan, sources, options)?)
 }
 
 fn single(mut outputs: Vec<EventStream>) -> Result<EventStream> {
@@ -134,6 +223,8 @@ struct Executor<'a> {
     cache: FxHashMap<NodeId, (EventStream, u32)>,
     counts: Vec<u32>,
     mode: ExecMode,
+    /// Worker pool GroupApply fans groups out on (sequential by default).
+    pool: Arc<WorkerPool>,
 }
 
 /// Number of consumers per node, **including plan roots** (each root is
@@ -294,7 +385,12 @@ impl<'a> Executor<'a> {
                     self.sources.clone() // O(1) per stream: Arc bumps
                 };
                 let mode = self.mode;
-                let mut run = |sub: &LogicalPlan, group: EventStream| {
+                let pool = Arc::clone(&self.pool);
+                // `Fn`, not `FnMut`: groups run concurrently on the pool,
+                // each with its own inner Executor over shared (Arc-backed)
+                // sub-bindings. Nested GroupApplies reuse the same pool
+                // handle; its chunked scheduler just sees more tasks.
+                let run = |sub: &LogicalPlan, group: EventStream| {
                     let mut inner = Executor {
                         sources: sub_sources.clone(),
                         source_refs: sub_refs.clone(),
@@ -302,13 +398,15 @@ impl<'a> Executor<'a> {
                         cache: FxHashMap::default(),
                         counts: sub_counts.clone(),
                         mode,
+                        pool: Arc::clone(&pool),
                     };
                     inner.eval(sub, sub.roots()[0])
                 };
                 if interpreted {
+                    let mut run = run;
                     operators::interpreted::group_apply(&input, keys, subplan, &mut run)?
                 } else {
-                    operators::group_apply(input, keys, subplan, &mut run)?
+                    operators::group_apply(input, keys, subplan, &pool, &run)?
                 }
             }
             Operator::Union => {
@@ -528,6 +626,7 @@ mod tests {
             cache: FxHashMap::default(),
             counts: consumer_counts(&plan),
             mode: ExecMode::Compiled,
+            pool: Arc::new(WorkerPool::sequential()),
         };
         let result = exec.eval(&plan, plan.roots()[0]).unwrap();
         assert_eq!(result.len(), 7); // 3 clicks + all 4

@@ -2,31 +2,42 @@
 //!
 //! The input is hash-partitioned on the grouping key; the sub-plan runs once
 //! per group over that group's events; the grouping key columns are
-//! prepended to every output row. Groups are processed in sorted key order
-//! so execution is deterministic even before normalization.
+//! prepended to every output row.
 //!
 //! Partitioning is hash-then-compare: events bucket by the 64-bit key hash
 //! (no per-event key materialization) and are **moved** into their group,
 //! not cloned; hash collisions between distinct keys are separated by
 //! comparing key cells against each group's first event. One key per
 //! *group* is materialized at the end for the deterministic sort.
+//!
+//! Every group is independent, so groups fan out as tasks on the shared
+//! [`WorkerPool`]: each task runs the sub-plan over its group's events and
+//! prepends the key prefix to its own outputs. Group results are then
+//! concatenated **strictly in sorted-key order**, so the output event
+//! vector is byte-identical to the sequential (one-thread) path regardless
+//! of thread count or scheduling — the repeatability guarantee (paper
+//! §III) that restarted reducers compare bytes against. Errors propagate
+//! from the lowest group in sort order, keeping failure deterministic too.
 
 use crate::error::Result;
 use crate::event::Event;
 use crate::key::KeySelector;
 use crate::plan::LogicalPlan;
 use crate::stream::EventStream;
+use pool::WorkerPool;
 use relation::{Row, Schema, Value};
 use rustc_hash::FxHashMap;
 
 /// Run `subplan` per distinct value of `keys`, prepending the key columns to
 /// output rows. `run_subplan` is supplied by the executor (it knows how to
-/// evaluate a plan against a bound GroupInput).
+/// evaluate a plan against a bound GroupInput); it must be `Sync` because
+/// groups run concurrently on `pool`.
 pub fn group_apply(
     input: EventStream,
     keys: &[String],
     subplan: &LogicalPlan,
-    run_subplan: &mut dyn FnMut(&LogicalPlan, EventStream) -> Result<EventStream>,
+    pool: &WorkerPool,
+    run_subplan: &(dyn Fn(&LogicalPlan, EventStream) -> Result<EventStream> + Sync),
 ) -> Result<EventStream> {
     let in_schema = input.schema().clone();
     let sel = KeySelector::new(&in_schema, keys)?;
@@ -62,16 +73,27 @@ pub fn group_apply(
     fields.extend(sub_out_schema.fields().iter().cloned());
     let out_schema = Schema::new(fields);
 
-    let mut out_events = Vec::new();
-    for (key, events) in ordered {
-        let group_stream = EventStream::new(in_schema.clone(), events);
-        let result = run_subplan(subplan, group_stream)?;
+    // Fan out: one pool task per group, each running the sub-plan and
+    // prepending its group's key prefix (one buffer per group, reused
+    // across that group's output events).
+    let group_results: Vec<Result<Vec<Event>>> = pool.map(ordered, |_, (prefix, events)| {
+        let result = run_subplan(subplan, EventStream::new(in_schema.clone(), events))?;
+        let mut out = Vec::with_capacity(result.len());
         for e in result.into_events() {
-            let mut values = Vec::with_capacity(key.len() + e.payload.len());
-            values.extend(key.iter().cloned());
+            let mut values = Vec::with_capacity(prefix.len() + e.payload.len());
+            values.extend_from_slice(&prefix);
             values.extend(e.payload.into_values());
-            out_events.push(Event::new(e.lifetime, Row::new(values)));
+            out.push(Event::new(e.lifetime, Row::new(values)));
         }
+        Ok(out)
+    });
+
+    // Merge strictly in sorted-key order (== task order), pre-sizing the
+    // output to the exact total now that every group's length is known.
+    let groups = group_results.into_iter().collect::<Result<Vec<_>>>()?;
+    let mut out_events = Vec::with_capacity(groups.iter().map(Vec::len).sum());
+    for g in groups {
+        out_events.extend(g);
     }
     Ok(EventStream::new(out_schema, out_events))
 }
@@ -88,6 +110,23 @@ mod tests {
     use relation::row;
     use relation::schema::{ColumnType, Field};
 
+    fn count_stub(_plan: &LogicalPlan, group: EventStream) -> Result<EventStream> {
+        // Stub: emit one point event with the number of group events.
+        let s = Schema::new(vec![Field::new("S", ColumnType::Long)]);
+        Ok(EventStream::new(
+            s,
+            vec![Event::point(0, row![group.len() as i64])],
+        ))
+    }
+
+    fn sum_plan(schema: &Schema) -> LogicalPlan {
+        let q = Query::new();
+        let out = q
+            .source("x", schema.clone())
+            .aggregate(vec![("S".into(), AggExpr::Sum(col("V")))]);
+        q.build(vec![out]).unwrap()
+    }
+
     #[test]
     fn partitions_and_prepends_keys() {
         let schema = Schema::new(vec![
@@ -102,31 +141,45 @@ mod tests {
                 Event::point(3, row!["b", 30i64]),
             ],
         );
-        // Sub-plan: sum V (validated plan; executed here by a stub).
-        let q = Query::new();
-        let sub = q.source("unused", schema.clone()); // placeholder to own arena
-        drop(sub);
-        let q = Query::new();
-        let g = {
-            // Build a real sub-plan the way the builder does.
-            let out = q
-                .source("x", schema.clone())
-                .aggregate(vec![("S".into(), AggExpr::Sum(col("V")))]);
-            q.build(vec![out]).unwrap()
-        };
-
-        let mut stub = |_plan: &LogicalPlan, group: EventStream| {
-            // Stub: emit one point event with the number of group events.
-            let s = Schema::new(vec![Field::new("S", ColumnType::Long)]);
-            Ok(EventStream::new(
-                s,
-                vec![Event::point(0, row![group.len() as i64])],
-            ))
-        };
-        let out = group_apply(input, &["Id".to_string()], &g, &mut stub).unwrap();
+        let g = sum_plan(&schema);
+        let out = group_apply(
+            input,
+            &["Id".to_string()],
+            &g,
+            &WorkerPool::sequential(),
+            &count_stub,
+        )
+        .unwrap();
         assert_eq!(out.schema().names(), vec!["Id", "S"]);
         // Groups in sorted key order: "a" then "b".
         assert_eq!(out.events()[0].payload, row!["a", 1i64]);
         assert_eq!(out.events()[1].payload, row!["b", 2i64]);
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let schema = Schema::new(vec![
+            Field::new("Id", ColumnType::Str),
+            Field::new("V", ColumnType::Long),
+        ]);
+        let events: Vec<Event> = (0..200)
+            .map(|i| Event::point(i as i64, row![format!("u{}", i % 17), i as i64]))
+            .collect();
+        let g = sum_plan(&schema);
+        let run = |threads: usize| {
+            group_apply(
+                EventStream::new(schema.clone(), events.clone()),
+                &["Id".to_string()],
+                &g,
+                &WorkerPool::new(threads),
+                &count_stub,
+            )
+            .unwrap()
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            let parallel = run(threads);
+            assert_eq!(sequential.events(), parallel.events(), "threads={threads}");
+        }
     }
 }

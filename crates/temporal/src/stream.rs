@@ -118,6 +118,14 @@ impl EventStream {
     }
 
     /// Merge another stream into this one. Schemas must be identical.
+    ///
+    /// Always appends the **smaller** event vector into the larger one:
+    /// when `other` is the bigger side (the common shape when a union
+    /// accumulates into a small or empty stream), storage is swapped first
+    /// so only the small side is copied. The swap keys on event *count* —
+    /// a property of the data, not of allocation history — so the merged
+    /// order is still a deterministic function of the two inputs and
+    /// byte-identical across executor modes and thread counts.
     pub fn merge(&mut self, other: EventStream) -> Result<()> {
         if other.schema != self.schema {
             return Err(TemporalError::Input(format!(
@@ -125,7 +133,13 @@ impl EventStream {
                 self.schema, other.schema
             )));
         }
-        self.events_mut().extend(other.into_events());
+        if other.events.len() > self.events.len() {
+            let smaller = std::mem::replace(&mut self.events, other.events);
+            self.events_mut()
+                .extend(Arc::try_unwrap(smaller).unwrap_or_else(|shared| (*shared).clone()));
+        } else {
+            self.events_mut().extend(other.into_events());
+        }
         Ok(())
     }
 

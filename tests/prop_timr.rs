@@ -95,6 +95,7 @@ proptest! {
                 threads: 4,
                 failures,
                 max_attempts: 3,
+                ..ClusterConfig::default()
             });
             let out = TimrJob::new("p", plan.clone())
                 .with_annotation(ann.clone())
