@@ -131,9 +131,10 @@ fn bench_normalize(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------------
-// Interpreted vs compiled: the PR 2 hot-path comparison. Each plan runs
-// through both executor modes over the same 100k-event input; input
-// streams are Arc-backed, so the per-iteration clone is O(1).
+// Interpreted vs compiled vs columnar: the PR 2 hot-path comparison plus
+// the PR 4 vectorized batch path. Each plan runs through all executor
+// modes over the same 100k-event input; input streams are Arc-backed, so
+// the per-iteration clone is O(1).
 // ---------------------------------------------------------------------------
 
 const MODE_EVENTS: usize = 100_000;
@@ -171,6 +172,7 @@ fn bench_both_modes(
     for (label, mode) in [
         ("interpreted", ExecMode::Interpreted),
         ("compiled", ExecMode::Compiled),
+        ("columnar", ExecMode::Columnar),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| execute_single_with_mode(plan, sources, mode).unwrap())

@@ -6,6 +6,7 @@
 pub mod bench_pr1;
 pub mod bench_pr2;
 pub mod bench_pr3;
+pub mod bench_pr4;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -175,6 +176,12 @@ pub fn registry() -> Vec<Experiment> {
             name: "pr3",
             artifact: "PR 3: parallel GroupApply on the shared worker pool (writes BENCH_PR3.json)",
             run: bench_pr3::run,
+        },
+        Experiment {
+            name: "pr4",
+            artifact: "PR 4: columnar batches with vectorized execution vs the compiled row path \
+                 (writes BENCH_PR4.json)",
+            run: bench_pr4::run,
         },
     ]
 }

@@ -18,9 +18,9 @@
 
 use crate::error::{Result, TimrError};
 use relation::schema::{ColumnType, Field, TIME_COLUMN};
-use relation::{Row, Schema, Value};
+use relation::{ColumnBatch, Row, Schema, Value};
 use std::sync::mpsc;
-use temporal::{Event, EventStream, Lifetime};
+use temporal::{Event, EventBatch, EventStream, Lifetime};
 
 /// Name of the interval-encoding end column.
 pub const TIME_END_COLUMN: &str = "TimeEnd";
@@ -141,6 +141,50 @@ impl EventEncoding {
             events.push(self.decode(row)?);
         }
         Ok(EventStream::new(payload.clone(), events))
+    }
+
+    /// Decode a whole partition of rows straight into a column-major
+    /// [`EventBatch`] — the reducer entry of the columnar execution mode.
+    ///
+    /// Framing problems (non-integral `Time`/`TimeEnd`, empty lifetimes)
+    /// are hard errors with messages identical to [`decode`], and they
+    /// surface at the same first bad row, because the row path never
+    /// type-checks payload cells and so can only fail on framing too.
+    /// A payload cell that doesn't fit its declared column type returns
+    /// `Ok(None)`: the caller falls back to [`decode_stream`], which
+    /// accepts it, keeping the columnar mode a pure optimization.
+    pub fn decode_batch(self, rows: &[Row], payload: &Schema) -> Result<Option<EventBatch>> {
+        let skip = self.framing_columns();
+        let mut vt = Vec::with_capacity(rows.len());
+        let mut ve = Vec::with_capacity(rows.len());
+        for row in rows {
+            let le = row
+                .get(0)
+                .as_long()
+                .ok_or_else(|| TimrError::Compile(format!("non-integral Time in row {row}")))?;
+            let re = match self {
+                EventEncoding::Point => le + 1,
+                EventEncoding::Interval => row.get(1).as_long().ok_or_else(|| {
+                    TimrError::Compile(format!("non-integral TimeEnd in row {row}"))
+                })?,
+            };
+            if re <= le {
+                return Err(TimrError::Compile(format!(
+                    "row {row} has empty lifetime [{le}, {re})"
+                )));
+            }
+            vt.push(le);
+            ve.push(re);
+        }
+        let columns = ColumnBatch::from_value_rows(
+            payload.clone(),
+            rows.len(),
+            rows.iter().map(|r| &r.values()[skip..]),
+        );
+        Ok(match columns {
+            Ok(batch) => Some(EventBatch::new(vt, ve, batch)),
+            Err(_) => None,
+        })
     }
 
     /// Encode a whole stream into rows in canonical (sorted) order, so
@@ -344,6 +388,50 @@ mod tests {
             let queued = pull_through_queue_batched(EventEncoding::Point, make(), batch).unwrap();
             assert_eq!(direct, queued, "batch size {batch}");
         }
+    }
+
+    #[test]
+    fn decode_batch_matches_decode_stream() {
+        let p = payload_schema();
+        let rows = vec![
+            row![0i64, 3i64, "a", 1i64],
+            row![3i64, 5i64, "a", 2i64],
+            row![5i64, 9i64, "b", 3i64],
+        ];
+        let stream = EventEncoding::Interval.decode_stream(&rows, &p).unwrap();
+        let batch = EventEncoding::Interval
+            .decode_batch(&rows, &p)
+            .unwrap()
+            .expect("well-typed rows transpose");
+        assert_eq!(batch.into_stream().events(), stream.events());
+    }
+
+    #[test]
+    fn decode_batch_framing_errors_match_row_path() {
+        let p = payload_schema();
+        let rows = vec![row![5i64, 5i64, "u", 0i64]];
+        let batch_err = EventEncoding::Interval
+            .decode_batch(&rows, &p)
+            .unwrap_err()
+            .to_string();
+        let row_err = EventEncoding::Interval
+            .decode_stream(&rows, &p)
+            .unwrap_err()
+            .to_string();
+        assert_eq!(batch_err, row_err);
+    }
+
+    #[test]
+    fn decode_batch_falls_back_on_ill_typed_payload() {
+        // `N` is declared Long but carries an Int: the row path tolerates
+        // it, so the batch path must signal fallback, not fail.
+        let p = payload_schema();
+        let rows = vec![row![0i64, 3i64, "a", 1i32]];
+        assert!(EventEncoding::Interval
+            .decode_batch(&rows, &p)
+            .unwrap()
+            .is_none());
+        assert!(EventEncoding::Interval.decode_stream(&rows, &p).is_ok());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use relation::{Row, Schema};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use temporal::exec::{Bindings, ExecMode, ExecOptions};
+use temporal::exec::{DataBindings, ExecMode, ExecOptions, StreamData};
 use temporal::plan::LogicalPlan;
 use temporal::EventStream;
 
@@ -193,13 +193,34 @@ impl Reducer for DsmsReducer {
             partition: ctx.partition,
             message: e.to_string(),
         };
-        let mut sources: Bindings = FxHashMap::default();
+        let mut sources: DataBindings = FxHashMap::default();
         for (binding, rows) in self.inputs.iter().zip(inputs) {
-            let stream = binding
-                .encoding
-                .decode_stream(rows, &binding.payload)
-                .map_err(to_mr)?;
-            sources.insert(binding.source_name.clone(), stream);
+            // Columnar mode decodes the partition straight into a
+            // column-major batch; payloads that don't fit their declared
+            // types fall back to the row decode (which tolerates them), so
+            // the mode never changes which partitions are accepted.
+            let data = match self.exec_mode {
+                ExecMode::Columnar => match binding
+                    .encoding
+                    .decode_batch(rows, &binding.payload)
+                    .map_err(to_mr)?
+                {
+                    Some(batch) => StreamData::Batch(batch),
+                    None => StreamData::Rows(
+                        binding
+                            .encoding
+                            .decode_stream(rows, &binding.payload)
+                            .map_err(to_mr)?,
+                    ),
+                },
+                _ => StreamData::Rows(
+                    binding
+                        .encoding
+                        .decode_stream(rows, &binding.payload)
+                        .map_err(to_mr)?,
+                ),
+            };
+            sources.insert(binding.source_name.clone(), data);
         }
         // Bindings are rebuilt per reduce call, so hand the executor
         // ownership: the decoded partition is moved into the plan and the
@@ -209,7 +230,7 @@ impl Reducer for DsmsReducer {
         // sorted-key ordered, so output stays byte-identical at any width.
         let options = ExecOptions::with_mode(self.exec_mode).on_pool(Arc::clone(&ctx.dsms_pool));
         let result: EventStream =
-            temporal::exec::execute_single_owned_with_options(&self.plan, sources, &options)
+            temporal::exec::execute_single_owned_data(&self.plan, sources, &options)
                 .map_err(|e| to_mr(TimrError::Temporal(e)))?;
         pull_through_queue(self.output_encoding, result).map_err(to_mr)
     }

@@ -1,0 +1,545 @@
+//! Column-major row storage: typed dense vectors plus a null bitmap.
+//!
+//! A [`ColumnBatch`] holds the same information as a `Vec<Row>` of one
+//! schema, transposed: one [`Column`] per field, each a dense typed vector
+//! (`Vec<i64>`, `Vec<f64>`, …) with an optional [`Validity`] bitmap marking
+//! which slots are real values and which are `Null`. Null slots hold an
+//! unobservable placeholder (zero / `false` / empty string) so kernels can
+//! sweep whole vectors without branching on nullness; readers must consult
+//! the validity bitmap first.
+//!
+//! Conversion is lossless **only for rows whose cells match the declared
+//! column types** ([`ColumnType::admits`]). Row storage tolerates ill-typed
+//! cells (the codec's `decode_row` never type-checks), so [`from_rows`]
+//! returns an error for such rows and callers fall back to row-major
+//! processing — the batch layer is a fast path, never a semantic change.
+//!
+//! [`from_rows`]: ColumnBatch::from_rows
+
+use crate::error::{RelationError, Result};
+use crate::row::Row;
+use crate::schema::{ColumnType, Field, Schema};
+use crate::value::Value;
+use rustc_hash::FxHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Null bitmap: bit `i` set ⇔ slot `i` holds a real (non-null) value.
+#[derive(Debug, Clone)]
+pub struct Validity {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Validity {
+    /// Empty bitmap; grow it with [`Validity::push`].
+    pub fn new() -> Validity {
+        Validity {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Bitmap from per-slot null flags (`true` = null). Returns `None` when
+    /// every slot is valid — the representation for fully-dense columns.
+    pub fn from_null_flags(nulls: &[bool]) -> Option<Validity> {
+        if !nulls.contains(&true) {
+            return None;
+        }
+        let mut v = Validity::new();
+        for &null in nulls {
+            v.push(!null);
+        }
+        Some(v)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether slot `i` holds a real value.
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Append a slot.
+    pub fn push(&mut self, valid: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[self.len / 64] |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Keep only the slots where `keep` is true.
+    pub fn retain(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len);
+        let mut out = Validity::new();
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                out.push(self.is_valid(i));
+            }
+        }
+        *self = out;
+    }
+}
+
+impl Default for Validity {
+    fn default() -> Self {
+        Validity::new()
+    }
+}
+
+/// The typed dense storage of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// 32-bit integers.
+    Int(Vec<i32>),
+    /// 64-bit integers.
+    Long(Vec<i64>),
+    /// 64-bit floats.
+    Double(Vec<f64>),
+    /// Interned strings (`Arc` clones are pointer bumps, as in [`Value`]).
+    Str(Vec<Arc<str>>),
+}
+
+impl ColumnData {
+    /// Empty storage of the given type with room for `capacity` slots.
+    pub fn with_capacity(ty: ColumnType, capacity: usize) -> ColumnData {
+        match ty {
+            ColumnType::Bool => ColumnData::Bool(Vec::with_capacity(capacity)),
+            ColumnType::Int => ColumnData::Int(Vec::with_capacity(capacity)),
+            ColumnType::Long => ColumnData::Long(Vec::with_capacity(capacity)),
+            ColumnType::Double => ColumnData::Double(Vec::with_capacity(capacity)),
+            ColumnType::Str => ColumnData::Str(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(d) => d.len(),
+            ColumnData::Int(d) => d.len(),
+            ColumnData::Long(d) => d.len(),
+            ColumnData::Double(d) => d.len(),
+            ColumnData::Str(d) => d.len(),
+        }
+    }
+
+    /// True when the storage has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append the placeholder value (the slot must be masked as null).
+    fn push_placeholder(&mut self) {
+        match self {
+            ColumnData::Bool(d) => d.push(false),
+            ColumnData::Int(d) => d.push(0),
+            ColumnData::Long(d) => d.push(0),
+            ColumnData::Double(d) => d.push(0.0),
+            ColumnData::Str(d) => d.push(Arc::from("")),
+        }
+    }
+
+    fn retain(&mut self, keep: &[bool]) {
+        // `Vec::retain` visits elements in order; pair each with its flag.
+        let mut i = 0;
+        macro_rules! retain_vec {
+            ($d:expr) => {{
+                $d.retain(|_| {
+                    let k = keep[i];
+                    i += 1;
+                    k
+                });
+            }};
+        }
+        match self {
+            ColumnData::Bool(d) => retain_vec!(d),
+            ColumnData::Int(d) => retain_vec!(d),
+            ColumnData::Long(d) => retain_vec!(d),
+            ColumnData::Double(d) => retain_vec!(d),
+            ColumnData::Str(d) => retain_vec!(d),
+        }
+    }
+}
+
+/// One column of a [`ColumnBatch`]: typed dense data plus null bitmap.
+///
+/// `validity == None` means every slot is valid. Null slots hold an
+/// arbitrary placeholder in `data`; nothing may observe it, so the data
+/// variant of an all-null column need not match the schema's declared type.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Validity>,
+}
+
+impl Column {
+    /// Build from parts. The bitmap, when present, must cover every slot.
+    pub fn new(data: ColumnData, validity: Option<Validity>) -> Column {
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), data.len(), "validity bitmap length mismatch");
+        }
+        Column { data, validity }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap (`None` ⇔ all slots valid).
+    pub fn validity(&self) -> Option<&Validity> {
+        self.validity.as_ref()
+    }
+
+    /// Whether slot `i` holds a real value.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v.is_valid(i))
+    }
+
+    /// Materialize slot `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(d) => Value::Bool(d[i]),
+            ColumnData::Int(d) => Value::Int(d[i]),
+            ColumnData::Long(d) => Value::Long(d[i]),
+            ColumnData::Double(d) => Value::Double(d[i]),
+            ColumnData::Str(d) => Value::Str(Arc::clone(&d[i])),
+        }
+    }
+
+    /// Hash slot `i` exactly as `Value::hash` would hash [`Self::value`]:
+    /// the variant rank byte, then the payload (`f64` by bit pattern,
+    /// strings as `str`). Keys hashed off columns must agree bit-for-bit
+    /// with keys hashed off rows ([`crate::hash::key_hash`]); the agreement
+    /// is property-tested in this module and in the temporal crate.
+    pub fn hash_cell<H: Hasher>(&self, i: usize, state: &mut H) {
+        if !self.is_valid(i) {
+            0u8.hash(state); // Value::Null: rank only, no payload
+            return;
+        }
+        match &self.data {
+            ColumnData::Bool(d) => {
+                1u8.hash(state);
+                d[i].hash(state);
+            }
+            ColumnData::Int(d) => {
+                2u8.hash(state);
+                d[i].hash(state);
+            }
+            ColumnData::Long(d) => {
+                3u8.hash(state);
+                d[i].hash(state);
+            }
+            ColumnData::Double(d) => {
+                4u8.hash(state);
+                d[i].to_bits().hash(state);
+            }
+            ColumnData::Str(d) => {
+                5u8.hash(state);
+                d[i].hash(state);
+            }
+        }
+    }
+
+    /// Keep only the slots where `keep` is true.
+    pub fn retain(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.len(), "retain mask length mismatch");
+        self.data.retain(keep);
+        if let Some(v) = &mut self.validity {
+            v.retain(keep);
+        }
+    }
+}
+
+/// Incremental [`Column`] builder used by [`ColumnBatch::from_rows`].
+pub struct ColumnBuilder {
+    name: String,
+    ty: ColumnType,
+    data: ColumnData,
+    nulls: Vec<bool>,
+    any_null: bool,
+}
+
+impl ColumnBuilder {
+    /// Builder for one schema field with room for `capacity` slots.
+    pub fn new(field: &Field, capacity: usize) -> ColumnBuilder {
+        ColumnBuilder {
+            name: field.name.clone(),
+            ty: field.ty,
+            data: ColumnData::with_capacity(field.ty, capacity),
+            nulls: Vec::with_capacity(capacity),
+            any_null: false,
+        }
+    }
+
+    /// Append a cell; errors when the value does not inhabit the declared
+    /// column type (the caller falls back to row storage).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        match (&mut self.data, v) {
+            (data, Value::Null) => {
+                data.push_placeholder();
+                self.nulls.push(true);
+                self.any_null = true;
+                return Ok(());
+            }
+            (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
+            (ColumnData::Int(d), Value::Int(x)) => d.push(*x),
+            (ColumnData::Long(d), Value::Long(x)) => d.push(*x),
+            (ColumnData::Double(d), Value::Double(x)) => d.push(*x),
+            (ColumnData::Str(d), Value::Str(s)) => d.push(Arc::clone(s)),
+            _ => {
+                return Err(RelationError::TypeMismatch {
+                    column: self.name.clone(),
+                    expected: self.ty.to_string(),
+                    actual: v.type_name().to_string(),
+                })
+            }
+        }
+        self.nulls.push(false);
+        Ok(())
+    }
+
+    /// Finish into a [`Column`].
+    pub fn finish(self) -> Column {
+        let validity = if self.any_null {
+            Validity::from_null_flags(&self.nulls)
+        } else {
+            None
+        };
+        Column::new(self.data, validity)
+    }
+}
+
+/// A fixed-length batch of rows stored column-major.
+///
+/// The row count is carried explicitly so zero-column schemas still know
+/// their length.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// Assemble from parts; every column must have exactly `rows` slots.
+    pub fn new(schema: Schema, columns: Vec<Column>, rows: usize) -> ColumnBatch {
+        assert_eq!(columns.len(), schema.len(), "column count mismatch");
+        for c in &columns {
+            assert_eq!(c.len(), rows, "column length mismatch");
+        }
+        ColumnBatch {
+            schema,
+            columns,
+            rows,
+        }
+    }
+
+    /// Transpose rows into columns. Errors on any arity mismatch or cell
+    /// that does not inhabit its declared type; see the module docs for why
+    /// that is a fallback signal, not a failure.
+    pub fn from_rows(schema: &Schema, rows: &[Row]) -> Result<ColumnBatch> {
+        Self::from_value_rows(schema.clone(), rows.len(), rows.iter().map(Row::values))
+    }
+
+    /// [`Self::from_rows`] over borrowed value slices (lets callers strip
+    /// leading framing cells without materializing intermediate rows).
+    pub fn from_value_rows<'a, I>(schema: Schema, capacity: usize, rows: I) -> Result<ColumnBatch>
+    where
+        I: IntoIterator<Item = &'a [Value]>,
+    {
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f, capacity))
+            .collect();
+        let mut count = 0;
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(RelationError::ArityMismatch {
+                    expected: schema.len(),
+                    actual: row.len(),
+                });
+            }
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v)?;
+            }
+            count += 1;
+        }
+        Ok(ColumnBatch {
+            schema,
+            columns: builders.into_iter().map(ColumnBuilder::finish).collect(),
+            rows: count,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Gather row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// Transpose back into rows (lossless).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Keep only the rows where `keep` is true.
+    pub fn retain(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.rows, "retain mask length mismatch");
+        for c in &mut self.columns {
+            c.retain(keep);
+        }
+        self.rows = keep.iter().filter(|&&k| k).count();
+    }
+
+    /// Per-row key hash over the cells at `indices` — bit-identical to
+    /// [`crate::hash::key_hash`] on the gathered row.
+    pub fn key_hashes(&self, indices: &[usize]) -> Vec<u64> {
+        (0..self.rows)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                for &c in indices {
+                    self.columns[c].hash_cell(i, &mut h);
+                }
+                h.finish()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::key_hash;
+    use crate::row;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("B", ColumnType::Bool),
+            Field::new("I", ColumnType::Int),
+            Field::new("L", ColumnType::Long),
+            Field::new("D", ColumnType::Double),
+            Field::new("S", ColumnType::Str),
+        ])
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            row![true, 1i32, 2i64, 0.5f64, "a"],
+            Row::new(vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ]),
+            row![false, -7i32, i64::MAX, f64::NAN, ""],
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let s = schema();
+        let batch = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.to_rows(), rows());
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let s = schema();
+        let batch = ColumnBatch::from_rows(&s, &[]).unwrap();
+        assert!(batch.is_empty());
+        assert!(batch.to_rows().is_empty());
+    }
+
+    #[test]
+    fn ill_typed_cells_are_rejected() {
+        let s = Schema::new(vec![Field::new("L", ColumnType::Long)]);
+        assert!(ColumnBatch::from_rows(&s, &[row!["oops"]]).is_err());
+        assert!(ColumnBatch::from_rows(&s, &[row![1i64, 2i64]]).is_err());
+    }
+
+    #[test]
+    fn retain_compacts_rows_and_validity() {
+        let s = schema();
+        let mut batch = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        batch.retain(&[true, false, true]);
+        assert_eq!(batch.len(), 2);
+        let want = vec![rows()[0].clone(), rows()[2].clone()];
+        assert_eq!(batch.to_rows(), want);
+    }
+
+    #[test]
+    fn hash_cell_matches_value_hash() {
+        let s = schema();
+        let batch = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        let indices: Vec<usize> = (0..s.len()).collect();
+        let hashes = batch.key_hashes(&indices);
+        for (i, r) in rows().iter().enumerate() {
+            assert_eq!(hashes[i], key_hash(r, &indices), "row {i}");
+        }
+    }
+
+    #[test]
+    fn validity_bitmap_crosses_word_boundaries() {
+        let nulls: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let v = Validity::from_null_flags(&nulls).unwrap();
+        assert_eq!(v.len(), 200);
+        for (i, &null) in nulls.iter().enumerate() {
+            assert_eq!(v.is_valid(i), !null, "slot {i}");
+        }
+    }
+}

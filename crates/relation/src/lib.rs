@@ -19,6 +19,7 @@
 //!   the paper's repeatability-under-failure argument, §III-C).
 
 pub mod codec;
+pub mod column;
 pub mod error;
 pub mod hash;
 pub mod row;
@@ -26,6 +27,7 @@ pub mod schema;
 pub mod stats;
 pub mod value;
 
+pub use column::{Column, ColumnBatch, ColumnData, Validity};
 pub use error::{RelationError, Result};
 pub use row::Row;
 pub use schema::{ColumnType, Field, Schema};

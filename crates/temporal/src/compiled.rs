@@ -24,7 +24,9 @@
 
 use crate::error::{Result, TemporalError};
 use crate::expr::{eval_arith, eval_cmp, eval_func, BinOp, Expr, Func};
+use relation::column::{Column, ColumnBatch, ColumnData, Validity};
 use relation::{RelationError, Row, Schema, Value};
+use std::sync::Arc;
 
 /// An expression resolved against a fixed input [`Schema`], evaluable
 /// against bare rows of that schema.
@@ -79,6 +81,79 @@ impl CompiledExpr {
                 "predicate evaluated to non-boolean {other}"
             ))),
         }
+    }
+
+    /// Evaluate against every row of `batch` at once, producing one output
+    /// [`Column`].
+    ///
+    /// Identical observable behaviour to calling [`Self::eval`] on each
+    /// gathered row in order: if any row would error, this returns the
+    /// *first* (lowest-index) row's error verbatim. `Ok(None)` means the
+    /// result exists but has no dense single-type representation (mixed
+    /// runtime types across rows, possible with `min2`/`max2` and boolean
+    /// connectives over non-boolean operands) — the caller falls back to
+    /// the row path, which computes the identical result.
+    pub fn eval_batch(&self, batch: &ColumnBatch) -> Result<Option<Column>> {
+        let n = batch.len();
+        let raw = self.node.eval_batch(batch);
+        if let Some(i) = raw.errs.first(n) {
+            return Err(self.scalar_error_at(batch, i));
+        }
+        Ok(raw.into_column(n))
+    }
+
+    /// Evaluate as a filter predicate over every row of `batch`: the
+    /// returned mask holds `true` exactly where [`Self::eval_predicate`]
+    /// would (Null counts as false). Errors reproduce the scalar path's
+    /// first-failing-row error verbatim.
+    pub fn eval_predicate_batch(&self, batch: &ColumnBatch) -> Result<Vec<bool>> {
+        let n = batch.len();
+        let raw = self.node.eval_batch(batch);
+        let mut keep = vec![false; n];
+        // One row-order scan so the first bad row (eval error *or* non-bool
+        // value) surfaces in exactly the order the scalar loop would hit it.
+        for i in 0..n {
+            if raw.errs.get(i) {
+                return Err(self.scalar_predicate_error_at(batch, i));
+            }
+            if raw.nulls.get(i) {
+                continue; // Null → false
+            }
+            keep[i] = match &raw.vals {
+                BVals::Bool(d) => d[i],
+                BVals::Const(Value::Bool(b)) => *b,
+                BVals::Mixed(v) => match &v[i] {
+                    Value::Bool(b) => *b,
+                    _ => return Err(self.scalar_predicate_error_at(batch, i)),
+                },
+                _ => return Err(self.scalar_predicate_error_at(batch, i)),
+            };
+        }
+        Ok(keep)
+    }
+
+    /// Re-run the scalar evaluator on row `i` to recover the exact error
+    /// the row path would have produced there.
+    fn scalar_error_at(&self, batch: &ColumnBatch, i: usize) -> TemporalError {
+        match self.node.eval(&batch.row(i)) {
+            Err(e) => e,
+            Ok(_) => TemporalError::Eval("columnar/scalar divergence".into()),
+        }
+    }
+
+    fn scalar_predicate_error_at(&self, batch: &ColumnBatch, i: usize) -> TemporalError {
+        match self.eval_predicate(&batch.row(i)) {
+            Err(e) => e,
+            Ok(_) => TemporalError::Eval("columnar/scalar divergence".into()),
+        }
+    }
+
+    /// Batch evaluation with the raw per-row masks exposed. Crate-internal:
+    /// Project evaluates several expressions over one batch and needs each
+    /// expression's first error *row* to reproduce the scalar path's
+    /// row-major error order before converting any column.
+    pub(crate) fn eval_batch_raw(&self, batch: &ColumnBatch) -> BatchEval {
+        self.node.eval_batch(batch)
     }
 }
 
@@ -183,6 +258,737 @@ impl Node {
             }
         }
     }
+
+    /// Vectorized mirror of [`Node::eval`]: one result per batch row.
+    ///
+    /// Never fails — per-row failures are recorded in the error mask and
+    /// the *first* failing row is re-evaluated scalar-side by the public
+    /// entry points to recover the exact error. The invariant relied on
+    /// throughout: for every row `i`, scalar eval of the gathered row is
+    /// `Err(_)` iff `errs.get(i)`, `Ok(Null)` iff `nulls.get(i)` (and not
+    /// err), and otherwise `Ok(value_at(i))` bit-for-bit.
+    fn eval_batch(&self, batch: &ColumnBatch) -> BatchEval {
+        let n = batch.len();
+        match self {
+            Node::Col(i) => BatchEval::from_column(batch.column(*i)),
+            // Unknown column: errors on every row it is evaluated for,
+            // exactly like the deferred scalar error.
+            Node::MissingCol(_) => BatchEval {
+                vals: BVals::Const(Value::Null),
+                nulls: Mask::None,
+                errs: Mask::All,
+            },
+            Node::Lit(v) => BatchEval::constant(v.clone()),
+            Node::Binary { op, left, right } => {
+                let l = left.eval_batch(batch);
+                match op {
+                    BinOp::And => connective(true, l, || right.eval_batch(batch), n),
+                    BinOp::Or => connective(false, l, || right.eval_batch(batch), n),
+                    _ => binary(*op, l, right.eval_batch(batch), n),
+                }
+            }
+            Node::Not(e) => not_batch(e.eval_batch(batch), n),
+            Node::Call { func, args } => {
+                let evals: Vec<BatchEval> = args.iter().map(|a| a.eval_batch(batch)).collect();
+                call_batch(*func, &evals, n)
+            }
+        }
+    }
+}
+
+/// A per-row boolean mask with cheap all/none representations.
+#[derive(Debug, Clone)]
+enum Mask {
+    /// No row set.
+    None,
+    /// Every row set.
+    All,
+    /// Explicit flags (canonicalized: at least one set, not all set).
+    Rows(Vec<bool>),
+}
+
+impl Mask {
+    fn from_flags(flags: Vec<bool>) -> Mask {
+        if !flags.contains(&true) {
+            Mask::None
+        } else if flags.iter().all(|&b| b) {
+            Mask::All
+        } else {
+            Mask::Rows(flags)
+        }
+    }
+
+    fn get(&self, i: usize) -> bool {
+        match self {
+            Mask::None => false,
+            Mask::All => true,
+            Mask::Rows(f) => f[i],
+        }
+    }
+
+    fn first(&self, n: usize) -> Option<usize> {
+        match self {
+            Mask::None => None,
+            Mask::All => (n > 0).then_some(0),
+            Mask::Rows(f) => f.iter().position(|&b| b),
+        }
+    }
+
+    fn union(a: &Mask, b: &Mask) -> Mask {
+        match (a, b) {
+            (Mask::All, _) | (_, Mask::All) => Mask::All,
+            (Mask::None, m) | (m, Mask::None) => m.clone(),
+            (Mask::Rows(x), Mask::Rows(y)) => {
+                Mask::from_flags(x.iter().zip(y).map(|(&p, &q)| p || q).collect())
+            }
+        }
+    }
+}
+
+/// Batch values: one dense vector per runtime type, a broadcast constant,
+/// or a per-row `Value` gather when rows carry mixed runtime types.
+#[derive(Debug, Clone)]
+enum BVals {
+    Const(Value),
+    Bool(Vec<bool>),
+    Int(Vec<i32>),
+    Long(Vec<i64>),
+    Double(Vec<f64>),
+    Str(Vec<Arc<str>>),
+    Mixed(Vec<Value>),
+}
+
+/// Result of evaluating one expression node over a whole batch.
+///
+/// Rows flagged in `errs` hold garbage in `vals`; rows flagged in `nulls`
+/// (and not in `errs` — error wins on read) are `Null` and hold an
+/// unobservable placeholder. Kernels may compute garbage at masked rows as
+/// long as nothing can panic (integer division guards its divisor).
+pub(crate) struct BatchEval {
+    vals: BVals,
+    nulls: Mask,
+    errs: Mask,
+}
+
+impl BatchEval {
+    /// Lowest row index whose scalar evaluation would error, if any.
+    pub(crate) fn first_err(&self, n: usize) -> Option<usize> {
+        self.errs.first(n)
+    }
+
+    fn constant(v: Value) -> BatchEval {
+        let nulls = if v.is_null() { Mask::All } else { Mask::None };
+        BatchEval {
+            vals: BVals::Const(v),
+            nulls,
+            errs: Mask::None,
+        }
+    }
+
+    fn from_column(col: &Column) -> BatchEval {
+        let nulls = match col.validity() {
+            None => Mask::None,
+            Some(v) => Mask::from_flags((0..v.len()).map(|i| !v.is_valid(i)).collect()),
+        };
+        let vals = match col.data() {
+            ColumnData::Bool(d) => BVals::Bool(d.clone()),
+            ColumnData::Int(d) => BVals::Int(d.clone()),
+            ColumnData::Long(d) => BVals::Long(d.clone()),
+            ColumnData::Double(d) => BVals::Double(d.clone()),
+            ColumnData::Str(d) => BVals::Str(d.clone()),
+        };
+        BatchEval {
+            vals,
+            nulls,
+            errs: Mask::None,
+        }
+    }
+
+    /// Scalar result of row `i` (callers must rule out `errs` first).
+    fn value_at(&self, i: usize) -> Value {
+        if self.nulls.get(i) {
+            return Value::Null;
+        }
+        match &self.vals {
+            BVals::Const(v) => v.clone(),
+            BVals::Bool(d) => Value::Bool(d[i]),
+            BVals::Int(d) => Value::Int(d[i]),
+            BVals::Long(d) => Value::Long(d[i]),
+            BVals::Double(d) => Value::Double(d[i]),
+            BVals::Str(d) => Value::Str(Arc::clone(&d[i])),
+            BVals::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// `Value::as_bool` of row `i` (`None` for Null and non-boolean rows;
+    /// callers must rule out `errs` first).
+    fn as_bool_at(&self, i: usize) -> Option<bool> {
+        if self.nulls.get(i) {
+            return None;
+        }
+        match &self.vals {
+            BVals::Bool(d) => Some(d[i]),
+            BVals::Const(v) => v.as_bool(),
+            BVals::Mixed(v) => v[i].as_bool(),
+            _ => None,
+        }
+    }
+
+    /// Convert to a dense [`Column`], or `None` when rows carry mixed
+    /// runtime types (caller falls back to the row path). Must only be
+    /// called once `errs` has been shown empty.
+    pub(crate) fn into_column(self, n: usize) -> Option<Column> {
+        let BatchEval { vals, nulls, errs } = self;
+        debug_assert!(errs.first(n).is_none());
+        let data = match vals {
+            BVals::Bool(d) => ColumnData::Bool(d),
+            BVals::Int(d) => ColumnData::Int(d),
+            BVals::Long(d) => ColumnData::Long(d),
+            BVals::Double(d) => ColumnData::Double(d),
+            BVals::Str(d) => ColumnData::Str(d),
+            BVals::Const(v) => match v {
+                // All rows are null (invariant of Const(Null) with empty
+                // errs); the data variant is an unobservable carrier.
+                Value::Null => ColumnData::Bool(vec![false; n]),
+                Value::Bool(b) => ColumnData::Bool(vec![b; n]),
+                Value::Int(x) => ColumnData::Int(vec![x; n]),
+                Value::Long(x) => ColumnData::Long(vec![x; n]),
+                Value::Double(x) => ColumnData::Double(vec![x; n]),
+                Value::Str(s) => ColumnData::Str(vec![s; n]),
+            },
+            BVals::Mixed(rows) => gather_uniform(&rows, &nulls)?,
+        };
+        let validity = match &nulls {
+            Mask::None => None,
+            Mask::All => Validity::from_null_flags(&vec![true; n]),
+            Mask::Rows(f) => Validity::from_null_flags(f),
+        };
+        Some(Column::new(data, validity))
+    }
+}
+
+/// Densify a `Mixed` gather when every non-null row has the same runtime
+/// type; `None` otherwise.
+fn gather_uniform(rows: &[Value], nulls: &Mask) -> Option<ColumnData> {
+    macro_rules! densify {
+        ($variant:ident, $placeholder:expr, |$x:ident| $conv:expr) => {{
+            let mut d = Vec::with_capacity(rows.len());
+            for (i, v) in rows.iter().enumerate() {
+                match v {
+                    Value::$variant($x) => d.push($conv),
+                    _ if nulls.get(i) => d.push($placeholder),
+                    _ => return None,
+                }
+            }
+            ColumnData::$variant(d)
+        }};
+    }
+    let first = rows
+        .iter()
+        .enumerate()
+        .find(|(i, _)| !nulls.get(*i))
+        .map(|(_, v)| v);
+    Some(match first {
+        None => ColumnData::Bool(vec![false; rows.len()]),
+        Some(Value::Bool(_)) => densify!(Bool, false, |x| *x),
+        Some(Value::Int(_)) => densify!(Int, 0, |x| *x),
+        Some(Value::Long(_)) => densify!(Long, 0, |x| *x),
+        Some(Value::Double(_)) => densify!(Double, 0.0, |x| *x),
+        Some(Value::Str(_)) => densify!(Str, Arc::from(""), |x| Arc::clone(x)),
+        Some(Value::Null) => unreachable!("non-null row holds Null"),
+    })
+}
+
+/// Numeric rank of a batch's static value type: 2 = Int, 3 = Long,
+/// 4 = Double (matching scalar promotion order); `None` when the type is
+/// non-numeric or not statically known (`Mixed`).
+fn arith_rank(v: &BVals) -> Option<u8> {
+    match v {
+        BVals::Int(_) | BVals::Const(Value::Int(_)) => Some(2),
+        BVals::Long(_) | BVals::Const(Value::Long(_)) => Some(3),
+        BVals::Double(_) | BVals::Const(Value::Double(_)) => Some(4),
+        _ => None,
+    }
+}
+
+/// Widen a numeric batch to dense `f64` (mirrors `Value::as_double`).
+fn widen_f64(v: &BVals, n: usize) -> Vec<f64> {
+    match v {
+        BVals::Int(d) => d.iter().map(|&x| f64::from(x)).collect(),
+        BVals::Long(d) => d.iter().map(|&x| x as f64).collect(),
+        BVals::Double(d) => d.clone(),
+        BVals::Const(c) => vec![c.as_double().expect("numeric const"); n],
+        _ => unreachable!("widen_f64 on non-numeric batch"),
+    }
+}
+
+/// Widen an integer batch to dense `i64` (mirrors `Value::as_long`).
+fn widen_i64(v: &BVals, n: usize) -> Vec<i64> {
+    match v {
+        BVals::Int(d) => d.iter().map(|&x| i64::from(x)).collect(),
+        BVals::Long(d) => d.clone(),
+        BVals::Const(c) => vec![c.as_long().expect("integer const"); n],
+        _ => unreachable!("widen_i64 on non-integer batch"),
+    }
+}
+
+/// Non-connective binary operator over two evaluated operand batches.
+fn binary(op: BinOp, l: BatchEval, r: BatchEval, n: usize) -> BatchEval {
+    // Scalar order: left `?`, right `?`, *then* the null check — so the
+    // error mask is the plain union (a right-side error surfaces even when
+    // the left side is null), and null rows are the union of the rest.
+    let errs = Mask::union(&l.errs, &r.errs);
+    let nulls = Mask::union(&l.nulls, &r.nulls);
+    if matches!(nulls, Mask::All) {
+        return BatchEval {
+            vals: BVals::Const(Value::Null),
+            nulls,
+            errs,
+        };
+    }
+    let ranks = (arith_rank(&l.vals), arith_rank(&r.vals));
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if let (Some(a), Some(b)) = ranks {
+                arith_kernel(op, &l.vals, &r.vals, a, b, n, nulls, errs)
+            } else {
+                per_row_binary(op, &l, &r, n, &nulls, &errs)
+            }
+        }
+        BinOp::Eq | BinOp::Ne => {
+            let vals = if ranks.0.is_some() && ranks.1.is_some() {
+                let (x, y) = (widen_f64(&l.vals, n), widen_f64(&r.vals, n));
+                let neg = op == BinOp::Ne;
+                BVals::Bool(x.iter().zip(&y).map(|(a, b)| (a == b) != neg).collect())
+            } else if let (Some(sa), Some(sb)) = (str_accessor(&l.vals), str_accessor(&r.vals)) {
+                let neg = op == BinOp::Ne;
+                BVals::Bool((0..n).map(|i| (sa.at(i) == sb.at(i)) != neg).collect())
+            } else {
+                return per_row_binary(op, &l, &r, n, &nulls, &errs);
+            };
+            BatchEval { vals, nulls, errs }
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord_test = cmp_test(op);
+            let vals = if ranks.0.is_some() && ranks.1.is_some() {
+                let (x, y) = (widen_f64(&l.vals, n), widen_f64(&r.vals, n));
+                BVals::Bool(
+                    x.iter()
+                        .zip(&y)
+                        .map(|(a, b)| ord_test(a.total_cmp(b)))
+                        .collect(),
+                )
+            } else if let (Some(sa), Some(sb)) = (str_accessor(&l.vals), str_accessor(&r.vals)) {
+                BVals::Bool((0..n).map(|i| ord_test(sa.at(i).cmp(sb.at(i)))).collect())
+            } else {
+                return per_row_binary(op, &l, &r, n, &nulls, &errs);
+            };
+            BatchEval { vals, nulls, errs }
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled by connective"),
+    }
+}
+
+fn cmp_test(op: BinOp) -> fn(std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::Lt => |o| o == Ordering::Less,
+        BinOp::Le => |o| o != Ordering::Greater,
+        BinOp::Gt => |o| o == Ordering::Greater,
+        BinOp::Ge => |o| o != Ordering::Less,
+        _ => unreachable!(),
+    }
+}
+
+/// Per-row string accessor for statically string-typed batches.
+enum StrSide<'a> {
+    Dense(&'a [Arc<str>]),
+    Const(&'a str),
+}
+
+impl StrSide<'_> {
+    fn at(&self, i: usize) -> &str {
+        match self {
+            StrSide::Dense(d) => &d[i],
+            StrSide::Const(s) => s,
+        }
+    }
+}
+
+fn str_accessor(v: &BVals) -> Option<StrSide<'_>> {
+    match v {
+        BVals::Str(d) => Some(StrSide::Dense(d)),
+        BVals::Const(Value::Str(s)) => Some(StrSide::Const(s)),
+        _ => None,
+    }
+}
+
+/// Typed arithmetic kernel over numeric operands (ranks `a`, `b`).
+#[allow(clippy::too_many_arguments)]
+fn arith_kernel(
+    op: BinOp,
+    l: &BVals,
+    r: &BVals,
+    a: u8,
+    b: u8,
+    n: usize,
+    nulls: Mask,
+    errs: Mask,
+) -> BatchEval {
+    if a == 4 || b == 4 {
+        // Double promotion; x/0.0 is Null, everything else is total.
+        let (x, y) = (widen_f64(l, n), widen_f64(r, n));
+        let mut div_nulls = Vec::new();
+        let out: Vec<f64> = match op {
+            BinOp::Add => x.iter().zip(&y).map(|(p, q)| p + q).collect(),
+            BinOp::Sub => x.iter().zip(&y).map(|(p, q)| p - q).collect(),
+            BinOp::Mul => x.iter().zip(&y).map(|(p, q)| p * q).collect(),
+            BinOp::Div => {
+                div_nulls = vec![false; n];
+                x.iter()
+                    .zip(&y)
+                    .enumerate()
+                    .map(|(i, (p, q))| {
+                        if *q == 0.0 {
+                            div_nulls[i] = true;
+                            0.0
+                        } else {
+                            p / q
+                        }
+                    })
+                    .collect()
+            }
+            _ => unreachable!(),
+        };
+        let nulls = if div_nulls.contains(&true) {
+            Mask::union(&nulls, &Mask::from_flags(div_nulls))
+        } else {
+            nulls
+        };
+        return BatchEval {
+            vals: BVals::Double(out),
+            nulls,
+            errs,
+        };
+    }
+    // Integer path: wrapping semantics; the divisor must be checked per
+    // element *before* dividing (placeholder zeros at masked rows would
+    // otherwise panic — masked rows may be computed but never observed).
+    let (x, y) = (widen_i64(l, n), widen_i64(r, n));
+    let mut div_nulls = Vec::new();
+    let out: Vec<i64> = match op {
+        BinOp::Add => x.iter().zip(&y).map(|(p, q)| p.wrapping_add(*q)).collect(),
+        BinOp::Sub => x.iter().zip(&y).map(|(p, q)| p.wrapping_sub(*q)).collect(),
+        BinOp::Mul => x.iter().zip(&y).map(|(p, q)| p.wrapping_mul(*q)).collect(),
+        BinOp::Div => {
+            div_nulls = vec![false; n];
+            x.iter()
+                .zip(&y)
+                .enumerate()
+                .map(|(i, (p, q))| {
+                    if *q == 0 {
+                        div_nulls[i] = true;
+                        0
+                    } else {
+                        p.wrapping_div(*q)
+                    }
+                })
+                .collect()
+        }
+        _ => unreachable!(),
+    };
+    let nulls = if div_nulls.contains(&true) {
+        Mask::union(&nulls, &Mask::from_flags(div_nulls))
+    } else {
+        nulls
+    };
+    let vals = if a == 3 || b == 3 {
+        BVals::Long(out)
+    } else {
+        BVals::Int(out.into_iter().map(|v| v as i32).collect())
+    };
+    BatchEval { vals, nulls, errs }
+}
+
+/// Row-at-a-time fallback for operand shapes without a typed kernel;
+/// reproduces scalar semantics exactly via the scalar helpers.
+fn per_row_binary(
+    op: BinOp,
+    l: &BatchEval,
+    r: &BatchEval,
+    n: usize,
+    nulls: &Mask,
+    errs: &Mask,
+) -> BatchEval {
+    let mut out = vec![Value::Null; n];
+    let mut null_flags = vec![false; n];
+    let mut err_flags = vec![false; n];
+    for i in 0..n {
+        if errs.get(i) {
+            err_flags[i] = true;
+            continue;
+        }
+        if nulls.get(i) {
+            null_flags[i] = true;
+            continue;
+        }
+        let (a, b) = (l.value_at(i), r.value_at(i));
+        let res = match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => eval_arith(op, &a, &b),
+            BinOp::Eq => Ok(Value::Bool(a.loose_eq(&b))),
+            BinOp::Ne => Ok(Value::Bool(!a.loose_eq(&b))),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => eval_cmp(op, &a, &b),
+            BinOp::And | BinOp::Or => unreachable!(),
+        };
+        match res {
+            Ok(Value::Null) => null_flags[i] = true,
+            Ok(v) => out[i] = v,
+            Err(_) => err_flags[i] = true,
+        }
+    }
+    BatchEval {
+        vals: BVals::Mixed(out),
+        nulls: Mask::from_flags(null_flags),
+        errs: Mask::from_flags(err_flags),
+    }
+}
+
+/// `AND` / `OR` with scalar short-circuit semantics: the right side is
+/// evaluated only for rows whose left side is `true` (AND) / `false` (OR),
+/// and its result — *whatever its type* — is returned verbatim for those
+/// rows. Errors on skipped right sides stay masked, so the right batch is
+/// only computed when at least one row defers to it.
+fn connective(
+    is_and: bool,
+    l: BatchEval,
+    right: impl FnOnce() -> BatchEval,
+    n: usize,
+) -> BatchEval {
+    let short_val = !is_and; // AND shorts to false, OR shorts to true
+    let mut defer = vec![false; n];
+    let mut any_defer = false;
+    for (i, d) in defer.iter_mut().enumerate() {
+        if !l.errs.get(i) && l.as_bool_at(i) == Some(!short_val) {
+            *d = true;
+            any_defer = true;
+        }
+    }
+    let r = if any_defer { Some(right()) } else { None };
+    // The output is a plain boolean column unless some deferred row takes a
+    // non-boolean right-side value (possible: scalar AND returns the right
+    // side raw), in which case gather per-row values.
+    let bool_like = match &r {
+        None => true,
+        Some(r) => matches!(
+            &r.vals,
+            BVals::Bool(_) | BVals::Const(Value::Bool(_)) | BVals::Const(Value::Null)
+        ),
+    };
+    let mut null_flags = vec![false; n];
+    let mut err_flags = vec![false; n];
+    macro_rules! fill {
+        ($out:ident, $short:expr, |$r:ident, $i:ident| $deferred:expr) => {
+            for $i in 0..n {
+                if l.errs.get($i) {
+                    err_flags[$i] = true;
+                } else if defer[$i] {
+                    let $r = r.as_ref().expect("right evaluated when any row defers");
+                    if $r.errs.get($i) {
+                        err_flags[$i] = true;
+                    } else if $r.nulls.get($i) {
+                        null_flags[$i] = true;
+                    } else {
+                        $out[$i] = $deferred;
+                    }
+                } else if l.as_bool_at($i) == Some(short_val) {
+                    $out[$i] = $short;
+                } else {
+                    null_flags[$i] = true; // Null or non-boolean left
+                }
+            }
+        };
+    }
+    let vals = if bool_like {
+        let mut out = vec![false; n];
+        fill!(out, short_val, |r, i| match &r.vals {
+            BVals::Bool(d) => d[i],
+            BVals::Const(Value::Bool(b)) => *b,
+            _ => unreachable!("non-null row of bool-like batch"),
+        });
+        BVals::Bool(out)
+    } else {
+        let mut out = vec![Value::Null; n];
+        fill!(out, Value::Bool(short_val), |r, i| r.value_at(i));
+        BVals::Mixed(out)
+    };
+    BatchEval {
+        vals,
+        nulls: Mask::from_flags(null_flags),
+        errs: Mask::from_flags(err_flags),
+    }
+}
+
+/// Logical NOT: Null passes through, booleans negate, anything else errors.
+fn not_batch(e: BatchEval, n: usize) -> BatchEval {
+    match &e.vals {
+        BVals::Bool(d) => BatchEval {
+            // Masked rows negate garbage, which stays unobservable.
+            vals: BVals::Bool(d.iter().map(|b| !b).collect()),
+            nulls: e.nulls,
+            errs: e.errs,
+        },
+        BVals::Const(Value::Bool(b)) => BatchEval {
+            vals: BVals::Const(Value::Bool(!*b)),
+            nulls: e.nulls,
+            errs: e.errs,
+        },
+        // Every row is already null or err; NOT preserves both.
+        BVals::Const(Value::Null) => e,
+        BVals::Mixed(rows) => {
+            let mut out = vec![false; n];
+            let mut null_flags = vec![false; n];
+            let mut err_flags = vec![false; n];
+            for i in 0..n {
+                if e.errs.get(i) {
+                    err_flags[i] = true;
+                } else if e.nulls.get(i) {
+                    null_flags[i] = true;
+                } else {
+                    match rows[i].as_bool() {
+                        Some(b) => out[i] = !b,
+                        None => err_flags[i] = true,
+                    }
+                }
+            }
+            BatchEval {
+                vals: BVals::Bool(out),
+                nulls: Mask::from_flags(null_flags),
+                errs: Mask::from_flags(err_flags),
+            }
+        }
+        // Statically non-boolean: every live row errors ("NOT on
+        // non-boolean"); null rows still pass through as Null.
+        _ => err_all_alive(e, n),
+    }
+}
+
+/// Flag every non-null, non-err row as an error (for statically ill-typed
+/// operations whose scalar twin errors on any live row).
+fn err_all_alive(e: BatchEval, n: usize) -> BatchEval {
+    let errs = match (&e.errs, &e.nulls) {
+        (Mask::All, _) => Mask::All,
+        (_, Mask::None) => Mask::All,
+        (errs, nulls) => Mask::from_flags((0..n).map(|i| errs.get(i) || !nulls.get(i)).collect()),
+    };
+    BatchEval {
+        vals: BVals::Const(Value::Null),
+        nulls: e.nulls,
+        errs,
+    }
+}
+
+/// Built-in function call with scalar argument-order masking: arguments
+/// are conceptually evaluated left to right per row; the first erroring
+/// argument errors the row, the first null argument nulls the row (masking
+/// errors in later arguments), and only fully-live rows reach the kernel.
+fn call_batch(func: Func, args: &[BatchEval], n: usize) -> BatchEval {
+    let mut alive = vec![true; n];
+    let mut null_flags = vec![false; n];
+    let mut err_flags = vec![false; n];
+    for a in args {
+        for i in 0..n {
+            if alive[i] {
+                if a.errs.get(i) {
+                    err_flags[i] = true;
+                    alive[i] = false;
+                } else if a.nulls.get(i) {
+                    null_flags[i] = true;
+                    alive[i] = false;
+                }
+            }
+        }
+    }
+    let masks = |vals: BVals| BatchEval {
+        vals,
+        nulls: Mask::from_flags(null_flags.clone()),
+        errs: Mask::from_flags(err_flags.clone()),
+    };
+    if !alive.contains(&true) {
+        return masks(BVals::Const(Value::Null));
+    }
+    if args.iter().all(|a| arith_rank(&a.vals).is_some()) {
+        // All-numeric fast path: `eval_func` cannot fail on numerics, and
+        // every f64 kernel is total, so masked rows may compute garbage.
+        let vals = match func {
+            Func::Sqrt => BVals::Double(
+                widen_f64(&args[0].vals, n)
+                    .iter()
+                    .map(|x| x.sqrt())
+                    .collect(),
+            ),
+            Func::Ln => BVals::Double(widen_f64(&args[0].vals, n).iter().map(|x| x.ln()).collect()),
+            Func::Exp => BVals::Double(
+                widen_f64(&args[0].vals, n)
+                    .iter()
+                    .map(|x| x.exp())
+                    .collect(),
+            ),
+            Func::Pow => {
+                let (x, y) = (widen_f64(&args[0].vals, n), widen_f64(&args[1].vals, n));
+                BVals::Double(x.iter().zip(&y).map(|(a, b)| a.powf(*b)).collect())
+            }
+            Func::Abs => match &args[0].vals {
+                BVals::Int(d) => BVals::Int(d.iter().map(|x| x.wrapping_abs()).collect()),
+                BVals::Long(d) => BVals::Long(d.iter().map(|x| x.wrapping_abs()).collect()),
+                BVals::Double(d) => BVals::Double(d.iter().map(|x| x.abs()).collect()),
+                BVals::Const(c) => BVals::Const(
+                    eval_func(Func::Abs, std::slice::from_ref(c)).expect("abs on numeric"),
+                ),
+                _ => unreachable!("numeric rank"),
+            },
+            Func::Min2 | Func::Max2 => {
+                // The chosen operand's runtime type is preserved, so the
+                // result can mix types across rows; gather and let
+                // `into_column` densify when it turns out uniform.
+                let (x, y) = (widen_f64(&args[0].vals, n), widen_f64(&args[1].vals, n));
+                let mut out = vec![Value::Null; n];
+                for i in 0..n {
+                    if alive[i] {
+                        let first = if func == Func::Min2 {
+                            x[i] <= y[i]
+                        } else {
+                            x[i] >= y[i]
+                        };
+                        out[i] = if first {
+                            args[0].value_at(i)
+                        } else {
+                            args[1].value_at(i)
+                        };
+                    }
+                }
+                BVals::Mixed(out)
+            }
+        };
+        return masks(vals);
+    }
+    // Some argument is non-numeric or mixed-typed: evaluate live rows one
+    // at a time through the scalar kernel.
+    let mut out = vec![Value::Null; n];
+    for i in 0..n {
+        if !alive[i] {
+            continue;
+        }
+        let vals: Vec<Value> = args.iter().map(|a| a.value_at(i)).collect();
+        match eval_func(func, &vals) {
+            Ok(v) => out[i] = v,
+            Err(_) => err_flags[i] = true,
+        }
+    }
+    BatchEval {
+        vals: BVals::Mixed(out),
+        nulls: Mask::from_flags(null_flags),
+        errs: Mask::from_flags(err_flags),
+    }
 }
 
 #[cfg(test)]
@@ -261,5 +1067,94 @@ mod tests {
         let r = Row::new(vec![Value::Null]);
         let c = CompiledExpr::compile(&col("X").gt(lit(0i64)), &s);
         assert!(!c.eval_predicate(&r).unwrap());
+    }
+
+    fn sample_batch() -> ColumnBatch {
+        let rows = vec![
+            sample(),
+            row![2i32, 0i64, 4.0f64, "u2"],
+            Row::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]),
+        ];
+        ColumnBatch::from_rows(&schema(), &rows).unwrap()
+    }
+
+    #[test]
+    fn batch_eval_matches_scalar_per_row() {
+        let s = schema();
+        let batch = sample_batch();
+        for e in [
+            col("Count").add(lit(1i32)).mul(col("Ctr")),
+            col("Count").div(lit(0i64)),
+            lit(1i64).div(col("Count")),
+            col("Ctr").sqrt().sub(lit(0.5f64)).abs(),
+            col("UserId").eq(lit("u1")),
+            col("StreamId").eq(lit(1)).and(col("Count").gt(lit(10i64))),
+            col("StreamId").eq(lit(1)).or(col("Count").gt(lit(10i64))),
+            col("StreamId").eq(lit(1)).not(),
+        ] {
+            let c = CompiledExpr::compile(&e, &s);
+            let out = c.eval_batch(&batch).unwrap().expect("dense result");
+            for i in 0..batch.len() {
+                assert_eq!(
+                    out.value(i),
+                    c.eval(&batch.row(i)).unwrap(),
+                    "expr {e}, row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_predicate_matches_scalar_per_row() {
+        let s = schema();
+        let batch = sample_batch();
+        let c = CompiledExpr::compile(
+            &col("StreamId").eq(lit(1)).or(col("Ctr").gt(lit(1.0f64))),
+            &s,
+        );
+        let mask = c.eval_predicate_batch(&batch).unwrap();
+        for (i, &keep) in mask.iter().enumerate() {
+            assert_eq!(keep, c.eval_predicate(&batch.row(i)).unwrap(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn batch_errors_reproduce_first_scalar_error() {
+        let s = schema();
+        let batch = sample_batch();
+        // Unknown column errors on the first row that evaluates it.
+        let c = CompiledExpr::compile(&col("Nope").add(lit(1i64)), &s);
+        let batch_err = c.eval_batch(&batch).unwrap_err().to_string();
+        let scalar_err = c.eval(&batch.row(0)).unwrap_err().to_string();
+        assert_eq!(batch_err, scalar_err);
+        // Non-boolean predicate reproduces the scalar message too.
+        let c = CompiledExpr::compile(&col("Count").add(lit(1i64)), &s);
+        let batch_err = c.eval_predicate_batch(&batch).unwrap_err().to_string();
+        let scalar_err = c.eval_predicate(&batch.row(0)).unwrap_err().to_string();
+        assert_eq!(batch_err, scalar_err);
+    }
+
+    #[test]
+    fn batch_short_circuit_masks_right_side_errors() {
+        let s = schema();
+        let batch = sample_batch();
+        // Left side is false everywhere it is non-null, so the unknown
+        // column on the right must never surface.
+        let e = col("StreamId").eq(lit(99)).and(col("Nope").lt(lit(1i64)));
+        let c = CompiledExpr::compile(&e, &s);
+        let out = c.eval_batch(&batch).unwrap().expect("dense result");
+        for i in 0..batch.len() {
+            assert_eq!(out.value(i), c.eval(&batch.row(i)).unwrap(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn batch_empty_input_yields_empty_column() {
+        let s = schema();
+        let batch = ColumnBatch::from_rows(&s, &[]).unwrap();
+        let c = CompiledExpr::compile(&col("Count").add(lit(1i64)), &s);
+        let out = c.eval_batch(&batch).unwrap().expect("dense result");
+        assert_eq!(out.len(), 0);
+        assert!(c.eval_predicate_batch(&batch).unwrap().is_empty());
     }
 }

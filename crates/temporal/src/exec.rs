@@ -14,16 +14,76 @@
 //! its final consumer — the last consumer gets uniquely-owned storage, not
 //! a deep clone.
 
+use crate::batch::EventBatch;
 use crate::error::{Result, TemporalError};
 use crate::operators;
 use crate::plan::{LogicalPlan, NodeId, Operator};
 use crate::stream::EventStream;
 use pool::WorkerPool;
+use relation::Schema;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
 /// Named input bindings for a plan's `Source` leaves.
 pub type Bindings = FxHashMap<String, EventStream>;
+
+/// Named input bindings in either physical layout (see [`StreamData`]).
+pub type DataBindings = FxHashMap<String, StreamData>;
+
+/// Event data in either physical layout.
+///
+/// `Rows` is the universal form every operator accepts; `Batch` is the
+/// column-major form produced under [`ExecMode::Columnar`] and consumed by
+/// the operators with columnar kernels (Filter, Project, AlterLifetime,
+/// GroupApply key extraction). Operators without a kernel convert a batch
+/// back to rows at their input — the automatic fallback that keeps every
+/// plan runnable in every mode.
+#[derive(Debug, Clone)]
+pub enum StreamData {
+    /// Row-major event storage.
+    Rows(EventStream),
+    /// Column-major event storage.
+    Batch(EventBatch),
+}
+
+impl StreamData {
+    /// Payload schema, whichever the layout.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            StreamData::Rows(s) => s.schema(),
+            StreamData::Batch(b) => b.schema(),
+        }
+    }
+
+    /// Convert to the row-major stream (free for `Rows`).
+    pub fn into_stream(self) -> EventStream {
+        match self {
+            StreamData::Rows(s) => s,
+            StreamData::Batch(b) => b.into_stream(),
+        }
+    }
+
+    /// Convert to row form in place (used before a binding is shared, so
+    /// every subsequent clone is an O(1) Arc bump instead of a deep batch
+    /// copy).
+    pub fn make_rows(&mut self) {
+        if matches!(self, StreamData::Batch(_)) {
+            let data = std::mem::replace(
+                self,
+                StreamData::Rows(EventStream::empty(Schema::new(Vec::new()))),
+            );
+            *self = StreamData::Rows(data.into_stream());
+        }
+    }
+}
+
+/// Wrap row bindings in the layout-agnostic form.
+pub fn data_bindings(sources: Bindings) -> DataBindings {
+    sources
+        .into_iter()
+        .map(|(n, s)| (n, StreamData::Rows(s)))
+        .collect()
+}
 
 /// Which operator implementations the executor dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +96,12 @@ pub enum ExecMode {
     /// per-row name resolution and clone-based streams. Kept as the
     /// benchmark baseline; output is byte-identical to `Compiled`.
     Interpreted,
+    /// Compiled operators plus column-major execution: sources whose
+    /// payloads fit their declared types are transposed into
+    /// [`EventBatch`]es and flow through vectorized kernels, falling back
+    /// to the row path per operator (and per source) whenever no columnar
+    /// form applies. Output is byte-identical to `Compiled`.
+    Columnar,
 }
 
 /// Execution choices threaded through the executor: which operator
@@ -140,6 +206,20 @@ pub fn execute_owned_with_options(
     sources: Bindings,
     options: &ExecOptions,
 ) -> Result<Vec<EventStream>> {
+    execute_owned_data(plan, data_bindings(sources), options)
+}
+
+/// Execute `plan` over layout-agnostic bindings: a binding may arrive
+/// pre-transposed as a [`StreamData::Batch`] (the columnar reducer decodes
+/// partitions straight into batches) or as plain rows. Under
+/// [`ExecMode::Columnar`] row-form sources are transposed at their last
+/// reference; in every other mode batches are converted back to rows
+/// before use, so the mode alone decides the physical path.
+pub fn execute_owned_data(
+    plan: &LogicalPlan,
+    sources: DataBindings,
+    options: &ExecOptions,
+) -> Result<Vec<EventStream>> {
     let mut exec = Executor {
         source_refs: source_refs(plan),
         sources,
@@ -151,7 +231,7 @@ pub fn execute_owned_with_options(
     };
     plan.roots()
         .iter()
-        .map(|&root| exec.eval(plan, root))
+        .map(|&root| exec.eval(plan, root).map(StreamData::into_stream))
         .collect()
 }
 
@@ -198,6 +278,16 @@ pub fn execute_single_owned_with_options(
     single(execute_owned_with_options(plan, sources, options)?)
 }
 
+/// Execute a single-output plan over layout-agnostic bindings
+/// (see [`execute_owned_data`]).
+pub fn execute_single_owned_data(
+    plan: &LogicalPlan,
+    sources: DataBindings,
+    options: &ExecOptions,
+) -> Result<EventStream> {
+    single(execute_owned_data(plan, sources, options)?)
+}
+
 fn single(mut outputs: Vec<EventStream>) -> Result<EventStream> {
     if outputs.len() != 1 {
         return Err(TemporalError::Plan(format!(
@@ -211,7 +301,7 @@ fn single(mut outputs: Vec<EventStream>) -> Result<EventStream> {
 struct Executor<'a> {
     /// Owned source bindings, drained as the plan consumes them: a stream
     /// is moved out at its last `Source` reference.
-    sources: Bindings,
+    sources: DataBindings,
     /// Remaining `Source`-node references per binding name. Names also
     /// referenced inside GroupApply sub-plans are pinned to `u32::MAX`
     /// (evaluated once per group — they must never be moved out).
@@ -275,16 +365,16 @@ fn collect_source_refs(plan: &LogicalPlan, pin: bool, refs: &mut FxHashMap<Strin
 }
 
 impl<'a> Executor<'a> {
-    fn eval(&mut self, plan: &LogicalPlan, id: NodeId) -> Result<EventStream> {
+    fn eval(&mut self, plan: &LogicalPlan, id: NodeId) -> Result<StreamData> {
         if let Some((stream, remaining)) = self.cache.get_mut(&id) {
             *remaining -= 1;
             if *remaining == 0 {
                 // Last consumer: move the stream out instead of cloning,
                 // so downstream in-place operators get unique ownership.
                 let (stream, _) = self.cache.remove(&id).expect("entry just seen");
-                return Ok(stream);
+                return Ok(StreamData::Rows(stream));
             }
-            return Ok(stream.clone()); // O(1): Arc-backed storage
+            return Ok(StreamData::Rows(stream.clone())); // O(1): Arc-backed storage
         }
         let node = plan.node(id);
         let mut inputs = Vec::with_capacity(node.inputs.len());
@@ -294,7 +384,11 @@ impl<'a> Executor<'a> {
         let out = self.apply(plan, &node.op, inputs)?;
         let consumers = self.counts.get(id).copied().unwrap_or(0);
         if consumers > 1 {
-            self.cache.insert(id, (out.clone(), consumers - 1));
+            // Multicast results are cached in row form so each further
+            // consumer takes an O(1) Arc clone, never a deep batch copy.
+            let stream = out.into_stream();
+            self.cache.insert(id, (stream.clone(), consumers - 1));
+            return Ok(StreamData::Rows(stream));
         }
         Ok(out)
     }
@@ -303,18 +397,18 @@ impl<'a> Executor<'a> {
         &mut self,
         _plan: &LogicalPlan,
         op: &Operator,
-        mut inputs: Vec<EventStream>,
-    ) -> Result<EventStream> {
+        mut inputs: Vec<StreamData>,
+    ) -> Result<StreamData> {
         let interpreted = self.mode == ExecMode::Interpreted;
         Ok(match op {
             Operator::Source { name, schema } => {
-                let stream = self.sources.get(name).ok_or_else(|| {
+                let data = self.sources.get(name).ok_or_else(|| {
                     TemporalError::Input(format!("no binding for source `{name}`"))
                 })?;
-                if stream.schema() != schema {
+                if data.schema() != schema {
                     return Err(TemporalError::Input(format!(
                         "source `{name}` bound with schema {}, plan expects {schema}",
-                        stream.schema()
+                        data.schema()
                     )));
                 }
                 let remaining = self
@@ -328,48 +422,88 @@ impl<'a> Executor<'a> {
                     // Last reference: move the binding out. When the caller
                     // gave up its handle (execute_owned), downstream
                     // in-place operators now own the storage outright.
-                    self.sources.remove(name).expect("binding just seen")
+                    let data = self.sources.remove(name).expect("binding just seen");
+                    match (self.mode, data) {
+                        // Columnar: transpose a row-form source at its last
+                        // reference; payloads that don't fit their declared
+                        // types stay rows (the fallback path).
+                        (ExecMode::Columnar, StreamData::Rows(s)) => {
+                            match EventBatch::from_stream(&s) {
+                                Some(b) => StreamData::Batch(b),
+                                None => StreamData::Rows(s),
+                            }
+                        }
+                        (ExecMode::Columnar, data) => data,
+                        // Row modes never see a batch: a pre-decoded one is
+                        // converted right here.
+                        (_, data) => StreamData::Rows(data.into_stream()),
+                    }
                 } else {
-                    stream.clone() // O(1): Arc-backed storage
+                    // Shared reference: force row form in place so this and
+                    // every later clone is an O(1) Arc bump.
+                    let data = self.sources.get_mut(name).expect("binding just seen");
+                    data.make_rows();
+                    data.clone()
                 }
             }
-            Operator::GroupInput { .. } => self
-                .group_input
-                .ok_or_else(|| {
-                    TemporalError::Plan("GroupInput outside a GroupApply sub-plan".into())
-                })?
-                .clone(),
-            Operator::Filter { predicate } => {
-                let input = inputs.pop().expect("filter has one input");
-                if interpreted {
-                    operators::interpreted::filter(&input, predicate)?
-                } else {
-                    operators::filter(input, predicate)?
+            Operator::GroupInput { .. } => StreamData::Rows(
+                self.group_input
+                    .ok_or_else(|| {
+                        TemporalError::Plan("GroupInput outside a GroupApply sub-plan".into())
+                    })?
+                    .clone(),
+            ),
+            Operator::Filter { predicate } => match inputs.pop().expect("filter has one input") {
+                StreamData::Batch(b) => StreamData::Batch(operators::filter_batch(b, predicate)?),
+                data => {
+                    let input = data.into_stream();
+                    StreamData::Rows(if interpreted {
+                        operators::interpreted::filter(&input, predicate)?
+                    } else {
+                        operators::filter(input, predicate)?
+                    })
                 }
-            }
+            },
             Operator::Project { exprs } => {
-                let input = inputs.pop().expect("project has one input");
-                if interpreted {
-                    operators::interpreted::project(&input, exprs)?
-                } else {
-                    operators::project(input, exprs)?
+                match inputs.pop().expect("project has one input") {
+                    StreamData::Batch(b) => match operators::project_batch(&b, exprs)? {
+                        Some(out) => StreamData::Batch(out),
+                        // Some expression's output has no dense column form
+                        // (mixed runtime types): fall back to the row path.
+                        None => StreamData::Rows(operators::project(b.into_stream(), exprs)?),
+                    },
+                    data => {
+                        let input = data.into_stream();
+                        StreamData::Rows(if interpreted {
+                            operators::interpreted::project(&input, exprs)?
+                        } else {
+                            operators::project(input, exprs)?
+                        })
+                    }
                 }
             }
             Operator::AlterLifetime { op } => {
-                let input = inputs.pop().expect("alter_lifetime has one input");
-                if interpreted {
-                    operators::interpreted::alter_lifetime(&input, op)?
-                } else {
-                    operators::alter_lifetime(input, op)?
+                match inputs.pop().expect("alter_lifetime has one input") {
+                    StreamData::Batch(b) => {
+                        StreamData::Batch(operators::alter_lifetime_batch(b, op)?)
+                    }
+                    data => {
+                        let input = data.into_stream();
+                        StreamData::Rows(if interpreted {
+                            operators::interpreted::alter_lifetime(&input, op)?
+                        } else {
+                            operators::alter_lifetime(input, op)?
+                        })
+                    }
                 }
             }
             Operator::Aggregate { aggs } => {
-                let input = inputs.pop().expect("aggregate has one input");
-                if interpreted {
+                let input = inputs.pop().expect("aggregate has one input").into_stream();
+                StreamData::Rows(if interpreted {
                     operators::interpreted::aggregate(&input, aggs)?
                 } else {
                     operators::aggregate(&input, aggs)?
-                }
+                })
             }
             Operator::GroupApply { keys, subplan } => {
                 let input = inputs.pop().expect("group_apply has one input");
@@ -380,9 +514,15 @@ impl<'a> Executor<'a> {
                 let sub_refs = source_refs(subplan);
                 let sub_counts = consumer_counts(subplan);
                 let sub_sources = if sub_refs.is_empty() {
-                    Bindings::default()
+                    DataBindings::default()
                 } else {
-                    self.sources.clone() // O(1) per stream: Arc bumps
+                    // Shared once per group: force row form so the per-group
+                    // clones below are O(1) Arc bumps.
+                    let mut shared = self.sources.clone(); // O(1) per rows stream
+                    for data in shared.values_mut() {
+                        data.make_rows();
+                    }
+                    shared
                 };
                 let mode = self.mode;
                 let pool = Arc::clone(&self.pool);
@@ -400,51 +540,70 @@ impl<'a> Executor<'a> {
                         mode,
                         pool: Arc::clone(&pool),
                     };
-                    inner.eval(sub, sub.roots()[0])
+                    inner.eval(sub, sub.roots()[0]).map(StreamData::into_stream)
                 };
-                if interpreted {
-                    let mut run = run;
-                    operators::interpreted::group_apply(&input, keys, subplan, &mut run)?
-                } else {
-                    operators::group_apply(input, keys, subplan, &pool, &run)?
-                }
+                StreamData::Rows(match input {
+                    StreamData::Batch(b) => {
+                        operators::group_apply_batch(b, keys, subplan, &pool, &run)?
+                    }
+                    data => {
+                        let input = data.into_stream();
+                        if interpreted {
+                            let mut run = run;
+                            operators::interpreted::group_apply(&input, keys, subplan, &mut run)?
+                        } else {
+                            operators::group_apply(input, keys, subplan, &pool, &run)?
+                        }
+                    }
+                })
             }
             Operator::Union => {
-                if interpreted {
+                let inputs: Vec<EventStream> =
+                    inputs.into_iter().map(StreamData::into_stream).collect();
+                StreamData::Rows(if interpreted {
                     let refs: Vec<&EventStream> = inputs.iter().collect();
                     operators::interpreted::union(&refs)?
                 } else {
                     operators::union(inputs)?
-                }
+                })
             }
             Operator::TemporalJoin { keys, residual } => {
-                if interpreted {
-                    operators::interpreted::temporal_join(
-                        &inputs[0],
-                        &inputs[1],
-                        keys,
-                        residual.as_ref(),
-                    )?
+                let right = inputs
+                    .pop()
+                    .expect("temporal_join has two inputs")
+                    .into_stream();
+                let left = inputs
+                    .pop()
+                    .expect("temporal_join has two inputs")
+                    .into_stream();
+                StreamData::Rows(if interpreted {
+                    operators::interpreted::temporal_join(&left, &right, keys, residual.as_ref())?
                 } else {
-                    operators::temporal_join(&inputs[0], &inputs[1], keys, residual.as_ref())?
-                }
+                    operators::temporal_join(&left, &right, keys, residual.as_ref())?
+                })
             }
             Operator::AntiSemiJoin { keys } => {
-                let right = inputs.pop().expect("anti_semi_join has two inputs");
-                let left = inputs.pop().expect("anti_semi_join has two inputs");
-                if interpreted {
+                let right = inputs
+                    .pop()
+                    .expect("anti_semi_join has two inputs")
+                    .into_stream();
+                let left = inputs
+                    .pop()
+                    .expect("anti_semi_join has two inputs")
+                    .into_stream();
+                StreamData::Rows(if interpreted {
                     operators::interpreted::anti_semi_join(&left, &right, keys)?
                 } else {
                     operators::anti_semi_join(left, &right, keys)?
-                }
+                })
             }
             Operator::HopUdo { hop, width, udo } => {
-                let input = inputs.pop().expect("hop_udo has one input");
-                if interpreted {
+                let input = inputs.pop().expect("hop_udo has one input").into_stream();
+                StreamData::Rows(if interpreted {
                     operators::interpreted::hop_udo(&input, *hop, *width, udo)?
                 } else {
                     operators::hop_udo(input, *hop, *width, udo)?
-                }
+                })
             }
         })
     }
@@ -604,7 +763,48 @@ mod tests {
         let srcs = bindings(vec![("input", sample_events())]);
         let compiled = execute_single_with_mode(&plan, &srcs, ExecMode::Compiled).unwrap();
         let interpreted = execute_single_with_mode(&plan, &srcs, ExecMode::Interpreted).unwrap();
+        let columnar = execute_single_with_mode(&plan, &srcs, ExecMode::Columnar).unwrap();
         assert_eq!(compiled, interpreted);
+        assert_eq!(compiled, columnar);
+    }
+
+    #[test]
+    fn columnar_mode_agrees_on_single_chain_plans() {
+        // Filter → project → window chain: the whole prefix runs on
+        // batches under Columnar; outputs must be byte-identical.
+        let q = Query::new();
+        let out = q
+            .source("input", bt_schema())
+            .filter(col("StreamId").eq(lit(1)))
+            .project(vec![
+                ("KwAdId".to_string(), col("KwAdId")),
+                ("T2".to_string(), col("Time").add(lit(1i64))),
+            ])
+            .group_apply(&["KwAdId"], |g| g.window(100).count("N"));
+        let plan = q.build(vec![out]).unwrap();
+        let srcs = bindings(vec![("input", sample_events())]);
+        let row = execute_single_with_mode(&plan, &srcs, ExecMode::Compiled).unwrap();
+        let colr = execute_single_with_mode(&plan, &srcs, ExecMode::Columnar).unwrap();
+        assert_eq!(row, colr);
+    }
+
+    #[test]
+    fn columnar_mode_accepts_predecoded_batches() {
+        // A binding handed over already in batch form flows straight
+        // through the columnar kernels.
+        let q = Query::new();
+        let out = q
+            .source("input", bt_schema())
+            .filter(col("StreamId").eq(lit(1)));
+        let plan = q.build(vec![out]).unwrap();
+        let stream = sample_events();
+        let batch = crate::batch::EventBatch::from_stream(&stream).unwrap();
+        let mut srcs = DataBindings::default();
+        srcs.insert("input".to_string(), StreamData::Batch(batch));
+        let opts = ExecOptions::with_mode(ExecMode::Columnar);
+        let out = single(execute_owned_data(&plan, srcs, &opts).unwrap()).unwrap();
+        let expected = execute_single(&plan, &bindings(vec![("input", stream)])).unwrap();
+        assert_eq!(out, expected);
     }
 
     #[test]
@@ -621,14 +821,14 @@ mod tests {
         let srcs = bindings(vec![("input", sample_events())]);
         let mut exec = Executor {
             source_refs: source_refs(&plan),
-            sources: srcs,
+            sources: data_bindings(srcs),
             group_input: None,
             cache: FxHashMap::default(),
             counts: consumer_counts(&plan),
             mode: ExecMode::Compiled,
             pool: Arc::new(WorkerPool::sequential()),
         };
-        let result = exec.eval(&plan, plan.roots()[0]).unwrap();
+        let result = exec.eval(&plan, plan.roots()[0]).unwrap().into_stream();
         assert_eq!(result.len(), 7); // 3 clicks + all 4
         assert!(
             exec.cache.is_empty(),

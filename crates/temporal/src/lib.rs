@@ -29,6 +29,7 @@
 //! TiMR's temporal-partitioning correctness proof compare.
 
 pub mod agg;
+pub mod batch;
 pub mod compiled;
 pub mod error;
 pub mod event;
@@ -43,6 +44,7 @@ pub mod streamsql;
 pub mod time;
 pub mod udo;
 
+pub use batch::EventBatch;
 pub use compiled::CompiledExpr;
 pub use error::{Result, TemporalError};
 pub use event::Event;

@@ -19,6 +19,7 @@
 //! §III) that restarted reducers compare bytes against. Errors propagate
 //! from the lowest group in sort order, keeping failure deterministic too.
 
+use crate::batch::EventBatch;
 use crate::error::Result;
 use crate::event::Event;
 use crate::key::KeySelector;
@@ -39,20 +40,70 @@ pub fn group_apply(
     pool: &WorkerPool,
     run_subplan: &(dyn Fn(&LogicalPlan, EventStream) -> Result<EventStream> + Sync),
 ) -> Result<EventStream> {
+    group_apply_inner(input, None, keys, subplan, pool, run_subplan)
+}
+
+/// Columnar entry: key hashes are computed straight off the payload
+/// columns (no per-event row walk), then the events stream through the
+/// same partition/sort/merge machinery as [`group_apply`] — groups, group
+/// order, and output are byte-identical.
+pub fn group_apply_batch(
+    input: EventBatch,
+    keys: &[String],
+    subplan: &LogicalPlan,
+    pool: &WorkerPool,
+    run_subplan: &(dyn Fn(&LogicalPlan, EventStream) -> Result<EventStream> + Sync),
+) -> Result<EventStream> {
+    let sel = KeySelector::new(input.schema(), keys)?;
+    let hashes = sel.hash_batch(input.payload());
+    group_apply_inner(
+        input.into_stream(),
+        Some(hashes),
+        keys,
+        subplan,
+        pool,
+        run_subplan,
+    )
+}
+
+fn group_apply_inner(
+    input: EventStream,
+    hashes: Option<Vec<u64>>,
+    keys: &[String],
+    subplan: &LogicalPlan,
+    pool: &WorkerPool,
+    run_subplan: &(dyn Fn(&LogicalPlan, EventStream) -> Result<EventStream> + Sync),
+) -> Result<EventStream> {
     let in_schema = input.schema().clone();
     let sel = KeySelector::new(&in_schema, keys)?;
 
     // Partition events by key hash, moving each event into its group; a
-    // bucket holds one group per distinct key that hashes there.
+    // bucket holds one group per distinct key that hashes there. The hash
+    // comes from the precomputed column-major vector when one was supplied
+    // (bit-identical to hashing the row, so bucketing cannot differ).
     let mut buckets: FxHashMap<u64, Vec<Vec<Event>>> = FxHashMap::default();
-    for e in input.into_events() {
-        let groups = buckets.entry(sel.hash(&e.payload)).or_default();
+    let mut place = |h: u64, e: Event| {
+        let groups = buckets.entry(h).or_default();
         match groups
             .iter_mut()
             .find(|g| sel.matches_same(&g[0].payload, &e.payload))
         {
             Some(g) => g.push(e),
             None => groups.push(vec![e]),
+        }
+    };
+    match hashes {
+        Some(hashes) => {
+            debug_assert_eq!(hashes.len(), input.len());
+            for (e, h) in input.into_events().into_iter().zip(hashes) {
+                place(h, e);
+            }
+        }
+        None => {
+            for e in input.into_events() {
+                let h = sel.hash(&e.payload);
+                place(h, e);
+            }
         }
     }
 

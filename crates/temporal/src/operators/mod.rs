@@ -26,11 +26,11 @@ mod temporal_join;
 mod union;
 
 pub use aggregate::aggregate;
-pub use alter_lifetime::alter_lifetime;
+pub use alter_lifetime::{alter_lifetime, alter_lifetime_batch};
 pub use anti_semi_join::anti_semi_join;
-pub use filter::filter;
-pub use group_apply::group_apply;
+pub use filter::{filter, filter_batch};
+pub use group_apply::{group_apply, group_apply_batch};
 pub use hop_udo::hop_udo;
-pub use project::project;
+pub use project::{project, project_batch};
 pub use temporal_join::temporal_join;
 pub use union::union;
