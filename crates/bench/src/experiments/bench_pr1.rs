@@ -11,7 +11,7 @@
 
 use crate::table::Table;
 use mapreduce::{
-    Cluster, ClusterConfig, Dataset, Dfs, FailurePlan, Partitioner, Reducer, ReducerContext, Stage,
+    ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, Partitioner, Reducer, ReducerContext, Stage,
     StageStats,
 };
 use relation::schema::{ColumnType, Field};
@@ -111,8 +111,8 @@ fn run_once(input: &Dataset, threads: usize) -> Run {
     .expect("valid stage");
     let cluster = Cluster::with_config(ClusterConfig {
         threads,
-        failures: FailurePlan::none(),
-        max_attempts: 1,
+        chaos: ChaosPlan::none(),
+        retry: mapreduce::RetryPolicy::no_backoff(1),
         ..ClusterConfig::default()
     });
     let stats = cluster.run_stage(&dfs, &stage).expect("stage runs");

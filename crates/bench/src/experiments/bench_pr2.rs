@@ -17,7 +17,7 @@
 //! Results go to `BENCH_PR2.json` for machine consumption.
 
 use crate::table::Table;
-use mapreduce::{Cluster, ClusterConfig, Dataset, Dfs, FailurePlan};
+use mapreduce::{ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, RetryPolicy};
 use relation::schema::{ColumnType, Field};
 use relation::{row, Row, Schema};
 use std::time::{Duration, Instant};
@@ -319,8 +319,8 @@ fn run_job_once(log: &Dataset, mode: ExecMode, threads: usize) -> JobRun {
     dfs.put("logs", log.clone()).expect("fresh DFS");
     let cluster = Cluster::with_config(ClusterConfig {
         threads,
-        failures: FailurePlan::none(),
-        max_attempts: 1,
+        chaos: ChaosPlan::none(),
+        retry: RetryPolicy::no_backoff(1),
         ..ClusterConfig::default()
     });
     let out = click_score_job(mode).run(&dfs, &cluster).expect("job runs");

@@ -24,7 +24,7 @@
 use crate::table::Table;
 use bt::queries::{feature_selection, labels_payload, log_payload, stream_id, train_rows_payload};
 use bt::BtParams;
-use mapreduce::{Cluster, ClusterConfig, Dataset, Dfs, FailurePlan};
+use mapreduce::{ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, RetryPolicy};
 use relation::{row, Row};
 use std::time::{Duration, Instant};
 use temporal::exec::{bindings, execute_single_with_options, Bindings, ExecOptions};
@@ -227,9 +227,10 @@ fn run_job_once(params: &BtParams, dsms_threads: usize) -> JobRun {
     let dfs = ztest_dfs();
     let cluster = Cluster::with_config(ClusterConfig {
         threads: 1,
-        failures: FailurePlan::none(),
-        max_attempts: 1,
+        chaos: ChaosPlan::none(),
+        retry: RetryPolicy::no_backoff(1),
         dsms_threads,
+        ..ClusterConfig::default()
     });
     let btq = feature_selection::query(params);
     let out = TimrJob::new("pr3", btq.plan)

@@ -25,7 +25,7 @@
 use crate::table::Table;
 use bt::queries::{feature_selection, labels_payload, log_payload, stream_id, train_rows_payload};
 use bt::BtParams;
-use mapreduce::{Cluster, ClusterConfig, Dataset, Dfs, FailurePlan};
+use mapreduce::{ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, RetryPolicy};
 use relation::schema::{ColumnType, Field};
 use relation::{row, Row, Schema};
 use std::time::{Duration, Instant};
@@ -321,8 +321,8 @@ fn run_job_once(log: &Dataset, mode: ExecMode, threads: usize) -> JobRun {
     dfs.put("logs", log.clone()).expect("fresh DFS");
     let cluster = Cluster::with_config(ClusterConfig {
         threads,
-        failures: FailurePlan::none(),
-        max_attempts: 1,
+        chaos: ChaosPlan::none(),
+        retry: RetryPolicy::no_backoff(1),
         ..ClusterConfig::default()
     });
     let out = click_score_job(mode).run(&dfs, &cluster).expect("job runs");

@@ -7,6 +7,7 @@ pub mod bench_pr1;
 pub mod bench_pr2;
 pub mod bench_pr3;
 pub mod bench_pr4;
+pub mod bench_pr5;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -182,6 +183,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "PR 4: columnar batches with vectorized execution vs the compiled row path \
                  (writes BENCH_PR4.json)",
             run: bench_pr4::run,
+        },
+        Experiment {
+            name: "pr5",
+            artifact: "PR 5: chaos-engine fault-free overhead and recovery runtime \
+                 (writes BENCH_PR5.json)",
+            run: bench_pr5::run,
         },
     ]
 }

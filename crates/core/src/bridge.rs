@@ -260,9 +260,12 @@ pub fn pull_through_queue_batched(
             rows.push(encoding.encode(event)?);
         }
     }
-    handle
-        .join()
-        .map_err(|_| TimrError::Compile("DSMS producer thread panicked".into()))?;
+    handle.join().map_err(|payload| {
+        TimrError::Compile(format!(
+            "DSMS producer thread panicked: {}",
+            pool::payload_str(payload.as_ref())
+        ))
+    })?;
     Ok(rows)
 }
 

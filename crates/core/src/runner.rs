@@ -138,7 +138,7 @@ impl TimrOutput {
 mod tests {
     use super::*;
     use crate::annotate::ExchangeKey;
-    use mapreduce::{Dataset, FailurePlan};
+    use mapreduce::{ChaosPlan, Dataset, RetryPolicy, TaskPhase};
     use relation::schema::{ColumnType, Field};
     use relation::{row, Row};
     use temporal::exec::{bindings, execute_single};
@@ -225,22 +225,25 @@ mod tests {
     #[test]
     fn reducer_restart_is_deterministic() {
         let rows = dataset_rows(300);
-        let run = |failures: FailurePlan| {
+        let run = |chaos: ChaosPlan| {
             let dfs = dfs_with_logs(rows.clone());
             let cluster = Cluster::with_config(mapreduce::ClusterConfig {
                 threads: 4,
-                failures,
-                max_attempts: 3,
+                chaos,
+                retry: RetryPolicy::no_backoff(3),
                 ..Default::default()
             });
             let out = click_count_job(4).run(&dfs, &cluster).unwrap();
             (
                 dfs.get(&out.dataset).unwrap().partitions.as_ref().clone(),
-                out.stats.stages.iter().map(|s| s.task_retries).sum::<u64>(),
+                out.stats.fault_totals().task_retries,
             )
         };
-        let (clean, r0) = run(FailurePlan::none());
-        let (failed, r1) = run(FailurePlan::none().kill("rcc/f5", 0).kill("rcc/f5", 2));
+        let (clean, r0) = run(ChaosPlan::none());
+        let (failed, r1) = run(ChaosPlan::none()
+            .kill("rcc/f5", TaskPhase::Reduce, 0)
+            .kill("rcc/f5", TaskPhase::Map, 0)
+            .kill("rcc/f5", TaskPhase::Shuffle, 2));
         assert_eq!(r0, 0);
         // Stage name depends on node ids; if the kill didn't match any
         // stage the retries stay 0 — assert output equality regardless,

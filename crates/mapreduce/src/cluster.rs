@@ -1,23 +1,55 @@
-//! Stage execution on a local thread pool, with failure injection.
+//! Stage execution on a local thread pool, with deterministic fault
+//! injection, panic containment, integrity verification, and retry.
+//!
+//! Every task (map scan, shuffle fetch, reduce) runs inside a retry loop
+//! ([`Cluster::run_attempts`]) that:
+//!
+//! 1. asks the configured [`ChaosPlan`] whether this
+//!    `(stage, phase, task, attempt)` coordinate is scheduled for a fault
+//!    (panic / transient error / corruption / delay);
+//! 2. wraps the attempt in `catch_unwind`, so a panic — injected or
+//!    genuine — surfaces as a retryable [`TaskError::Panicked`] with its
+//!    payload preserved, never a torn-down process;
+//! 3. verifies integrity frames on the data the attempt reads, surfacing
+//!    corruption as [`TaskError::Corrupt`] and re-running the producing
+//!    work before the retry;
+//! 4. backs off deterministically (jitter-free exponential, per
+//!    [`RetryPolicy`]) between attempts, and escalates to
+//!    [`MrError::TaskExhausted`] — naming stage, phase, partition, and
+//!    attempt count — when attempts run out.
+//!
+//! Because reducers are pure and the shuffle merge is order-deterministic,
+//! any schedule of contained faults that doesn't exhaust retries yields
+//! output byte-identical to a clean run (paper §III-C.1); the property
+//! tests in `tests/prop_chaos.rs` enforce exactly that. Stage outputs are
+//! only published to the DFS after every partition has succeeded, so
+//! partial results of failed attempts are never visible.
 
+use crate::chaos::{self, ChaosPlan, ExtentFrame, FaultKind, RetryPolicy};
 use crate::dfs::{Dataset, Dfs};
-use crate::error::{MrError, Result};
-use crate::job::{ReducerContext, Stage};
+use crate::error::{MrError, Result, TaskError, TaskPhase};
+use crate::job::{CompiledPartitioner, ReducerContext, Stage};
 use crate::stats::{JobStats, StageStats};
 use pool::WorkerPool;
 use relation::Row;
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Which task attempts should be killed, to exercise the restart path
-/// (paper §III-C.1: "TiMR works well with M-R's failure handling strategy
-/// of restarting failed reducers").
+/// Which reduce-task first attempts should be killed.
+///
+/// Superseded by [`ChaosPlan`], which can target map and shuffle tasks,
+/// inject faults other than kills, and schedule them probabilistically;
+/// this type survives as a migration shim (`ChaosPlan::from(plan)`).
+#[deprecated(note = "use ChaosPlan: FailurePlan can only kill reduce tasks")]
 #[derive(Debug, Clone, Default)]
 pub struct FailurePlan {
     /// `(stage name, partition)` pairs whose **first** attempt fails.
     pub kill_first_attempt: Vec<(String, usize)>,
 }
 
+#[allow(deprecated)]
 impl FailurePlan {
     /// No injected failures.
     pub fn none() -> Self {
@@ -29,13 +61,18 @@ impl FailurePlan {
         self.kill_first_attempt.push((stage.into(), partition));
         self
     }
+}
 
-    fn should_fail(&self, stage: &str, partition: usize, attempt: usize) -> bool {
-        attempt == 0
-            && self
-                .kill_first_attempt
-                .iter()
-                .any(|(s, p)| s == stage && *p == partition)
+#[allow(deprecated)]
+impl From<FailurePlan> for ChaosPlan {
+    /// The old plan expressed exactly the explicit-kill subset of a
+    /// [`ChaosPlan`], restricted to the reduce phase.
+    fn from(plan: FailurePlan) -> ChaosPlan {
+        plan.kill_first_attempt
+            .into_iter()
+            .fold(ChaosPlan::none(), |chaos, (stage, partition)| {
+                chaos.kill(stage, TaskPhase::Reduce, partition)
+            })
     }
 }
 
@@ -50,10 +87,15 @@ pub struct ClusterConfig {
     /// task pool, so per-group threads would only oversubscribe. Raise it
     /// for group-heavy stages with few partitions.
     pub dsms_threads: usize,
-    /// Injected failures.
-    pub failures: FailurePlan,
-    /// Maximum attempts per task before the job fails.
-    pub max_attempts: usize,
+    /// Fault-injection schedule (explicit kills and/or seeded faults).
+    pub chaos: ChaosPlan,
+    /// Per-task retry budget and backoff schedule.
+    pub retry: RetryPolicy,
+    /// Verify integrity frames on map reads and shuffle fetches, and frame
+    /// stage outputs. On by default; turning it off exists to measure the
+    /// framing/verification overhead (corruption then degrades to
+    /// transient faults, since it would be undetectable).
+    pub integrity: bool,
 }
 
 impl Default for ClusterConfig {
@@ -63,9 +105,52 @@ impl Default for ClusterConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             dsms_threads: 1,
-            failures: FailurePlan::none(),
-            max_attempts: 3,
+            chaos: ChaosPlan::none(),
+            retry: RetryPolicy::default(),
+            integrity: true,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Migration shim for the old `failures`/`max_attempts` fields.
+    #[deprecated(note = "set the `chaos` and `retry` fields instead")]
+    #[allow(deprecated)]
+    pub fn with_failures(mut self, failures: FailurePlan, max_attempts: usize) -> Self {
+        self.chaos = failures.into();
+        self.retry.max_attempts = max_attempts;
+        self
+    }
+}
+
+/// Fault-handling tallies for one stage run, updated lock-free from
+/// worker threads and folded into [`StageStats`] at the end. Every count
+/// is a deterministic function of the chaos plan and the stage shape, so
+/// tests can assert exact values.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    retries: AtomicU64,
+    panics: AtomicU64,
+    transients: AtomicU64,
+    corruptions: AtomicU64,
+    delays: AtomicU64,
+    backoff_ns: AtomicU64,
+}
+
+/// Lock a shuffle-slot mutex, ignoring poisoning: slot mutations happen
+/// inside `catch_unwind`, so a poisoned lock cannot actually occur — but
+/// an `unwrap()` here would turn a contained fault into a process abort.
+fn lock_slot<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Map a dataset-read error to a task error: detected corruption is
+/// retryable (the retry re-reads and, for shuffle, rebuilds), anything
+/// else is deterministic and fatal.
+fn read_error(e: MrError) -> TaskError {
+    match e {
+        MrError::Corrupt { what } => TaskError::Corrupt { what },
+        other => TaskError::Fatal(Box::new(other)),
     }
 }
 
@@ -103,13 +188,74 @@ struct MapPhase {
     shuffle_time: Duration,
 }
 
+/// One reduce partition's shuffled inputs (one row vector per stage
+/// input), framed on first fetch — before any injected corruption — so
+/// every subsequent fetch can verify them.
+struct ShuffleSlot {
+    inputs: Vec<Vec<Row>>,
+    frames: Vec<ExtentFrame>,
+}
+
+/// Deterministically damage a stored shuffle partition *without* updating
+/// its frames — the injected-corruption shape verification must catch.
+fn corrupt_slot(slot: &mut ShuffleSlot) {
+    if let Some(rows) = slot.inputs.iter_mut().rev().find(|r| !r.is_empty()) {
+        rows.pop();
+    } else if let Some(first) = slot.inputs.first_mut() {
+        first.push(Row::new(Vec::new()));
+    }
+}
+
+/// Check a shuffle slot against its frames; `Some(description)` on the
+/// first mismatch.
+fn verify_slot(slot: &ShuffleSlot) -> Option<String> {
+    for (i, rows) in slot.inputs.iter().enumerate() {
+        if let Some(frame) = slot.frames.get(i) {
+            if let Err(why) = frame.verify(rows) {
+                return Some(format!("shuffle input {i}: {why}"));
+            }
+        }
+    }
+    None
+}
+
+/// Re-run the producing side of one reduce partition: rescan every
+/// (verified) input extent in the deterministic `(input, extent)` merge
+/// order, keep the rows assigned to `p`, and re-frame. Because the
+/// partitioner is pure, the rebuilt partition is byte-identical to the
+/// original merge — re-execution *is* recovery (paper §III-C.1).
+fn rebuild_slot(
+    inputs: &[Dataset],
+    assigners: &[CompiledPartitioner],
+    partitions: usize,
+    p: usize,
+    slot: &mut ShuffleSlot,
+) -> std::result::Result<(), TaskError> {
+    for (i, dataset) in inputs.iter().enumerate() {
+        let mut rows = Vec::new();
+        for (e, extent) in dataset.partitions.iter().enumerate() {
+            dataset.verify_extent(e).map_err(read_error)?;
+            for row in extent {
+                if assigners[i].assign(row, partitions)? == p {
+                    rows.push(row.clone());
+                }
+            }
+        }
+        if let Some(frame) = slot.frames.get_mut(i) {
+            *frame = ExtentFrame::compute(&rows);
+        }
+        slot.inputs[i] = rows;
+    }
+    Ok(())
+}
+
 /// Scan one extent and split it into per-partition sub-buckets. Runs on
 /// the worker pool, one call per `(input, extent)` pair.
 fn map_extent(
     extent: &[Row],
-    partitioner: &crate::job::CompiledPartitioner,
+    partitioner: &CompiledPartitioner,
     partitions: usize,
-) -> Result<MapTaskOut> {
+) -> std::result::Result<MapTaskOut, TaskError> {
     let mut sub: Vec<Vec<Row>> = (0..partitions).map(|_| Vec::new()).collect();
     let mut bytes = 0u64;
     for row in extent {
@@ -141,36 +287,170 @@ impl Cluster {
         }
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Run one task's attempt loop.
+    ///
+    /// Each attempt consults the chaos plan (injecting any scheduled
+    /// panic / transient / delay, and passing a `corrupt` flag for the
+    /// body to apply to the data it reads), runs `body` under
+    /// `catch_unwind`, and classifies the outcome. Retryable errors back
+    /// off per [`RetryPolicy`] and try again; [`TaskError::Fatal`] and
+    /// retry exhaustion escalate to job-level errors.
+    fn run_attempts<T>(
+        &self,
+        stage: &str,
+        phase: TaskPhase,
+        task: usize,
+        counters: &FaultCounters,
+        mut body: impl FnMut(usize, bool) -> std::result::Result<T, TaskError>,
+    ) -> Result<T> {
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let mut attempt = 0usize;
+        loop {
+            let mut fault = self.config.chaos.fault_for(stage, phase, task, attempt);
+            if !self.config.integrity && fault == Some(FaultKind::Corrupt) {
+                // With verification off, corruption would pass silently and
+                // break repeatability; degrade it to a detectable kill.
+                fault = Some(FaultKind::Transient);
+            }
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                match fault {
+                    Some(FaultKind::Panic) => std::panic::panic_any(format!(
+                        "{}: `{stage}` {phase} task {task} attempt {attempt}",
+                        chaos::INJECTED_PANIC_MARKER
+                    )),
+                    Some(FaultKind::Transient) => {
+                        return Err(TaskError::Transient {
+                            message: format!("injected kill (attempt {attempt})"),
+                        });
+                    }
+                    Some(FaultKind::Delay) => {
+                        counters.delays.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.config.chaos.delay());
+                    }
+                    _ => {}
+                }
+                body(attempt, fault == Some(FaultKind::Corrupt))
+            }));
+            let outcome = caught.unwrap_or_else(|payload| {
+                Err(TaskError::Panicked {
+                    payload: pool::payload_str(payload.as_ref()).to_string(),
+                })
+            });
+            let err = match outcome {
+                Ok(value) => return Ok(value),
+                Err(TaskError::Fatal(e)) => return Err(*e),
+                Err(e) => e,
+            };
+            match &err {
+                TaskError::Panicked { .. } => counters.panics.fetch_add(1, Ordering::Relaxed),
+                TaskError::Transient { .. } => counters.transients.fetch_add(1, Ordering::Relaxed),
+                TaskError::Corrupt { .. } => counters.corruptions.fetch_add(1, Ordering::Relaxed),
+                TaskError::Fatal(_) => unreachable!("fatal errors returned above"),
+            };
+            attempt += 1;
+            if attempt >= max_attempts {
+                return Err(MrError::TaskExhausted {
+                    stage: stage.to_string(),
+                    phase,
+                    partition: task,
+                    attempts: attempt,
+                    last: Box::new(err),
+                });
+            }
+            counters.retries.fetch_add(1, Ordering::Relaxed);
+            let pause = self.config.retry.backoff_after(attempt - 1);
+            if !pause.is_zero() {
+                counters
+                    .backoff_ns
+                    .fetch_add(pause.as_nanos() as u64, Ordering::Relaxed);
+                std::thread::sleep(pause);
+            }
+        }
+    }
+
+    /// Fold one pool slot back into a job-level result. A panic that
+    /// escaped the attempt loop itself (a harness bug, since attempts run
+    /// under `catch_unwind`) is still contained by the pool and reported
+    /// as an exhausted task rather than aborting the process.
+    fn contained<T>(
+        &self,
+        stage: &str,
+        phase: TaskPhase,
+        task: usize,
+        slot: std::result::Result<Result<T>, pool::Panicked>,
+    ) -> Result<T> {
+        match slot {
+            Ok(inner) => inner,
+            Err(p) => Err(MrError::TaskExhausted {
+                stage: stage.to_string(),
+                phase,
+                partition: task,
+                attempts: self.config.retry.max_attempts.max(1),
+                last: Box::new(TaskError::Panicked { payload: p.payload }),
+            }),
+        }
+    }
+
     /// Parallel map/shuffle: one map task per input extent on the worker
     /// pool, then a deterministic merge.
     ///
     /// Returns `buckets[input][partition]` holding exactly the rows the
     /// serial scan would produce, in the same order: tasks are merged in
     /// `(input, extent)` order and each task preserves row order within
-    /// its extent, so the shuffle output is independent of thread count
-    /// and scheduling — the repeatability property (paper §III-C.1) that
-    /// restart determinism is built on.
+    /// its extent, so the shuffle output is independent of thread count,
+    /// scheduling, and injected faults — the repeatability property
+    /// (paper §III-C.1) that restart determinism is built on.
     fn map_shuffle(
         &self,
         stage: &Stage,
         inputs: &[Dataset],
+        assigners: &[CompiledPartitioner],
+        counters: &FaultCounters,
     ) -> Result<(Vec<Vec<Vec<Row>>>, MapPhase)> {
         let map_start = Instant::now();
-        // One compiled partitioner per input (schemas can differ).
-        let assigners = inputs
-            .iter()
-            .map(|d| stage.partitioner.compile(&d.schema))
-            .collect::<Result<Vec<_>>>()?;
         // One map task per (input, extent), in deterministic order.
         let tasks: Vec<(usize, usize)> = inputs
             .iter()
             .enumerate()
             .flat_map(|(i, d)| (0..d.partitions.len()).map(move |e| (i, e)))
             .collect();
-        let results: Vec<Result<MapTaskOut>> = self.pool.run(tasks.len(), |t| {
-            let (i, e) = tasks[t];
-            map_extent(&inputs[i].partitions[e], &assigners[i], stage.partitions)
-        });
+        let results: Vec<Result<MapTaskOut>> = self
+            .pool
+            .run_caught(tasks.len(), |t| {
+                let (i, e) = tasks[t];
+                self.run_attempts(
+                    &stage.name,
+                    TaskPhase::Map,
+                    t,
+                    counters,
+                    |attempt, corrupt| {
+                        if corrupt {
+                            // A bad replica read: the extent this attempt saw
+                            // does not match its frame. The retry re-reads.
+                            return Err(TaskError::Corrupt {
+                                what: format!("injected bad read of input {i} extent {e}"),
+                            });
+                        }
+                        // The first read consumes the very buffer the frame was
+                        // computed from, so verifying it would hash memory
+                        // against itself. A retry models a re-read from another
+                        // replica — that boundary crossing is verified.
+                        if self.config.integrity && attempt > 0 {
+                            inputs[i].verify_extent(e).map_err(read_error)?;
+                        }
+                        map_extent(&inputs[i].partitions[e], &assigners[i], stage.partitions)
+                    },
+                )
+            })
+            .into_iter()
+            .enumerate()
+            .map(|(t, slot)| self.contained(&stage.name, TaskPhase::Map, t, slot))
+            .collect();
         let map_time = map_start.elapsed();
 
         // Merge sub-buckets in task order == (input, extent) order. Errors
@@ -205,75 +485,122 @@ impl Cluster {
 
     /// Run one stage: map (partition) each input dataset in parallel, then
     /// reduce each partition on the thread pool, writing the output
-    /// dataset to the DFS.
+    /// dataset to the DFS only after every partition has succeeded.
     pub fn run_stage(&self, dfs: &Dfs, stage: &Stage) -> Result<StageStats> {
+        if self.config.chaos.injects_panics() {
+            chaos::install_quiet_injected_panic_hook();
+        }
         let wall_start = Instant::now();
         let inputs: Vec<Dataset> = stage
             .inputs
             .iter()
             .map(|n| dfs.get(n))
             .collect::<Result<Vec<_>>>()?;
+        // One compiled partitioner per input (schemas can differ); shared
+        // by the map phase and shuffle-partition rebuilds.
+        let assigners = inputs
+            .iter()
+            .map(|d| stage.partitioner.compile(&d.schema))
+            .collect::<Result<Vec<_>>>()?;
+        let counters = FaultCounters::default();
 
         // ---- map / shuffle ----
-        let (mut buckets, map_phase) = self.map_shuffle(stage, &inputs)?;
+        let (mut buckets, map_phase) = self.map_shuffle(stage, &inputs, &assigners, &counters)?;
 
         // ---- reduce ----
-        // Transpose buckets to per-partition inputs once; workers (and
+        // Transpose buckets into per-partition slots once; workers (and
         // every restart attempt) borrow them — no per-attempt copies.
+        // Frames are computed inside the per-partition worker tasks (so
+        // the hashing parallelizes with the rest of the reduce phase),
+        // before any injected corruption touches the slot.
         let reduce_start = Instant::now();
-        let task_inputs: Vec<Vec<Vec<Row>>> = (0..stage.partitions)
+        let shuffle: Vec<Mutex<ShuffleSlot>> = (0..stage.partitions)
             .map(|p| {
-                buckets
+                let slot_inputs: Vec<Vec<Row>> = buckets
                     .iter_mut()
                     .map(|per_input| std::mem::take(&mut per_input[p]))
-                    .collect()
+                    .collect();
+                Mutex::new(ShuffleSlot {
+                    inputs: slot_inputs,
+                    frames: Vec::new(),
+                })
             })
             .collect();
-        type TaskResult = Result<(Vec<Row>, Duration, u64)>;
-        let run_task = |partition: usize, input_rows: &[Vec<Row>]| {
-            let mut attempt = 0;
-            loop {
-                let ctx = ReducerContext {
-                    stage: stage.name.clone(),
-                    partition,
-                    partitions: stage.partitions,
-                    attempt,
-                    dsms_pool: Arc::clone(&self.dsms_pool),
-                };
-                if self
-                    .config
-                    .failures
-                    .should_fail(&stage.name, partition, attempt)
-                {
-                    attempt += 1;
-                    if attempt >= self.config.max_attempts {
-                        return Err(MrError::Reducer {
-                            stage: stage.name.clone(),
-                            partition,
-                            message: "exceeded max attempts".into(),
-                        });
-                    }
-                    continue;
-                }
-                let start = Instant::now();
-                let out = stage.reducer.reduce(&ctx, input_rows)?;
-                return Ok((out, start.elapsed(), attempt as u64));
-            }
-        };
 
-        let results: Vec<TaskResult> = self
+        type TaskOut = Result<(Vec<Row>, Duration)>;
+        let results: Vec<TaskOut> = self
             .pool
-            .run(stage.partitions, |p| run_task(p, &task_inputs[p]));
+            .run_caught(stage.partitions, |p| {
+                let mut slot = lock_slot(&shuffle[p]);
+                // Shuffle fetch: verify this partition's inputs; on a
+                // mismatch, rebuild them from the source extents and retry.
+                self.run_attempts(
+                    &stage.name,
+                    TaskPhase::Shuffle,
+                    p,
+                    &counters,
+                    |_, corrupt| {
+                        let slot = &mut *slot;
+                        // Frame the pristine merge output once (the merge is
+                        // deterministic, so these frames are too); injected
+                        // corruption lands after framing, where verification
+                        // must catch it.
+                        if self.config.integrity && slot.frames.is_empty() {
+                            slot.frames = slot
+                                .inputs
+                                .iter()
+                                .map(|r| ExtentFrame::compute(r))
+                                .collect();
+                        }
+                        if corrupt {
+                            corrupt_slot(slot);
+                        }
+                        if self.config.integrity {
+                            if let Some(why) = verify_slot(slot) {
+                                rebuild_slot(&inputs, &assigners, stage.partitions, p, slot)?;
+                                return Err(TaskError::Corrupt { what: why });
+                            }
+                        }
+                        Ok(())
+                    },
+                )?;
+                // Reduce: the reducer is a pure function of the (now
+                // verified) partition, so every retry reproduces the same
+                // rows.
+                let slot = &*slot;
+                self.run_attempts(
+                    &stage.name,
+                    TaskPhase::Reduce,
+                    p,
+                    &counters,
+                    |attempt, _| {
+                        let ctx = ReducerContext {
+                            stage: stage.name.clone(),
+                            partition: p,
+                            partitions: stage.partitions,
+                            attempt,
+                            dsms_pool: Arc::clone(&self.dsms_pool),
+                        };
+                        let start = Instant::now();
+                        let out = stage.reducer.reduce(&ctx, &slot.inputs)?;
+                        Ok((out, start.elapsed()))
+                    },
+                )
+            })
+            .into_iter()
+            .enumerate()
+            .map(|(p, slot)| self.contained(&stage.name, TaskPhase::Reduce, p, slot))
+            .collect();
 
         // ---- collect ----
+        // Nothing is published until every partition result is Ok, so a
+        // failed attempt can never leave partial output in the DFS.
         let mut partitions_out: Vec<Vec<Row>> = Vec::with_capacity(stage.partitions);
         let mut partition_times = Vec::with_capacity(stage.partitions);
         let mut output_rows = 0u64;
-        let mut task_retries = 0u64;
         for result in results {
-            let (rows, took, retries) = result?;
+            let (rows, took) = result?;
             output_rows += rows.len() as u64;
-            task_retries += retries;
             partition_times.push(took);
             partitions_out.push(rows);
         }
@@ -282,10 +609,12 @@ impl Cluster {
         let out_schema = stage
             .reducer
             .output_schema(&inputs.iter().map(|d| d.schema.clone()).collect::<Vec<_>>())?;
-        dfs.put_overwrite(
-            &stage.output,
-            Dataset::partitioned(out_schema, partitions_out),
-        );
+        let output = if self.config.integrity {
+            Dataset::partitioned(out_schema, partitions_out)
+        } else {
+            Dataset::partitioned_unframed(out_schema, partitions_out)
+        };
+        dfs.put_overwrite(&stage.output, output);
 
         Ok(StageStats {
             name: stage.name.clone(),
@@ -299,7 +628,12 @@ impl Cluster {
             partitions: stage.partitions,
             partition_times,
             wall_time: wall_start.elapsed(),
-            task_retries,
+            task_retries: counters.retries.load(Ordering::Relaxed),
+            panics_contained: counters.panics.load(Ordering::Relaxed),
+            transient_faults: counters.transients.load(Ordering::Relaxed),
+            corruption_detected: counters.corruptions.load(Ordering::Relaxed),
+            delays_injected: counters.delays.load(Ordering::Relaxed),
+            backoff_time: Duration::from_nanos(counters.backoff_ns.load(Ordering::Relaxed)),
         })
     }
 
@@ -371,6 +705,15 @@ mod tests {
         .unwrap()
     }
 
+    fn config(threads: usize, chaos: ChaosPlan, max_attempts: usize) -> ClusterConfig {
+        ClusterConfig {
+            threads,
+            chaos,
+            retry: RetryPolicy::no_backoff(max_attempts),
+            ..ClusterConfig::default()
+        }
+    }
+
     #[test]
     fn rows_with_same_key_land_in_same_partition() {
         let dfs = dfs_with_input(100);
@@ -404,27 +747,31 @@ mod tests {
             Dataset::partitioned(schema(), rows.chunks(100).map(|c| c.to_vec()).collect())
         };
         // Returns (shuffle buckets, output partitions, stats) for one run.
-        let run = |threads: usize, failures: FailurePlan| {
+        let run = |threads: usize, chaos: ChaosPlan| {
             let dfs = Dfs::new();
             dfs.put("in", multi_extent_input()).unwrap();
-            let cluster = Cluster::with_config(ClusterConfig {
-                threads,
-                failures,
-                max_attempts: 3,
-                ..ClusterConfig::default()
-            });
+            let cluster = Cluster::with_config(config(threads, chaos, 3));
             let stage = count_stage(4);
             let inputs = vec![dfs.get("in").unwrap()];
-            let (buckets, _) = cluster.map_shuffle(&stage, &inputs).unwrap();
+            let assigners = vec![stage.partitioner.compile(&inputs[0].schema).unwrap()];
+            let (buckets, _) = cluster
+                .map_shuffle(&stage, &inputs, &assigners, &FaultCounters::default())
+                .unwrap();
             let stats = cluster.run_stage(&dfs, &stage).unwrap();
             let out = dfs.get("out").unwrap().partitions.as_ref().clone();
             (buckets, out, stats)
         };
 
-        let (serial_buckets, clean, s1) = run(1, FailurePlan::none());
-        let (parallel_buckets, parallel_clean, _) = run(8, FailurePlan::none());
-        let (killed_buckets, with_failures, s2) =
-            run(8, FailurePlan::none().kill("count", 1).kill("count", 3));
+        let (serial_buckets, clean, s1) = run(1, ChaosPlan::none());
+        let (parallel_buckets, parallel_clean, _) = run(8, ChaosPlan::none());
+        let (killed_buckets, with_failures, s2) = run(
+            8,
+            ChaosPlan::none().kill("count", TaskPhase::Reduce, 1).kill(
+                "count",
+                TaskPhase::Reduce,
+                3,
+            ),
+        );
 
         // Shuffle buckets must be byte-identical across thread counts and
         // failure plans: the deterministic (input, extent) merge order.
@@ -445,6 +792,78 @@ mod tests {
         assert_eq!(s1.map_tasks, 4, "one map task per input extent");
         assert_eq!(s1.task_retries, 0);
         assert_eq!(s2.task_retries, 2);
+        assert_eq!(s2.transient_faults, 2);
+    }
+
+    #[test]
+    fn kills_reach_map_and_shuffle_tasks_too() {
+        // The old FailurePlan could only target reduce tasks; ChaosPlan
+        // kills any phase, and the run still converges to identical bytes.
+        let multi_extent_input = || {
+            let rows = input_rows(300);
+            Dataset::partitioned(schema(), rows.chunks(75).map(|c| c.to_vec()).collect())
+        };
+        let run = |chaos: ChaosPlan| {
+            let dfs = Dfs::new();
+            dfs.put("in", multi_extent_input()).unwrap();
+            let cluster = Cluster::with_config(config(4, chaos, 3));
+            let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
+            (dfs.get("out").unwrap().partitions.as_ref().clone(), stats)
+        };
+        let (clean, s0) = run(ChaosPlan::none());
+        let (killed, s1) = run(ChaosPlan::none()
+            .kill("count", TaskPhase::Map, 0)
+            .kill("count", TaskPhase::Map, 3)
+            .kill("count", TaskPhase::Shuffle, 2)
+            .kill("count", TaskPhase::Reduce, 1));
+        assert_eq!(clean, killed);
+        assert_eq!(s0.task_retries, 0);
+        assert_eq!(s1.task_retries, 4);
+        assert_eq!(s1.transient_faults, 4);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_recovered() {
+        let multi_extent_input = || {
+            let rows = input_rows(200);
+            Dataset::partitioned(schema(), rows.chunks(50).map(|c| c.to_vec()).collect())
+        };
+        let run = |chaos: ChaosPlan| {
+            let dfs = Dfs::new();
+            dfs.put("in", multi_extent_input()).unwrap();
+            let cluster = Cluster::with_config(config(4, chaos, 3));
+            let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
+            (dfs.get("out").unwrap().partitions.as_ref().clone(), stats)
+        };
+        let (clean, _) = run(ChaosPlan::none());
+        // One corrupted map read and one corrupted (actually mutated, then
+        // rebuilt) shuffle partition.
+        let (recovered, stats) = run(ChaosPlan::none()
+            .corrupt("count", TaskPhase::Map, 1)
+            .corrupt("count", TaskPhase::Shuffle, 2));
+        assert_eq!(clean, recovered, "recovery must reproduce clean bytes");
+        assert_eq!(stats.corruption_detected, 2);
+        assert_eq!(stats.task_retries, 2);
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_retried() {
+        let dfs = dfs_with_input(60);
+        let chaos = ChaosPlan::seeded(11).with_panics(0.4).with_fault_cap(2);
+        let cluster = Cluster::with_config(config(4, chaos, 4));
+        let stats = cluster.run_stage(&dfs, &count_stage(6)).unwrap();
+        assert!(
+            stats.panics_contained > 0,
+            "p=0.4 over ≥13 task coordinates should panic at least once"
+        );
+        let clean_dfs = dfs_with_input(60);
+        Cluster::with_config(config(1, ChaosPlan::none(), 1))
+            .run_stage(&clean_dfs, &count_stage(6))
+            .unwrap();
+        assert_eq!(
+            dfs.get("out").unwrap().partitions,
+            clean_dfs.get("out").unwrap().partitions
+        );
     }
 
     #[test]
@@ -459,12 +878,7 @@ mod tests {
             let dfs = Dfs::new();
             dfs.put("in", Dataset::partitioned(schema(), extents.clone()))
                 .unwrap();
-            let cluster = Cluster::with_config(ClusterConfig {
-                threads,
-                failures: FailurePlan::none(),
-                max_attempts: 1,
-                ..ClusterConfig::default()
-            });
+            let cluster = Cluster::with_config(config(threads, ChaosPlan::none(), 1));
             let stage = Stage::new(
                 "id",
                 vec!["in".into()],
@@ -485,20 +899,115 @@ mod tests {
     }
 
     #[test]
-    fn job_fails_after_max_attempts() {
+    fn exhaustion_names_stage_phase_partition_and_attempts() {
+        for (phase, task) in [
+            (TaskPhase::Map, 0),
+            (TaskPhase::Shuffle, 1),
+            (TaskPhase::Reduce, 0),
+        ] {
+            let dfs = dfs_with_input(10);
+            let cluster =
+                Cluster::with_config(config(1, ChaosPlan::none().kill("count", phase, task), 1));
+            let err = cluster.run_stage(&dfs, &count_stage(2)).unwrap_err();
+            match &err {
+                MrError::TaskExhausted {
+                    stage,
+                    phase: got_phase,
+                    partition,
+                    attempts,
+                    last,
+                } => {
+                    assert_eq!(stage, "count");
+                    assert_eq!(*got_phase, phase);
+                    assert_eq!(*partition, task);
+                    assert_eq!(*attempts, 1);
+                    assert!(matches!(**last, TaskError::Transient { .. }));
+                }
+                other => panic!("expected TaskExhausted, got {other:?}"),
+            }
+            // Partial outputs of the failed stage must never be visible.
+            assert!(!dfs.contains("out"), "phase {phase}: no partial output");
+        }
+    }
+
+    #[test]
+    fn exhaustion_error_is_deterministic_across_threads() {
+        let run = |threads: usize| {
+            let dfs = dfs_with_input(40);
+            let chaos = ChaosPlan::seeded(3).with_transients(1.0);
+            Cluster::with_config(config(threads, chaos, 2))
+                .run_stage(&dfs, &count_stage(4))
+                .unwrap_err()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel, "failure must be deterministic too");
+        assert_eq!(format!("{serial}"), format!("{parallel}"));
+    }
+
+    #[test]
+    fn genuine_reducer_panic_is_contained_and_exhausts_deterministically() {
+        #[derive(Debug)]
+        struct PanickyReducer;
+        impl Reducer for PanickyReducer {
+            fn output_schema(&self, inputs: &[Schema]) -> Result<Schema> {
+                Ok(inputs[0].clone())
+            }
+            fn reduce(&self, ctx: &ReducerContext, _: &[Vec<Row>]) -> Result<Vec<Row>> {
+                panic!("reducer bug in partition {}", ctx.partition);
+            }
+        }
         let dfs = dfs_with_input(10);
-        let cluster = Cluster::with_config(ClusterConfig {
-            threads: 1,
-            failures: FailurePlan {
-                kill_first_attempt: vec![("count".into(), 0)],
-            },
-            max_attempts: 1,
-            ..ClusterConfig::default()
-        });
-        assert!(matches!(
-            cluster.run_stage(&dfs, &count_stage(2)),
-            Err(MrError::Reducer { .. })
-        ));
+        let stage = Stage::new(
+            "boom",
+            vec!["in".into()],
+            "out",
+            Partitioner::Single,
+            1,
+            Arc::new(PanickyReducer) as ReducerRef,
+        )
+        .unwrap();
+        let cluster = Cluster::with_config(config(2, ChaosPlan::none(), 2));
+        let err = cluster.run_stage(&dfs, &stage).unwrap_err();
+        match err {
+            MrError::TaskExhausted {
+                phase,
+                attempts,
+                last,
+                ..
+            } => {
+                assert_eq!(phase, TaskPhase::Reduce);
+                assert_eq!(attempts, 2, "a genuine panic is retried, then exhausts");
+                match *last {
+                    TaskError::Panicked { payload } => {
+                        assert_eq!(payload, "reducer bug in partition 0")
+                    }
+                    other => panic!("expected Panicked, got {other:?}"),
+                }
+            }
+            other => panic!("expected TaskExhausted, got {other:?}"),
+        }
+        assert!(!dfs.contains("out"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn failure_plan_shim_maps_to_reduce_kills() {
+        let plan = FailurePlan::none().kill("s", 1).kill("s", 3);
+        let chaos = ChaosPlan::from(plan);
+        assert_eq!(
+            chaos.fault_for("s", TaskPhase::Reduce, 1, 0),
+            Some(FaultKind::Transient)
+        );
+        assert_eq!(
+            chaos.fault_for("s", TaskPhase::Reduce, 3, 0),
+            Some(FaultKind::Transient)
+        );
+        assert_eq!(chaos.fault_for("s", TaskPhase::Reduce, 1, 1), None);
+        assert_eq!(chaos.fault_for("s", TaskPhase::Map, 1, 0), None);
+        let config = ClusterConfig::default().with_failures(FailurePlan::none().kill("s", 0), 5);
+        assert_eq!(config.retry.max_attempts, 5);
+        assert!(!config.chaos.is_clean());
     }
 
     #[test]

@@ -1,7 +1,88 @@
-//! Error type for the map-reduce runtime.
+//! Error types for the map-reduce runtime.
+//!
+//! Two layers: [`MrError`] is the job-level error surfaced to callers of
+//! `Cluster::run_stage`/`run_job`, while [`TaskError`] is the *per-attempt*
+//! error inside one task's retry loop. A retryable [`TaskError`] (panic,
+//! transient fault, detected corruption) triggers re-execution under the
+//! configured `RetryPolicy`; only when attempts are exhausted does it
+//! escalate to [`MrError::TaskExhausted`], naming the stage, phase,
+//! partition, and attempt count so failures are as deterministic and
+//! reportable as successes.
 
 use relation::RelationError;
 use std::fmt;
+
+/// Which phase of stage execution a task error occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskPhase {
+    /// Scanning an input extent and assigning rows to partitions.
+    Map,
+    /// Fetching/verifying a reduce partition's shuffled inputs.
+    Shuffle,
+    /// Running the reducer over a partition.
+    Reduce,
+}
+
+impl fmt::Display for TaskPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TaskPhase::Map => "map",
+            TaskPhase::Shuffle => "shuffle",
+            TaskPhase::Reduce => "reduce",
+        })
+    }
+}
+
+/// One task attempt's failure. Everything except [`TaskError::Fatal`] is
+/// retryable: the attempt is re-run (after backoff) up to
+/// `RetryPolicy::max_attempts`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskError {
+    /// The task panicked; contained via `catch_unwind`, payload preserved.
+    Panicked {
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A transient fault (injected kill, simulated I/O hiccup).
+    Transient {
+        /// Fault description.
+        message: String,
+    },
+    /// An integrity frame did not match the data it covers.
+    Corrupt {
+        /// What failed verification and how.
+        what: String,
+    },
+    /// A deterministic error that retrying cannot fix (bad stage config,
+    /// reducer logic error); propagated immediately without retry.
+    Fatal(Box<MrError>),
+}
+
+impl TaskError {
+    /// Whether another attempt could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, TaskError::Fatal(_))
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Panicked { payload } => write!(f, "task panicked: {payload}"),
+            TaskError::Transient { message } => write!(f, "transient fault: {message}"),
+            TaskError::Corrupt { what } => write!(f, "corruption detected: {what}"),
+            TaskError::Fatal(e) => write!(f, "fatal: {e}"),
+        }
+    }
+}
+
+impl From<MrError> for TaskError {
+    /// Job-level errors reaching a task body are deterministic — retrying
+    /// would fail identically — so they map to [`TaskError::Fatal`].
+    fn from(e: MrError) -> Self {
+        TaskError::Fatal(Box::new(e))
+    }
+}
 
 /// Errors raised by the map-reduce runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +102,34 @@ pub enum MrError {
         /// Failure description.
         message: String,
     },
+    /// An operating-system I/O operation failed.
+    Io {
+        /// What was being done (e.g. "write extent").
+        what: String,
+        /// The path involved.
+        path: String,
+        /// The OS error.
+        message: String,
+    },
+    /// Stored data failed integrity verification (length/checksum frame).
+    Corrupt {
+        /// What failed verification and how.
+        what: String,
+    },
+    /// A task kept failing retryably until `RetryPolicy::max_attempts`.
+    TaskExhausted {
+        /// Stage name.
+        stage: String,
+        /// Phase the task was in when it last failed.
+        phase: TaskPhase,
+        /// Task index within the phase (extent index for map, partition
+        /// index for shuffle/reduce).
+        partition: usize,
+        /// Number of attempts made.
+        attempts: usize,
+        /// The final attempt's error.
+        last: Box<TaskError>,
+    },
     /// Propagated relational-layer error.
     Relation(RelationError),
 }
@@ -38,6 +147,23 @@ impl fmt::Display for MrError {
             } => write!(
                 f,
                 "reducer failed in `{stage}` partition {partition}: {message}"
+            ),
+            MrError::Io {
+                what,
+                path,
+                message,
+            } => write!(f, "io error ({what}) at `{path}`: {message}"),
+            MrError::Corrupt { what } => write!(f, "corruption detected: {what}"),
+            MrError::TaskExhausted {
+                stage,
+                phase,
+                partition,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "task exhausted retries in `{stage}` {phase} partition {partition} \
+                 after {attempts} attempt(s): {last}"
             ),
             MrError::Relation(e) => write!(f, "{e}"),
         }

@@ -106,7 +106,8 @@ pub struct ReducerContext {
     pub partition: usize,
     /// Total partition count of the stage.
     pub partitions: usize,
-    /// Execution attempt (0 = first try; >0 after injected failures).
+    /// Execution attempt (0 = first try; >0 after a contained panic,
+    /// transient fault, or detected corruption forced a retry).
     pub attempt: usize,
     /// Worker pool for intra-reducer parallelism (the cluster's
     /// `dsms_threads` knob): the embedded DSMS fans GroupApply groups out
@@ -127,6 +128,14 @@ impl ReducerContext {
             dsms_pool: Arc::new(pool::WorkerPool::sequential()),
         }
     }
+
+    /// Whether this invocation is a restart of a previously failed
+    /// attempt. Reducers must not branch on this for anything that
+    /// changes their output (purity contract below); it exists for
+    /// logging and test assertions.
+    pub fn is_retry(&self) -> bool {
+        self.attempt > 0
+    }
 }
 
 /// The reduce phase: user code invoked once per partition.
@@ -139,6 +148,12 @@ impl ReducerContext {
 /// Inputs are borrowed: the runtime hands every attempt (including
 /// failure-injected restarts) the same shuffle buckets without copying
 /// them, so reducers clone only what they keep.
+///
+/// A reducer that panics does not tear down the job: the cluster contains
+/// the panic (`catch_unwind`), surfaces it as a retryable task error with
+/// the payload preserved, and re-invokes the reducer up to the configured
+/// retry budget. A reducer that *always* panics therefore fails the job
+/// deterministically with an exhaustion error naming its partition.
 pub trait Reducer: Send + Sync {
     /// Output schema, given the input schemas (one per stage input).
     fn output_schema(&self, inputs: &[Schema]) -> Result<Schema>;

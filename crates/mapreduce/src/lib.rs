@@ -14,8 +14,12 @@
 //!   ([`relation::hash`]), shuffle preserves input order, and reducers are
 //!   pure functions of their partition — so re-running any task yields
 //!   byte-identical output. This is the map-reduce failure-handling model
-//!   the paper leans on (§III-C.1), and [`cluster::FailurePlan`] injects
-//!   task failures to prove it.
+//!   the paper leans on (§III-C.1), and the seeded [`chaos::ChaosPlan`]
+//!   injects panics, transient kills, data corruption, and delays into any
+//!   phase to prove it: tasks run under `catch_unwind` in a retry loop
+//!   ([`chaos::RetryPolicy`]), extents and shuffle partitions carry
+//!   length + checksum frames ([`chaos::ExtentFrame`]), and detected
+//!   corruption triggers deterministic re-execution of the producing work.
 //! - **Cost visibility.** Every stage reports rows mapped, bytes shuffled,
 //!   per-partition reduce times, real wall time, and a *simulated makespan*
 //!   for an arbitrary machine count (partitions scheduled greedily onto
@@ -23,6 +27,7 @@
 //!   what the span-width experiment (paper Fig 16) sweeps, since a laptop
 //!   cannot time-share 150 physical machines.
 
+pub mod chaos;
 pub mod cluster;
 pub mod dfs;
 pub mod error;
@@ -30,8 +35,11 @@ pub mod job;
 pub mod persist;
 pub mod stats;
 
-pub use cluster::{Cluster, ClusterConfig, FailurePlan};
+pub use chaos::{ChaosPlan, ExtentFrame, FaultKind, RetryPolicy};
+#[allow(deprecated)]
+pub use cluster::FailurePlan;
+pub use cluster::{Cluster, ClusterConfig};
 pub use dfs::{Dataset, Dfs};
-pub use error::{MrError, Result};
+pub use error::{MrError, Result, TaskError, TaskPhase};
 pub use job::{Partitioner, Reducer, ReducerContext, Stage};
-pub use stats::{JobStats, StageStats};
+pub use stats::{FaultTotals, JobStats, StageStats};

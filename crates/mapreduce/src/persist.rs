@@ -9,22 +9,42 @@
 //!
 //! ```text
 //! <root>/<dataset>/schema        # one `name:type` per line
-//! <root>/<dataset>/part-00000    # tab-separated rows (relation::codec)
+//! <root>/<dataset>/part-00000    # frame header + tab-separated rows
 //! <root>/<dataset>/part-00001
 //! ```
+//!
+//! Each extent file starts with an integrity frame header
+//!
+//! ```text
+//! #timr rows=<count> fx=<16-hex FxHash of the body>
+//! ```
+//!
+//! followed by the [`relation::codec`] text body. Loading verifies the
+//! body hash and decoded row count against the header, so a truncated or
+//! bit-flipped extent surfaces as [`MrError::Corrupt`] — it is never
+//! silently decoded. Headerless files (written before the frame format)
+//! still load, without verification.
 //!
 //! Dataset names are restricted to `[A-Za-z0-9._-]` so a name can never
 //! escape the root directory.
 
 use crate::dfs::{Dataset, Dfs};
 use crate::error::{MrError, Result};
+use relation::hash::stable_hash;
 use relation::schema::{ColumnType, Field};
 use relation::{codec, Schema};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-fn io_err(e: std::io::Error, what: &str) -> MrError {
-    MrError::BadStage(format!("{what}: {e}"))
+/// Magic prefix of a framed extent file's header line.
+const FRAME_PREFIX: &str = "#timr ";
+
+fn io_err(e: std::io::Error, what: &str, path: &Path) -> MrError {
+    MrError::Io {
+        what: what.to_string(),
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
 }
 
 fn check_name(name: &str) -> Result<()> {
@@ -66,21 +86,55 @@ fn parse_type(tag: &str) -> Result<ColumnType> {
     })
 }
 
+/// Render one extent: frame header over the encoded body, then the body.
+fn encode_extent(partition: &[relation::Row]) -> String {
+    let body = codec::encode_rows(partition);
+    let mut out = String::with_capacity(body.len() + 48);
+    out.push_str(FRAME_PREFIX);
+    out.push_str(&format!(
+        "rows={} fx={:016x}\n",
+        partition.len(),
+        stable_hash(&body)
+    ));
+    out.push_str(&body);
+    out
+}
+
+/// Split a framed extent into `(expected rows, expected hash, body)`, or
+/// `None` for headerless (pre-frame) files.
+fn parse_frame(text: &str) -> Option<Result<(u64, u64, &str)>> {
+    let rest = text.strip_prefix(FRAME_PREFIX)?;
+    let parse = || -> Option<(u64, u64, &str)> {
+        let (header, body) = rest.split_once('\n')?;
+        let (rows_kv, fx_kv) = header.split_once(' ')?;
+        let rows = rows_kv.strip_prefix("rows=")?.parse().ok()?;
+        let fx = u64::from_str_radix(fx_kv.strip_prefix("fx=")?, 16).ok()?;
+        Some((rows, fx, body))
+    };
+    Some(parse().ok_or_else(|| MrError::Corrupt {
+        what: format!(
+            "malformed extent frame header `{}`",
+            rest.lines().next().unwrap_or("")
+        ),
+    }))
+}
+
 /// Write one dataset to `<root>/<name>/`.
 pub fn save_dataset(root: &Path, name: &str, dataset: &Dataset) -> Result<()> {
     check_name(name)?;
     let dir = root.join(name);
-    fs::create_dir_all(&dir).map_err(|e| io_err(e, "create dataset dir"))?;
+    fs::create_dir_all(&dir).map_err(|e| io_err(e, "create dataset dir", &dir))?;
 
     let mut schema_text = String::new();
     for f in dataset.schema.fields() {
         schema_text.push_str(&format!("{}:{}\n", f.name, type_tag(f.ty)));
     }
-    fs::write(dir.join("schema"), schema_text).map_err(|e| io_err(e, "write schema"))?;
+    let schema_path = dir.join("schema");
+    fs::write(&schema_path, schema_text).map_err(|e| io_err(e, "write schema", &schema_path))?;
 
     for (i, partition) in dataset.partitions.iter().enumerate() {
         let path = dir.join(format!("part-{i:05}"));
-        fs::write(path, codec::encode_rows(partition)).map_err(|e| io_err(e, "write extent"))?;
+        fs::write(&path, encode_extent(partition)).map_err(|e| io_err(e, "write extent", &path))?;
     }
     Ok(())
 }
@@ -89,8 +143,9 @@ pub fn save_dataset(root: &Path, name: &str, dataset: &Dataset) -> Result<()> {
 pub fn load_dataset(root: &Path, name: &str) -> Result<Dataset> {
     check_name(name)?;
     let dir = root.join(name);
+    let schema_path = dir.join("schema");
     let schema_text =
-        fs::read_to_string(dir.join("schema")).map_err(|e| io_err(e, "read schema"))?;
+        fs::read_to_string(&schema_path).map_err(|e| io_err(e, "read schema", &schema_path))?;
     let mut fields = Vec::new();
     for line in schema_text.lines() {
         let (col, tag) = line.split_once(':').ok_or_else(|| {
@@ -101,7 +156,7 @@ pub fn load_dataset(root: &Path, name: &str) -> Result<Dataset> {
     let schema = Schema::new(fields);
 
     let mut parts: Vec<PathBuf> = fs::read_dir(&dir)
-        .map_err(|e| io_err(e, "list extents"))?
+        .map_err(|e| io_err(e, "list extents", &dir))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| {
             p.file_name()
@@ -113,8 +168,35 @@ pub fn load_dataset(root: &Path, name: &str) -> Result<Dataset> {
 
     let mut partitions = Vec::with_capacity(parts.len());
     for path in parts {
-        let text = fs::read_to_string(&path).map_err(|e| io_err(e, "read extent"))?;
-        let rows = codec::decode_rows(&text, &schema)?;
+        let text = fs::read_to_string(&path).map_err(|e| io_err(e, "read extent", &path))?;
+        let rows = match parse_frame(&text) {
+            Some(framed) => {
+                let (expected_rows, expected_fx, body) = framed?;
+                let fx = stable_hash(&body);
+                if fx != expected_fx {
+                    return Err(MrError::Corrupt {
+                        what: format!(
+                            "extent `{}`: checksum mismatch: {fx:#018x}, frame says \
+                             {expected_fx:#018x}",
+                            path.display()
+                        ),
+                    });
+                }
+                let rows = codec::decode_rows(body, &schema)?;
+                if rows.len() as u64 != expected_rows {
+                    return Err(MrError::Corrupt {
+                        what: format!(
+                            "extent `{}`: length mismatch: {} row(s), frame says {expected_rows}",
+                            path.display(),
+                            rows.len()
+                        ),
+                    });
+                }
+                rows
+            }
+            // Headerless pre-frame file: decode without verification.
+            None => codec::decode_rows(&text, &schema)?,
+        };
         partitions.push(rows);
     }
     Ok(Dataset::partitioned(schema, partitions))
@@ -134,9 +216,9 @@ impl Dfs {
     pub fn load_from_dir(root: impl AsRef<Path>) -> Result<Dfs> {
         let root = root.as_ref();
         let dfs = Dfs::new();
-        let entries = fs::read_dir(root).map_err(|e| io_err(e, "list datasets"))?;
+        let entries = fs::read_dir(root).map_err(|e| io_err(e, "list datasets", root))?;
         for entry in entries {
-            let entry = entry.map_err(|e| io_err(e, "list datasets"))?;
+            let entry = entry.map_err(|e| io_err(e, "list datasets", root))?;
             if !entry.path().is_dir() {
                 continue;
             }
@@ -222,9 +304,85 @@ mod tests {
     }
 
     #[test]
-    fn missing_dataset_errors() {
+    fn missing_dataset_errors_are_typed_io() {
         let root = temp_root("missing");
-        assert!(load_dataset(&root, "nope").is_err());
+        let err = load_dataset(&root, "nope").unwrap_err();
+        assert!(matches!(err, MrError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("read schema"), "{err}");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn extent_files_carry_frame_headers() {
+        let root = temp_root("frames");
+        save_dataset(&root, "logs", &sample()).unwrap();
+        let text = fs::read_to_string(root.join("logs/part-00000")).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(header.starts_with("#timr rows=2 fx="), "{header}");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn bit_flipped_extent_is_detected_never_decoded() {
+        let root = temp_root("bitflip");
+        save_dataset(&root, "logs", &sample()).unwrap();
+        let path = root.join("logs/part-00000");
+        // Flip one byte of the body without touching the frame header.
+        let text = fs::read_to_string(&path).unwrap();
+        let flipped = text.replacen("u1", "u2", 1);
+        assert_ne!(text, flipped, "corruption must actually change the file");
+        fs::write(&path, flipped).unwrap();
+        let err = load_dataset(&root, "logs").unwrap_err();
+        match err {
+            MrError::Corrupt { what } => assert!(what.contains("checksum mismatch"), "{what}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn truncated_extent_is_detected() {
+        let root = temp_root("truncate");
+        save_dataset(&root, "logs", &sample()).unwrap();
+        let path = root.join("logs/part-00000");
+        let text = fs::read_to_string(&path).unwrap();
+        // Drop the last row but keep the header intact.
+        let truncated: String = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n") + "\n"
+        };
+        fs::write(&path, truncated).unwrap();
+        let err = load_dataset(&root, "logs").unwrap_err();
+        assert!(matches!(err, MrError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn malformed_frame_header_is_corrupt() {
+        let root = temp_root("badheader");
+        save_dataset(&root, "logs", &sample()).unwrap();
+        let path = root.join("logs/part-00001");
+        fs::write(&path, "#timr rows=zzz fx=nothex\n").unwrap();
+        let err = load_dataset(&root, "logs").unwrap_err();
+        assert!(matches!(err, MrError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn headerless_legacy_extents_still_load() {
+        let root = temp_root("legacy");
+        let original = sample();
+        save_dataset(&root, "logs", &original).unwrap();
+        // Rewrite every extent without its frame header (pre-frame format).
+        for i in 0..original.partitions.len() {
+            let path = root.join(format!("logs/part-{i:05}"));
+            let text = fs::read_to_string(&path).unwrap();
+            let body = text.split_once('\n').map(|(_, b)| b).unwrap_or("");
+            fs::write(&path, body).unwrap();
+        }
+        let loaded = load_dataset(&root, "logs").unwrap();
+        assert_eq!(loaded.partitions.as_ref(), original.partitions.as_ref());
         let _ = fs::remove_dir_all(root);
     }
 }

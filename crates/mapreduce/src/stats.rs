@@ -28,8 +28,18 @@ pub struct StageStats {
     pub partition_times: Vec<Duration>,
     /// Wall-clock time of the whole stage on the local thread pool.
     pub wall_time: Duration,
-    /// Injected-failure task re-executions performed.
+    /// Task re-executions performed (retries after any retryable fault).
     pub task_retries: u64,
+    /// Task panics contained by `catch_unwind` (injected or genuine).
+    pub panics_contained: u64,
+    /// Transient task faults observed (injected kills, simulated hiccups).
+    pub transient_faults: u64,
+    /// Integrity-frame verification failures detected.
+    pub corruption_detected: u64,
+    /// Artificial straggler delays injected.
+    pub delays_injected: u64,
+    /// Total time spent sleeping in retry backoff.
+    pub backoff_time: Duration,
 }
 
 impl StageStats {
@@ -73,6 +83,34 @@ impl StageStats {
     }
 }
 
+/// Fault-handling totals across a job (sums of the per-stage counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Task re-executions performed.
+    pub task_retries: u64,
+    /// Panics contained.
+    pub panics_contained: u64,
+    /// Transient faults observed.
+    pub transient_faults: u64,
+    /// Corruptions detected.
+    pub corruption_detected: u64,
+    /// Delays injected.
+    pub delays_injected: u64,
+    /// Total backoff sleep time.
+    pub backoff_time: Duration,
+}
+
+impl FaultTotals {
+    /// Whether any fault handling happened at all.
+    pub fn any(&self) -> bool {
+        self.task_retries > 0
+            || self.panics_contained > 0
+            || self.transient_faults > 0
+            || self.corruption_detected > 0
+            || self.delays_injected > 0
+    }
+}
+
 /// Statistics for a multi-stage job.
 #[derive(Debug, Clone, Default)]
 pub struct JobStats {
@@ -81,6 +119,21 @@ pub struct JobStats {
 }
 
 impl JobStats {
+    /// Fault-handling totals across all stages (the job summary's
+    /// attempt/panic/corruption/backoff line).
+    pub fn fault_totals(&self) -> FaultTotals {
+        let mut t = FaultTotals::default();
+        for s in &self.stages {
+            t.task_retries += s.task_retries;
+            t.panics_contained += s.panics_contained;
+            t.transient_faults += s.transient_faults;
+            t.corruption_detected += s.corruption_detected;
+            t.delays_injected += s.delays_injected;
+            t.backoff_time += s.backoff_time;
+        }
+        t
+    }
+
     /// Total shuffle bytes across stages.
     pub fn total_shuffle_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.shuffle_bytes).sum()
@@ -170,5 +223,28 @@ mod tests {
             job.simulated_makespan(2, Duration::ZERO),
             Duration::from_millis(30)
         );
+    }
+
+    #[test]
+    fn fault_totals_sum_across_stages() {
+        let mut a = stats(&[1]);
+        a.task_retries = 2;
+        a.panics_contained = 1;
+        a.backoff_time = Duration::from_millis(3);
+        let mut b = stats(&[1]);
+        b.task_retries = 1;
+        b.corruption_detected = 4;
+        b.delays_injected = 5;
+        b.backoff_time = Duration::from_millis(7);
+        let job = JobStats { stages: vec![a, b] };
+        let t = job.fault_totals();
+        assert!(t.any());
+        assert_eq!(t.task_retries, 3);
+        assert_eq!(t.panics_contained, 1);
+        assert_eq!(t.transient_faults, 0);
+        assert_eq!(t.corruption_detected, 4);
+        assert_eq!(t.delays_injected, 5);
+        assert_eq!(t.backoff_time, Duration::from_millis(10));
+        assert!(!JobStats::default().fault_totals().any());
     }
 }

@@ -15,9 +15,61 @@
 //! borrow from the caller's stack), and a pool handle can be shared
 //! freely across layers — the cluster threads one `Arc<WorkerPool>` from
 //! its config through every reducer into the embedded DSMS executor.
+//!
+//! # Panic containment
+//!
+//! Every task body runs under `catch_unwind`, so a panicking task never
+//! tears down sibling workers or loses its payload (`std::thread::scope`
+//! on its own replaces the payload with a generic "a scoped thread
+//! panicked" message). [`WorkerPool::run`] re-raises the panic of the
+//! *lowest* panicked task index once all tasks have finished — the same
+//! deterministic failure-ordering rule callers use for `Result` values —
+//! while [`WorkerPool::run_caught`] degrades each panic to an ordinary
+//! per-task [`Panicked`] error so the caller (e.g. a task-attempt retry
+//! loop in the cluster) can treat it as retryable.
 
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A contained panic from a pool task, with the payload rendered as text
+/// (`&str` / `String` payloads verbatim; anything else a placeholder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Panicked {
+    /// The stringified panic payload.
+    pub payload: String,
+}
+
+impl std::fmt::Display for Panicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.payload)
+    }
+}
+
+impl std::error::Error for Panicked {}
+
+/// Render a panic payload (`Box<dyn Any + Send>` from `catch_unwind` or a
+/// thread join) as a string without consuming it.
+pub fn payload_str(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Lock a mutex, ignoring poisoning: pool slots are written exactly once
+/// by exactly one worker, so a poisoned lock only means *some other* task
+/// panicked after this slot was filled — the data is still consistent.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One task's outcome: the value, or the raw panic payload.
+type TaskResult<T> = Result<T, Box<dyn Any + Send>>;
 
 /// A fixed-width worker pool executing indexed task lists.
 #[derive(Debug, Clone)]
@@ -54,6 +106,46 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Core loop shared by [`WorkerPool::run`] and
+    /// [`WorkerPool::run_caught`]: execute every task under
+    /// `catch_unwind`, collecting per-task results in task order. All
+    /// tasks run even if some panic, so the caller sees a complete,
+    /// deterministic picture.
+    fn run_results<T, F>(&self, tasks: usize, task: F) -> Vec<TaskResult<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let run_one = |t: usize| std::panic::catch_unwind(AssertUnwindSafe(|| task(t)));
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            return (0..tasks).map(run_one).collect();
+        }
+        let slots: Vec<Mutex<Option<TaskResult<T>>>> =
+            (0..tasks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks {
+                        break;
+                    }
+                    let out = run_one(t);
+                    *lock_ignore_poison(&slots[t]) = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("worker pool left a task unexecuted")
+            })
+            .collect()
+    }
+
     /// Run `task(i)` for every `i in 0..tasks` and return the results in
     /// task order.
     ///
@@ -64,37 +156,47 @@ impl WorkerPool {
     /// one worker, or at most one task, everything runs inline on the
     /// calling thread with no spawns and no locks.
     ///
-    /// A panicking task propagates the panic to the caller when the
-    /// worker scope joins.
+    /// If any task panics, the panic of the **lowest** panicked task index
+    /// is re-raised on the caller's thread — with its original payload —
+    /// after every task has finished, so failure is as deterministic as
+    /// success.
     pub fn run<T, F>(&self, tasks: usize, task: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let workers = self.threads.min(tasks);
-        if workers <= 1 {
-            return (0..tasks).map(task).collect();
+        let mut results = self.run_results(tasks, task);
+        if let Some(i) = results.iter().position(Result::is_err) {
+            let payload = results
+                .swap_remove(i)
+                .err()
+                .expect("position() found an Err");
+            std::panic::resume_unwind(payload);
         }
-        let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= tasks {
-                        break;
-                    }
-                    let out = task(t);
-                    *slots[t].lock().expect("worker pool slot poisoned") = Some(out);
-                });
-            }
-        });
-        slots
+        results
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker pool slot poisoned")
-                    .expect("worker pool left a task unexecuted")
+            .map(|r| r.unwrap_or_else(|_| unreachable!("errors re-raised above")))
+            .collect()
+    }
+
+    /// [`WorkerPool::run`] with per-task panic containment: a panicking
+    /// task yields `Err(Panicked)` in its slot instead of re-raising, and
+    /// every other task still runs and returns its value.
+    ///
+    /// This is the entry point for callers that treat a panic as a
+    /// *retryable task failure* (the cluster's task-attempt loop) rather
+    /// than a process-level bug.
+    pub fn run_caught<T, F>(&self, tasks: usize, task: F) -> Vec<Result<T, Panicked>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_results(tasks, task)
+            .into_iter()
+            .map(|r| {
+                r.map_err(|p| Panicked {
+                    payload: payload_str(p.as_ref()).to_string(),
+                })
             })
             .collect()
     }
@@ -121,9 +223,7 @@ impl WorkerPool {
         let inputs: Vec<Mutex<Option<I>>> =
             items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         self.run(inputs.len(), |i| {
-            let item = inputs[i]
-                .lock()
-                .expect("worker pool slot poisoned")
+            let item = lock_ignore_poison(&inputs[i])
                 .take()
                 .expect("worker pool task input taken twice");
             task(i, item)
@@ -184,5 +284,60 @@ mod tests {
         let data: Vec<i64> = (0..1000).collect();
         let sums = WorkerPool::new(4).run(10, |i| data[i * 100..(i + 1) * 100].iter().sum::<i64>());
         assert_eq!(sums.iter().sum::<i64>(), data.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn run_preserves_panic_payload_of_lowest_task() {
+        // Panics at tasks 3 and 7: the re-raised payload must be task 3's,
+        // verbatim, for any thread count.
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(10, |i| {
+                    if i == 3 || i == 7 {
+                        panic!("task {i} exploded");
+                    }
+                    i
+                })
+            }));
+            let payload = caught.expect_err("a task panicked");
+            assert_eq!(
+                payload_str(payload.as_ref()),
+                "task 3 exploded",
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_caught_isolates_panics_per_task() {
+        for threads in [1, 4] {
+            let out = WorkerPool::new(threads).run_caught(6, |i| {
+                if i % 2 == 1 {
+                    std::panic::panic_any(format!("odd {i}"));
+                }
+                i * 10
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i % 2 == 1 {
+                    assert_eq!(
+                        r.as_ref().err().map(|p| p.payload.clone()),
+                        Some(format!("odd {i}"))
+                    );
+                } else {
+                    assert_eq!(r.as_ref().ok(), Some(&(i * 10)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_str_handles_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(payload_str(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new("owned".to_string());
+        assert_eq!(payload_str(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(payload_str(s.as_ref()), "<non-string panic payload>");
     }
 }

@@ -3,7 +3,9 @@
 //! machine count, failure pattern, and temporal span width.
 
 use proptest::prelude::*;
-use timr_suite::mapreduce::{Cluster, ClusterConfig, Dataset, Dfs, FailurePlan};
+use timr_suite::mapreduce::{
+    ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, RetryPolicy, TaskPhase,
+};
 use timr_suite::relation::schema::{ColumnType, Field};
 use timr_suite::relation::{row, Row, Schema};
 use timr_suite::temporal::exec::{bindings, execute_single};
@@ -86,15 +88,18 @@ proptest! {
     /// Killing arbitrary first attempts changes nothing: the restart path
     /// is byte-deterministic (paper §III-C.1).
     #[test]
-    fn restart_determinism(rows in arb_log(80), kills in prop::collection::vec(0usize..4, 0..4)) {
+    fn restart_determinism(
+        rows in arb_log(80),
+        kills in prop::collection::vec((0usize..4, 0u8..3), 0..4),
+    ) {
         let (plan, filter) = click_count_plan();
         let ann = Annotation::none().exchange(filter, 0, ExchangeKey::keys(&["KwAdId"]));
-        let run = |failures: FailurePlan| {
+        let run = |chaos: ChaosPlan| {
             let dfs = dfs_with(&rows);
             let cluster = Cluster::with_config(ClusterConfig {
                 threads: 4,
-                failures,
-                max_attempts: 3,
+                chaos,
+                retry: RetryPolicy::no_backoff(3),
                 ..ClusterConfig::default()
             });
             let out = TimrJob::new("p", plan.clone())
@@ -104,13 +109,19 @@ proptest! {
                 .unwrap();
             dfs.get(&out.dataset).unwrap().partitions.as_ref().clone()
         };
-        let clean = run(FailurePlan::none());
-        let mut failures = FailurePlan::none();
-        for p in &kills {
-            // Stage name is `p/f<root>`; kill by matching any stage.
-            failures = failures.kill(format!("p/f{}", plan.roots()[0]), *p);
+        let clean = run(ChaosPlan::none());
+        let mut chaos = ChaosPlan::none();
+        for (task, phase) in &kills {
+            let phase = match phase {
+                0 => TaskPhase::Map,
+                1 => TaskPhase::Shuffle,
+                _ => TaskPhase::Reduce,
+            };
+            // Stage name is `p/f<root>`; kill by matching any stage. Kills
+            // aimed at task indices a phase doesn't have are no-ops.
+            chaos = chaos.kill(format!("p/f{}", plan.roots()[0]), phase, *task);
         }
-        let with_kills = run(failures);
+        let with_kills = run(chaos);
         prop_assert_eq!(clean, with_kills);
     }
 
