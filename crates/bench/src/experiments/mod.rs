@@ -8,6 +8,7 @@ pub mod bench_pr2;
 pub mod bench_pr3;
 pub mod bench_pr4;
 pub mod bench_pr5;
+pub mod bench_pr6;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -189,6 +190,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "PR 5: chaos-engine fault-free overhead and recovery runtime \
                  (writes BENCH_PR5.json)",
             run: bench_pr5::run,
+        },
+        Experiment {
+            name: "pr6",
+            artifact: "PR 6: binary columnar extents, shuffle-byte cut, and budgeted spill \
+                 (writes BENCH_PR6.json)",
+            run: bench_pr6::run,
         },
     ]
 }

@@ -17,6 +17,7 @@
 //! the consuming reducer.
 
 use crate::error::{Result, TimrError};
+use relation::column::ColumnData;
 use relation::schema::{ColumnType, Field, TIME_COLUMN};
 use relation::{ColumnBatch, Row, Schema, Value};
 use std::sync::mpsc;
@@ -185,6 +186,59 @@ impl EventEncoding {
             Ok(batch) => Some(EventBatch::new(vt, ve, batch)),
             Err(_) => None,
         })
+    }
+
+    /// Decode a dataset-shaped [`ColumnBatch`] (framing columns leading)
+    /// straight into an [`EventBatch`] without ever materializing rows:
+    /// the `Time` (and `TimeEnd`) buffers are moved out as the lifetime
+    /// vectors and the remaining columns become the payload batch as-is —
+    /// the copy-free entry for reducers fed binary shuffle extents.
+    ///
+    /// Returns `None` whenever the batch cannot be accepted this way — the
+    /// schema disagrees with the expected dataset layout, a framing cell
+    /// is null, or a lifetime is empty — so the caller falls back to the
+    /// row path, whose error messages pinpoint the offending row. The
+    /// fallback therefore never changes which partitions are accepted or
+    /// how they fail.
+    pub fn decode_column_batch(self, batch: ColumnBatch, payload: &Schema) -> Option<EventBatch> {
+        if batch.schema() != &self.dataset_schema(payload) {
+            return None;
+        }
+        let (_schema, mut columns, rows) = batch.into_parts();
+        let payload_cols = columns.split_off(self.framing_columns());
+        let mut framing = columns.into_iter();
+        let (time, time_validity) = framing.next()?.into_parts();
+        if time_validity.is_some() {
+            return None; // a null Time cell: the row path owns the error
+        }
+        let vt = match time {
+            ColumnData::Long(v) => v,
+            _ => return None,
+        };
+        let ve = match self {
+            EventEncoding::Point => vt
+                .iter()
+                .map(|&t| t.checked_add(1))
+                .collect::<Option<Vec<i64>>>()?,
+            EventEncoding::Interval => {
+                let (end, end_validity) = framing.next()?.into_parts();
+                if end_validity.is_some() {
+                    return None;
+                }
+                match end {
+                    ColumnData::Long(v) => v,
+                    _ => return None,
+                }
+            }
+        };
+        if vt.iter().zip(&ve).any(|(le, re)| re <= le) {
+            return None; // empty lifetime: fall back for the exact row error
+        }
+        Some(EventBatch::new(
+            vt,
+            ve,
+            ColumnBatch::new(payload.clone(), payload_cols, rows),
+        ))
     }
 
     /// Encode a whole stream into rows in canonical (sorted) order, so
@@ -435,6 +489,59 @@ mod tests {
             .unwrap()
             .is_none());
         assert!(EventEncoding::Interval.decode_stream(&rows, &p).is_ok());
+    }
+
+    #[test]
+    fn decode_column_batch_matches_row_decode() {
+        let p = payload_schema();
+        for enc in [EventEncoding::Point, EventEncoding::Interval] {
+            let rows: Vec<Row> = (0..20)
+                .map(|i| {
+                    let mut v = vec![Value::Long(i)];
+                    if enc == EventEncoding::Interval {
+                        v.push(Value::Long(i + 5));
+                    }
+                    v.push(Value::str(format!("u{}", i % 3)));
+                    v.push(Value::Long(i * 10));
+                    Row::new(v)
+                })
+                .collect();
+            let ds = enc.dataset_schema(&p);
+            let columns = ColumnBatch::from_rows(&ds, &rows).unwrap();
+            let batch = enc
+                .decode_column_batch(columns, &p)
+                .expect("well-framed batch decodes copy-free");
+            let via_rows = enc.decode_batch(&rows, &p).unwrap().unwrap();
+            assert_eq!(batch.vt(), via_rows.vt());
+            assert_eq!(batch.ve(), via_rows.ve());
+            assert_eq!(
+                batch.into_stream().events(),
+                via_rows.into_stream().events()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_column_batch_falls_back_on_bad_framing() {
+        let p = payload_schema();
+        let enc = EventEncoding::Interval;
+        let ds = enc.dataset_schema(&p);
+        // Null Time cell: the row path owns the error message.
+        let null_time = vec![Row::new(vec![
+            Value::Null,
+            Value::Long(5),
+            Value::str("u"),
+            Value::Long(0),
+        ])];
+        let b = ColumnBatch::from_rows(&ds, &null_time).unwrap();
+        assert!(enc.decode_column_batch(b, &p).is_none());
+        // Empty lifetime: ditto.
+        let empty_life = vec![row![5i64, 5i64, "u", 0i64]];
+        let b = ColumnBatch::from_rows(&ds, &empty_life).unwrap();
+        assert!(enc.decode_column_batch(b, &p).is_none());
+        // Schema that lacks the framing columns entirely.
+        let b = ColumnBatch::from_rows(&p, &[row!["u", 1i64]]).unwrap();
+        assert!(enc.decode_column_batch(b, &p).is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::annotate::Annotation;
 use crate::bridge::{pull_through_queue, EventEncoding};
 use crate::error::{Result, TimrError};
 use crate::fragment::{fragment, Fragment, FragmentInput, FragmentKey};
-use mapreduce::{MrError, Partitioner, Reducer, ReducerContext, Stage};
+use mapreduce::{MrError, Partitioner, ReduceInput, Reducer, ReducerContext, Stage};
 use relation::{Row, Schema};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
@@ -181,6 +181,42 @@ pub struct DsmsReducer {
     exec_mode: ExecMode,
 }
 
+impl DsmsReducer {
+    /// Decode one input partition of rows. Columnar mode transposes into a
+    /// column-major batch; payloads that don't fit their declared types
+    /// fall back to the row decode (which tolerates them), so the mode
+    /// never changes which partitions are accepted.
+    fn bind_rows(&self, binding: &InputBinding, rows: &[Row]) -> Result<StreamData> {
+        Ok(match self.exec_mode {
+            ExecMode::Columnar => match binding.encoding.decode_batch(rows, &binding.payload)? {
+                Some(batch) => StreamData::Batch(batch),
+                None => StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?),
+            },
+            _ => StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?),
+        })
+    }
+
+    /// Run the embedded DSMS over decoded sources and pull rows back.
+    fn execute(&self, ctx: &ReducerContext, sources: DataBindings) -> mapreduce::Result<Vec<Row>> {
+        let to_mr = |e: TimrError| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.partition,
+            message: e.to_string(),
+        };
+        // Bindings are rebuilt per reduce call, so hand the executor
+        // ownership: the decoded partition is moved into the plan and the
+        // first in-place operator mutates it with zero survivor clones.
+        // The embedded DSMS fans GroupApply groups out on the cluster's
+        // per-reducer pool (the `dsms_threads` knob); the merge is
+        // sorted-key ordered, so output stays byte-identical at any width.
+        let options = ExecOptions::with_mode(self.exec_mode).on_pool(Arc::clone(&ctx.dsms_pool));
+        let result: EventStream =
+            temporal::exec::execute_single_owned_data(&self.plan, sources, &options)
+                .map_err(|e| to_mr(TimrError::Temporal(e)))?;
+        pull_through_queue(self.output_encoding, result).map_err(to_mr)
+    }
+}
+
 impl Reducer for DsmsReducer {
     fn output_schema(&self, _inputs: &[Schema]) -> mapreduce::Result<Schema> {
         let payload = self.plan.schema_of(self.plan.roots()[0]);
@@ -195,43 +231,48 @@ impl Reducer for DsmsReducer {
         };
         let mut sources: DataBindings = FxHashMap::default();
         for (binding, rows) in self.inputs.iter().zip(inputs) {
-            // Columnar mode decodes the partition straight into a
-            // column-major batch; payloads that don't fit their declared
-            // types fall back to the row decode (which tolerates them), so
-            // the mode never changes which partitions are accepted.
-            let data = match self.exec_mode {
-                ExecMode::Columnar => match binding
-                    .encoding
-                    .decode_batch(rows, &binding.payload)
-                    .map_err(to_mr)?
-                {
-                    Some(batch) => StreamData::Batch(batch),
-                    None => StreamData::Rows(
-                        binding
-                            .encoding
-                            .decode_stream(rows, &binding.payload)
-                            .map_err(to_mr)?,
-                    ),
-                },
-                _ => StreamData::Rows(
-                    binding
+            let data = self.bind_rows(binding, rows).map_err(to_mr)?;
+            sources.insert(binding.source_name.clone(), data);
+        }
+        self.execute(ctx, sources)
+    }
+
+    /// The binary-extent entry: when the shuffle delivers a decoded
+    /// [`relation::ColumnBatch`] and the reducer runs columnar, the
+    /// framing columns split off into lifetime vectors without a row
+    /// materialization or text re-parse in between
+    /// ([`EventEncoding::decode_column_batch`]). Anything the copy-free
+    /// path can't take — other exec modes, legacy row chunks, bad framing
+    /// — falls back to the row path with identical acceptance and errors.
+    fn reduce_shuffled(
+        &self,
+        ctx: &ReducerContext,
+        inputs: &[ReduceInput],
+    ) -> mapreduce::Result<Vec<Row>> {
+        let to_mr = |e: TimrError| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.partition,
+            message: e.to_string(),
+        };
+        let mut sources: DataBindings = FxHashMap::default();
+        for (binding, input) in self.inputs.iter().zip(inputs) {
+            let data = match input {
+                ReduceInput::Batch(batch) if matches!(self.exec_mode, ExecMode::Columnar) => {
+                    match binding
                         .encoding
-                        .decode_stream(rows, &binding.payload)
-                        .map_err(to_mr)?,
-                ),
+                        .decode_column_batch(batch.clone(), &binding.payload)
+                    {
+                        Some(events) => StreamData::Batch(events),
+                        None => self.bind_rows(binding, &input.to_rows()).map_err(to_mr)?,
+                    }
+                }
+                ReduceInput::Batch(_) => {
+                    self.bind_rows(binding, &input.to_rows()).map_err(to_mr)?
+                }
+                ReduceInput::Rows(rows) => self.bind_rows(binding, rows).map_err(to_mr)?,
             };
             sources.insert(binding.source_name.clone(), data);
         }
-        // Bindings are rebuilt per reduce call, so hand the executor
-        // ownership: the decoded partition is moved into the plan and the
-        // first in-place operator mutates it with zero survivor clones.
-        // The embedded DSMS fans GroupApply groups out on the cluster's
-        // per-reducer pool (the `dsms_threads` knob); the merge is
-        // sorted-key ordered, so output stays byte-identical at any width.
-        let options = ExecOptions::with_mode(self.exec_mode).on_pool(Arc::clone(&ctx.dsms_pool));
-        let result: EventStream =
-            temporal::exec::execute_single_owned_data(&self.plan, sources, &options)
-                .map_err(|e| to_mr(TimrError::Temporal(e)))?;
-        pull_through_queue(self.output_encoding, result).map_err(to_mr)
+        self.execute(ctx, sources)
     }
 }

@@ -28,11 +28,12 @@
 use crate::chaos::{self, ChaosPlan, ExtentFrame, FaultKind, RetryPolicy};
 use crate::dfs::{Dataset, Dfs};
 use crate::error::{MrError, Result, TaskError, TaskPhase};
-use crate::job::{CompiledPartitioner, ReducerContext, Stage};
+use crate::job::{CompiledPartitioner, ReduceInput, ReducerContext, Stage};
 use crate::stats::{JobStats, StageStats};
 use pool::WorkerPool;
-use relation::Row;
+use relation::{codec, ColumnBatch, Row, Schema};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -96,6 +97,21 @@ pub struct ClusterConfig {
     /// framing/verification overhead (corruption then degrades to
     /// transient faults, since it would be undetectable).
     pub integrity: bool,
+    /// Shuffle memory budget. When set, map output merges in bounded
+    /// waves, shuffle slots seal into bounded binary chunks, and sealed
+    /// chunks beyond the budget spill to disk files — so a job whose
+    /// shuffle exceeds RAM still runs to completion, with byte-identical
+    /// output (spilling moves bytes, never changes them). `None` (the
+    /// default) keeps everything in memory, one chunk per slot.
+    pub memory_budget_bytes: Option<u64>,
+    /// Directory for spill files. `None` uses `$TMPDIR/timr-spill`.
+    /// Files are removed when their shuffle slot is dropped.
+    pub spill_dir: Option<PathBuf>,
+    /// Also measure what the shuffle would cost in the legacy text
+    /// encoding (`StageStats::shuffle_bytes_text`). Off by default: the
+    /// measurement pays the per-row text-encode CPU that the binary
+    /// extent path exists to eliminate.
+    pub measure_text_shuffle: bool,
 }
 
 impl Default for ClusterConfig {
@@ -108,6 +124,9 @@ impl Default for ClusterConfig {
             chaos: ChaosPlan::none(),
             retry: RetryPolicy::default(),
             integrity: true,
+            memory_budget_bytes: None,
+            spill_dir: None,
+            measure_text_shuffle: false,
         }
     }
 }
@@ -177,42 +196,189 @@ struct MapTaskOut {
     sub: Vec<Vec<Row>>,
     rows: u64,
     bytes: u64,
+    text_bytes: u64,
 }
 
-/// Map-phase accounting carried alongside the shuffle buckets.
+/// Map-phase accounting carried alongside the shuffle chunks.
 struct MapPhase {
     map_rows: u64,
     shuffle_bytes: u64,
+    shuffle_bytes_text: u64,
+    shuffle_bytes_binary: u64,
+    spill_extents: u64,
+    spill_bytes: u64,
     map_tasks: usize,
     map_time: Duration,
     shuffle_time: Duration,
 }
 
-/// One reduce partition's shuffled inputs (one row vector per stage
-/// input), framed on first fetch — before any injected corruption — so
-/// every subsequent fetch can verify them.
-struct ShuffleSlot {
-    inputs: Vec<Vec<Row>>,
-    frames: Vec<ExtentFrame>,
+/// Monotonic suffix keeping concurrent clusters' spill files distinct.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One sealed chunk of a shuffle partition — the native transfer unit.
+#[derive(Debug, PartialEq)]
+enum ShuffleChunk {
+    /// A framed binary columnar extent held in memory.
+    Mem(Vec<u8>),
+    /// A framed binary columnar extent spilled to a disk file under the
+    /// memory budget. `bytes` is its expected length.
+    Spilled { path: PathBuf, bytes: u64 },
+    /// Rows that could not transpose into typed columns (ill-typed),
+    /// guarded by a row-level frame.
+    Rows(Vec<Row>, ExtentFrame),
 }
 
-/// Deterministically damage a stored shuffle partition *without* updating
-/// its frames — the injected-corruption shape verification must catch.
-fn corrupt_slot(slot: &mut ShuffleSlot) {
-    if let Some(rows) = slot.inputs.iter_mut().rev().find(|r| !r.is_empty()) {
-        rows.pop();
-    } else if let Some(first) = slot.inputs.first_mut() {
-        first.push(Row::new(Vec::new()));
+impl Drop for ShuffleChunk {
+    fn drop(&mut self) {
+        if let ShuffleChunk::Spilled { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
-/// Check a shuffle slot against its frames; `Some(description)` on the
-/// first mismatch.
+/// Sealed chunk contents before placement (memory vs spill file).
+enum ChunkData {
+    Extent(Vec<u8>),
+    Rows(Vec<Row>),
+}
+
+/// Accumulates one (input, partition) slice of the shuffle and seals it
+/// into bounded chunks. Sealing is a pure function of the appended row
+/// sequence and `target`, so the merge and a corruption rebuild produce
+/// identical chunk boundaries — and, because the extent encoding is
+/// canonical, identical bytes.
+struct ChunkBuilder<'a> {
+    schema: &'a Schema,
+    target: u64,
+    acc: Vec<Row>,
+    acc_bytes: u64,
+}
+
+impl<'a> ChunkBuilder<'a> {
+    fn new(schema: &'a Schema, target: u64) -> Self {
+        ChunkBuilder {
+            schema,
+            target,
+            acc: Vec::new(),
+            acc_bytes: 0,
+        }
+    }
+
+    /// Append one map task's rows; seals when the accumulator reaches the
+    /// chunk target. Empty appends are no-ops (they cannot move the
+    /// accumulator, so skipping them preserves determinism).
+    fn append(
+        &mut self,
+        rows: Vec<Row>,
+        sink: &mut dyn FnMut(ChunkData) -> Result<()>,
+    ) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        for r in &rows {
+            self.acc_bytes += r.width() as u64;
+        }
+        if self.acc.is_empty() {
+            self.acc = rows;
+        } else {
+            self.acc.extend(rows);
+        }
+        if self.acc_bytes >= self.target {
+            self.seal(sink)?;
+        }
+        Ok(())
+    }
+
+    fn seal(&mut self, sink: &mut dyn FnMut(ChunkData) -> Result<()>) -> Result<()> {
+        if self.acc.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.acc);
+        self.acc_bytes = 0;
+        let data =
+            match ColumnBatch::from_rows(self.schema, &rows).and_then(|b| b.to_extent_bytes()) {
+                Ok(bytes) => ChunkData::Extent(bytes),
+                // Ill-typed rows cannot transpose; ship them as a legacy
+                // row chunk instead.
+                Err(_) => ChunkData::Rows(rows),
+            };
+        sink(data)
+    }
+
+    fn finish(mut self, sink: &mut dyn FnMut(ChunkData) -> Result<()>) -> Result<()> {
+        self.seal(sink)
+    }
+}
+
+/// One reduce partition's shuffled inputs: per stage input, the sealed
+/// chunks produced by the deterministic merge — framed at seal time,
+/// before any injected corruption, so every fetch can verify them.
+struct ShuffleSlot {
+    inputs: Vec<Vec<ShuffleChunk>>,
+}
+
+/// Deterministically damage a stored shuffle partition *without* updating
+/// its integrity frames — verification must catch the damage. Binary
+/// chunks (in memory or spilled) get a single byte flipped mid-buffer;
+/// legacy row chunks lose a row.
+fn corrupt_slot(slot: &mut ShuffleSlot) {
+    for chunks in slot.inputs.iter_mut() {
+        for chunk in chunks.iter_mut() {
+            match chunk {
+                ShuffleChunk::Mem(bytes) => {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0xFF;
+                    return;
+                }
+                ShuffleChunk::Spilled { path, .. } => {
+                    if let Ok(mut bytes) = std::fs::read(&*path) {
+                        if !bytes.is_empty() {
+                            let mid = bytes.len() / 2;
+                            bytes[mid] ^= 0xFF;
+                            if std::fs::write(&*path, &bytes).is_ok() {
+                                return;
+                            }
+                        }
+                    }
+                }
+                ShuffleChunk::Rows(rows, _) => {
+                    rows.pop();
+                    return;
+                }
+            }
+        }
+    }
+    // An empty partition has no bytes to flip: plant a garbage chunk so
+    // verification still has damage to detect (and rebuild removes it).
+    if let Some(first) = slot.inputs.first_mut() {
+        first.push(ShuffleChunk::Mem(vec![0xAB; 16]));
+    }
+}
+
+/// Check every chunk of a shuffle slot against its integrity frames —
+/// per-column frames inside binary extents, row frames for legacy chunks.
+/// `Some(description)` on the first mismatch.
 fn verify_slot(slot: &ShuffleSlot) -> Option<String> {
-    for (i, rows) in slot.inputs.iter().enumerate() {
-        if let Some(frame) = slot.frames.get(i) {
-            if let Err(why) = frame.verify(rows) {
-                return Some(format!("shuffle input {i}: {why}"));
+    for (i, chunks) in slot.inputs.iter().enumerate() {
+        for (c, chunk) in chunks.iter().enumerate() {
+            let why = match chunk {
+                ShuffleChunk::Mem(bytes) => relation::extent::verify_extent(bytes)
+                    .err()
+                    .map(|e| e.to_string()),
+                ShuffleChunk::Spilled { path, bytes } => match std::fs::read(path) {
+                    Ok(data) if data.len() as u64 != *bytes => Some(format!(
+                        "length mismatch: {} byte(s), spill manifest says {bytes}",
+                        data.len()
+                    )),
+                    Ok(data) => relation::extent::verify_extent(&data)
+                        .err()
+                        .map(|e| e.to_string()),
+                    Err(e) => Some(format!("spill file unreadable: {e}")),
+                },
+                ShuffleChunk::Rows(rows, frame) => frame.verify(rows).err(),
+            };
+            if let Some(why) = why {
+                return Some(format!("shuffle input {i} chunk {c}: {why}"));
             }
         }
     }
@@ -221,32 +387,128 @@ fn verify_slot(slot: &ShuffleSlot) -> Option<String> {
 
 /// Re-run the producing side of one reduce partition: rescan every
 /// (verified) input extent in the deterministic `(input, extent)` merge
-/// order, keep the rows assigned to `p`, and re-frame. Because the
-/// partitioner is pure, the rebuilt partition is byte-identical to the
-/// original merge — re-execution *is* recovery (paper §III-C.1).
+/// order, keep the rows assigned to `p`, and re-seal with the same chunk
+/// target. Because the partitioner is pure and sealing is deterministic,
+/// the rebuilt chunks are byte-identical to the original merge — spilled
+/// chunks are rewritten in place — so re-execution *is* recovery (paper
+/// §III-C.1).
 fn rebuild_slot(
     inputs: &[Dataset],
     assigners: &[CompiledPartitioner],
     partitions: usize,
     p: usize,
+    chunk_target: u64,
     slot: &mut ShuffleSlot,
 ) -> std::result::Result<(), TaskError> {
     for (i, dataset) in inputs.iter().enumerate() {
-        let mut rows = Vec::new();
-        for (e, extent) in dataset.partitions.iter().enumerate() {
-            dataset.verify_extent(e).map_err(read_error)?;
-            for row in extent {
-                if assigners[i].assign(row, partitions)? == p {
-                    rows.push(row.clone());
+        let mut rebuilt: Vec<ChunkData> = Vec::new();
+        {
+            let mut sink = |data: ChunkData| {
+                rebuilt.push(data);
+                Ok(())
+            };
+            let mut builder = ChunkBuilder::new(&dataset.schema, chunk_target);
+            for (e, extent) in dataset.partitions.iter().enumerate() {
+                dataset.verify_extent(e).map_err(read_error)?;
+                let mut rows = Vec::new();
+                for row in extent {
+                    if assigners[i].assign(row, partitions)? == p {
+                        rows.push(row.clone());
+                    }
                 }
+                builder.append(rows, &mut sink)?;
+            }
+            builder.finish(&mut sink)?;
+        }
+        // Put the rebuilt contents back where the originals lived:
+        // spilled chunks are rewritten in place, everything else lands in
+        // memory; surplus (planted) chunks are dropped.
+        let n = rebuilt.len();
+        let old = &mut slot.inputs[i];
+        for (c, data) in rebuilt.into_iter().enumerate() {
+            if let (Some(ShuffleChunk::Spilled { path, bytes }), ChunkData::Extent(enc)) =
+                (old.get_mut(c), &data)
+            {
+                std::fs::write(&*path, enc).map_err(|e| TaskError::Transient {
+                    message: format!("spill rewrite failed at `{}`: {e}", path.display()),
+                })?;
+                *bytes = enc.len() as u64;
+                continue;
+            }
+            let new_chunk = match data {
+                ChunkData::Extent(enc) => ShuffleChunk::Mem(enc),
+                ChunkData::Rows(rows) => {
+                    let frame = ExtentFrame::compute(&rows);
+                    ShuffleChunk::Rows(rows, frame)
+                }
+            };
+            if c < old.len() {
+                old[c] = new_chunk;
+            } else {
+                old.push(new_chunk);
             }
         }
-        if let Some(frame) = slot.frames.get_mut(i) {
-            *frame = ExtentFrame::compute(&rows);
-        }
-        slot.inputs[i] = rows;
+        old.truncate(n);
     }
     Ok(())
+}
+
+/// Decode one verified slot into per-input reduce forms: a concatenated
+/// [`ColumnBatch`] when every chunk shipped binary, rows otherwise. A
+/// decode failure still surfaces as corruption (the retry re-verifies
+/// and rebuilds).
+fn fetch_inputs(slot: &ShuffleSlot) -> std::result::Result<Vec<ReduceInput>, TaskError> {
+    fn chunk_err(i: usize, c: usize, e: impl std::fmt::Display) -> TaskError {
+        TaskError::Corrupt {
+            what: format!("shuffle input {i} chunk {c}: {e}"),
+        }
+    }
+    fn chunk_bytes(
+        i: usize,
+        c: usize,
+        chunk: &ShuffleChunk,
+    ) -> std::result::Result<ColumnBatch, TaskError> {
+        match chunk {
+            ShuffleChunk::Mem(bytes) => {
+                ColumnBatch::from_extent_bytes(bytes).map_err(|e| chunk_err(i, c, e))
+            }
+            ShuffleChunk::Spilled { path, .. } => {
+                let data = std::fs::read(path)
+                    .map_err(|e| chunk_err(i, c, format!("spill file unreadable: {e}")))?;
+                ColumnBatch::from_extent_bytes(&data).map_err(|e| chunk_err(i, c, e))
+            }
+            ShuffleChunk::Rows(..) => unreachable!("row chunks handled by the caller"),
+        }
+    }
+
+    let mut out = Vec::with_capacity(slot.inputs.len());
+    for (i, chunks) in slot.inputs.iter().enumerate() {
+        let all_binary = !chunks.is_empty()
+            && chunks
+                .iter()
+                .all(|ch| !matches!(ch, ShuffleChunk::Rows(..)));
+        if all_binary {
+            let mut batch: Option<ColumnBatch> = None;
+            for (c, chunk) in chunks.iter().enumerate() {
+                let decoded = chunk_bytes(i, c, chunk)?;
+                match &mut batch {
+                    None => batch = Some(decoded),
+                    Some(b) => b.append(decoded).map_err(|e| chunk_err(i, c, e))?,
+                }
+            }
+            out.push(ReduceInput::Batch(batch.expect("chunk list is non-empty")));
+        } else {
+            let mut rows = Vec::new();
+            for (c, chunk) in chunks.iter().enumerate() {
+                match chunk {
+                    ShuffleChunk::Rows(r, _) => rows.extend(r.iter().cloned()),
+                    binary => rows.append(&mut chunk_bytes(i, c, binary)?.to_rows()),
+                }
+            }
+            out.push(ReduceInput::Rows(rows));
+        }
+    }
+    Ok(out)
 }
 
 /// Scan one extent and split it into per-partition sub-buckets. Runs on
@@ -255,11 +517,19 @@ fn map_extent(
     extent: &[Row],
     partitioner: &CompiledPartitioner,
     partitions: usize,
+    measure_text: bool,
 ) -> std::result::Result<MapTaskOut, TaskError> {
     let mut sub: Vec<Vec<Row>> = (0..partitions).map(|_| Vec::new()).collect();
     let mut bytes = 0u64;
+    let mut text_bytes = 0u64;
+    let mut line = String::new();
     for row in extent {
         bytes += row.width() as u64;
+        if measure_text {
+            line.clear();
+            codec::encode_row_into(row, &mut line);
+            text_bytes += line.len() as u64 + 1;
+        }
         let p = partitioner.assign(row, partitions)?;
         sub[p].push(row.clone());
     }
@@ -267,6 +537,7 @@ fn map_extent(
         sub,
         rows: extent.len() as u64,
         bytes,
+        text_bytes,
     })
 }
 
@@ -396,89 +667,242 @@ impl Cluster {
         }
     }
 
+    /// Seal threshold for one (input, partition) chunk accumulator: a
+    /// fraction of the memory budget so accumulators plus the in-memory
+    /// chunk pool stay bounded. Unbudgeted runs never seal early (one
+    /// chunk per slot, the pre-budget behavior).
+    fn chunk_target(&self, inputs: usize, partitions: usize) -> u64 {
+        match self.config.memory_budget_bytes {
+            None => u64::MAX,
+            Some(b) => (b / (inputs.max(1) as u64 * partitions.max(1) as u64 * 4))
+                .clamp(32 * 1024, 256 * 1024 * 1024),
+        }
+    }
+
+    /// A fresh spill file path (unique per process and sequence number).
+    fn spill_path(&self, stage: &str) -> Result<PathBuf> {
+        let dir = self
+            .config
+            .spill_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("timr-spill"));
+        std::fs::create_dir_all(&dir).map_err(|e| MrError::Io {
+            what: "create spill dir".to_string(),
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tag: String = stage
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        Ok(dir.join(format!("{tag}-{}-{seq}.extent", std::process::id())))
+    }
+
+    /// Place one sealed chunk: binary extents stay in memory until the
+    /// budget is reached, then spill to disk; legacy row chunks stay in
+    /// memory (they are the rare ill-typed fallback). Placement never
+    /// changes bytes, so it cannot affect output — only where they live.
+    #[allow(clippy::too_many_arguments)]
+    fn place_chunk(
+        &self,
+        stage_name: &str,
+        data: ChunkData,
+        mem_held: &mut u64,
+        binary_bytes: &mut u64,
+        spill_extents: &mut u64,
+        spill_bytes: &mut u64,
+        out: &mut Vec<ShuffleChunk>,
+    ) -> Result<()> {
+        match data {
+            ChunkData::Rows(rows) => {
+                let frame = ExtentFrame::compute(&rows);
+                out.push(ShuffleChunk::Rows(rows, frame));
+            }
+            ChunkData::Extent(bytes) => {
+                let len = bytes.len() as u64;
+                *binary_bytes += len;
+                let over_budget = self
+                    .config
+                    .memory_budget_bytes
+                    .is_some_and(|b| *mem_held + len > b);
+                if over_budget {
+                    let path = self.spill_path(stage_name)?;
+                    std::fs::write(&path, &bytes).map_err(|e| MrError::Io {
+                        what: "write spill extent".to_string(),
+                        path: path.display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                    *spill_extents += 1;
+                    *spill_bytes += len;
+                    out.push(ShuffleChunk::Spilled { path, bytes: len });
+                } else {
+                    *mem_held += len;
+                    out.push(ShuffleChunk::Mem(bytes));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Parallel map/shuffle: one map task per input extent on the worker
-    /// pool, then a deterministic merge.
+    /// pool, then a deterministic merge that seals per-partition chunk
+    /// accumulators into framed binary extents (spilling past the memory
+    /// budget).
     ///
-    /// Returns `buckets[input][partition]` holding exactly the rows the
+    /// Returns `chunks[input][partition]` encoding exactly the rows the
     /// serial scan would produce, in the same order: tasks are merged in
     /// `(input, extent)` order and each task preserves row order within
     /// its extent, so the shuffle output is independent of thread count,
     /// scheduling, and injected faults — the repeatability property
-    /// (paper §III-C.1) that restart determinism is built on.
+    /// (paper §III-C.1) that restart determinism is built on. Under a
+    /// memory budget, map tasks run in bounded waves so unmerged task
+    /// output never exceeds a few extents per worker.
     fn map_shuffle(
         &self,
         stage: &Stage,
         inputs: &[Dataset],
         assigners: &[CompiledPartitioner],
         counters: &FaultCounters,
-    ) -> Result<(Vec<Vec<Vec<Row>>>, MapPhase)> {
-        let map_start = Instant::now();
+    ) -> Result<(Vec<Vec<Vec<ShuffleChunk>>>, MapPhase)> {
+        let chunk_target = self.chunk_target(inputs.len(), stage.partitions);
         // One map task per (input, extent), in deterministic order.
         let tasks: Vec<(usize, usize)> = inputs
             .iter()
             .enumerate()
             .flat_map(|(i, d)| (0..d.partitions.len()).map(move |e| (i, e)))
             .collect();
-        let results: Vec<Result<MapTaskOut>> = self
-            .pool
-            .run_caught(tasks.len(), |t| {
-                let (i, e) = tasks[t];
-                self.run_attempts(
-                    &stage.name,
-                    TaskPhase::Map,
-                    t,
-                    counters,
-                    |attempt, corrupt| {
-                        if corrupt {
-                            // A bad replica read: the extent this attempt saw
-                            // does not match its frame. The retry re-reads.
-                            return Err(TaskError::Corrupt {
-                                what: format!("injected bad read of input {i} extent {e}"),
-                            });
-                        }
-                        // The first read consumes the very buffer the frame was
-                        // computed from, so verifying it would hash memory
-                        // against itself. A retry models a re-read from another
-                        // replica — that boundary crossing is verified.
-                        if self.config.integrity && attempt > 0 {
-                            inputs[i].verify_extent(e).map_err(read_error)?;
-                        }
-                        map_extent(&inputs[i].partitions[e], &assigners[i], stage.partitions)
-                    },
-                )
-            })
-            .into_iter()
-            .enumerate()
-            .map(|(t, slot)| self.contained(&stage.name, TaskPhase::Map, t, slot))
-            .collect();
-        let map_time = map_start.elapsed();
-
-        // Merge sub-buckets in task order == (input, extent) order. Errors
-        // propagate from the lowest task index so failure is deterministic
-        // too.
-        let shuffle_start = Instant::now();
-        let mut buckets: Vec<Vec<Vec<Row>>> = inputs
+        let mut chunks: Vec<Vec<Vec<ShuffleChunk>>> = inputs
             .iter()
             .map(|_| (0..stage.partitions).map(|_| Vec::new()).collect())
             .collect();
+        let mut builders: Vec<Vec<ChunkBuilder<'_>>> = inputs
+            .iter()
+            .map(|d| {
+                (0..stage.partitions)
+                    .map(|_| ChunkBuilder::new(&d.schema, chunk_target))
+                    .collect()
+            })
+            .collect();
+        let mut mem_held = 0u64;
+        let mut binary_bytes = 0u64;
+        let mut spill_extents = 0u64;
+        let mut spill_bytes = 0u64;
         let mut map_rows = 0u64;
         let mut shuffle_bytes = 0u64;
-        for (out, &(i, _)) in results.into_iter().zip(&tasks) {
-            let mut out = out?;
-            map_rows += out.rows;
-            shuffle_bytes += out.bytes;
-            for (bucket, sub) in buckets[i].iter_mut().zip(out.sub.iter_mut()) {
-                bucket.append(sub);
+        let mut shuffle_bytes_text = 0u64;
+        let mut map_time = Duration::ZERO;
+        let mut shuffle_time = Duration::ZERO;
+
+        // Unbudgeted runs execute every task in one wave (maximum
+        // parallelism); budgeted runs bound the unmerged task output held
+        // in memory to one wave's worth.
+        let wave = if self.config.memory_budget_bytes.is_some() {
+            self.config.threads.max(1) * 2
+        } else {
+            tasks.len().max(1)
+        };
+        for (w, wave_tasks) in tasks.chunks(wave).enumerate() {
+            let base = w * wave;
+            let map_start = Instant::now();
+            let results: Vec<Result<MapTaskOut>> = self
+                .pool
+                .run_caught(wave_tasks.len(), |k| {
+                    let t = base + k;
+                    let (i, e) = tasks[t];
+                    self.run_attempts(
+                        &stage.name,
+                        TaskPhase::Map,
+                        t,
+                        counters,
+                        |attempt, corrupt| {
+                            if corrupt {
+                                // A bad replica read: the extent this attempt saw
+                                // does not match its frame. The retry re-reads.
+                                return Err(TaskError::Corrupt {
+                                    what: format!("injected bad read of input {i} extent {e}"),
+                                });
+                            }
+                            // The first read consumes the very buffer the frame was
+                            // computed from, so verifying it would hash memory
+                            // against itself. A retry models a re-read from another
+                            // replica — that boundary crossing is verified.
+                            if self.config.integrity && attempt > 0 {
+                                inputs[i].verify_extent(e).map_err(read_error)?;
+                            }
+                            map_extent(
+                                &inputs[i].partitions[e],
+                                &assigners[i],
+                                stage.partitions,
+                                self.config.measure_text_shuffle,
+                            )
+                        },
+                    )
+                })
+                .into_iter()
+                .enumerate()
+                .map(|(k, slot)| self.contained(&stage.name, TaskPhase::Map, base + k, slot))
+                .collect();
+            map_time += map_start.elapsed();
+
+            // Merge sub-buckets in task order == (input, extent) order.
+            // Errors propagate from the lowest task index so failure is
+            // deterministic too.
+            let merge_start = Instant::now();
+            for (k, out) in results.into_iter().enumerate() {
+                let (i, _) = tasks[base + k];
+                let mut out = out?;
+                map_rows += out.rows;
+                shuffle_bytes += out.bytes;
+                shuffle_bytes_text += out.text_bytes;
+                for (p, sub) in out.sub.iter_mut().enumerate() {
+                    builders[i][p].append(std::mem::take(sub), &mut |data| {
+                        self.place_chunk(
+                            &stage.name,
+                            data,
+                            &mut mem_held,
+                            &mut binary_bytes,
+                            &mut spill_extents,
+                            &mut spill_bytes,
+                            &mut chunks[i][p],
+                        )
+                    })?;
+                }
+            }
+            shuffle_time += merge_start.elapsed();
+        }
+
+        // Seal whatever the accumulators still hold.
+        let finish_start = Instant::now();
+        for (i, per_input) in builders.into_iter().enumerate() {
+            for (p, builder) in per_input.into_iter().enumerate() {
+                builder.finish(&mut |data| {
+                    self.place_chunk(
+                        &stage.name,
+                        data,
+                        &mut mem_held,
+                        &mut binary_bytes,
+                        &mut spill_extents,
+                        &mut spill_bytes,
+                        &mut chunks[i][p],
+                    )
+                })?;
             }
         }
+        shuffle_time += finish_start.elapsed();
+
         Ok((
-            buckets,
+            chunks,
             MapPhase {
                 map_rows,
                 shuffle_bytes,
+                shuffle_bytes_text,
+                shuffle_bytes_binary: binary_bytes,
+                spill_extents,
+                spill_bytes,
                 map_tasks: tasks.len(),
                 map_time,
-                shuffle_time: shuffle_start.elapsed(),
+                shuffle_time,
             },
         ))
     }
@@ -505,24 +929,22 @@ impl Cluster {
         let counters = FaultCounters::default();
 
         // ---- map / shuffle ----
-        let (mut buckets, map_phase) = self.map_shuffle(stage, &inputs, &assigners, &counters)?;
+        let chunk_target = self.chunk_target(inputs.len(), stage.partitions);
+        let (mut chunks, map_phase) = self.map_shuffle(stage, &inputs, &assigners, &counters)?;
 
         // ---- reduce ----
-        // Transpose buckets into per-partition slots once; workers (and
-        // every restart attempt) borrow them — no per-attempt copies.
-        // Frames are computed inside the per-partition worker tasks (so
-        // the hashing parallelizes with the rest of the reduce phase),
-        // before any injected corruption touches the slot.
+        // Transpose chunks into per-partition slots once; workers (and
+        // every restart attempt) read the same sealed chunks — framed at
+        // seal time, before any injected corruption touches the slot.
         let reduce_start = Instant::now();
         let shuffle: Vec<Mutex<ShuffleSlot>> = (0..stage.partitions)
             .map(|p| {
-                let slot_inputs: Vec<Vec<Row>> = buckets
+                let slot_inputs: Vec<Vec<ShuffleChunk>> = chunks
                     .iter_mut()
                     .map(|per_input| std::mem::take(&mut per_input[p]))
                     .collect();
                 Mutex::new(ShuffleSlot {
                     inputs: slot_inputs,
-                    frames: Vec::new(),
                 })
             })
             .collect();
@@ -532,42 +954,42 @@ impl Cluster {
             .pool
             .run_caught(stage.partitions, |p| {
                 let mut slot = lock_slot(&shuffle[p]);
-                // Shuffle fetch: verify this partition's inputs; on a
-                // mismatch, rebuild them from the source extents and retry.
-                self.run_attempts(
+                // Shuffle fetch: verify this partition's chunks against
+                // their per-column (binary) or row-level (legacy) frames;
+                // on a mismatch, rebuild them from the source extents and
+                // retry. On success, decode into the reduce input forms —
+                // one partition's worth of decoded data at a time, which
+                // is what keeps budgeted runs out-of-core.
+                let fetched = self.run_attempts(
                     &stage.name,
                     TaskPhase::Shuffle,
                     p,
                     &counters,
                     |_, corrupt| {
                         let slot = &mut *slot;
-                        // Frame the pristine merge output once (the merge is
-                        // deterministic, so these frames are too); injected
-                        // corruption lands after framing, where verification
-                        // must catch it.
-                        if self.config.integrity && slot.frames.is_empty() {
-                            slot.frames = slot
-                                .inputs
-                                .iter()
-                                .map(|r| ExtentFrame::compute(r))
-                                .collect();
-                        }
                         if corrupt {
                             corrupt_slot(slot);
                         }
                         if self.config.integrity {
                             if let Some(why) = verify_slot(slot) {
-                                rebuild_slot(&inputs, &assigners, stage.partitions, p, slot)?;
+                                rebuild_slot(
+                                    &inputs,
+                                    &assigners,
+                                    stage.partitions,
+                                    p,
+                                    chunk_target,
+                                    slot,
+                                )?;
                                 return Err(TaskError::Corrupt { what: why });
                             }
                         }
-                        Ok(())
+                        fetch_inputs(slot)
                     },
                 )?;
+                drop(slot);
                 // Reduce: the reducer is a pure function of the (now
                 // verified) partition, so every retry reproduces the same
                 // rows.
-                let slot = &*slot;
                 self.run_attempts(
                     &stage.name,
                     TaskPhase::Reduce,
@@ -582,7 +1004,7 @@ impl Cluster {
                             dsms_pool: Arc::clone(&self.dsms_pool),
                         };
                         let start = Instant::now();
-                        let out = stage.reducer.reduce(&ctx, &slot.inputs)?;
+                        let out = stage.reducer.reduce_shuffled(&ctx, &fetched)?;
                         Ok((out, start.elapsed()))
                     },
                 )
@@ -623,6 +1045,10 @@ impl Cluster {
             map_time: map_phase.map_time,
             shuffle_time: map_phase.shuffle_time,
             shuffle_bytes: map_phase.shuffle_bytes,
+            shuffle_bytes_text: map_phase.shuffle_bytes_text,
+            shuffle_bytes_binary: map_phase.shuffle_bytes_binary,
+            spill_extents: map_phase.spill_extents,
+            spill_bytes: map_phase.spill_bytes,
             reduce_wall_time,
             output_rows,
             partitions: stage.partitions,
@@ -1041,6 +1467,138 @@ mod tests {
         .unwrap();
         Cluster::new().run_stage(&dfs, &stage).unwrap();
         assert_eq!(dfs.get("out").unwrap().scan(), vec![row![5i64, 9i64]]);
+    }
+
+    #[test]
+    fn memory_budget_spills_and_output_is_identical() {
+        let multi_extent_input = || {
+            let rows = input_rows(600);
+            Dataset::partitioned(schema(), rows.chunks(100).map(|c| c.to_vec()).collect())
+        };
+        let run = |budget: Option<u64>| {
+            let dfs = Dfs::new();
+            dfs.put("in", multi_extent_input()).unwrap();
+            let spill = tempdir();
+            let cluster = Cluster::with_config(ClusterConfig {
+                threads: 4,
+                memory_budget_bytes: budget,
+                spill_dir: Some(spill.clone()),
+                ..ClusterConfig::default()
+            });
+            let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
+            let out = dfs.get("out").unwrap().partitions.as_ref().clone();
+            std::fs::remove_dir_all(&spill).ok();
+            (out, stats)
+        };
+        let (unbudgeted, s0) = run(None);
+        let (budgeted, s1) = run(Some(1024));
+        assert_eq!(s0.spill_extents, 0, "no budget, no spill");
+        assert!(
+            s1.spill_extents > 0,
+            "a 1 KiB budget must force extents to disk"
+        );
+        assert!(s1.spill_bytes > 0);
+        assert!(s1.shuffle_bytes_binary > 0);
+        assert_eq!(
+            unbudgeted, budgeted,
+            "spilling must never change output bytes"
+        );
+    }
+
+    #[test]
+    fn spilled_chunk_corruption_is_detected_and_recovered() {
+        let multi_extent_input = || {
+            let rows = input_rows(400);
+            Dataset::partitioned(schema(), rows.chunks(100).map(|c| c.to_vec()).collect())
+        };
+        let run = |chaos: ChaosPlan| {
+            let dfs = Dfs::new();
+            dfs.put("in", multi_extent_input()).unwrap();
+            let spill = tempdir();
+            let cluster = Cluster::with_config(ClusterConfig {
+                threads: 4,
+                chaos,
+                retry: RetryPolicy::no_backoff(3),
+                memory_budget_bytes: Some(1024),
+                spill_dir: Some(spill.clone()),
+                ..ClusterConfig::default()
+            });
+            let stats = cluster.run_stage(&dfs, &count_stage(4)).unwrap();
+            let out = dfs.get("out").unwrap().partitions.as_ref().clone();
+            std::fs::remove_dir_all(&spill).ok();
+            (out, stats)
+        };
+        let (clean, _) = run(ChaosPlan::none());
+        let (recovered, stats) = run(ChaosPlan::none().corrupt("count", TaskPhase::Shuffle, 1));
+        assert_eq!(
+            clean, recovered,
+            "spilled rebuild must reproduce clean bytes"
+        );
+        assert_eq!(stats.corruption_detected, 1);
+        assert_eq!(stats.task_retries, 1);
+    }
+
+    #[test]
+    fn well_typed_shuffle_delivers_columnar_batches() {
+        // A reducer that refuses row-shaped input: proves the shuffle hands
+        // decoded `ColumnBatch`es to reducers when every chunk is binary.
+        #[derive(Debug)]
+        struct BatchOnlyReducer;
+        impl Reducer for BatchOnlyReducer {
+            fn output_schema(&self, _: &[Schema]) -> Result<Schema> {
+                Ok(Schema::new(vec![Field::new("N", ColumnType::Long)]))
+            }
+            fn reduce(&self, _: &ReducerContext, inputs: &[Vec<Row>]) -> Result<Vec<Row>> {
+                let n: usize = inputs.iter().map(Vec::len).sum();
+                Ok(vec![row![n as i64]])
+            }
+            fn reduce_shuffled(
+                &self,
+                ctx: &ReducerContext,
+                inputs: &[ReduceInput],
+            ) -> Result<Vec<Row>> {
+                assert!(
+                    inputs
+                        .iter()
+                        .all(|i| matches!(i, ReduceInput::Batch(_)) || i.is_empty()),
+                    "well-typed shuffle data must arrive columnar"
+                );
+                let rows: Vec<Vec<Row>> = inputs.iter().map(ReduceInput::to_rows).collect();
+                self.reduce(ctx, &rows)
+            }
+        }
+        let dfs = dfs_with_input(90);
+        let stage = Stage::new(
+            "batch",
+            vec!["in".into()],
+            "out",
+            Partitioner::KeyHash {
+                columns: vec!["UserId".into()],
+            },
+            3,
+            Arc::new(BatchOnlyReducer) as ReducerRef,
+        )
+        .unwrap();
+        Cluster::new().run_stage(&dfs, &stage).unwrap();
+        let total: i64 = dfs
+            .get("out")
+            .unwrap()
+            .scan()
+            .iter()
+            .map(|r| r.get(0).as_long().unwrap())
+            .sum();
+        assert_eq!(total, 90);
+    }
+
+    fn tempdir() -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "timr-cluster-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
     }
 
     #[test]

@@ -1,34 +1,71 @@
 //! The in-memory distributed file system.
 //!
 //! Stands in for Cosmos/HDFS/GFS: named datasets made of partition "extents"
-//! of rows. Rows are stored decoded; the text [`relation::codec`] round-trip
-//! is exercised at dataset boundaries in tests to keep the representation
-//! honest (everything a stage ships must survive serialization).
+//! of rows. Every dataset keeps a decoded working copy (the `partitions` row
+//! vectors the map phase scans) plus, per extent, its **native stored form**
+//! ([`StoredExtent`]): the framed binary columnar encoding
+//! ([`relation::extent`]) when the rows inhabit the schema, or a legacy
+//! row-level [`ExtentFrame`] when they do not (ill-typed rows cannot be
+//! transposed into typed column buffers).
 //!
-//! Every extent carries an [`ExtentFrame`] — a length + checksum integrity
-//! frame computed at construction — so consumers ([`Dataset::verify_extent`],
-//! the cluster's map scan) can detect corruption instead of silently
-//! processing damaged data.
+//! Both forms carry integrity frames — per-column FxHash frames inside the
+//! binary bytes, a length + checksum frame for legacy extents — so consumers
+//! ([`Dataset::verify_extent`], the cluster's map scan, persistence) detect
+//! corruption instead of silently processing damaged data.
 
 use crate::chaos::ExtentFrame;
 use crate::error::{MrError, Result};
 use parking_lot::RwLock;
-use relation::{DatasetStats, Row, Schema};
+use relation::{ColumnBatch, DatasetStats, Row, Schema};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// One stored dataset: schema plus partitioned rows, each extent framed
-/// with a length + checksum for integrity verification.
+/// The stored (shippable) form of one extent.
+#[derive(Debug, Clone)]
+pub enum StoredExtent {
+    /// Framed binary columnar extent bytes — the native form — plus the
+    /// row-level frame guarding the decoded working copy.
+    Binary {
+        /// Encoded extent (see [`relation::extent`] for the layout).
+        bytes: Arc<Vec<u8>>,
+        /// Frame over the decoded rows (detects bit rot in the working
+        /// copy without decoding `bytes`).
+        frame: ExtentFrame,
+    },
+    /// Rows that do not inhabit the schema types and so cannot transpose;
+    /// guarded by the row-level frame only.
+    Legacy(ExtentFrame),
+    /// No integrity information (benchmark mode; verification passes
+    /// vacuously).
+    Unframed,
+}
+
+impl StoredExtent {
+    /// Compute the stored form for one partition of rows: binary when the
+    /// rows transpose into `schema`'s typed columns, legacy otherwise.
+    pub(crate) fn compute(schema: &Schema, rows: &[Row]) -> StoredExtent {
+        let frame = ExtentFrame::compute(rows);
+        match ColumnBatch::from_rows(schema, rows).and_then(|b| b.to_extent_bytes()) {
+            Ok(bytes) => StoredExtent::Binary {
+                bytes: Arc::new(bytes),
+                frame,
+            },
+            Err(_) => StoredExtent::Legacy(frame),
+        }
+    }
+}
+
+/// One stored dataset: schema, decoded partitioned rows, and per-extent
+/// stored forms with integrity frames.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     /// Row schema.
     pub schema: Schema,
-    /// Partitions (extents). A freshly-loaded dataset may have any number;
-    /// stage outputs have one per reduce partition.
+    /// Partitions (extents), decoded. A freshly-loaded dataset may have
+    /// any number; stage outputs have one per reduce partition.
     pub partitions: Arc<Vec<Vec<Row>>>,
-    /// One integrity frame per extent; empty for unframed datasets
-    /// (verification passes vacuously, used to benchmark framing cost).
-    frames: Arc<Vec<ExtentFrame>>,
+    /// One stored form per extent; empty for unframed datasets.
+    extents: Arc<Vec<StoredExtent>>,
 }
 
 impl Dataset {
@@ -37,13 +74,16 @@ impl Dataset {
         Dataset::partitioned(schema, vec![rows])
     }
 
-    /// Build from explicit partitions, framing every extent.
+    /// Build from explicit partitions, encoding and framing every extent.
     pub fn partitioned(schema: Schema, partitions: Vec<Vec<Row>>) -> Self {
-        let frames = partitions.iter().map(|p| ExtentFrame::compute(p)).collect();
+        let extents = partitions
+            .iter()
+            .map(|p| StoredExtent::compute(&schema, p))
+            .collect();
         Dataset {
             schema,
             partitions: Arc::new(partitions),
-            frames: Arc::new(frames),
+            extents: Arc::new(extents),
         }
     }
 
@@ -54,24 +94,57 @@ impl Dataset {
         Dataset {
             schema,
             partitions: Arc::new(partitions),
-            frames: Arc::new(Vec::new()),
+            extents: Arc::new(Vec::new()),
         }
     }
 
-    /// Integrity frames, one per extent (empty for unframed datasets).
-    pub fn frames(&self) -> &[ExtentFrame] {
-        &self.frames
+    /// Build from already-computed stored extents (persistence load path:
+    /// the binary bytes read from disk are kept verbatim, not re-encoded).
+    pub(crate) fn from_stored(
+        schema: Schema,
+        partitions: Vec<Vec<Row>>,
+        extents: Vec<StoredExtent>,
+    ) -> Self {
+        debug_assert_eq!(partitions.len(), extents.len());
+        Dataset {
+            schema,
+            partitions: Arc::new(partitions),
+            extents: Arc::new(extents),
+        }
     }
 
-    /// Verify extent `i` against its frame. Unframed datasets (and extent
-    /// indices past the frame list) pass vacuously.
+    /// Stored forms, one per extent (empty for unframed datasets).
+    pub fn extents(&self) -> &[StoredExtent] {
+        &self.extents
+    }
+
+    /// The framed binary bytes of extent `i`, when it has a binary stored
+    /// form (shippable/persistable without re-encoding).
+    pub fn binary_extent(&self, i: usize) -> Option<&Arc<Vec<u8>>> {
+        match self.extents.get(i) {
+            Some(StoredExtent::Binary { bytes, .. }) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// Verify extent `i`: the decoded rows against their frame, and the
+    /// binary bytes against their per-column frames. Unframed datasets
+    /// (and extent indices past the stored list) pass vacuously.
     pub fn verify_extent(&self, i: usize) -> Result<()> {
-        let (Some(frame), Some(rows)) = (self.frames.get(i), self.partitions.get(i)) else {
+        let (Some(stored), Some(rows)) = (self.extents.get(i), self.partitions.get(i)) else {
             return Ok(());
         };
-        frame.verify(rows).map_err(|why| MrError::Corrupt {
+        let corrupt = |why: String| MrError::Corrupt {
             what: format!("extent {i}: {why}"),
-        })
+        };
+        match stored {
+            StoredExtent::Binary { bytes, frame } => {
+                frame.verify(rows).map_err(corrupt)?;
+                relation::extent::verify_extent(bytes).map_err(|e| corrupt(e.to_string()))
+            }
+            StoredExtent::Legacy(frame) => frame.verify(rows).map_err(corrupt),
+            StoredExtent::Unframed => Ok(()),
+        }
     }
 
     /// Verify every extent against its frame.
@@ -256,7 +329,10 @@ mod tests {
     #[test]
     fn extents_are_framed_and_verify_clean() {
         let ds = sample();
-        assert_eq!(ds.frames().len(), 2);
+        assert_eq!(ds.extents().len(), 2);
+        // Well-typed rows get the native binary stored form.
+        assert!(ds.binary_extent(0).is_some());
+        assert!(ds.binary_extent(1).is_some());
         ds.verify().unwrap();
         ds.verify_extent(0).unwrap();
         // Indices past the extent list pass vacuously rather than panic.
@@ -266,14 +342,15 @@ mod tests {
     #[test]
     fn damaged_extent_fails_verification() {
         let ds = sample();
-        // Rebuild a dataset that keeps the original frames but damages the
-        // data (simulating bit rot under an unchanged frame).
+        // Rebuild a dataset that keeps the original stored extents but
+        // damages the decoded working copy (bit rot under unchanged
+        // frames).
         let mut parts: Vec<Vec<Row>> = ds.partitions.as_ref().clone();
         parts[1].pop();
         let damaged = Dataset {
             schema: ds.schema.clone(),
             partitions: Arc::new(parts),
-            frames: ds.frames.clone(),
+            extents: ds.extents.clone(),
         };
         assert!(damaged.verify_extent(0).is_ok());
         let err = damaged.verify_extent(1).unwrap_err();
@@ -282,9 +359,47 @@ mod tests {
     }
 
     #[test]
+    fn damaged_binary_bytes_fail_verification() {
+        let ds = sample();
+        // Flip one byte inside the stored binary extent while leaving the
+        // decoded rows intact: the per-column frames must catch it.
+        let mut extents: Vec<StoredExtent> = ds.extents().to_vec();
+        let StoredExtent::Binary { bytes, frame } = extents[0].clone() else {
+            panic!("sample extent 0 should be binary");
+        };
+        let mut damaged_bytes = bytes.as_ref().clone();
+        let mid = damaged_bytes.len() / 2;
+        damaged_bytes[mid] ^= 0xFF;
+        extents[0] = StoredExtent::Binary {
+            bytes: Arc::new(damaged_bytes),
+            frame,
+        };
+        let damaged = Dataset {
+            schema: ds.schema.clone(),
+            partitions: ds.partitions.clone(),
+            extents: Arc::new(extents),
+        };
+        let err = damaged.verify_extent(0).unwrap_err();
+        assert!(matches!(err, MrError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn ill_typed_rows_fall_back_to_legacy_framing() {
+        let ds = Dataset::partitioned(
+            schema(),
+            vec![vec![row![1i64, "ok"]], vec![row!["not-a-time", "u"]]],
+        );
+        assert!(ds.binary_extent(0).is_some());
+        assert!(ds.binary_extent(1).is_none());
+        assert!(matches!(ds.extents()[1], StoredExtent::Legacy(_)));
+        // Legacy extents still verify via their row frame.
+        ds.verify().unwrap();
+    }
+
+    #[test]
     fn unframed_datasets_skip_verification() {
         let ds = Dataset::partitioned_unframed(schema(), vec![vec![row![1i64, "u1"]]]);
-        assert!(ds.frames().is_empty());
+        assert!(ds.extents().is_empty());
         ds.verify().unwrap();
     }
 

@@ -2,7 +2,7 @@
 
 use crate::error::{MrError, Result};
 use relation::hash::{bucket_of, key_hash, stable_hash};
-use relation::{Row, Schema};
+use relation::{ColumnBatch, Row, Schema};
 use std::sync::Arc;
 
 /// The map phase: how rows are assigned to reduce partitions.
@@ -160,6 +160,53 @@ pub trait Reducer: Send + Sync {
 
     /// Process one partition.
     fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> Result<Vec<Row>>;
+
+    /// Process one partition straight from the shuffle's native stored
+    /// forms: a decoded [`ColumnBatch`] when every chunk of an input
+    /// shipped as a binary extent, rows otherwise.
+    ///
+    /// The default materializes rows and calls [`Reducer::reduce`], so
+    /// existing reducers keep working; columnar-aware reducers (the
+    /// embedded DSMS) override this to consume the batch copy-free
+    /// instead of re-parsing rows.
+    fn reduce_shuffled(&self, ctx: &ReducerContext, inputs: &[ReduceInput]) -> Result<Vec<Row>> {
+        let rows: Vec<Vec<Row>> = inputs.iter().map(ReduceInput::to_rows).collect();
+        self.reduce(ctx, &rows)
+    }
+}
+
+/// One stage input's shuffled partition, in the form it arrived in.
+#[derive(Debug, Clone)]
+pub enum ReduceInput {
+    /// Every shuffle chunk of this input was a binary columnar extent;
+    /// they decode and concatenate into one batch.
+    Batch(ColumnBatch),
+    /// At least one chunk could not transpose (ill-typed rows), so the
+    /// whole input is materialized as rows.
+    Rows(Vec<Row>),
+}
+
+impl ReduceInput {
+    /// Number of rows in this input.
+    pub fn len(&self) -> usize {
+        match self {
+            ReduceInput::Batch(b) => b.len(),
+            ReduceInput::Rows(r) => r.len(),
+        }
+    }
+
+    /// True when this input holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize as rows (copies; the row path of [`Reducer::reduce`]).
+    pub fn to_rows(&self) -> Vec<Row> {
+        match self {
+            ReduceInput::Batch(b) => b.to_rows(),
+            ReduceInput::Rows(r) => r.clone(),
+        }
+    }
 }
 
 /// Shared reducer handle.

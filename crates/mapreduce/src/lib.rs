@@ -20,6 +20,13 @@
 //!   ([`chaos::RetryPolicy`]), extents and shuffle partitions carry
 //!   length + checksum frames ([`chaos::ExtentFrame`]), and detected
 //!   corruption triggers deterministic re-execution of the producing work.
+//! - **Native binary extents.** Stage boundaries — DFS datasets, shuffle
+//!   partition chunks, persisted files — carry framed binary columnar
+//!   extents ([`relation::extent`]) with per-column FxHash integrity
+//!   frames; the text codec survives as a debug writer and legacy read
+//!   fallback. Under `ClusterConfig::memory_budget_bytes` the shuffle
+//!   seals bounded chunks and spills them to disk, so jobs whose shuffle
+//!   exceeds RAM still complete with byte-identical output.
 //! - **Cost visibility.** Every stage reports rows mapped, bytes shuffled,
 //!   per-partition reduce times, real wall time, and a *simulated makespan*
 //!   for an arbitrary machine count (partitions scheduled greedily onto
@@ -39,7 +46,7 @@ pub use chaos::{ChaosPlan, ExtentFrame, FaultKind, RetryPolicy};
 #[allow(deprecated)]
 pub use cluster::FailurePlan;
 pub use cluster::{Cluster, ClusterConfig};
-pub use dfs::{Dataset, Dfs};
+pub use dfs::{Dataset, Dfs, StoredExtent};
 pub use error::{MrError, Result, TaskError, TaskPhase};
-pub use job::{Partitioner, Reducer, ReducerContext, Stage};
+pub use job::{Partitioner, ReduceInput, Reducer, ReducerContext, Stage};
 pub use stats::{FaultTotals, JobStats, StageStats};

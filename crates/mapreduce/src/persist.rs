@@ -1,4 +1,4 @@
-//! DFS persistence: datasets as text extents on disk.
+//! DFS persistence: datasets as binary columnar extents on disk.
 //!
 //! Cosmos/HDFS store datasets as append-only extents; this module gives the
 //! in-memory [`crate::Dfs`] the same durability surface so workloads can be
@@ -8,35 +8,54 @@
 //! Layout under a root directory:
 //!
 //! ```text
-//! <root>/<dataset>/schema        # one `name:type` per line
-//! <root>/<dataset>/part-00000    # frame header + tab-separated rows
-//! <root>/<dataset>/part-00001
+//! <root>/<dataset>/schema           # one `name:type` per line
+//! <root>/<dataset>/part-00000.bin   # framed binary columnar extent
+//! <root>/<dataset>/part-00001.bin
 //! ```
 //!
-//! Each extent file starts with an integrity frame header
+//! Native part files are [`relation::extent`] images written byte-for-byte
+//! from the dataset's in-memory extents: per-column typed buffers with
+//! validity bitmaps, per-column FxHash integrity frames, and a trailing
+//! footer — a layout an mmap-based reader could consume in place. Loading
+//! verifies every column frame and the footer hash, so a truncated or
+//! bit-flipped extent surfaces as [`MrError::Corrupt`] — it is never
+//! silently decoded.
+//!
+//! The text codec survives in two roles. [`save_dataset_text`] is the
+//! human-inspectable debug writer: extension-less `part-NNNNN` files
+//! holding a fixed-width frame header line
 //!
 //! ```text
-//! #timr rows=<count> fx=<16-hex FxHash of the body>
+//! #timr rows=<20-digit count> fx=<16-hex line-wise FxHash of the body>
 //! ```
 //!
-//! followed by the [`relation::codec`] text body. Loading verifies the
-//! body hash and decoded row count against the header, so a truncated or
-//! bit-flipped extent surfaces as [`MrError::Corrupt`] — it is never
-//! silently decoded. Headerless files (written before the frame format)
-//! still load, without verification.
+//! followed by one [`relation::codec`] line per row, streamed through a
+//! buffered writer (the header is patched in place once the body hash is
+//! known — the whole extent is never materialized in memory). The frame
+//! hash feeds each encoded line and a newline to the hasher separately, so
+//! the loader can verify by iterating `lines()` without rebuilding the
+//! body. And on the read side any extension-less `part-NNNNN` file — with
+//! or without a frame header — still loads, so pre-binary directories
+//! remain readable; partitions that cannot transpose into columns (rows
+//! that defy the schema) also fall back to text so [`save_dataset`] never
+//! loses data.
 //!
 //! Dataset names are restricted to `[A-Za-z0-9._-]` so a name can never
 //! escape the root directory.
 
-use crate::dfs::{Dataset, Dfs};
+use crate::chaos::ExtentFrame;
+use crate::dfs::{Dataset, Dfs, StoredExtent};
 use crate::error::{MrError, Result};
-use relation::hash::stable_hash;
 use relation::schema::{ColumnType, Field};
-use relation::{codec, Schema};
+use relation::{codec, ColumnBatch, Row, Schema};
+use rustc_hash::FxHasher;
 use std::fs;
+use std::hash::Hasher;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Magic prefix of a framed extent file's header line.
+/// Magic prefix of a framed text extent file's header line.
 const FRAME_PREFIX: &str = "#timr ";
 
 fn io_err(e: std::io::Error, what: &str, path: &Path) -> MrError {
@@ -86,22 +105,51 @@ fn parse_type(tag: &str) -> Result<ColumnType> {
     })
 }
 
-/// Render one extent: frame header over the encoded body, then the body.
-fn encode_extent(partition: &[relation::Row]) -> String {
-    let body = codec::encode_rows(partition);
-    let mut out = String::with_capacity(body.len() + 48);
-    out.push_str(FRAME_PREFIX);
-    out.push_str(&format!(
-        "rows={} fx={:016x}\n",
-        partition.len(),
-        stable_hash(&body)
-    ));
-    out.push_str(&body);
-    out
+/// Line-wise FxHash of a text extent body: each line and its newline fed
+/// to the hasher as separate writes, matching [`write_text_extent`], so
+/// verification never rebuilds the body string.
+fn text_body_hash(body: &str) -> u64 {
+    let mut h = FxHasher::default();
+    for line in body.lines() {
+        h.write(line.as_bytes());
+        h.write(b"\n");
+    }
+    h.finish()
 }
 
-/// Split a framed extent into `(expected rows, expected hash, body)`, or
-/// `None` for headerless (pre-frame) files.
+/// The fixed-width frame header line, so a placeholder written before the
+/// body can be patched in place once the streaming hash is known.
+fn write_frame_header(w: &mut impl Write, rows: u64, fx: u64) -> std::io::Result<()> {
+    writeln!(w, "{FRAME_PREFIX}rows={rows:020} fx={fx:016x}")
+}
+
+/// Stream one extent as framed text into `file`: placeholder header, one
+/// codec line per row through a reused line buffer (allocation-flat), then
+/// seek back and patch the real row count + hash into the header.
+fn write_text_extent(file: fs::File, partition: &[Row]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(file);
+    write_frame_header(&mut w, partition.len() as u64, 0)?;
+    let mut h = FxHasher::default();
+    let mut line = String::new();
+    for row in partition {
+        line.clear();
+        codec::encode_row_into(row, &mut line);
+        h.write(line.as_bytes());
+        h.write(b"\n");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    let fx = h.finish();
+    w.flush()?;
+    let mut file = w
+        .into_inner()
+        .map_err(std::io::IntoInnerError::into_error)?;
+    file.seek(SeekFrom::Start(0))?;
+    write_frame_header(&mut file, partition.len() as u64, fx)
+}
+
+/// Split a framed text extent into `(expected rows, expected hash, body)`,
+/// or `None` for headerless (pre-frame) files.
 fn parse_frame(text: &str) -> Option<Result<(u64, u64, &str)>> {
     let rest = text.strip_prefix(FRAME_PREFIX)?;
     let parse = || -> Option<(u64, u64, &str)> {
@@ -119,27 +167,127 @@ fn parse_frame(text: &str) -> Option<Result<(u64, u64, &str)>> {
     }))
 }
 
-/// Write one dataset to `<root>/<name>/`.
-pub fn save_dataset(root: &Path, name: &str, dataset: &Dataset) -> Result<()> {
-    check_name(name)?;
-    let dir = root.join(name);
-    fs::create_dir_all(&dir).map_err(|e| io_err(e, "create dataset dir", &dir))?;
-
+fn write_schema_file(dir: &Path, schema: &Schema) -> Result<()> {
     let mut schema_text = String::new();
-    for f in dataset.schema.fields() {
+    for f in schema.fields() {
         schema_text.push_str(&format!("{}:{}\n", f.name, type_tag(f.ty)));
     }
     let schema_path = dir.join("schema");
-    fs::write(&schema_path, schema_text).map_err(|e| io_err(e, "write schema", &schema_path))?;
+    fs::write(&schema_path, schema_text).map_err(|e| io_err(e, "write schema", &schema_path))
+}
 
-    for (i, partition) in dataset.partitions.iter().enumerate() {
-        let path = dir.join(format!("part-{i:05}"));
-        fs::write(&path, encode_extent(partition)).map_err(|e| io_err(e, "write extent", &path))?;
+/// Remove existing `part-*` files so a re-save never leaves stale extents
+/// (a dataset shrinking, or flipping between binary and text parts).
+fn clear_stale_parts(dir: &Path) -> Result<()> {
+    let entries = fs::read_dir(dir).map_err(|e| io_err(e, "list extents", dir))?;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let is_part = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("part-"));
+        if is_part {
+            fs::remove_file(&path).map_err(|e| io_err(e, "remove stale extent", &path))?;
+        }
     }
     Ok(())
 }
 
-/// Read one dataset from `<root>/<name>/`.
+fn save_dataset_impl(root: &Path, name: &str, dataset: &Dataset, force_text: bool) -> Result<()> {
+    check_name(name)?;
+    let dir = root.join(name);
+    fs::create_dir_all(&dir).map_err(|e| io_err(e, "create dataset dir", &dir))?;
+    clear_stale_parts(&dir)?;
+    write_schema_file(&dir, &dataset.schema)?;
+
+    for (i, partition) in dataset.partitions.iter().enumerate() {
+        match (force_text, dataset.binary_extent(i)) {
+            (false, Some(bytes)) => {
+                let path = dir.join(format!("part-{i:05}.bin"));
+                fs::write(&path, bytes.as_ref())
+                    .map_err(|e| io_err(e, "write binary extent", &path))?;
+            }
+            // Debug writer, or a partition with no binary image (legacy
+            // frame or unframed): framed text keeps it loadable.
+            _ => {
+                let path = dir.join(format!("part-{i:05}"));
+                let file = fs::File::create(&path).map_err(|e| io_err(e, "write extent", &path))?;
+                write_text_extent(file, partition).map_err(|e| io_err(e, "write extent", &path))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write one dataset to `<root>/<name>/` in the native binary extent
+/// format (partitions without a binary image fall back to framed text).
+pub fn save_dataset(root: &Path, name: &str, dataset: &Dataset) -> Result<()> {
+    save_dataset_impl(root, name, dataset, false)
+}
+
+/// Write one dataset to `<root>/<name>/` as framed text extents — the
+/// human-inspectable debug form of the same data.
+pub fn save_dataset_text(root: &Path, name: &str, dataset: &Dataset) -> Result<()> {
+    save_dataset_impl(root, name, dataset, true)
+}
+
+fn load_binary_extent(path: &Path, schema: &Schema) -> Result<(Vec<Row>, StoredExtent)> {
+    let bytes = fs::read(path).map_err(|e| io_err(e, "read extent", path))?;
+    let batch = ColumnBatch::from_extent_bytes(&bytes).map_err(|e| MrError::Corrupt {
+        what: format!("extent `{}`: {e}", path.display()),
+    })?;
+    if batch.schema() != schema {
+        return Err(MrError::Corrupt {
+            what: format!(
+                "extent `{}`: schema disagrees with the dataset's schema file",
+                path.display()
+            ),
+        });
+    }
+    let rows = batch.to_rows();
+    let frame = ExtentFrame::compute(&rows);
+    let stored = StoredExtent::Binary {
+        bytes: Arc::new(bytes),
+        frame,
+    };
+    Ok((rows, stored))
+}
+
+fn load_text_extent(path: &Path, schema: &Schema) -> Result<Vec<Row>> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(e, "read extent", path))?;
+    match parse_frame(&text) {
+        Some(framed) => {
+            let (expected_rows, expected_fx, body) = framed?;
+            let fx = text_body_hash(body);
+            if fx != expected_fx {
+                return Err(MrError::Corrupt {
+                    what: format!(
+                        "extent `{}`: checksum mismatch: {fx:#018x}, frame says {expected_fx:#018x}",
+                        path.display()
+                    ),
+                });
+            }
+            let rows = codec::decode_rows(body, schema)?;
+            if rows.len() as u64 != expected_rows {
+                return Err(MrError::Corrupt {
+                    what: format!(
+                        "extent `{}`: length mismatch: {} row(s), frame says {expected_rows}",
+                        path.display(),
+                        rows.len()
+                    ),
+                });
+            }
+            Ok(rows)
+        }
+        // Headerless pre-frame file: decode without verification.
+        None => Ok(codec::decode_rows(&text, schema)?),
+    }
+}
+
+/// Read one dataset from `<root>/<name>/`, accepting native binary
+/// (`part-NNNNN.bin`) and legacy/debug text (`part-NNNNN`) extents side
+/// by side. Text-loaded partitions are re-encoded into binary extents on
+/// the way in, so a loaded dataset is always in native form.
 pub fn load_dataset(root: &Path, name: &str) -> Result<Dataset> {
     check_name(name)?;
     let dir = root.join(name);
@@ -167,43 +315,25 @@ pub fn load_dataset(root: &Path, name: &str) -> Result<Dataset> {
     parts.sort();
 
     let mut partitions = Vec::with_capacity(parts.len());
+    let mut extents = Vec::with_capacity(parts.len());
     for path in parts {
-        let text = fs::read_to_string(&path).map_err(|e| io_err(e, "read extent", &path))?;
-        let rows = match parse_frame(&text) {
-            Some(framed) => {
-                let (expected_rows, expected_fx, body) = framed?;
-                let fx = stable_hash(&body);
-                if fx != expected_fx {
-                    return Err(MrError::Corrupt {
-                        what: format!(
-                            "extent `{}`: checksum mismatch: {fx:#018x}, frame says \
-                             {expected_fx:#018x}",
-                            path.display()
-                        ),
-                    });
-                }
-                let rows = codec::decode_rows(body, &schema)?;
-                if rows.len() as u64 != expected_rows {
-                    return Err(MrError::Corrupt {
-                        what: format!(
-                            "extent `{}`: length mismatch: {} row(s), frame says {expected_rows}",
-                            path.display(),
-                            rows.len()
-                        ),
-                    });
-                }
-                rows
-            }
-            // Headerless pre-frame file: decode without verification.
-            None => codec::decode_rows(&text, &schema)?,
-        };
-        partitions.push(rows);
+        let is_binary = path.extension().is_some_and(|ext| ext == "bin");
+        if is_binary {
+            let (rows, stored) = load_binary_extent(&path, &schema)?;
+            partitions.push(rows);
+            extents.push(stored);
+        } else {
+            let rows = load_text_extent(&path, &schema)?;
+            extents.push(StoredExtent::compute(&schema, &rows));
+            partitions.push(rows);
+        }
     }
-    Ok(Dataset::partitioned(schema, partitions))
+    Ok(Dataset::from_stored(schema, partitions, extents))
 }
 
 impl Dfs {
-    /// Persist every dataset to `<root>/<name>/` directories.
+    /// Persist every dataset to `<root>/<name>/` directories (native
+    /// binary extents).
     pub fn save_to_dir(&self, root: impl AsRef<Path>) -> Result<()> {
         let root = root.as_ref();
         for name in self.list() {
@@ -232,6 +362,7 @@ impl Dfs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use relation::extent::EXTENT_MAGIC;
     use relation::{row, Value};
 
     fn sample() -> Dataset {
@@ -275,6 +406,19 @@ mod tests {
     }
 
     #[test]
+    fn text_dataset_round_trips_through_disk() {
+        let root = temp_root("roundtrip-text");
+        let original = sample();
+        save_dataset_text(&root, "logs", &original).unwrap();
+        let loaded = load_dataset(&root, "logs").unwrap();
+        assert_eq!(loaded.schema, original.schema);
+        assert_eq!(loaded.partitions.as_ref(), original.partitions.as_ref());
+        // Text-loaded partitions come back in native binary form.
+        assert!(loaded.binary_extent(0).is_some());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
     fn whole_dfs_round_trips() {
         let root = temp_root("dfs");
         let dfs = Dfs::new();
@@ -313,19 +457,55 @@ mod tests {
     }
 
     #[test]
-    fn extent_files_carry_frame_headers() {
-        let root = temp_root("frames");
+    fn native_extents_are_binary_images() {
+        let root = temp_root("binparts");
         save_dataset(&root, "logs", &sample()).unwrap();
-        let text = fs::read_to_string(root.join("logs/part-00000")).unwrap();
-        let header = text.lines().next().unwrap();
-        assert!(header.starts_with("#timr rows=2 fx="), "{header}");
+        let bytes = fs::read(root.join("logs/part-00000.bin")).unwrap();
+        assert_eq!(&bytes[bytes.len() - 8..], &EXTENT_MAGIC);
+        // The on-disk image is byte-identical to the in-memory extent.
+        assert_eq!(
+            bytes.as_slice(),
+            sample().binary_extent(0).unwrap().as_slice()
+        );
+        assert!(
+            !root.join("logs/part-00000").exists(),
+            "native save must not also write text parts"
+        );
         let _ = fs::remove_dir_all(root);
     }
 
     #[test]
-    fn bit_flipped_extent_is_detected_never_decoded() {
-        let root = temp_root("bitflip");
+    fn text_extent_files_carry_frame_headers() {
+        let root = temp_root("frames");
+        save_dataset_text(&root, "logs", &sample()).unwrap();
+        let text = fs::read_to_string(root.join("logs/part-00000")).unwrap();
+        let (rows, fx, body) = parse_frame(&text).unwrap().unwrap();
+        assert_eq!(rows, 2);
+        assert_eq!(fx, text_body_hash(body));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn bit_flipped_binary_extent_is_detected_never_decoded() {
+        let root = temp_root("binflip");
         save_dataset(&root, "logs", &sample()).unwrap();
+        let path = root.join("logs/part-00000.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        let err = load_dataset(&root, "logs").unwrap_err();
+        match err {
+            MrError::Corrupt { what } => assert!(what.contains("part-00000.bin"), "{what}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn bit_flipped_text_extent_is_detected_never_decoded() {
+        let root = temp_root("bitflip");
+        save_dataset_text(&root, "logs", &sample()).unwrap();
         let path = root.join("logs/part-00000");
         // Flip one byte of the body without touching the frame header.
         let text = fs::read_to_string(&path).unwrap();
@@ -343,7 +523,7 @@ mod tests {
     #[test]
     fn truncated_extent_is_detected() {
         let root = temp_root("truncate");
-        save_dataset(&root, "logs", &sample()).unwrap();
+        save_dataset_text(&root, "logs", &sample()).unwrap();
         let path = root.join("logs/part-00000");
         let text = fs::read_to_string(&path).unwrap();
         // Drop the last row but keep the header intact.
@@ -361,7 +541,7 @@ mod tests {
     #[test]
     fn malformed_frame_header_is_corrupt() {
         let root = temp_root("badheader");
-        save_dataset(&root, "logs", &sample()).unwrap();
+        save_dataset_text(&root, "logs", &sample()).unwrap();
         let path = root.join("logs/part-00001");
         fs::write(&path, "#timr rows=zzz fx=nothex\n").unwrap();
         let err = load_dataset(&root, "logs").unwrap_err();
@@ -373,7 +553,7 @@ mod tests {
     fn headerless_legacy_extents_still_load() {
         let root = temp_root("legacy");
         let original = sample();
-        save_dataset(&root, "logs", &original).unwrap();
+        save_dataset_text(&root, "logs", &original).unwrap();
         // Rewrite every extent without its frame header (pre-frame format).
         for i in 0..original.partitions.len() {
             let path = root.join(format!("logs/part-{i:05}"));
@@ -383,6 +563,35 @@ mod tests {
         }
         let loaded = load_dataset(&root, "logs").unwrap();
         assert_eq!(loaded.partitions.as_ref(), original.partitions.as_ref());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn resave_clears_stale_parts() {
+        let root = temp_root("stale");
+        // Text save, then native re-save: the text parts must vanish, or
+        // the loader would see every partition twice.
+        save_dataset_text(&root, "logs", &sample()).unwrap();
+        save_dataset(&root, "logs", &sample()).unwrap();
+        let loaded = load_dataset(&root, "logs").unwrap();
+        assert_eq!(loaded.partitions.len(), 3);
+        assert!(!root.join("logs/part-00000").exists());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn schema_mismatch_on_binary_extent_is_corrupt() {
+        let root = temp_root("schemamismatch");
+        save_dataset(&root, "logs", &sample()).unwrap();
+        // Rewrite the schema file with a different column type.
+        let schema_path = root.join("logs/schema");
+        let text = fs::read_to_string(&schema_path).unwrap();
+        fs::write(&schema_path, text.replace("Score:double", "Score:long")).unwrap();
+        let err = load_dataset(&root, "logs").unwrap_err();
+        match err {
+            MrError::Corrupt { what } => assert!(what.contains("schema"), "{what}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(root);
     }
 }

@@ -16,8 +16,20 @@ pub struct StageStats {
     /// Wall-clock time merging per-task sub-buckets into shuffle buckets
     /// (deterministic `(input, extent)` order).
     pub shuffle_time: Duration,
-    /// Bytes moved through the shuffle (sum of row widths).
+    /// Bytes moved through the shuffle (sum of row widths — the
+    /// representation-independent payload measure).
     pub shuffle_bytes: u64,
+    /// What the shuffle would have moved as legacy text extents. Only
+    /// populated when `ClusterConfig::measure_text_shuffle` is on (the
+    /// measurement pays the text-encode cost the binary path eliminates).
+    pub shuffle_bytes_text: u64,
+    /// Bytes actually moved as framed binary columnar extents (including
+    /// per-column integrity frames and footers).
+    pub shuffle_bytes_binary: u64,
+    /// Sealed shuffle extents spilled to disk under the memory budget.
+    pub spill_extents: u64,
+    /// Bytes written to spill files.
+    pub spill_bytes: u64,
     /// Wall-clock time of the parallel reduce phase.
     pub reduce_wall_time: Duration,
     /// Rows produced by all reducers.
@@ -137,6 +149,27 @@ impl JobStats {
     /// Total shuffle bytes across stages.
     pub fn total_shuffle_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.shuffle_bytes).sum()
+    }
+
+    /// Total shuffle bytes in the legacy text encoding (zero unless
+    /// `ClusterConfig::measure_text_shuffle` was on).
+    pub fn total_shuffle_bytes_text(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_bytes_text).sum()
+    }
+
+    /// Total shuffle bytes as framed binary columnar extents.
+    pub fn total_shuffle_bytes_binary(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_bytes_binary).sum()
+    }
+
+    /// Total shuffle extents spilled to disk across stages.
+    pub fn total_spill_extents(&self) -> u64 {
+        self.stages.iter().map(|s| s.spill_extents).sum()
+    }
+
+    /// Total bytes written to spill files across stages.
+    pub fn total_spill_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.spill_bytes).sum()
     }
 
     /// Total map-phase wall time across stages.

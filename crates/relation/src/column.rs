@@ -53,6 +53,26 @@ impl Validity {
         Some(v)
     }
 
+    /// Bitmap from raw 64-bit words (bit `i` set ⇔ slot `i` valid), as
+    /// stored in a binary extent. Trailing bits beyond `len` are masked off
+    /// and the word vector is resized to exactly cover `len` slots, so the
+    /// result is canonical. Returns `None` when every slot is valid.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Option<Validity> {
+        words.resize(len.div_ceil(64), 0);
+        if !len.is_multiple_of(64) {
+            if let Some(w) = words.last_mut() {
+                *w &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        let v = Validity { words, len };
+        (0..len).any(|i| !v.is_valid(i)).then_some(v)
+    }
+
+    /// The raw bitmap words (bit `i` of word `i / 64` ⇔ slot `i` valid).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of slots.
     pub fn len(&self) -> usize {
         self.len
@@ -80,16 +100,30 @@ impl Validity {
         self.len += 1;
     }
 
-    /// Keep only the slots where `keep` is true.
+    /// Keep only the slots where `keep` is true (bulk word rebuild, no
+    /// per-slot reallocation).
     pub fn retain(&mut self, keep: &[bool]) {
         debug_assert_eq!(keep.len(), self.len);
-        let mut out = Validity::new();
+        let kept = keep.iter().filter(|&&k| k).count();
+        let mut words = vec![0u64; kept.div_ceil(64)];
+        let mut j = 0;
         for (i, &k) in keep.iter().enumerate() {
             if k {
-                out.push(self.is_valid(i));
+                if self.is_valid(i) {
+                    words[j / 64] |= 1 << (j % 64);
+                }
+                j += 1;
             }
         }
-        *self = out;
+        self.words = words;
+        self.len = kept;
+    }
+
+    /// Append every slot of `other`.
+    pub fn extend(&mut self, other: &Validity) {
+        for i in 0..other.len() {
+            self.push(other.is_valid(i));
+        }
     }
 }
 
@@ -154,24 +188,45 @@ impl ColumnData {
     }
 
     fn retain(&mut self, keep: &[bool]) {
-        // `Vec::retain` visits elements in order; pair each with its flag.
-        let mut i = 0;
-        macro_rules! retain_vec {
+        // Two-pointer in-place compaction: each survivor is moved (swapped,
+        // so `Arc` strings transfer without refcount traffic) at most once.
+        macro_rules! compact_vec {
             ($d:expr) => {{
-                $d.retain(|_| {
-                    let k = keep[i];
-                    i += 1;
-                    k
-                });
+                let mut w = 0;
+                for (i, &k) in keep.iter().enumerate() {
+                    if k {
+                        if i != w {
+                            $d.swap(w, i);
+                        }
+                        w += 1;
+                    }
+                }
+                $d.truncate(w);
             }};
         }
         match self {
-            ColumnData::Bool(d) => retain_vec!(d),
-            ColumnData::Int(d) => retain_vec!(d),
-            ColumnData::Long(d) => retain_vec!(d),
-            ColumnData::Double(d) => retain_vec!(d),
-            ColumnData::Str(d) => retain_vec!(d),
+            ColumnData::Bool(d) => compact_vec!(d),
+            ColumnData::Int(d) => compact_vec!(d),
+            ColumnData::Long(d) => compact_vec!(d),
+            ColumnData::Double(d) => compact_vec!(d),
+            ColumnData::Str(d) => compact_vec!(d),
         }
+    }
+
+    fn append(&mut self, other: ColumnData) -> Result<()> {
+        match (self, other) {
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend(b),
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend(b),
+            (ColumnData::Long(a), ColumnData::Long(b)) => a.extend(b),
+            (ColumnData::Double(a), ColumnData::Double(b)) => a.extend(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend(b),
+            _ => {
+                return Err(RelationError::SchemaMismatch(
+                    "column storage variants differ".to_string(),
+                ))
+            }
+        }
+        Ok(())
     }
 }
 
@@ -275,6 +330,38 @@ impl Column {
         if let Some(v) = &mut self.validity {
             v.retain(keep);
         }
+    }
+
+    /// Decompose into storage and bitmap (copy-free handover to consumers
+    /// that want to own the dense vectors, e.g. the bridge decode path).
+    pub fn into_parts(self) -> (ColumnData, Option<Validity>) {
+        (self.data, self.validity)
+    }
+
+    /// Append every slot of `other`; errors when the storage variants
+    /// differ (columns decoded from canonical extents always agree).
+    pub fn append(&mut self, other: Column) -> Result<()> {
+        let self_len = self.len();
+        self.data.append(other.data)?;
+        self.validity = match (self.validity.take(), other.validity) {
+            (None, None) => None,
+            (a, b) => {
+                let mut v = Validity::new();
+                for i in 0..self_len {
+                    v.push(a.as_ref().is_none_or(|x| x.is_valid(i)));
+                }
+                match b {
+                    Some(b) => v.extend(&b),
+                    None => {
+                        for _ in self_len..self.data.len() {
+                            v.push(true);
+                        }
+                    }
+                }
+                Some(v)
+            }
+        };
+        Ok(())
     }
 }
 
@@ -442,6 +529,37 @@ impl ColumnBatch {
             c.retain(keep);
         }
         self.rows = keep.iter().filter(|&&k| k).count();
+    }
+
+    /// Decompose into schema, columns, and row count (copy-free handover).
+    pub fn into_parts(self) -> (Schema, Vec<Column>, usize) {
+        (self.schema, self.columns, self.rows)
+    }
+
+    /// Append every row of `other`; the schemas must be identical.
+    pub fn append(&mut self, other: ColumnBatch) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(RelationError::SchemaMismatch(format!(
+                "cannot append {} onto {}",
+                other.schema, self.schema
+            )));
+        }
+        for (a, b) in self.columns.iter_mut().zip(other.columns) {
+            a.append(b)?;
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    /// Encode into the framed binary extent form (see [`crate::extent`]).
+    pub fn to_extent_bytes(&self) -> Result<Vec<u8>> {
+        crate::extent::encode_extent(self)
+    }
+
+    /// Decode a framed binary extent produced by [`Self::to_extent_bytes`].
+    /// Every integrity frame is verified first; damaged bytes error out.
+    pub fn from_extent_bytes(bytes: &[u8]) -> Result<ColumnBatch> {
+        crate::extent::decode_extent(bytes)
     }
 
     /// Per-row key hash over the cells at `indices` — bit-identical to

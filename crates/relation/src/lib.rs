@@ -9,9 +9,11 @@
 //! SCOPE/StreamInsight interoperate in the paper.
 //!
 //! The crate also provides:
-//! - a line-oriented text codec ([`codec`]) used for DFS "files", chosen so
-//!   that intermediate datasets are human-inspectable the way SCOPE streams
-//!   are;
+//! - a line-oriented text codec ([`codec`]) kept as the human-inspectable
+//!   debug form and legacy read fallback for DFS "files";
+//! - a framed binary columnar extent codec ([`extent`]) — per-column typed
+//!   buffers, validity bitmaps, and FxHash integrity frames — which is the
+//!   native representation at every stage boundary;
 //! - dataset [`stats`] (cardinalities, distinct counts) consumed by the
 //!   cost-based plan-annotation optimizer (paper §VI);
 //! - stable 64-bit [`hash`]ing used for partitioning keys, so partition
@@ -21,6 +23,7 @@
 pub mod codec;
 pub mod column;
 pub mod error;
+pub mod extent;
 pub mod hash;
 pub mod row;
 pub mod schema;

@@ -110,21 +110,20 @@ impl EventBatch {
         self.payload.row(i)
     }
 
-    /// Keep only the events where `keep` is true.
+    /// Keep only the events where `keep` is true (bulk two-pointer
+    /// compaction of both lifetime vectors plus the columnar payload).
     pub fn retain(&mut self, keep: &[bool]) {
         assert_eq!(keep.len(), self.len(), "retain mask length mismatch");
-        let mut i = 0;
-        self.vt.retain(|_| {
-            let k = keep[i];
-            i += 1;
-            k
-        });
-        i = 0;
-        self.ve.retain(|_| {
-            let k = keep[i];
-            i += 1;
-            k
-        });
+        let mut w = 0;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                self.vt[w] = self.vt[i];
+                self.ve[w] = self.ve[i];
+                w += 1;
+            }
+        }
+        self.vt.truncate(w);
+        self.ve.truncate(w);
         self.payload.retain(keep);
     }
 }

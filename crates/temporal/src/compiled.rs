@@ -109,6 +109,33 @@ impl CompiledExpr {
     pub fn eval_predicate_batch(&self, batch: &ColumnBatch) -> Result<Vec<bool>> {
         let n = batch.len();
         let raw = self.node.eval_batch(batch);
+        // Bulk path for the common case — a statically-boolean result with
+        // no errors anywhere: take the dense vector (or broadcast the
+        // constant) and mask nulls to false word-at-a-time, with no per-row
+        // error branch. `Const(Null)` with an empty error mask means every
+        // row is null (the `constant` invariant), i.e. all-false.
+        if matches!(raw.errs, Mask::None)
+            && matches!(
+                raw.vals,
+                BVals::Bool(_) | BVals::Const(Value::Bool(_)) | BVals::Const(Value::Null)
+            )
+        {
+            let mut keep = match raw.vals {
+                BVals::Bool(d) => d,
+                BVals::Const(Value::Bool(b)) => vec![b; n],
+                _ => vec![false; n],
+            };
+            match &raw.nulls {
+                Mask::None => {}
+                Mask::All => keep.iter_mut().for_each(|k| *k = false),
+                Mask::Rows(f) => {
+                    for (k, &null) in keep.iter_mut().zip(f) {
+                        *k = *k && !null;
+                    }
+                }
+            }
+            return Ok(keep);
+        }
         let mut keep = vec![false; n];
         // One row-order scan so the first bad row (eval error *or* non-bool
         // value) surfaces in exactly the order the scalar loop would hit it.
@@ -556,10 +583,14 @@ fn binary(op: BinOp, l: BatchEval, r: BatchEval, n: usize) -> BatchEval {
             }
         }
         BinOp::Eq | BinOp::Ne => {
-            let vals = if ranks.0.is_some() && ranks.1.is_some() {
-                let (x, y) = (widen_f64(&l.vals, n), widen_f64(&r.vals, n));
+            // Numeric comparisons read both operands through a borrowing
+            // accessor (dense slice or broadcast constant) instead of
+            // materializing two widened f64 vectors per batch — the
+            // `col == lit` filter shape allocates only the output mask.
+            let vals = if let (Some(na), Some(nb)) = (num_accessor(&l.vals), num_accessor(&r.vals))
+            {
                 let neg = op == BinOp::Ne;
-                BVals::Bool(x.iter().zip(&y).map(|(a, b)| (a == b) != neg).collect())
+                BVals::Bool((0..n).map(|i| (na.at(i) == nb.at(i)) != neg).collect())
             } else if let (Some(sa), Some(sb)) = (str_accessor(&l.vals), str_accessor(&r.vals)) {
                 let neg = op == BinOp::Ne;
                 BVals::Bool((0..n).map(|i| (sa.at(i) == sb.at(i)) != neg).collect())
@@ -570,12 +601,11 @@ fn binary(op: BinOp, l: BatchEval, r: BatchEval, n: usize) -> BatchEval {
         }
         BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
             let ord_test = cmp_test(op);
-            let vals = if ranks.0.is_some() && ranks.1.is_some() {
-                let (x, y) = (widen_f64(&l.vals, n), widen_f64(&r.vals, n));
+            let vals = if let (Some(na), Some(nb)) = (num_accessor(&l.vals), num_accessor(&r.vals))
+            {
                 BVals::Bool(
-                    x.iter()
-                        .zip(&y)
-                        .map(|(a, b)| ord_test(a.total_cmp(b)))
+                    (0..n)
+                        .map(|i| ord_test(na.at(i).total_cmp(&nb.at(i))))
                         .collect(),
                 )
             } else if let (Some(sa), Some(sb)) = (str_accessor(&l.vals), str_accessor(&r.vals)) {
@@ -597,6 +627,41 @@ fn cmp_test(op: BinOp) -> fn(std::cmp::Ordering) -> bool {
         BinOp::Gt => |o| o == Ordering::Greater,
         BinOp::Ge => |o| o != Ordering::Less,
         _ => unreachable!(),
+    }
+}
+
+/// Per-row `f64` accessor for statically numeric batches: a borrowed dense
+/// slice or a broadcast constant, widening exactly like `Value::as_double`
+/// (so comparisons agree bit-for-bit with the scalar path's
+/// widen-to-double semantics).
+enum NumSide<'a> {
+    Int(&'a [i32]),
+    Long(&'a [i64]),
+    Double(&'a [f64]),
+    Const(f64),
+}
+
+impl NumSide<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> f64 {
+        match self {
+            NumSide::Int(d) => f64::from(d[i]),
+            NumSide::Long(d) => d[i] as f64,
+            NumSide::Double(d) => d[i],
+            NumSide::Const(c) => *c,
+        }
+    }
+}
+
+fn num_accessor(v: &BVals) -> Option<NumSide<'_>> {
+    match v {
+        BVals::Int(d) => Some(NumSide::Int(d)),
+        BVals::Long(d) => Some(NumSide::Long(d)),
+        BVals::Double(d) => Some(NumSide::Double(d)),
+        BVals::Const(c) if arith_rank(v).is_some() => Some(NumSide::Const(
+            c.as_double().expect("numeric const has a double form"),
+        )),
+        _ => None,
     }
 }
 
