@@ -131,10 +131,11 @@ fn bench_normalize(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------------
-// Interpreted vs compiled vs columnar: the PR 2 hot-path comparison plus
-// the PR 4 vectorized batch path. Each plan runs through all executor
-// modes over the same 100k-event input; input streams are Arc-backed, so
-// the per-iteration clone is O(1).
+// Interpreted vs compiled vs columnar vs fused: the PR 2 hot-path
+// comparison plus the PR 4 vectorized batch path and the PR 7 single-pass
+// fused fragments. Each plan runs through all executor modes over the same
+// 100k-event input; input streams are Arc-backed, so the per-iteration
+// clone is O(1).
 // ---------------------------------------------------------------------------
 
 const MODE_EVENTS: usize = 100_000;
@@ -173,6 +174,7 @@ fn bench_both_modes(
         ("interpreted", ExecMode::Interpreted),
         ("compiled", ExecMode::Compiled),
         ("columnar", ExecMode::Columnar),
+        ("fused", ExecMode::Fused),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| execute_single_with_mode(plan, sources, mode).unwrap())

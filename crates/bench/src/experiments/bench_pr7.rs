@@ -1,0 +1,552 @@
+//! PR 7 acceptance benchmark: fused single-pass fragments vs the columnar
+//! engine they were carved out of.
+//!
+//! Two measurements, both against the PR 4 columnar path
+//! ([`temporal::exec::ExecMode::Columnar`]), which is the performance
+//! baseline the fusion pass has to beat:
+//!
+//! 1. **Standalone DSMS**: the same five reduce-phase query shapes as
+//!    `BENCH_PR4.json` — the click filter, the BT feature projection, a
+//!    filter→project→filter chain, the UBP profile query, and the
+//!    feature-selection z-test — executed in both modes at several stream
+//!    widths, over **batch-resident** sources (the form PR 6's binary
+//!    extents decode to), with interleaved repetitions. Outputs must be
+//!    *byte-identical* (`==`, not just the same relation) at every width:
+//!    the repeatability requirement restarted reducers rely on. The two
+//!    row engines (Interpreted, Compiled) run untimed identity anchors so
+//!    all four exec modes are compared, standalone and through the
+//!    cluster.
+//! 2. **End-to-end**: the PR 2 click-scoring job (filter + three
+//!    projection passes + keyed tumbling aggregation) through the full
+//!    TiMR stack, once per mode, so compile-time fragment fusion
+//!    ([`temporal::plan::fuse_plan`] inside `compile_fragment`) is on the
+//!    measured path. The DFS output partitions must match byte-for-byte;
+//!    the reduce-phase wall ratio is reported alongside.
+//!
+//! Results go to `BENCH_PR7.json` for machine consumption; the headline
+//! `queries_ge_1_5x` counts standalone queries whose fused-vs-columnar
+//! ratio clears 1.5x at a **majority of the measured widths** (the PR
+//! acceptance asks for ≥3 of the five). Per-width ratios are all in the
+//! JSON; the majority cut keeps a single noisy width on a shared
+//! container from deciding a query either way.
+
+use crate::table::Table;
+use bt::queries::{feature_selection, labels_payload, log_payload, stream_id, train_rows_payload};
+use bt::BtParams;
+use mapreduce::{ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, RetryPolicy};
+use relation::schema::{ColumnType, Field};
+use relation::{row, Row, Schema};
+use std::time::{Duration, Instant};
+use temporal::exec::{
+    bindings, execute_single_data, execute_single_with_mode, Bindings, DataBindings, ExecMode,
+    ExecOptions, StreamData,
+};
+use temporal::expr::{col, lit};
+use temporal::plan::{LogicalPlan, Operator, Query};
+use temporal::{Event, EventBatch, EventStream};
+use timr::{Annotation, EventEncoding, ExchangeKey, TimrJob};
+
+/// Stream widths for the standalone sweep (events per source).
+const WIDTHS: [usize; 3] = [10_000, 40_000, 120_000];
+const USERS: usize = 5_000;
+/// End-to-end log shape (mirrors the PR 2 job).
+const EXTENTS: usize = 8;
+const ROWS_PER_EXTENT: usize = 20_000;
+const PARTITIONS: usize = 8;
+const E2E_USERS: usize = 500;
+/// Timed repetitions per standalone measurement (minimum is reported).
+/// High enough that the min-of estimator is stable on a shared container:
+/// the filter query's ratio sits close to the 1.5x acceptance line, and
+/// one unlucky scheduling hiccup per mode must not decide it.
+const REPS: usize = 13;
+/// Interleaved repetitions per mode for the end-to-end job.
+const E2E_REPS: usize = 5;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// Standalone reduce-phase queries (the BENCH_PR4.json set, verbatim)
+// ---------------------------------------------------------------------------
+
+fn op_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("StreamId", ColumnType::Int),
+        Field::new("UserId", ColumnType::Str),
+        Field::new("KwAdId", ColumnType::Str),
+        Field::new("Dwell", ColumnType::Long),
+        Field::new("Position", ColumnType::Long),
+    ])
+}
+
+fn op_stream(n: usize) -> EventStream {
+    EventStream::new(
+        op_schema(),
+        (0..n)
+            .map(|i| {
+                Event::point(
+                    i as i64,
+                    row![
+                        (1 + i % 2) as i32,
+                        format!("u{}", i % USERS),
+                        format!("ad{}", i % 50),
+                        (i as i64 * 13) % 300,
+                        (i as i64) % 8
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The BT feature projection: eight expressions per row, the shape where
+/// the fused arithmetic kernels pay the most.
+fn feature_exprs() -> Vec<(String, temporal::Expr)> {
+    vec![
+        ("UserId".into(), col("UserId")),
+        ("KwAdId".into(), col("KwAdId")),
+        ("Dwell".into(), col("Dwell")),
+        (
+            "Score".into(),
+            col("Dwell")
+                .mul(lit(8))
+                .sub(col("Position").mul(lit(3)))
+                .add(col("StreamId")),
+        ),
+        (
+            "SlotBias".into(),
+            col("Position").mul(col("Position")).add(lit(1)),
+        ),
+        (
+            "Engaged".into(),
+            col("Dwell").ge(lit(30)).and(col("Position").lt(lit(4))),
+        ),
+        (
+            "DwellNorm".into(),
+            col("Dwell").mul(lit(1000)).div(col("Dwell").add(lit(60))),
+        ),
+        (
+            "Interaction".into(),
+            col("Dwell").mul(col("Position")).sub(col("StreamId")),
+        ),
+    ]
+}
+
+/// Standalone plans over one `op_schema` source of `n` events, except the
+/// z-test which carries its own two sources.
+fn standalone_plans(params: &BtParams, n: usize) -> Vec<(&'static str, LogicalPlan, Bindings)> {
+    let mut plans = Vec::new();
+
+    let q = Query::new();
+    let out = q
+        .source("in", op_schema())
+        .filter(col("StreamId").eq(lit(1)).and(col("Dwell").ge(lit(0))));
+    plans.push((
+        "filter",
+        q.build(vec![out]).unwrap(),
+        bindings(vec![("in", op_stream(n))]),
+    ));
+
+    let q = Query::new();
+    let out = q.source("in", op_schema()).project(feature_exprs());
+    plans.push((
+        "project",
+        q.build(vec![out]).unwrap(),
+        bindings(vec![("in", op_stream(n))]),
+    ));
+
+    // Filter → project → filter: under fusion this whole chain is ONE
+    // FusedFragment — the filters only narrow a selection vector and the
+    // projection writes its output columns once; no intermediate batch.
+    let q = Query::new();
+    let out = q
+        .source("in", op_schema())
+        .filter(col("StreamId").eq(lit(1)))
+        .project(feature_exprs())
+        .filter(col("Engaged").or(col("Score").ge(lit(1200))));
+    plans.push((
+        "filter_project_chain",
+        q.build(vec![out]).unwrap(),
+        bindings(vec![("in", op_stream(n))]),
+    ));
+
+    // The UBP profile query (paper Fig 12 left half): keyword events per
+    // (user, kw/ad), sliding activity count.
+    let q = Query::new();
+    let out = q
+        .source("logs", log_payload())
+        .filter(col("StreamId").eq(lit(stream_id::KEYWORD)))
+        .group_apply(&["UserId", "KwAdId"], |g| g.window(params.tau).count("Cnt"));
+    let logs = EventStream::new(
+        log_payload(),
+        (0..n)
+            .map(|i| {
+                Event::point(
+                    (i as i64) * 40,
+                    row![
+                        stream_id::KEYWORD,
+                        format!("user-{:05}", i % 1_500),
+                        format!("kw-{:03}", (i * 7) % 40)
+                    ],
+                )
+            })
+            .collect(),
+    );
+    plans.push((
+        "profile_ubp",
+        q.build(vec![out]).unwrap(),
+        bindings(vec![("logs", logs)]),
+    ));
+
+    // The feature-selection z-test: two GroupApplies + TemporalJoin + the
+    // z-score expression, over labels and training rows.
+    let ztest = feature_selection::query(params);
+    let labels = EventStream::new(
+        labels_payload(),
+        (0..n / 2)
+            .map(|i| {
+                Event::point(
+                    (i as i64) * 50,
+                    row![
+                        format!("user-{:05}", i % 4_000),
+                        format!("ad-{:03}", i % 60),
+                        i32::from(i % 9 == 0)
+                    ],
+                )
+            })
+            .collect(),
+    );
+    let rows = EventStream::new(
+        train_rows_payload(),
+        (0..n)
+            .map(|i| {
+                Event::point(
+                    (i as i64) * 50,
+                    row![
+                        format!("user-{:05}", i % 4_000),
+                        format!("ad-{:03}", i % 60),
+                        i32::from(i % 9 == 0),
+                        format!("kw-{:04}", (i * 3) % 250),
+                        1i64 + (i as i64) % 5
+                    ],
+                )
+            })
+            .collect(),
+    );
+    plans.push((
+        "ztest",
+        ztest.plan,
+        bindings(vec![("labels", labels), ("train_rows", rows)]),
+    ));
+
+    plans
+}
+
+/// Time one mode's engine work over pre-transposed bindings. Reduce-phase
+/// inputs arrive batch-resident (PR 6 decodes binary extents straight into
+/// batches), so sources are bound as [`StreamData::Batch`] and the root is
+/// taken back via [`execute_single_data`] in whatever layout it finished
+/// in — the timed region covers operators and kernels, not the row↔batch
+/// adapters both modes share. The per-rep binding deep-clone happens
+/// *outside* the timer so the executor still gets unique storage (in-place
+/// operators).
+fn timed_run(plan: &LogicalPlan, data: &DataBindings, mode: ExecMode) -> (Duration, StreamData) {
+    let fresh = data.clone();
+    let opts = ExecOptions::with_mode(mode);
+    let start = Instant::now();
+    let out = execute_single_data(plan, fresh, &opts).expect("plan runs");
+    (start.elapsed(), out)
+}
+
+/// Best-of-`REPS` for both modes, **interleaved** (C, F, C, F, …) so
+/// transient system noise lands on both sides evenly.
+fn time_pair(
+    plan: &LogicalPlan,
+    sources: &Bindings,
+) -> (Duration, Duration, EventStream, EventStream) {
+    let data: DataBindings = sources
+        .iter()
+        .map(|(name, s)| {
+            let d = match EventBatch::from_stream(s) {
+                Some(b) => StreamData::Batch(b),
+                None => StreamData::Rows(s.clone()),
+            };
+            (name.clone(), d)
+        })
+        .collect();
+    let mut best: Option<(Duration, Duration, StreamData, StreamData)> = None;
+    for _ in 0..REPS {
+        let (tc, out_c) = timed_run(plan, &data, ExecMode::Columnar);
+        let (tf, out_f) = timed_run(plan, &data, ExecMode::Fused);
+        best = Some(match best {
+            None => (tc, tf, out_c, out_f),
+            Some((bc, bf, oc, of)) => (
+                tc.min(bc),
+                tf.min(bf),
+                if tc < bc { out_c } else { oc },
+                if tf < bf { out_f } else { of },
+            ),
+        });
+    }
+    let (tc, tf, out_c, out_f) = best.expect("REPS > 0");
+    (tc, tf, out_c.into_stream(), out_f.into_stream())
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end job (the PR 2 click-scoring shape, columnar vs fused reducers)
+// ---------------------------------------------------------------------------
+
+fn build_log() -> Dataset {
+    let schema = EventEncoding::Point.dataset_schema(&op_schema());
+    let mut extents = Vec::with_capacity(EXTENTS);
+    let mut i = 0i64;
+    for _ in 0..EXTENTS {
+        let mut rows = Vec::with_capacity(ROWS_PER_EXTENT);
+        for _ in 0..ROWS_PER_EXTENT {
+            let u = i as usize % E2E_USERS;
+            rows.push(row![
+                i,
+                (1 + i % 2) as i32,
+                format!("user-{u:07}"),
+                format!("kw:{:05}|ad:{:04}", u % 97, u % 50),
+                (i * 13) % 300,
+                i % 8
+            ]);
+            i += 1;
+        }
+        extents.push(rows);
+    }
+    Dataset::partitioned(schema, extents)
+}
+
+/// Filter + feature projection + refilter + keyed tumbling aggregation —
+/// the stateless prefix fuses into one fragment per reducer invocation.
+fn click_score_job(mode: ExecMode) -> TimrJob {
+    let q = Query::new();
+    let out = q
+        .source("logs", op_schema())
+        .filter(col("StreamId").eq(lit(1)).and(col("Dwell").ge(lit(0))))
+        .project(feature_exprs())
+        .filter(col("Engaged").or(col("Score").ge(lit(1200))))
+        .project(vec![
+            ("UserId".into(), col("UserId")),
+            ("KwAdId".into(), col("KwAdId")),
+            ("Score".into(), col("Score")),
+            ("ScoreSq".into(), col("Score").mul(col("Score"))),
+            (
+                "Mix".into(),
+                col("Score")
+                    .mul(lit(3))
+                    .add(col("SlotBias").mul(lit(2)))
+                    .sub(col("Interaction")),
+            ),
+        ])
+        .group_apply(&["UserId", "KwAdId"], |g| {
+            g.hop_window(5_000, 5_000).aggregate(vec![
+                ("N".into(), temporal::agg::AggExpr::Count),
+                ("ScoreSum".into(), temporal::agg::AggExpr::Sum(col("Score"))),
+                ("MixSum".into(), temporal::agg::AggExpr::Sum(col("Mix"))),
+            ])
+        });
+    let plan = q.build(vec![out]).unwrap();
+    let filter = plan
+        .nodes()
+        .iter()
+        .position(|n| matches!(n.op, Operator::Filter { .. }))
+        .unwrap();
+    let ann = Annotation::none().exchange(filter, 0, ExchangeKey::keys(&["UserId", "KwAdId"]));
+    TimrJob::new("pr7", plan)
+        .with_annotation(ann)
+        .with_machines(PARTITIONS)
+        .with_exec_mode(mode)
+}
+
+struct JobRun {
+    wall: Duration,
+    reduce_wall: Duration,
+    output: Vec<Vec<Row>>,
+}
+
+fn run_job_once(log: &Dataset, mode: ExecMode, threads: usize) -> JobRun {
+    let dfs = Dfs::new();
+    dfs.put("logs", log.clone()).expect("fresh DFS");
+    let cluster = Cluster::with_config(ClusterConfig {
+        threads,
+        chaos: ChaosPlan::none(),
+        retry: RetryPolicy::no_backoff(1),
+        ..ClusterConfig::default()
+    });
+    let out = click_score_job(mode).run(&dfs, &cluster).expect("job runs");
+    JobRun {
+        wall: out.stats.stages.iter().map(|s| s.wall_time).sum(),
+        reduce_wall: out.stats.stages.iter().map(|s| s.reduce_wall_time).sum(),
+        output: dfs
+            .get(&out.dataset)
+            .expect("output")
+            .partitions
+            .as_ref()
+            .clone(),
+    }
+}
+
+/// Run both modes `E2E_REPS` times, **interleaved** (C, F, C, F, …) so
+/// transient system noise lands on both modes evenly, and keep each
+/// mode's fastest run by reduce wall time.
+fn best_jobs(log: &Dataset, threads: usize) -> (JobRun, JobRun) {
+    let mut runs = (Vec::new(), Vec::new());
+    for _ in 0..E2E_REPS {
+        runs.0.push(run_job_once(log, ExecMode::Columnar, threads));
+        runs.1.push(run_job_once(log, ExecMode::Fused, threads));
+    }
+    let best = |v: Vec<JobRun>| {
+        v.into_iter()
+            .min_by_key(|r| r.reduce_wall)
+            .expect("E2E_REPS > 0")
+    };
+    (best(runs.0), best(runs.1))
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Run the experiment.
+pub fn run(_ctx: &mut super::Ctx) -> String {
+    let params = BtParams::default();
+    let mut table = Table::new(&["Query", "Events", "Columnar ms", "Fused ms", "Speedup"]);
+    let mut query_json = Vec::new();
+    // Per-query count of widths clearing 1.5x. The headline counts a query
+    // once it clears the bar at a *majority* of the measured widths: a
+    // single-width cut would let one allocator hiccup on a shared container
+    // decide a query whose true ratio sits near the line, in either
+    // direction. The per-width speedups all land in the JSON regardless.
+    let mut wins: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut best_speedup = 0.0f64;
+
+    for &n in &WIDTHS {
+        for (name, plan, sources) in standalone_plans(&params, n) {
+            let (tc, tf, out_c, out_f) = time_pair(&plan, &sources);
+            assert_eq!(
+                out_c.events(),
+                out_f.events(),
+                "{name} @ {n}: columnar and fused outputs must be byte-identical"
+            );
+            // Close the four-mode identity loop once per query shape: the
+            // row engines are not on the timed path, but their outputs
+            // anchor the byte-identity contract the two columnar modes
+            // above are compared within.
+            if n == WIDTHS[0] {
+                for mode in [ExecMode::Interpreted, ExecMode::Compiled] {
+                    let out = execute_single_with_mode(&plan, &sources, mode).expect("plan runs");
+                    assert_eq!(
+                        out.events(),
+                        out_f.events(),
+                        "{name} @ {n}: {mode:?} and fused outputs must be byte-identical"
+                    );
+                }
+            }
+            let speedup = tc.as_secs_f64() / tf.as_secs_f64().max(1e-9);
+            if speedup >= 1.5 {
+                *wins.entry(name.to_string()).or_insert(0) += 1;
+            }
+            best_speedup = best_speedup.max(speedup);
+            table.row(vec![
+                name.into(),
+                n.to_string(),
+                format!("{:.2}", ms(tc)),
+                format!("{:.2}", ms(tf)),
+                format!("{speedup:.2}x"),
+            ]);
+            query_json.push(serde_json::Value::Object(vec![
+                ("query".into(), serde_json::Value::Str(name.into())),
+                ("events".into(), serde_json::Value::UInt(n as u64)),
+                ("columnar_ms".into(), serde_json::Value::Float(ms(tc))),
+                ("fused_ms".into(), serde_json::Value::Float(ms(tf))),
+                ("speedup".into(), serde_json::Value::Float(speedup)),
+            ]));
+        }
+    }
+
+    let log = build_log();
+    let rows = log.len();
+    // One worker per core — oversubscription would measure time-slicing,
+    // not reducer work.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let (col_job, fused_job) = best_jobs(&log, threads);
+    assert_eq!(
+        col_job.output, fused_job.output,
+        "the two modes must write byte-identical DFS partitions"
+    );
+    // Same four-mode anchor for the cluster path: one untimed run per row
+    // engine, partitions compared byte-for-byte against the fused output.
+    for mode in [ExecMode::Interpreted, ExecMode::Compiled] {
+        let run = run_job_once(&log, mode, threads);
+        assert_eq!(
+            run.output, fused_job.output,
+            "{mode:?} must write the same DFS partitions as the fused run"
+        );
+    }
+    let queries_ge_1_5x = wins.values().filter(|&&w| 2 * w > WIDTHS.len()).count() as u64;
+    let reduce_speedup =
+        col_job.reduce_wall.as_secs_f64() / fused_job.reduce_wall.as_secs_f64().max(1e-9);
+    let wall_speedup = col_job.wall.as_secs_f64() / fused_job.wall.as_secs_f64().max(1e-9);
+    table.row(vec![
+        "e2e reduce phase".into(),
+        rows.to_string(),
+        format!("{:.1}", ms(col_job.reduce_wall)),
+        format!("{:.1}", ms(fused_job.reduce_wall)),
+        format!("{reduce_speedup:.2}x"),
+    ]);
+    table.row(vec![
+        "e2e stage wall".into(),
+        rows.to_string(),
+        format!("{:.1}", ms(col_job.wall)),
+        format!("{:.1}", ms(fused_job.wall)),
+        format!("{wall_speedup:.2}x"),
+    ]);
+
+    let job_json = |r: &JobRun| {
+        serde_json::Value::Object(vec![
+            ("wall_ms".into(), serde_json::Value::Float(ms(r.wall))),
+            (
+                "reduce_wall_ms".into(),
+                serde_json::Value::Float(ms(r.reduce_wall)),
+            ),
+        ])
+    };
+    let json = serde_json::Value::Object(vec![
+        ("experiment".into(), serde_json::Value::Str("pr7".into())),
+        ("byte_identical".into(), serde_json::Value::Bool(true)),
+        ("queries".into(), serde_json::Value::Array(query_json)),
+        ("e2e_rows".into(), serde_json::Value::UInt(rows as u64)),
+        ("e2e_columnar".into(), job_json(&col_job)),
+        ("e2e_fused".into(), job_json(&fused_job)),
+        (
+            "e2e_reduce_speedup".into(),
+            serde_json::Value::Float(reduce_speedup),
+        ),
+        (
+            "queries_ge_1_5x".into(),
+            serde_json::Value::UInt(queries_ge_1_5x),
+        ),
+        (
+            "best_speedup".into(),
+            serde_json::Value::Float(best_speedup),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&json).expect("value serializes");
+    if let Err(e) = std::fs::write("BENCH_PR7.json", format!("{rendered}\n")) {
+        eprintln!("warning: could not write BENCH_PR7.json: {e}");
+    }
+
+    format!(
+        "PR 7 — fused fragments vs columnar engine, widths {WIDTHS:?} \
+         (best of {REPS}; written to BENCH_PR7.json):\n{}\
+         outputs byte-identical at every width; {queries_ge_1_5x}/5 queries ≥1.5x at a \
+         majority of widths (best {best_speedup:.2}x); e2e reduce-phase: {reduce_speedup:.2}x\n",
+        table.render(),
+    )
+}

@@ -9,6 +9,7 @@ pub mod bench_pr3;
 pub mod bench_pr4;
 pub mod bench_pr5;
 pub mod bench_pr6;
+pub mod bench_pr7;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -196,6 +197,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "PR 6: binary columnar extents, shuffle-byte cut, and budgeted spill \
                  (writes BENCH_PR6.json)",
             run: bench_pr6::run,
+        },
+        Experiment {
+            name: "pr7",
+            artifact: "PR 7: fused single-pass SIMD fragments vs the columnar engine \
+                 (writes BENCH_PR7.json)",
+            run: bench_pr7::run,
         },
     ]
 }

@@ -144,8 +144,17 @@ fn compile_fragment(
         format!("{job_name}__f{}", frag.root)
     };
 
+    // Fragment annotation: under Fused the stateless chains are collapsed
+    // at compile time, so the stage plan carries its FusedFragment
+    // boundaries (visible in plan displays) and the per-reduce executor's
+    // idempotent re-fuse is a no-op rewrite of an already-fused plan.
+    let frag_plan = if exec_mode == ExecMode::Fused {
+        temporal::plan::fuse_plan(&frag.plan).map_err(TimrError::Temporal)?
+    } else {
+        frag.plan.clone()
+    };
     let reducer = DsmsReducer {
-        plan: frag.plan.clone(),
+        plan: frag_plan,
         inputs: bindings,
         output_encoding: EventEncoding::Interval,
         exec_mode,
@@ -188,10 +197,14 @@ impl DsmsReducer {
     /// never changes which partitions are accepted.
     fn bind_rows(&self, binding: &InputBinding, rows: &[Row]) -> Result<StreamData> {
         Ok(match self.exec_mode {
-            ExecMode::Columnar => match binding.encoding.decode_batch(rows, &binding.payload)? {
-                Some(batch) => StreamData::Batch(batch),
-                None => StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?),
-            },
+            ExecMode::Columnar | ExecMode::Fused => {
+                match binding.encoding.decode_batch(rows, &binding.payload)? {
+                    Some(batch) => StreamData::Batch(batch),
+                    None => {
+                        StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?)
+                    }
+                }
+            }
             _ => StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?),
         })
     }
@@ -257,7 +270,9 @@ impl Reducer for DsmsReducer {
         let mut sources: DataBindings = FxHashMap::default();
         for (binding, input) in self.inputs.iter().zip(inputs) {
             let data = match input {
-                ReduceInput::Batch(batch) if matches!(self.exec_mode, ExecMode::Columnar) => {
+                ReduceInput::Batch(batch)
+                    if matches!(self.exec_mode, ExecMode::Columnar | ExecMode::Fused) =>
+                {
                     match binding
                         .encoding
                         .decode_column_batch(batch.clone(), &binding.payload)

@@ -13,7 +13,7 @@ use relation::DatasetStats;
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use temporal::expr::{BinOp, Expr};
-use temporal::plan::{LogicalPlan, NodeId, Operator};
+use temporal::plan::{FusedStep, LogicalPlan, NodeId, Operator};
 
 /// Estimated properties of one node's output stream.
 #[derive(Debug, Clone)]
@@ -108,31 +108,23 @@ pub fn estimate_plan(
                 let sel = filter_selectivity(predicate, input);
                 scale_rows(input, sel)
             }
-            Operator::Project { exprs } => {
-                let input = &out[&node.inputs[0]];
-                Estimate {
-                    rows: input.rows,
-                    width: input.width
-                        * (exprs.len() as f64 / input.distinct.len().max(1) as f64).clamp(0.2, 2.0),
-                    distinct: exprs
-                        .iter()
-                        .filter_map(|(name, e)| match e {
-                            Expr::Column(c) => input.distinct.get(c).map(|d| (name.clone(), *d)),
-                            _ => Some((name.clone(), input.rows.sqrt().max(1.0))),
-                        })
-                        .collect(),
-                    histograms: exprs
-                        .iter()
-                        .filter_map(|(name, e)| match e {
-                            Expr::Column(c) => {
-                                input.histograms.get(c).map(|h| (name.clone(), h.clone()))
-                            }
-                            _ => None,
-                        })
-                        .collect(),
-                }
-            }
+            Operator::Project { exprs } => project_estimate(exprs, &out[&node.inputs[0]]),
             Operator::AlterLifetime { .. } => out[&node.inputs[0]].clone(),
+            // A fused fragment estimates as its steps run in sequence.
+            Operator::FusedFragment { steps } => {
+                let mut est = out[&node.inputs[0]].clone();
+                for step in steps {
+                    est = match step {
+                        FusedStep::Filter { predicate } => {
+                            let sel = filter_selectivity(predicate, &est);
+                            scale_rows(&est, sel)
+                        }
+                        FusedStep::Project { exprs } => project_estimate(exprs, &est),
+                        FusedStep::AlterLifetime { .. } => est,
+                    };
+                }
+                est
+            }
             Operator::Aggregate { aggs } => {
                 let input = &out[&node.inputs[0]];
                 Estimate {
@@ -226,6 +218,30 @@ pub fn estimate_plan(
         out.insert(id, est);
     }
     out
+}
+
+/// Estimate for a projection: rows pass through, width tracks the column
+/// count, distinct/histograms survive only for bare column references.
+fn project_estimate(exprs: &[(String, Expr)], input: &Estimate) -> Estimate {
+    Estimate {
+        rows: input.rows,
+        width: input.width
+            * (exprs.len() as f64 / input.distinct.len().max(1) as f64).clamp(0.2, 2.0),
+        distinct: exprs
+            .iter()
+            .filter_map(|(name, e)| match e {
+                Expr::Column(c) => input.distinct.get(c).map(|d| (name.clone(), *d)),
+                _ => Some((name.clone(), input.rows.sqrt().max(1.0))),
+            })
+            .collect(),
+        histograms: exprs
+            .iter()
+            .filter_map(|(name, e)| match e {
+                Expr::Column(c) => input.histograms.get(c).map(|h| (name.clone(), h.clone())),
+                _ => None,
+            })
+            .collect(),
+    }
 }
 
 fn scale_rows(input: &Estimate, factor: f64) -> Estimate {

@@ -333,7 +333,10 @@ impl<'a> Search<'a> {
                 exchanges: vec![],
             }),
             // Stateless unary operators: partitioning passes through.
-            Operator::Filter { .. } | Operator::Project { .. } | Operator::AlterLifetime { .. } => {
+            Operator::Filter { .. }
+            | Operator::Project { .. }
+            | Operator::AlterLifetime { .. }
+            | Operator::FusedFragment { .. } => {
                 let child = node.inputs[0];
                 let mut c = self.optimize_edge(child, id, 0, req)?;
                 c.cost += self.op_cost(id) / self.parallelism(req, id);

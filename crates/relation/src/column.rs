@@ -125,6 +125,36 @@ impl Validity {
             self.push(other.is_valid(i));
         }
     }
+
+    /// Gather the slots at `idx` into a fresh bitmap. Returns `None` when
+    /// every gathered slot is valid — the canonical dense representation.
+    pub fn gather(&self, idx: &[u32]) -> Option<Validity> {
+        let mut words = vec![0u64; idx.len().div_ceil(64)];
+        let mut any_null = false;
+        for (j, &i) in idx.iter().enumerate() {
+            if self.is_valid(i as usize) {
+                words[j / 64] |= 1 << (j % 64);
+            } else {
+                any_null = true;
+            }
+        }
+        any_null.then_some(Validity {
+            words,
+            len: idx.len(),
+        })
+    }
+
+    /// Keep only the slots at `idx` (strictly increasing), in place.
+    fn compact(&mut self, idx: &[u32]) {
+        let mut words = vec![0u64; idx.len().div_ceil(64)];
+        for (j, &i) in idx.iter().enumerate() {
+            if self.is_valid(i as usize) {
+                words[j / 64] |= 1 << (j % 64);
+            }
+        }
+        self.words = words;
+        self.len = idx.len();
+    }
 }
 
 impl Default for Validity {
@@ -210,6 +240,53 @@ impl ColumnData {
             ColumnData::Long(d) => compact_vec!(d),
             ColumnData::Double(d) => compact_vec!(d),
             ColumnData::Str(d) => compact_vec!(d),
+        }
+    }
+
+    /// Gather the slots at `idx` into a new storage of the same variant
+    /// (indices may repeat and appear in any order).
+    pub fn gather(&self, idx: &[u32]) -> ColumnData {
+        macro_rules! gather_vec {
+            ($d:expr, $variant:ident) => {
+                ColumnData::$variant(idx.iter().map(|&i| $d[i as usize].clone()).collect())
+            };
+        }
+        match self {
+            ColumnData::Bool(d) => gather_vec!(d, Bool),
+            ColumnData::Int(d) => gather_vec!(d, Int),
+            ColumnData::Long(d) => gather_vec!(d, Long),
+            ColumnData::Double(d) => gather_vec!(d, Double),
+            ColumnData::Str(d) => gather_vec!(d, Str),
+        }
+    }
+
+    /// Keep only the slots at `idx` (strictly increasing), in place: each
+    /// survivor moves into position once, so only `idx.len()` slots are
+    /// touched — no full-width mask scan per column. `Copy` payloads use a
+    /// plain overwrite (no write-back into the vacated slot); strings swap
+    /// so the tail keeps valid values for `truncate` to drop.
+    fn compact(&mut self, idx: &[u32]) {
+        macro_rules! compact_copy {
+            ($d:expr) => {{
+                for (w, &i) in idx.iter().enumerate() {
+                    $d[w] = $d[i as usize];
+                }
+                $d.truncate(idx.len());
+            }};
+        }
+        match self {
+            ColumnData::Bool(d) => compact_copy!(d),
+            ColumnData::Int(d) => compact_copy!(d),
+            ColumnData::Long(d) => compact_copy!(d),
+            ColumnData::Double(d) => compact_copy!(d),
+            ColumnData::Str(d) => {
+                for (w, &i) in idx.iter().enumerate() {
+                    if w != i as usize {
+                        d.swap(w, i as usize);
+                    }
+                }
+                d.truncate(idx.len());
+            }
         }
     }
 
@@ -329,6 +406,23 @@ impl Column {
         self.data.retain(keep);
         if let Some(v) = &mut self.validity {
             v.retain(keep);
+        }
+    }
+
+    /// Gather the slots at `idx` into a new column (indices may repeat and
+    /// appear in any order; out-of-range indices panic).
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        Column {
+            data: self.data.gather(idx),
+            validity: self.validity.as_ref().and_then(|v| v.gather(idx)),
+        }
+    }
+
+    /// Keep only the slots at `idx` (strictly increasing), in place.
+    pub fn compact(&mut self, idx: &[u32]) {
+        self.data.compact(idx);
+        if let Some(v) = &mut self.validity {
+            v.compact(idx);
         }
     }
 
@@ -517,18 +611,43 @@ impl ColumnBatch {
         Row::new(self.columns.iter().map(|c| c.value(i)).collect())
     }
 
+    /// Gather row `i` into a caller-owned scratch row, reusing its value
+    /// vector's allocation (the no-alloc twin of [`Self::row`]).
+    pub fn row_into(&self, i: usize, row: &mut Row) {
+        let values = row.values_mut();
+        values.clear();
+        values.extend(self.columns.iter().map(|c| c.value(i)));
+    }
+
     /// Transpose back into rows (lossless).
     pub fn to_rows(&self) -> Vec<Row> {
         (0..self.rows).map(|i| self.row(i)).collect()
     }
 
-    /// Keep only the rows where `keep` is true.
+    /// Keep only the rows where `keep` is true. The survivor index vector
+    /// is computed once and every column compacts by it, instead of each
+    /// column re-scanning the full mask.
     pub fn retain(&mut self, keep: &[bool]) {
         assert_eq!(keep.len(), self.rows, "retain mask length mismatch");
-        for c in &mut self.columns {
-            c.retain(keep);
+        self.compact(&compact_indices(keep));
+    }
+
+    /// Gather the rows at `idx` into a new batch (indices may repeat and
+    /// appear in any order).
+    pub fn gather(&self, idx: &[u32]) -> ColumnBatch {
+        ColumnBatch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(idx)).collect(),
+            rows: idx.len(),
         }
-        self.rows = keep.iter().filter(|&&k| k).count();
+    }
+
+    /// Keep only the rows at `idx` (strictly increasing), in place.
+    pub fn compact(&mut self, idx: &[u32]) {
+        for c in &mut self.columns {
+            c.compact(idx);
+        }
+        self.rows = idx.len();
     }
 
     /// Decompose into schema, columns, and row count (copy-free handover).
@@ -575,6 +694,18 @@ impl ColumnBatch {
             })
             .collect()
     }
+}
+
+/// Survivor indices of a boolean keep-mask — the index-vector currency
+/// shared by [`ColumnBatch::compact`] and the `gather` primitives.
+pub fn compact_indices(keep: &[bool]) -> Vec<u32> {
+    let mut idx = Vec::with_capacity(keep.len());
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            idx.push(i as u32);
+        }
+    }
+    idx
 }
 
 #[cfg(test)]
@@ -649,6 +780,55 @@ mod tests {
         for (i, r) in rows().iter().enumerate() {
             assert_eq!(hashes[i], key_hash(r, &indices), "row {i}");
         }
+    }
+
+    #[test]
+    fn gather_matches_row_materialization() {
+        let s = schema();
+        let batch = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        let idx = [2u32, 0, 2, 1];
+        let gathered = batch.gather(&idx);
+        assert_eq!(gathered.len(), 4);
+        let all = rows();
+        let want: Vec<Row> = idx.iter().map(|&i| all[i as usize].clone()).collect();
+        assert_eq!(gathered.to_rows(), want);
+        // Empty gather keeps the schema with zero rows.
+        assert!(batch.gather(&[]).is_empty());
+    }
+
+    #[test]
+    fn compact_agrees_with_retain() {
+        let s = schema();
+        let keep = [true, false, true];
+        let mut by_retain = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        by_retain.retain(&keep);
+        let mut by_compact = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        by_compact.compact(&compact_indices(&keep));
+        assert_eq!(by_retain.to_rows(), by_compact.to_rows());
+        assert_eq!(compact_indices(&keep), vec![0, 2]);
+    }
+
+    #[test]
+    fn row_into_reuses_scratch() {
+        let s = schema();
+        let batch = ColumnBatch::from_rows(&s, &rows()).unwrap();
+        let mut scratch = Row::default();
+        for (i, want) in rows().iter().enumerate() {
+            batch.row_into(i, &mut scratch);
+            assert_eq!(&scratch, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn validity_gather_is_canonical() {
+        let nulls = [true, false, false, true];
+        let v = Validity::from_null_flags(&nulls).unwrap();
+        // Selecting only valid slots canonicalizes to None.
+        assert!(v.gather(&[1, 2]).is_none());
+        let g = v.gather(&[3, 1, 0]).unwrap();
+        assert!(!g.is_valid(0));
+        assert!(g.is_valid(1));
+        assert!(!g.is_valid(2));
     }
 
     #[test]

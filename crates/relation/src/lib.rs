@@ -30,7 +30,7 @@ pub mod schema;
 pub mod stats;
 pub mod value;
 
-pub use column::{Column, ColumnBatch, ColumnData, Validity};
+pub use column::{compact_indices, Column, ColumnBatch, ColumnData, Validity};
 pub use error::{RelationError, Result};
 pub use row::Row;
 pub use schema::{ColumnType, Field, Schema};

@@ -1,0 +1,414 @@
+//! Dependency-free portable-SIMD shim: fixed-width 8-lane vectors over
+//! plain arrays, stable Rust only.
+//!
+//! The lane types ([`F64x8`], [`I64x8`]) and the lane mask ([`M8`]) are
+//! thin wrappers around `[T; 8]` whose operations are straight-line
+//! per-lane loops. LLVM auto-vectorizes these into real SIMD on every
+//! target that has it and falls back to scalar code everywhere else — no
+//! nightly features, no intrinsics, no `cfg` forest. Callers process
+//! slices with `chunks_exact(LANES)` plus a scalar tail.
+//!
+//! Two semantic details matter for byte-identical query results:
+//!
+//! * **Total order.** Ordering comparisons go through [`total_key`], the
+//!   monotone bits-mapping `b ^ (((b >> 63) >> 1))` that `f64::total_cmp`
+//!   is specified by: comparing keys as `i64` is exactly IEEE 754
+//!   `totalOrder`, including `-0.0 < +0.0` and NaN placement.
+//! * **Division never traps.** There is no lane divide for `i64` (callers
+//!   guard zero divisors before dividing) and the `f64` divide is IEEE
+//!   (zero divisors give ±inf/NaN); callers mask zero divisors out when
+//!   the scalar semantics demand null instead.
+
+/// Number of lanes in every vector type.
+pub const LANES: usize = 8;
+
+/// Monotone `i64` key for IEEE 754 `totalOrder`: comparing keys with
+/// integer `<` is exactly `f64::total_cmp`.
+#[inline(always)]
+pub fn total_key(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
+/// Eight `f64` lanes.
+#[derive(Clone, Copy, Debug)]
+pub struct F64x8(pub [f64; LANES]);
+
+/// Eight `i64` lanes.
+#[derive(Clone, Copy, Debug)]
+pub struct I64x8(pub [i64; LANES]);
+
+/// Eight boolean lanes (comparison results, selection masks).
+#[derive(Clone, Copy, Debug)]
+pub struct M8(pub [bool; LANES]);
+
+macro_rules! lanewise {
+    ($a:expr, $b:expr, $f:expr) => {{
+        let (a, b) = ($a, $b);
+        let mut out = [Default::default(); LANES];
+        let mut i = 0;
+        while i < LANES {
+            out[i] = $f(a[i], b[i]);
+            i += 1;
+        }
+        out
+    }};
+}
+
+impl F64x8 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> F64x8 {
+        F64x8([v; LANES])
+    }
+
+    /// Load the first eight elements of `s` (panics when shorter).
+    #[inline(always)]
+    pub fn load(s: &[f64]) -> F64x8 {
+        F64x8(s[..LANES].try_into().unwrap())
+    }
+
+    /// Widen the first eight `i64`s of `s` (`as f64` per lane).
+    #[inline(always)]
+    pub fn load_i64(s: &[i64]) -> F64x8 {
+        let mut out = [0.0; LANES];
+        for (o, v) in out.iter_mut().zip(s) {
+            *o = *v as f64;
+        }
+        F64x8(out)
+    }
+
+    /// Widen the first eight `i32`s of `s` (`as f64` per lane).
+    #[inline(always)]
+    pub fn load_i32(s: &[i32]) -> F64x8 {
+        let mut out = [0.0; LANES];
+        for (o, v) in out.iter_mut().zip(s) {
+            *o = *v as f64;
+        }
+        F64x8(out)
+    }
+
+    /// Store into the first eight elements of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [f64]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Lanewise IEEE `==` (NaN lanes false, `-0.0 == 0.0` true).
+    #[inline(always)]
+    pub fn eq(self, o: F64x8) -> M8 {
+        M8(lanewise!(self.0, o.0, |a: f64, b: f64| a == b))
+    }
+
+    /// Lanewise [`total_key`]: feed the result to [`I64x8`] compares for
+    /// `total_cmp`-exact ordering.
+    #[inline(always)]
+    pub fn total_keys(self) -> I64x8 {
+        let mut out = [0i64; LANES];
+        for (o, v) in out.iter_mut().zip(&self.0) {
+            *o = total_key(*v);
+        }
+        I64x8(out)
+    }
+}
+
+/// Lanewise `+`.
+impl std::ops::Add for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn add(self, o: F64x8) -> F64x8 {
+        F64x8(lanewise!(self.0, o.0, |a: f64, b: f64| a + b))
+    }
+}
+
+/// Lanewise `-`.
+impl std::ops::Sub for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn sub(self, o: F64x8) -> F64x8 {
+        F64x8(lanewise!(self.0, o.0, |a: f64, b: f64| a - b))
+    }
+}
+
+/// Lanewise `*`.
+impl std::ops::Mul for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn mul(self, o: F64x8) -> F64x8 {
+        F64x8(lanewise!(self.0, o.0, |a: f64, b: f64| a * b))
+    }
+}
+
+/// Lanewise IEEE `/` (never traps; zero divisors give ±inf/NaN).
+impl std::ops::Div for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn div(self, o: F64x8) -> F64x8 {
+        F64x8(lanewise!(self.0, o.0, |a: f64, b: f64| a / b))
+    }
+}
+
+impl I64x8 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: i64) -> I64x8 {
+        I64x8([v; LANES])
+    }
+
+    /// Load the first eight elements of `s` (panics when shorter).
+    #[inline(always)]
+    pub fn load(s: &[i64]) -> I64x8 {
+        I64x8(s[..LANES].try_into().unwrap())
+    }
+
+    /// Widen the first eight `i32`s of `s`.
+    #[inline(always)]
+    pub fn load_i32(s: &[i32]) -> I64x8 {
+        let mut out = [0i64; LANES];
+        for (o, v) in out.iter_mut().zip(s) {
+            *o = *v as i64;
+        }
+        I64x8(out)
+    }
+
+    /// Store into the first eight elements of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [i64]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Lanewise wrapping `+`.
+    #[inline(always)]
+    pub fn wrapping_add(self, o: I64x8) -> I64x8 {
+        I64x8(lanewise!(self.0, o.0, |a: i64, b: i64| a.wrapping_add(b)))
+    }
+
+    /// Lanewise wrapping `-`.
+    #[inline(always)]
+    pub fn wrapping_sub(self, o: I64x8) -> I64x8 {
+        I64x8(lanewise!(self.0, o.0, |a: i64, b: i64| a.wrapping_sub(b)))
+    }
+
+    /// Lanewise wrapping `*`.
+    #[inline(always)]
+    pub fn wrapping_mul(self, o: I64x8) -> I64x8 {
+        I64x8(lanewise!(self.0, o.0, |a: i64, b: i64| a.wrapping_mul(b)))
+    }
+
+    /// Lanewise `==`.
+    #[inline(always)]
+    pub fn eq(self, o: I64x8) -> M8 {
+        M8(lanewise!(self.0, o.0, |a: i64, b: i64| a == b))
+    }
+
+    /// Lanewise `<`.
+    #[inline(always)]
+    pub fn lt(self, o: I64x8) -> M8 {
+        M8(lanewise!(self.0, o.0, |a: i64, b: i64| a < b))
+    }
+
+    /// Lanewise `<=`.
+    #[inline(always)]
+    pub fn le(self, o: I64x8) -> M8 {
+        M8(lanewise!(self.0, o.0, |a: i64, b: i64| a <= b))
+    }
+
+    /// Lanewise `as f64` widening.
+    #[inline(always)]
+    pub fn to_f64(self) -> F64x8 {
+        let mut out = [0.0; LANES];
+        for (o, v) in out.iter_mut().zip(&self.0) {
+            *o = *v as f64;
+        }
+        F64x8(out)
+    }
+}
+
+impl M8 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: bool) -> M8 {
+        M8([v; LANES])
+    }
+
+    /// Load the first eight elements of `s` (panics when shorter).
+    #[inline(always)]
+    pub fn load(s: &[bool]) -> M8 {
+        M8(s[..LANES].try_into().unwrap())
+    }
+
+    /// Store into the first eight elements of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [bool]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Lanewise `&`.
+    #[inline(always)]
+    pub fn and(self, o: M8) -> M8 {
+        M8(lanewise!(self.0, o.0, |a: bool, b: bool| a & b))
+    }
+
+    /// Lanewise `|`.
+    #[inline(always)]
+    pub fn or(self, o: M8) -> M8 {
+        M8(lanewise!(self.0, o.0, |a: bool, b: bool| a | b))
+    }
+
+    /// True when any lane is set.
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&v| v)
+    }
+
+    /// True when every lane is set.
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.0.iter().all(|&v| v)
+    }
+
+    /// Lanewise `if mask { a } else { b }` over `f64` lanes.
+    #[inline(always)]
+    pub fn select_f64(self, a: F64x8, b: F64x8) -> F64x8 {
+        let mut out = a.0;
+        for (o, (&m, &bv)) in out.iter_mut().zip(self.0.iter().zip(&b.0)) {
+            if !m {
+                *o = bv;
+            }
+        }
+        F64x8(out)
+    }
+
+    /// Lanewise `if mask { a } else { b }` over `i64` lanes.
+    #[inline(always)]
+    pub fn select_i64(self, a: I64x8, b: I64x8) -> I64x8 {
+        let mut out = a.0;
+        for (o, (&m, &bv)) in out.iter_mut().zip(self.0.iter().zip(&b.0)) {
+            if !m {
+                *o = bv;
+            }
+        }
+        I64x8(out)
+    }
+}
+
+/// Lanewise `!`.
+impl std::ops::Not for M8 {
+    type Output = M8;
+    #[inline(always)]
+    fn not(self) -> M8 {
+        let mut out = self.0;
+        for v in &mut out {
+            *v = !*v;
+        }
+        M8(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    const F64_EDGES: [f64; 12] = [
+        f64::NAN,
+        -f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        0.0,
+        -0.0,
+        1.5,
+        -1.5,
+        9_007_199_254_740_993.0, // 2^53 + 1 territory
+    ];
+
+    const I64_EDGES: [i64; 8] = [
+        i64::MIN,
+        i64::MIN + 1,
+        -1,
+        0,
+        1,
+        i64::MAX - 1,
+        i64::MAX,
+        1 << 53,
+    ];
+
+    #[test]
+    fn total_key_orders_exactly_like_total_cmp() {
+        for &a in &F64_EDGES {
+            for &b in &F64_EDGES {
+                let by_key = total_key(a).cmp(&total_key(b));
+                assert_eq!(by_key, a.total_cmp(&b), "total order of {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_lane_arith_matches_scalar_on_edge_values() {
+        for &a in &F64_EDGES {
+            for &b in &F64_EDGES {
+                let va = F64x8::splat(a);
+                let vb = F64x8::splat(b);
+                // Compare by bits so NaN payloads count too.
+                assert_eq!((va + vb).0[3].to_bits(), (a + b).to_bits());
+                assert_eq!((va - vb).0[3].to_bits(), (a - b).to_bits());
+                assert_eq!((va * vb).0[3].to_bits(), (a * b).to_bits());
+                assert_eq!((va / vb).0[3].to_bits(), (a / b).to_bits());
+                assert_eq!(va.eq(vb).0[3], a == b, "IEEE == of {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_signed_zero_equality_semantics() {
+        let nan = F64x8::splat(f64::NAN);
+        assert!(!nan.eq(nan).any(), "NaN != NaN lanewise");
+        let pz = F64x8::splat(0.0);
+        let nz = F64x8::splat(-0.0);
+        assert!(pz.eq(nz).all(), "-0.0 == +0.0 lanewise");
+        // ... but total order separates the zeros and places NaN at the ends.
+        assert_eq!(
+            total_key(-0.0).cmp(&total_key(0.0)),
+            Ordering::Less,
+            "-0.0 sorts before +0.0 in total order"
+        );
+    }
+
+    #[test]
+    fn i64_lane_arith_wraps_like_scalar() {
+        for &a in &I64_EDGES {
+            for &b in &I64_EDGES {
+                let va = I64x8::splat(a);
+                let vb = I64x8::splat(b);
+                assert_eq!(va.wrapping_add(vb).0[0], a.wrapping_add(b));
+                assert_eq!(va.wrapping_sub(vb).0[0], a.wrapping_sub(b));
+                assert_eq!(va.wrapping_mul(vb).0[0], a.wrapping_mul(b));
+                assert_eq!(va.eq(vb).0[0], a == b);
+                assert_eq!(va.lt(vb).0[0], a < b);
+                assert_eq!(va.le(vb).0[0], a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn loads_widen_and_masks_select() {
+        let ints: Vec<i64> = (0..8).map(|i| i - 4).collect();
+        let widened = F64x8::load_i64(&ints);
+        for i in 0..LANES {
+            assert_eq!(widened.0[i], (i as i64 - 4) as f64);
+        }
+        let narrow: Vec<i32> = vec![i32::MIN, -1, 0, 1, i32::MAX, 5, 6, 7];
+        assert_eq!(I64x8::load_i32(&narrow).0[0], i32::MIN as i64);
+        assert_eq!(F64x8::load_i32(&narrow).0[4], i32::MAX as f64);
+
+        let m = M8([true, false, true, false, true, false, true, false]);
+        let sel = m.select_i64(I64x8::splat(1), I64x8::splat(2));
+        assert_eq!(sel.0, [1, 2, 1, 2, 1, 2, 1, 2]);
+        assert!(!(!m).0[0]);
+        assert!(m.or(!m).all());
+        assert!(!m.and(!m).any());
+    }
+}

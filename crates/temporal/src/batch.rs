@@ -95,6 +95,13 @@ impl EventBatch {
         (&mut self.vt, &mut self.ve)
     }
 
+    /// Decompose into lifetime vectors and payload, consuming the batch —
+    /// owning consumers (the fused projection, encoders) move the storage
+    /// instead of copying it.
+    pub fn into_parts(self) -> (Vec<i64>, Vec<i64>, ColumnBatch) {
+        (self.vt, self.ve, self.payload)
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.payload.len()
@@ -110,21 +117,40 @@ impl EventBatch {
         self.payload.row(i)
     }
 
-    /// Keep only the events where `keep` is true (bulk two-pointer
-    /// compaction of both lifetime vectors plus the columnar payload).
+    /// Gather the payload row of event `i` into a caller-owned scratch row,
+    /// reusing its allocation — the row-fallback loops' no-alloc twin of
+    /// [`Self::payload_row`].
+    pub fn payload_row_into(&self, i: usize, row: &mut Row) {
+        self.payload.row_into(i, row);
+    }
+
+    /// Keep only the events where `keep` is true. The survivor index
+    /// vector is computed once and shared by the lifetime vectors and
+    /// every payload column (see [`relation::compact_indices`]).
     pub fn retain(&mut self, keep: &[bool]) {
         assert_eq!(keep.len(), self.len(), "retain mask length mismatch");
-        let mut w = 0;
-        for (i, &k) in keep.iter().enumerate() {
-            if k {
-                self.vt[w] = self.vt[i];
-                self.ve[w] = self.ve[i];
-                w += 1;
-            }
+        self.compact(&relation::compact_indices(keep));
+    }
+
+    /// Keep only the events at `idx` (strictly increasing), in place.
+    pub fn compact(&mut self, idx: &[u32]) {
+        for (w, &i) in idx.iter().enumerate() {
+            self.vt[w] = self.vt[i as usize];
+            self.ve[w] = self.ve[i as usize];
         }
-        self.vt.truncate(w);
-        self.ve.truncate(w);
-        self.payload.retain(keep);
+        self.vt.truncate(idx.len());
+        self.ve.truncate(idx.len());
+        self.payload.compact(idx);
+    }
+
+    /// Gather the events at `idx` into a new batch (indices may repeat and
+    /// appear in any order).
+    pub fn gather(&self, idx: &[u32]) -> EventBatch {
+        EventBatch {
+            vt: idx.iter().map(|&i| self.vt[i as usize]).collect(),
+            ve: idx.iter().map(|&i| self.ve[i as usize]).collect(),
+            payload: self.payload.gather(idx),
+        }
     }
 }
 

@@ -26,7 +26,43 @@ use crate::error::{Result, TemporalError};
 use crate::expr::{eval_arith, eval_cmp, eval_func, BinOp, Expr, Func};
 use relation::column::{Column, ColumnBatch, ColumnData, Validity};
 use relation::{RelationError, Row, Schema, Value};
+use simd::{F64x8, I64x8, LANES, M8};
 use std::sync::Arc;
+
+/// How a batch evaluation walks its input: which rows are live and which
+/// kernel suite runs.
+///
+/// `sel` is the fused engine's selection vector — the (strictly
+/// increasing) indices of `batch` rows still alive after upstream
+/// predicates. Leaf column reads gather through it, so every interior
+/// kernel runs dense over `sel.len()` slots and no intermediate batch is
+/// ever compacted. `None` means all rows. `simd` routes the arithmetic /
+/// comparison / boolean kernels through the lane-parallel suite at the
+/// bottom of this file; scalar and SIMD suites are byte-identical by
+/// contract (property-tested), so the flag is purely a performance choice.
+#[derive(Clone, Copy)]
+struct EvalCtx<'a> {
+    sel: Option<&'a [u32]>,
+    simd: bool,
+}
+
+/// The classic row-compatible context: all rows, scalar kernels.
+const DENSE_SCALAR: EvalCtx<'static> = EvalCtx {
+    sel: None,
+    simd: false,
+};
+
+impl EvalCtx<'_> {
+    /// Number of live rows (the length of every mask and value vector).
+    fn rows(&self, batch: &ColumnBatch) -> usize {
+        self.sel.map_or_else(|| batch.len(), <[u32]>::len)
+    }
+
+    /// Map a live-row ordinal back to its underlying batch row index.
+    fn row_index(&self, i: usize) -> usize {
+        self.sel.map_or(i, |s| s[i] as usize)
+    }
+}
 
 /// An expression resolved against a fixed input [`Schema`], evaluable
 /// against bare rows of that schema.
@@ -95,7 +131,7 @@ impl CompiledExpr {
     /// the row path, which computes the identical result.
     pub fn eval_batch(&self, batch: &ColumnBatch) -> Result<Option<Column>> {
         let n = batch.len();
-        let raw = self.node.eval_batch(batch);
+        let raw = self.node.eval_batch(batch, DENSE_SCALAR);
         if let Some(i) = raw.errs.first(n) {
             return Err(self.scalar_error_at(batch, i));
         }
@@ -107,8 +143,24 @@ impl CompiledExpr {
     /// would (Null counts as false). Errors reproduce the scalar path's
     /// first-failing-row error verbatim.
     pub fn eval_predicate_batch(&self, batch: &ColumnBatch) -> Result<Vec<bool>> {
-        let n = batch.len();
-        let raw = self.node.eval_batch(batch);
+        self.predicate_batch_ctx(batch, DENSE_SCALAR)
+    }
+
+    /// [`Self::eval_predicate_batch`] for the fused engine: evaluates only
+    /// the rows named by `sel` (all rows when `None`) on the SIMD kernel
+    /// suite. The mask has one slot per *selected* row; errors reproduce
+    /// the scalar error of the first failing selected row.
+    pub(crate) fn eval_predicate_batch_sel(
+        &self,
+        batch: &ColumnBatch,
+        sel: Option<&[u32]>,
+    ) -> Result<Vec<bool>> {
+        self.predicate_batch_ctx(batch, EvalCtx { sel, simd: true })
+    }
+
+    fn predicate_batch_ctx(&self, batch: &ColumnBatch, ctx: EvalCtx) -> Result<Vec<bool>> {
+        let n = ctx.rows(batch);
+        let raw = self.node.eval_batch(batch, ctx);
         // Bulk path for the common case — a statically-boolean result with
         // no errors anywhere: take the dense vector (or broadcast the
         // constant) and mask nulls to false word-at-a-time, with no per-row
@@ -141,7 +193,7 @@ impl CompiledExpr {
         // value) surfaces in exactly the order the scalar loop would hit it.
         for i in 0..n {
             if raw.errs.get(i) {
-                return Err(self.scalar_predicate_error_at(batch, i));
+                return Err(self.scalar_predicate_error_at(batch, ctx.row_index(i)));
             }
             if raw.nulls.get(i) {
                 continue; // Null → false
@@ -151,9 +203,9 @@ impl CompiledExpr {
                 BVals::Const(Value::Bool(b)) => *b,
                 BVals::Mixed(v) => match &v[i] {
                     Value::Bool(b) => *b,
-                    _ => return Err(self.scalar_predicate_error_at(batch, i)),
+                    _ => return Err(self.scalar_predicate_error_at(batch, ctx.row_index(i))),
                 },
-                _ => return Err(self.scalar_predicate_error_at(batch, i)),
+                _ => return Err(self.scalar_predicate_error_at(batch, ctx.row_index(i))),
             };
         }
         Ok(keep)
@@ -180,7 +232,25 @@ impl CompiledExpr {
     /// expression's first error *row* to reproduce the scalar path's
     /// row-major error order before converting any column.
     pub(crate) fn eval_batch_raw(&self, batch: &ColumnBatch) -> BatchEval {
-        self.node.eval_batch(batch)
+        self.node.eval_batch(batch, DENSE_SCALAR)
+    }
+
+    /// [`Self::eval_batch_raw`] for the fused engine: evaluate only the
+    /// rows named by `sel` (all rows when `None`) on the SIMD kernel
+    /// suite. Masks and values have one slot per selected row; callers map
+    /// mask indices back through `sel` before re-running the scalar path.
+    pub(crate) fn eval_batch_raw_sel(&self, batch: &ColumnBatch, sel: Option<&[u32]>) -> BatchEval {
+        self.node.eval_batch(batch, EvalCtx { sel, simd: true })
+    }
+
+    /// `Some(i)` when the whole expression is a bare reference to column
+    /// `i` — the pass-through shape an owning projection satisfies by
+    /// *moving* the input column instead of evaluating anything.
+    pub(crate) fn as_col(&self) -> Option<usize> {
+        match self.node {
+            Node::Col(i) => Some(i),
+            _ => None,
+        }
     }
 }
 
@@ -294,10 +364,13 @@ impl Node {
     /// throughout: for every row `i`, scalar eval of the gathered row is
     /// `Err(_)` iff `errs.get(i)`, `Ok(Null)` iff `nulls.get(i)` (and not
     /// err), and otherwise `Ok(value_at(i))` bit-for-bit.
-    fn eval_batch(&self, batch: &ColumnBatch) -> BatchEval {
-        let n = batch.len();
+    fn eval_batch(&self, batch: &ColumnBatch, ctx: EvalCtx) -> BatchEval {
+        let n = ctx.rows(batch);
         match self {
-            Node::Col(i) => BatchEval::from_column(batch.column(*i)),
+            Node::Col(i) => match ctx.sel {
+                None => BatchEval::from_column(batch.column(*i)),
+                Some(sel) => BatchEval::from_column_sel(batch.column(*i), sel),
+            },
             // Unknown column: errors on every row it is evaluated for,
             // exactly like the deferred scalar error.
             Node::MissingCol(_) => BatchEval {
@@ -306,17 +379,52 @@ impl Node {
                 errs: Mask::All,
             },
             Node::Lit(v) => BatchEval::constant(v.clone()),
-            Node::Binary { op, left, right } => {
-                let l = left.eval_batch(batch);
-                match op {
-                    BinOp::And => connective(true, l, || right.eval_batch(batch), n),
-                    BinOp::Or => connective(false, l, || right.eval_batch(batch), n),
-                    _ => binary(*op, l, right.eval_batch(batch), n),
+            Node::Binary { op, left, right } => match op {
+                BinOp::And => {
+                    let l = left.eval_batch(batch, ctx);
+                    connective(true, l, || right.eval_batch(batch, ctx), n, ctx.simd)
                 }
-            }
-            Node::Not(e) => not_batch(e.eval_batch(batch), n),
+                BinOp::Or => {
+                    let l = left.eval_batch(batch, ctx);
+                    connective(false, l, || right.eval_batch(batch, ctx), n, ctx.simd)
+                }
+                _ => {
+                    // Dense SIMD context: `Col`/`Lit` leaves become borrowed
+                    // operands read straight out of the batch (or the plan),
+                    // skipping `from_column`'s whole-vector clone. Non-leaf
+                    // operands evaluate to owned storage held in `lh`/`rh`
+                    // for the duration of the kernel dispatch.
+                    let (lh, rh);
+                    let l = match leaf_operand(left, batch, ctx) {
+                        Some(side) => side,
+                        None => {
+                            let BatchEval { vals, nulls, errs } = left.eval_batch(batch, ctx);
+                            lh = vals;
+                            Side {
+                                v: VRef::Vals(&lh),
+                                nulls,
+                                errs,
+                            }
+                        }
+                    };
+                    let r = match leaf_operand(right, batch, ctx) {
+                        Some(side) => side,
+                        None => {
+                            let BatchEval { vals, nulls, errs } = right.eval_batch(batch, ctx);
+                            rh = vals;
+                            Side {
+                                v: VRef::Vals(&rh),
+                                nulls,
+                                errs,
+                            }
+                        }
+                    };
+                    binary(*op, l, r, n, ctx.simd)
+                }
+            },
+            Node::Not(e) => not_batch(e.eval_batch(batch, ctx), n),
             Node::Call { func, args } => {
-                let evals: Vec<BatchEval> = args.iter().map(|a| a.eval_batch(batch)).collect();
+                let evals: Vec<BatchEval> = args.iter().map(|a| a.eval_batch(batch, ctx)).collect();
                 call_batch(*func, &evals, n)
             }
         }
@@ -385,6 +493,20 @@ enum BVals {
     Mixed(Vec<Value>),
 }
 
+/// Scalar value at slot `i` of a batch-values vector (no null masking —
+/// callers check their mask first).
+fn bvals_at(v: &BVals, i: usize) -> Value {
+    match v {
+        BVals::Const(v) => v.clone(),
+        BVals::Bool(d) => Value::Bool(d[i]),
+        BVals::Int(d) => Value::Int(d[i]),
+        BVals::Long(d) => Value::Long(d[i]),
+        BVals::Double(d) => Value::Double(d[i]),
+        BVals::Str(d) => Value::Str(Arc::clone(&d[i])),
+        BVals::Mixed(v) => v[i].clone(),
+    }
+}
+
 /// Result of evaluating one expression node over a whole batch.
 ///
 /// Rows flagged in `errs` hold garbage in `vals`; rows flagged in `nulls`
@@ -431,20 +553,39 @@ impl BatchEval {
         }
     }
 
+    /// [`Self::from_column`] restricted to the rows named by `sel`: the
+    /// fused engine's selection-gather leaf. One slot per selected row;
+    /// everything downstream runs dense over the compacted length.
+    fn from_column_sel(col: &Column, sel: &[u32]) -> BatchEval {
+        let nulls = match col.validity() {
+            None => Mask::None,
+            Some(v) => Mask::from_flags(sel.iter().map(|&i| !v.is_valid(i as usize)).collect()),
+        };
+        macro_rules! gather {
+            ($d:expr, $variant:ident) => {
+                BVals::$variant(sel.iter().map(|&i| $d[i as usize].clone()).collect())
+            };
+        }
+        let vals = match col.data() {
+            ColumnData::Bool(d) => gather!(d, Bool),
+            ColumnData::Int(d) => gather!(d, Int),
+            ColumnData::Long(d) => gather!(d, Long),
+            ColumnData::Double(d) => gather!(d, Double),
+            ColumnData::Str(d) => gather!(d, Str),
+        };
+        BatchEval {
+            vals,
+            nulls,
+            errs: Mask::None,
+        }
+    }
+
     /// Scalar result of row `i` (callers must rule out `errs` first).
     fn value_at(&self, i: usize) -> Value {
         if self.nulls.get(i) {
             return Value::Null;
         }
-        match &self.vals {
-            BVals::Const(v) => v.clone(),
-            BVals::Bool(d) => Value::Bool(d[i]),
-            BVals::Int(d) => Value::Int(d[i]),
-            BVals::Long(d) => Value::Long(d[i]),
-            BVals::Double(d) => Value::Double(d[i]),
-            BVals::Str(d) => Value::Str(Arc::clone(&d[i])),
-            BVals::Mixed(v) => v[i].clone(),
-        }
+        bvals_at(&self.vals, i)
     }
 
     /// `Value::as_bool` of row `i` (`None` for Null and non-boolean rows;
@@ -559,8 +700,89 @@ fn widen_i64(v: &BVals, n: usize) -> Vec<i64> {
     }
 }
 
-/// Non-connective binary operator over two evaluated operand batches.
-fn binary(op: BinOp, l: BatchEval, r: BatchEval, n: usize) -> BatchEval {
+/// A borrowed binary-operator operand: an owned evaluation result, a batch
+/// column read **in place**, or a plan literal. The `Col`/`Lit` forms are
+/// what the fused engine's leaf fast path produces — the kernels index the
+/// column's storage directly, so a `col <op> lit` filter or a projection
+/// arithmetic tree allocates nothing per leaf (where `from_column` clones
+/// the full vector).
+enum VRef<'a> {
+    Vals(&'a BVals),
+    Col(&'a Column),
+    Lit(&'a Value),
+}
+
+/// One binary operand: borrowed values plus its null/error masks.
+struct Side<'a> {
+    v: VRef<'a>,
+    nulls: Mask,
+    errs: Mask,
+}
+
+/// Borrowed-leaf operand for the dense SIMD context, `None` when the node
+/// is not a leaf (or the context is scalar / selection-gathered — those
+/// keep the exact `from_column` / `from_column_sel` paths). Masks mirror
+/// [`BatchEval::from_column`] / [`BatchEval::constant`] bit for bit.
+fn leaf_operand<'a>(node: &'a Node, batch: &'a ColumnBatch, ctx: EvalCtx) -> Option<Side<'a>> {
+    if !ctx.simd || ctx.sel.is_some() {
+        return None;
+    }
+    match node {
+        Node::Col(i) => {
+            let col = batch.column(*i);
+            let nulls = match col.validity() {
+                None => Mask::None,
+                Some(v) => Mask::from_flags((0..v.len()).map(|i| !v.is_valid(i)).collect()),
+            };
+            Some(Side {
+                v: VRef::Col(col),
+                nulls,
+                errs: Mask::None,
+            })
+        }
+        Node::Lit(v) => Some(Side {
+            v: VRef::Lit(v),
+            nulls: if v.is_null() { Mask::All } else { Mask::None },
+            errs: Mask::None,
+        }),
+        _ => None,
+    }
+}
+
+/// [`arith_rank`] over a borrowed operand.
+fn arith_rank_ref(v: &VRef) -> Option<u8> {
+    match v {
+        VRef::Vals(b) => arith_rank(b),
+        VRef::Col(c) => match c.data() {
+            ColumnData::Int(_) => Some(2),
+            ColumnData::Long(_) => Some(3),
+            ColumnData::Double(_) => Some(4),
+            _ => None,
+        },
+        VRef::Lit(val) => match val {
+            Value::Int(_) => Some(2),
+            Value::Long(_) => Some(3),
+            Value::Double(_) => Some(4),
+            _ => None,
+        },
+    }
+}
+
+/// Scalar value of row `i` (callers must rule out errors first; masked
+/// null rows read as `Null` exactly like [`BatchEval::value_at`]).
+fn value_at_ref(v: &VRef, nulls: &Mask, i: usize) -> Value {
+    if nulls.get(i) {
+        return Value::Null;
+    }
+    match v {
+        VRef::Vals(b) => bvals_at(b, i),
+        VRef::Col(c) => c.value(i),
+        VRef::Lit(val) => (*val).clone(),
+    }
+}
+
+/// Non-connective binary operator over two borrowed operands.
+fn binary(op: BinOp, l: Side, r: Side, n: usize, simd: bool) -> BatchEval {
     // Scalar order: left `?`, right `?`, *then* the null check — so the
     // error mask is the plain union (a right-side error surfaces even when
     // the left side is null), and null rows are the union of the rest.
@@ -573,11 +795,15 @@ fn binary(op: BinOp, l: BatchEval, r: BatchEval, n: usize) -> BatchEval {
             errs,
         };
     }
-    let ranks = (arith_rank(&l.vals), arith_rank(&r.vals));
+    let ranks = (arith_rank_ref(&l.v), arith_rank_ref(&r.v));
     match op {
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
             if let (Some(a), Some(b)) = ranks {
-                arith_kernel(op, &l.vals, &r.vals, a, b, n, nulls, errs)
+                if simd {
+                    simd_arith_kernel(op, &l.v, &r.v, a, b, n, nulls, errs)
+                } else {
+                    arith_kernel(op, &l.v, &r.v, a, b, n, nulls, errs)
+                }
             } else {
                 per_row_binary(op, &l, &r, n, &nulls, &errs)
             }
@@ -587,11 +813,25 @@ fn binary(op: BinOp, l: BatchEval, r: BatchEval, n: usize) -> BatchEval {
             // accessor (dense slice or broadcast constant) instead of
             // materializing two widened f64 vectors per batch — the
             // `col == lit` filter shape allocates only the output mask.
-            let vals = if let (Some(na), Some(nb)) = (num_accessor(&l.vals), num_accessor(&r.vals))
+            let vals = if let (Some(na), Some(nb)) =
+                (num_accessor_ref(&l.v), num_accessor_ref(&r.v))
             {
                 let neg = op == BinOp::Ne;
-                BVals::Bool((0..n).map(|i| (na.at(i) == nb.at(i)) != neg).collect())
-            } else if let (Some(sa), Some(sb)) = (str_accessor(&l.vals), str_accessor(&r.vals)) {
+                if simd {
+                    // Integer batches with an i32-ranged side skip the f64
+                    // widening entirely — provably the same answers, none of
+                    // the per-lane int→float conversions (see `simd_int_eq`).
+                    let exact = match (int_accessor_ref(&l.v), int_accessor_ref(&r.v)) {
+                        (Some(ia), Some(ib)) if i32_ranged(&ia) || i32_ranged(&ib) => {
+                            Some(simd_int_eq(&ia, &ib, n, neg))
+                        }
+                        _ => None,
+                    };
+                    BVals::Bool(exact.unwrap_or_else(|| simd_num_eq(&na, &nb, n, neg)))
+                } else {
+                    BVals::Bool((0..n).map(|i| (na.at(i) == nb.at(i)) != neg).collect())
+                }
+            } else if let (Some(sa), Some(sb)) = (str_accessor_ref(&l.v), str_accessor_ref(&r.v)) {
                 let neg = op == BinOp::Ne;
                 BVals::Bool((0..n).map(|i| (sa.at(i) == sb.at(i)) != neg).collect())
             } else {
@@ -600,15 +840,27 @@ fn binary(op: BinOp, l: BatchEval, r: BatchEval, n: usize) -> BatchEval {
             BatchEval { vals, nulls, errs }
         }
         BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let ord_test = cmp_test(op);
-            let vals = if let (Some(na), Some(nb)) = (num_accessor(&l.vals), num_accessor(&r.vals))
+            let vals = if let (Some(na), Some(nb)) =
+                (num_accessor_ref(&l.v), num_accessor_ref(&r.v))
             {
-                BVals::Bool(
-                    (0..n)
-                        .map(|i| ord_test(na.at(i).total_cmp(&nb.at(i))))
-                        .collect(),
-                )
-            } else if let (Some(sa), Some(sb)) = (str_accessor(&l.vals), str_accessor(&r.vals)) {
+                if simd {
+                    let exact = match (int_accessor_ref(&l.v), int_accessor_ref(&r.v)) {
+                        (Some(ia), Some(ib)) if i32_ranged(&ia) || i32_ranged(&ib) => {
+                            Some(simd_int_ord(op, &ia, &ib, n))
+                        }
+                        _ => None,
+                    };
+                    BVals::Bool(exact.unwrap_or_else(|| simd_num_ord(op, &na, &nb, n)))
+                } else {
+                    let ord_test = cmp_test(op);
+                    BVals::Bool(
+                        (0..n)
+                            .map(|i| ord_test(na.at(i).total_cmp(&nb.at(i))))
+                            .collect(),
+                    )
+                }
+            } else if let (Some(sa), Some(sb)) = (str_accessor_ref(&l.v), str_accessor_ref(&r.v)) {
+                let ord_test = cmp_test(op);
                 BVals::Bool((0..n).map(|i| ord_test(sa.at(i).cmp(sb.at(i)))).collect())
             } else {
                 return per_row_binary(op, &l, &r, n, &nulls, &errs);
@@ -665,6 +917,26 @@ fn num_accessor(v: &BVals) -> Option<NumSide<'_>> {
     }
 }
 
+/// [`num_accessor`] over a borrowed operand: column storage and literals
+/// read in place, widening exactly like the owned form.
+fn num_accessor_ref<'a>(v: &'a VRef) -> Option<NumSide<'a>> {
+    match v {
+        VRef::Vals(b) => num_accessor(b),
+        VRef::Col(c) => match c.data() {
+            ColumnData::Int(d) => Some(NumSide::Int(d)),
+            ColumnData::Long(d) => Some(NumSide::Long(d)),
+            ColumnData::Double(d) => Some(NumSide::Double(d)),
+            _ => None,
+        },
+        VRef::Lit(val) => match val {
+            Value::Int(_) | Value::Long(_) | Value::Double(_) => Some(NumSide::Const(
+                val.as_double().expect("numeric const has a double form"),
+            )),
+            _ => None,
+        },
+    }
+}
+
 /// Per-row string accessor for statically string-typed batches.
 enum StrSide<'a> {
     Dense(&'a [Arc<str>]),
@@ -688,12 +960,52 @@ fn str_accessor(v: &BVals) -> Option<StrSide<'_>> {
     }
 }
 
+/// [`str_accessor`] over a borrowed operand.
+fn str_accessor_ref<'a>(v: &'a VRef) -> Option<StrSide<'a>> {
+    match v {
+        VRef::Vals(b) => str_accessor(b),
+        VRef::Col(c) => match c.data() {
+            ColumnData::Str(d) => Some(StrSide::Dense(d)),
+            _ => None,
+        },
+        VRef::Lit(Value::Str(s)) => Some(StrSide::Const(s)),
+        VRef::Lit(_) => None,
+    }
+}
+
+/// [`widen_f64`] over a borrowed operand.
+fn widen_f64_ref(v: &VRef, n: usize) -> Vec<f64> {
+    match v {
+        VRef::Vals(b) => widen_f64(b, n),
+        VRef::Col(c) => match c.data() {
+            ColumnData::Int(d) => d.iter().map(|&x| f64::from(x)).collect(),
+            ColumnData::Long(d) => d.iter().map(|&x| x as f64).collect(),
+            ColumnData::Double(d) => d.clone(),
+            _ => unreachable!("widen_f64 on non-numeric column"),
+        },
+        VRef::Lit(c) => vec![c.as_double().expect("numeric const"); n],
+    }
+}
+
+/// [`widen_i64`] over a borrowed operand.
+fn widen_i64_ref(v: &VRef, n: usize) -> Vec<i64> {
+    match v {
+        VRef::Vals(b) => widen_i64(b, n),
+        VRef::Col(c) => match c.data() {
+            ColumnData::Int(d) => d.iter().map(|&x| i64::from(x)).collect(),
+            ColumnData::Long(d) => d.clone(),
+            _ => unreachable!("widen_i64 on non-integer column"),
+        },
+        VRef::Lit(c) => vec![c.as_long().expect("integer const"); n],
+    }
+}
+
 /// Typed arithmetic kernel over numeric operands (ranks `a`, `b`).
 #[allow(clippy::too_many_arguments)]
 fn arith_kernel(
     op: BinOp,
-    l: &BVals,
-    r: &BVals,
+    l: &VRef,
+    r: &VRef,
     a: u8,
     b: u8,
     n: usize,
@@ -702,7 +1014,7 @@ fn arith_kernel(
 ) -> BatchEval {
     if a == 4 || b == 4 {
         // Double promotion; x/0.0 is Null, everything else is total.
-        let (x, y) = (widen_f64(l, n), widen_f64(r, n));
+        let (x, y) = (widen_f64_ref(l, n), widen_f64_ref(r, n));
         let mut div_nulls = Vec::new();
         let out: Vec<f64> = match op {
             BinOp::Add => x.iter().zip(&y).map(|(p, q)| p + q).collect(),
@@ -739,7 +1051,7 @@ fn arith_kernel(
     // Integer path: wrapping semantics; the divisor must be checked per
     // element *before* dividing (placeholder zeros at masked rows would
     // otherwise panic — masked rows may be computed but never observed).
-    let (x, y) = (widen_i64(l, n), widen_i64(r, n));
+    let (x, y) = (widen_i64_ref(l, n), widen_i64_ref(r, n));
     let mut div_nulls = Vec::new();
     let out: Vec<i64> = match op {
         BinOp::Add => x.iter().zip(&y).map(|(p, q)| p.wrapping_add(*q)).collect(),
@@ -777,14 +1089,7 @@ fn arith_kernel(
 
 /// Row-at-a-time fallback for operand shapes without a typed kernel;
 /// reproduces scalar semantics exactly via the scalar helpers.
-fn per_row_binary(
-    op: BinOp,
-    l: &BatchEval,
-    r: &BatchEval,
-    n: usize,
-    nulls: &Mask,
-    errs: &Mask,
-) -> BatchEval {
+fn per_row_binary(op: BinOp, l: &Side, r: &Side, n: usize, nulls: &Mask, errs: &Mask) -> BatchEval {
     let mut out = vec![Value::Null; n];
     let mut null_flags = vec![false; n];
     let mut err_flags = vec![false; n];
@@ -797,7 +1102,10 @@ fn per_row_binary(
             null_flags[i] = true;
             continue;
         }
-        let (a, b) = (l.value_at(i), r.value_at(i));
+        let (a, b) = (
+            value_at_ref(&l.v, &l.nulls, i),
+            value_at_ref(&r.v, &r.nulls, i),
+        );
         let res = match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => eval_arith(op, &a, &b),
             BinOp::Eq => Ok(Value::Bool(a.loose_eq(&b))),
@@ -818,12 +1126,40 @@ fn per_row_binary(
     }
 }
 
+/// `AND` / `OR` dispatch: the SIMD suite takes the dense-boolean fast
+/// path when it is semantically free to do so, everything else runs the
+/// generic short-circuit loop.
+///
+/// The fast path evaluates the right side eagerly. That is only sound
+/// when the left side is error-free and statically boolean: then the set
+/// of rows whose right-side *errors* could have been masked by
+/// short-circuiting is exactly the set where the fast path requires the
+/// right side error-free anyway (it falls back to the generic loop — with
+/// the right side already evaluated, which the generic loop treats
+/// identically to lazy evaluation).
+fn connective(
+    is_and: bool,
+    l: BatchEval,
+    right: impl FnOnce() -> BatchEval,
+    n: usize,
+    simd: bool,
+) -> BatchEval {
+    if simd && matches!(l.errs, Mask::None) && matches!(l.vals, BVals::Bool(_)) {
+        let r = right();
+        if matches!(r.errs, Mask::None) && matches!(r.vals, BVals::Bool(_)) {
+            return connective_dense_simd(is_and, &l, &r, n);
+        }
+        return connective_generic(is_and, l, move || r, n);
+    }
+    connective_generic(is_and, l, right, n)
+}
+
 /// `AND` / `OR` with scalar short-circuit semantics: the right side is
 /// evaluated only for rows whose left side is `true` (AND) / `false` (OR),
 /// and its result — *whatever its type* — is returned verbatim for those
 /// rows. Errors on skipped right sides stay masked, so the right batch is
 /// only computed when at least one row defers to it.
-fn connective(
+fn connective_generic(
     is_and: bool,
     l: BatchEval,
     right: impl FnOnce() -> BatchEval,
@@ -1053,6 +1389,336 @@ fn call_batch(func: Func, args: &[BatchEval], n: usize) -> BatchEval {
         vals: BVals::Mixed(out),
         nulls: Mask::from_flags(null_flags),
         errs: Mask::from_flags(err_flags),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernel suite (the `EvalCtx::simd` path, used by `ExecMode::Fused`).
+//
+// Each kernel is the lane-parallel twin of a scalar kernel above and must
+// be byte-identical to it — that is the law the fused engine rests on:
+//   * numeric compares widen to `f64` exactly like `Value::as_double`
+//     (`NumSide::load8` mirrors `NumSide::at` per lane);
+//   * ordering goes through the IEEE total-order key, which is *defined*
+//     to agree with `f64::total_cmp`;
+//   * integer arithmetic wraps; `f64` division runs IEEE (it cannot trap)
+//     and lanes with a zero divisor are overwritten with the scalar
+//     placeholder `0.0` and flagged null; `i64` division guards the
+//     divisor per element and stays scalar.
+// Slices are processed in `LANES`-wide chunks with a scalar tail that uses
+// the same accessor methods, so chunked and tail lanes agree bit-for-bit.
+// ---------------------------------------------------------------------------
+
+impl NumSide<'_> {
+    /// Eight lanes starting at `i`, widened to `f64` exactly like
+    /// [`NumSide::at`] (requires `i + LANES <= len`).
+    #[inline(always)]
+    fn load8(&self, i: usize) -> F64x8 {
+        match self {
+            NumSide::Int(d) => F64x8::load_i32(&d[i..]),
+            NumSide::Long(d) => F64x8::load_i64(&d[i..]),
+            NumSide::Double(d) => F64x8::load(&d[i..]),
+            NumSide::Const(c) => F64x8::splat(*c),
+        }
+    }
+}
+
+/// Per-row `i64` accessor for statically integer batches (the SIMD twin of
+/// `widen_i64`, borrowing instead of materializing).
+enum IntSide<'a> {
+    Int(&'a [i32]),
+    Long(&'a [i64]),
+    Const(i64),
+}
+
+impl IntSide<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize) -> i64 {
+        match self {
+            IntSide::Int(d) => i64::from(d[i]),
+            IntSide::Long(d) => d[i],
+            IntSide::Const(c) => *c,
+        }
+    }
+
+    /// Eight lanes starting at `i` (requires `i + LANES <= len`).
+    #[inline(always)]
+    fn load8(&self, i: usize) -> I64x8 {
+        match self {
+            IntSide::Int(d) => I64x8::load_i32(&d[i..]),
+            IntSide::Long(d) => I64x8::load(&d[i..]),
+            IntSide::Const(c) => I64x8::splat(*c),
+        }
+    }
+}
+
+fn int_accessor(v: &BVals) -> Option<IntSide<'_>> {
+    match v {
+        BVals::Int(d) => Some(IntSide::Int(d)),
+        BVals::Long(d) => Some(IntSide::Long(d)),
+        BVals::Const(c) => c.as_long().map(IntSide::Const),
+        _ => None,
+    }
+}
+
+/// [`int_accessor`] over a borrowed operand.
+fn int_accessor_ref<'a>(v: &'a VRef) -> Option<IntSide<'a>> {
+    match v {
+        VRef::Vals(b) => int_accessor(b),
+        VRef::Col(c) => match c.data() {
+            ColumnData::Int(d) => Some(IntSide::Int(d)),
+            ColumnData::Long(d) => Some(IntSide::Long(d)),
+            _ => None,
+        },
+        VRef::Lit(val) => val.as_long().map(IntSide::Const),
+    }
+}
+
+/// Lane-parallel twin of [`arith_kernel`]: identical result values, null
+/// flags, and variant choice, without materializing widened operands.
+#[allow(clippy::too_many_arguments)]
+fn simd_arith_kernel(
+    op: BinOp,
+    l: &VRef,
+    r: &VRef,
+    a: u8,
+    b: u8,
+    n: usize,
+    nulls: Mask,
+    errs: Mask,
+) -> BatchEval {
+    let head = n - n % LANES;
+    if a == 4 || b == 4 {
+        let x = num_accessor_ref(l).expect("double-ranked batch has a numeric accessor");
+        let y = num_accessor_ref(r).expect("double-ranked batch has a numeric accessor");
+        let mut out = vec![0.0f64; n];
+        let mut div_nulls = Vec::new();
+        macro_rules! f64_map {
+            ($lane_op:tt) => {{
+                for i in (0..head).step_by(LANES) {
+                    (x.load8(i) $lane_op y.load8(i)).store(&mut out[i..]);
+                }
+                for i in head..n {
+                    out[i] = x.at(i) $lane_op y.at(i);
+                }
+            }};
+        }
+        match op {
+            BinOp::Add => f64_map!(+),
+            BinOp::Sub => f64_map!(-),
+            BinOp::Mul => f64_map!(*),
+            BinOp::Div => {
+                // x/0.0 is Null with a 0.0 placeholder; nonzero lanes run
+                // the IEEE divide, bit-identical to the scalar `p / q`.
+                div_nulls = vec![false; n];
+                let zero = F64x8::splat(0.0);
+                for i in (0..head).step_by(LANES) {
+                    let q = y.load8(i);
+                    let z = q.eq(zero);
+                    z.select_f64(zero, x.load8(i) / q).store(&mut out[i..]);
+                    z.store(&mut div_nulls[i..]);
+                }
+                for i in head..n {
+                    let q = y.at(i);
+                    if q == 0.0 {
+                        div_nulls[i] = true;
+                    } else {
+                        out[i] = x.at(i) / q;
+                    }
+                }
+            }
+            _ => unreachable!("arith op"),
+        }
+        let nulls = if div_nulls.contains(&true) {
+            Mask::union(&nulls, &Mask::from_flags(div_nulls))
+        } else {
+            nulls
+        };
+        return BatchEval {
+            vals: BVals::Double(out),
+            nulls,
+            errs,
+        };
+    }
+    let x = int_accessor_ref(l).expect("integer-ranked batch has an integer accessor");
+    let y = int_accessor_ref(r).expect("integer-ranked batch has an integer accessor");
+    let mut out = vec![0i64; n];
+    let mut div_nulls = Vec::new();
+    macro_rules! i64_map {
+        ($lane:ident) => {{
+            for i in (0..head).step_by(LANES) {
+                x.load8(i).$lane(y.load8(i)).store(&mut out[i..]);
+            }
+            for i in head..n {
+                out[i] = x.at(i).$lane(y.at(i));
+            }
+        }};
+    }
+    match op {
+        BinOp::Add => i64_map!(wrapping_add),
+        BinOp::Sub => i64_map!(wrapping_sub),
+        BinOp::Mul => i64_map!(wrapping_mul),
+        BinOp::Div => {
+            // The divisor must be checked per element *before* dividing
+            // (placeholder zeros at masked rows would otherwise panic), so
+            // integer division stays scalar.
+            div_nulls = vec![false; n];
+            for (i, (o, d)) in out.iter_mut().zip(&mut div_nulls).enumerate() {
+                let q = y.at(i);
+                if q == 0 {
+                    *d = true;
+                } else {
+                    *o = x.at(i).wrapping_div(q);
+                }
+            }
+        }
+        _ => unreachable!("arith op"),
+    }
+    let nulls = if div_nulls.contains(&true) {
+        Mask::union(&nulls, &Mask::from_flags(div_nulls))
+    } else {
+        nulls
+    };
+    let vals = if a == 3 || b == 3 {
+        BVals::Long(out)
+    } else {
+        BVals::Int(out.into_iter().map(|v| v as i32).collect())
+    };
+    BatchEval { vals, nulls, errs }
+}
+
+/// `true` when every value this side can produce fits in `i32` range,
+/// the soundness condition for the exact-integer comparison kernels.
+fn i32_ranged(s: &IntSide) -> bool {
+    match s {
+        IntSide::Int(_) => true,
+        IntSide::Const(c) => i64::from(i32::MIN) <= *c && *c <= i64::from(i32::MAX),
+        IntSide::Long(_) => false,
+    }
+}
+
+/// Exact-integer `==` / `!=`.
+///
+/// Agrees with the scalar f64-widening comparison whenever at least one side
+/// is i32-ranged: `as f64` is exact below 2^53 and preserves sign and
+/// magnitude ordering above it, so a collision or an order flip between the
+/// two paths would require *both* operands' magnitudes to exceed 2^53 —
+/// impossible with an i32-ranged side. Skipping the widening avoids the
+/// per-lane i64→f64 conversions, which LLVM scalarizes on most targets.
+fn simd_int_eq(a: &IntSide, b: &IntSide, n: usize, neg: bool) -> Vec<bool> {
+    let mut out = vec![false; n];
+    let head = n - n % LANES;
+    for i in (0..head).step_by(LANES) {
+        let m = a.load8(i).eq(b.load8(i));
+        (if neg { !m } else { m }).store(&mut out[i..]);
+    }
+    for (i, o) in out.iter_mut().enumerate().skip(head) {
+        *o = (a.at(i) == b.at(i)) != neg;
+    }
+    out
+}
+
+/// Exact-integer ordering (same soundness condition as [`simd_int_eq`]).
+fn simd_int_ord(op: BinOp, a: &IntSide, b: &IntSide, n: usize) -> Vec<bool> {
+    let mut out = vec![false; n];
+    let head = n - n % LANES;
+    for i in (0..head).step_by(LANES) {
+        let ka = a.load8(i);
+        let kb = b.load8(i);
+        let m = match op {
+            BinOp::Lt => ka.lt(kb),
+            BinOp::Le => ka.le(kb),
+            BinOp::Gt => kb.lt(ka),
+            BinOp::Ge => kb.le(ka),
+            _ => unreachable!("ordering op"),
+        };
+        m.store(&mut out[i..]);
+    }
+    let ord_test = cmp_test(op);
+    for (i, o) in out.iter_mut().enumerate().skip(head) {
+        *o = ord_test(a.at(i).cmp(&b.at(i)));
+    }
+    out
+}
+
+/// Lane-parallel numeric `==` / `!=` (IEEE equality after f64 widening,
+/// exactly like `Value::loose_eq` on numerics).
+fn simd_num_eq(a: &NumSide, b: &NumSide, n: usize, neg: bool) -> Vec<bool> {
+    let mut out = vec![false; n];
+    let head = n - n % LANES;
+    for i in (0..head).step_by(LANES) {
+        let m = a.load8(i).eq(b.load8(i));
+        (if neg { !m } else { m }).store(&mut out[i..]);
+    }
+    for (i, o) in out.iter_mut().enumerate().skip(head) {
+        *o = (a.at(i) == b.at(i)) != neg;
+    }
+    out
+}
+
+/// Lane-parallel numeric ordering via the total-order key — agrees with
+/// `f64::total_cmp` by construction (`Gt`/`Ge` swap operands of `lt`/`le`).
+fn simd_num_ord(op: BinOp, a: &NumSide, b: &NumSide, n: usize) -> Vec<bool> {
+    let mut out = vec![false; n];
+    let head = n - n % LANES;
+    for i in (0..head).step_by(LANES) {
+        let ka = a.load8(i).total_keys();
+        let kb = b.load8(i).total_keys();
+        let m = match op {
+            BinOp::Lt => ka.lt(kb),
+            BinOp::Le => ka.le(kb),
+            BinOp::Gt => kb.lt(ka),
+            BinOp::Ge => kb.le(ka),
+            _ => unreachable!("ordering op"),
+        };
+        m.store(&mut out[i..]);
+    }
+    let ord_test = cmp_test(op);
+    for (i, o) in out.iter_mut().enumerate().skip(head) {
+        *o = ord_test(a.at(i).total_cmp(&b.at(i)));
+    }
+    out
+}
+
+/// Lane-parallel `AND` / `OR` over two dense error-free boolean batches.
+///
+/// Garbage at null slots is harmless by the placement of the null flags:
+/// a null left side nulls the row outright, and a null right side only
+/// nulls rows that defer to it — exactly the scalar short-circuit rule.
+fn connective_dense_simd(is_and: bool, l: &BatchEval, r: &BatchEval, n: usize) -> BatchEval {
+    let (lv, rv) = match (&l.vals, &r.vals) {
+        (BVals::Bool(a), BVals::Bool(b)) => (a, b),
+        _ => unreachable!("dense connective on non-bool batches"),
+    };
+    let mut out = vec![false; n];
+    let head = n - n % LANES;
+    for i in (0..head).step_by(LANES) {
+        let a = M8::load(&lv[i..]);
+        let b = M8::load(&rv[i..]);
+        (if is_and { a.and(b) } else { a.or(b) }).store(&mut out[i..]);
+    }
+    for i in head..n {
+        out[i] = if is_and {
+            lv[i] && rv[i]
+        } else {
+            lv[i] || rv[i]
+        };
+    }
+    let nulls = match (&l.nulls, &r.nulls) {
+        (Mask::None, Mask::None) => Mask::None,
+        (ln, rn) => Mask::from_flags(
+            (0..n)
+                .map(|i| {
+                    let defers = if is_and { lv[i] } else { !lv[i] };
+                    ln.get(i) || (defers && rn.get(i))
+                })
+                .collect(),
+        ),
+    };
+    BatchEval {
+        vals: BVals::Bool(out),
+        nulls,
+        errs: Mask::None,
     }
 }
 

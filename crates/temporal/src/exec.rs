@@ -102,6 +102,13 @@ pub enum ExecMode {
     /// to the row path per operator (and per source) whenever no columnar
     /// form applies. Output is byte-identical to `Compiled`.
     Columnar,
+    /// Columnar execution plus fragment fusion: the plan is rewritten by
+    /// [`crate::plan::fuse_plan`] so every maximal stateless chain (Filter
+    /// / Project / AlterLifetime, including chains inside GroupApply
+    /// sub-plans) runs as a single-pass [`Operator::FusedFragment`] on the
+    /// SIMD kernel suite, with no intermediate batch between steps. Output
+    /// is byte-identical to `Compiled`.
+    Fused,
 }
 
 /// Execution choices threaded through the executor: which operator
@@ -220,6 +227,30 @@ pub fn execute_owned_data(
     sources: DataBindings,
     options: &ExecOptions,
 ) -> Result<Vec<EventStream>> {
+    Ok(execute_data(plan, sources, options)?
+        .into_iter()
+        .map(StreamData::into_stream)
+        .collect())
+}
+
+/// [`execute_owned_data`] without the final row conversion: each root is
+/// returned in whatever physical layout it finished in. Batch-resident
+/// callers — the binary-extent encoder, engine benchmarks — consume the
+/// columnar root directly instead of paying a batch→rows→batch round trip.
+pub fn execute_data(
+    plan: &LogicalPlan,
+    sources: DataBindings,
+    options: &ExecOptions,
+) -> Result<Vec<StreamData>> {
+    // Fused mode rewrites the plan first (idempotent: a pre-fused plan —
+    // e.g. one annotated at compile time — passes through unchanged).
+    let fused;
+    let plan = if options.mode == ExecMode::Fused {
+        fused = crate::plan::fuse_plan(plan)?;
+        &fused
+    } else {
+        plan
+    };
     let mut exec = Executor {
         source_refs: source_refs(plan),
         sources,
@@ -231,7 +262,7 @@ pub fn execute_owned_data(
     };
     plan.roots()
         .iter()
-        .map(|&root| exec.eval(plan, root).map(StreamData::into_stream))
+        .map(|&root| exec.eval(plan, root))
         .collect()
 }
 
@@ -276,6 +307,23 @@ pub fn execute_single_owned_with_options(
     options: &ExecOptions,
 ) -> Result<EventStream> {
     single(execute_owned_with_options(plan, sources, options)?)
+}
+
+/// Execute a single-output plan over layout-agnostic bindings and return
+/// the root in whatever layout it finished in (see [`execute_data`]).
+pub fn execute_single_data(
+    plan: &LogicalPlan,
+    sources: DataBindings,
+    options: &ExecOptions,
+) -> Result<StreamData> {
+    let mut outputs = execute_data(plan, sources, options)?;
+    if outputs.len() != 1 {
+        return Err(TemporalError::Plan(format!(
+            "expected a single-output plan, got {} outputs",
+            outputs.len()
+        )));
+    }
+    Ok(outputs.pop().unwrap())
 }
 
 /// Execute a single-output plan over layout-agnostic bindings
@@ -424,16 +472,16 @@ impl<'a> Executor<'a> {
                     // in-place operators now own the storage outright.
                     let data = self.sources.remove(name).expect("binding just seen");
                     match (self.mode, data) {
-                        // Columnar: transpose a row-form source at its last
-                        // reference; payloads that don't fit their declared
-                        // types stay rows (the fallback path).
-                        (ExecMode::Columnar, StreamData::Rows(s)) => {
+                        // Columnar/Fused: transpose a row-form source at its
+                        // last reference; payloads that don't fit their
+                        // declared types stay rows (the fallback path).
+                        (ExecMode::Columnar | ExecMode::Fused, StreamData::Rows(s)) => {
                             match EventBatch::from_stream(&s) {
                                 Some(b) => StreamData::Batch(b),
                                 None => StreamData::Rows(s),
                             }
                         }
-                        (ExecMode::Columnar, data) => data,
+                        (ExecMode::Columnar | ExecMode::Fused, data) => data,
                         // Row modes never see a batch: a pre-decoded one is
                         // converted right here.
                         (_, data) => StreamData::Rows(data.into_stream()),
@@ -497,13 +545,29 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
+            Operator::FusedFragment { steps } => {
+                match inputs.pop().expect("fused fragment has one input") {
+                    StreamData::Batch(b) => operators::fused_fragment_batch(b, steps)?,
+                    data => {
+                        StreamData::Rows(operators::fused_fragment_rows(data.into_stream(), steps)?)
+                    }
+                }
+            }
             Operator::Aggregate { aggs } => {
-                let input = inputs.pop().expect("aggregate has one input").into_stream();
-                StreamData::Rows(if interpreted {
-                    operators::interpreted::aggregate(&input, aggs)?
-                } else {
-                    operators::aggregate(&input, aggs)?
-                })
+                match inputs.pop().expect("aggregate has one input") {
+                    // Batch input: arguments evaluate through the reusable
+                    // scratch-row loop, lifetimes sweep straight off the
+                    // columnar vectors — no stream materialization.
+                    StreamData::Batch(b) => StreamData::Rows(operators::aggregate_batch(&b, aggs)?),
+                    data => {
+                        let input = data.into_stream();
+                        StreamData::Rows(if interpreted {
+                            operators::interpreted::aggregate(&input, aggs)?
+                        } else {
+                            operators::aggregate(&input, aggs)?
+                        })
+                    }
+                }
             }
             Operator::GroupApply { keys, subplan } => {
                 let input = inputs.pop().expect("group_apply has one input");

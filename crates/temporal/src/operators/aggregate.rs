@@ -19,21 +19,26 @@
 //! per-event argument values are produced — and those are value-identical.
 
 use crate::agg::AggExpr;
+use crate::batch::EventBatch;
 use crate::error::Result;
 use crate::event::Event;
 use crate::stream::EventStream;
 use crate::time::{Lifetime, Time};
 use relation::{Field, Row, Schema, Value};
 
+fn output_schema(aggs: &[(String, AggExpr)], in_schema: &Schema) -> Result<Schema> {
+    Ok(Schema::new(
+        aggs.iter()
+            .map(|(name, a)| Ok(Field::new(name.clone(), a.infer_type(in_schema)?)))
+            .collect::<Result<Vec<_>>>()?,
+    ))
+}
+
 /// Compute snapshot aggregates over the whole stream (grouping is provided
 /// by GroupApply above this operator).
 pub fn aggregate(input: &EventStream, aggs: &[(String, AggExpr)]) -> Result<EventStream> {
     let in_schema = input.schema();
-    let out_schema = Schema::new(
-        aggs.iter()
-            .map(|(name, a)| Ok(Field::new(name.clone(), a.infer_type(in_schema)?)))
-            .collect::<Result<Vec<_>>>()?,
-    );
+    let out_schema = output_schema(aggs, in_schema)?;
 
     if input.is_empty() {
         return Ok(EventStream::empty(out_schema));
@@ -55,6 +60,42 @@ pub fn aggregate(input: &EventStream, aggs: &[(String, AggExpr)]) -> Result<Even
     sweep(input, aggs, &arg_values, out_schema)
 }
 
+/// Columnar entry: argument values come off the batch through a
+/// row-fallback loop over **one reusable scratch row**
+/// ([`EventBatch::payload_row_into`] — same scalar evaluation, no
+/// per-event `Row` allocation), and the endpoint sweep reads the lifetime
+/// vectors directly. The batch is never materialized as a stream, and the
+/// output is byte-identical to [`aggregate`] on the equivalent rows.
+pub fn aggregate_batch(input: &EventBatch, aggs: &[(String, AggExpr)]) -> Result<EventStream> {
+    let in_schema = input.schema();
+    let out_schema = output_schema(aggs, in_schema)?;
+
+    if input.is_empty() {
+        return Ok(EventStream::empty(out_schema));
+    }
+
+    let compiled: Vec<_> = aggs.iter().map(|(_, a)| a.compile_arg(in_schema)).collect();
+    let mut arg_values: Vec<Value> = Vec::with_capacity(input.len() * aggs.len());
+    let mut scratch = Row::default();
+    for i in 0..input.len() {
+        input.payload_row_into(i, &mut scratch);
+        for c in &compiled {
+            arg_values.push(match c {
+                None => Value::Null,
+                Some(c) => c.eval(&scratch)?,
+            });
+        }
+    }
+    let (vt, ve) = (input.vt(), input.ve());
+    sweep_times(
+        input.len(),
+        |i| Lifetime::new(vt[i], ve[i]),
+        aggs,
+        &arg_values,
+        out_schema,
+    )
+}
+
 /// The endpoint sweep over pre-evaluated argument values (one flat buffer,
 /// stride `aggs.len()`, event-major). Shared by the compiled operator
 /// above and the interpreted baseline.
@@ -64,11 +105,31 @@ pub(crate) fn sweep(
     arg_values: &[Value],
     out_schema: Schema,
 ) -> Result<EventStream> {
+    let events = input.events();
+    sweep_times(
+        input.len(),
+        |i| events[i].lifetime,
+        aggs,
+        arg_values,
+        out_schema,
+    )
+}
+
+/// The sweep proper, reading lifetimes through an accessor so row streams
+/// and column-major batches share one implementation.
+fn sweep_times(
+    n: usize,
+    lifetime: impl Fn(usize) -> Lifetime,
+    aggs: &[(String, AggExpr)],
+    arg_values: &[Value],
+    out_schema: Schema,
+) -> Result<EventStream> {
     // Endpoint sweep: (time, event index, is_start).
-    let mut endpoints: Vec<(Time, usize, bool)> = Vec::with_capacity(input.len() * 2);
-    for (i, e) in input.events().iter().enumerate() {
-        endpoints.push((e.lifetime.start, i, true));
-        endpoints.push((e.lifetime.end, i, false));
+    let mut endpoints: Vec<(Time, usize, bool)> = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        let lt = lifetime(i);
+        endpoints.push((lt.start, i, true));
+        endpoints.push((lt.end, i, false));
     }
     endpoints.sort_unstable_by_key(|&(t, i, is_start)| (t, is_start, i));
 
@@ -136,6 +197,37 @@ mod tests {
 
     fn count_of(input: &EventStream) -> EventStream {
         aggregate(input, &[("N".to_string(), AggExpr::Count)]).unwrap()
+    }
+
+    #[test]
+    fn batch_entry_is_byte_identical_to_rows() {
+        let input = EventStream::new(
+            schema(),
+            vec![
+                Event::interval(0, 10, row![5i64]),
+                Event::interval(3, 7, row![2i64]),
+                Event::point(3, row![1i64]),
+            ],
+        );
+        let aggs = vec![
+            ("N".to_string(), AggExpr::Count),
+            ("S".to_string(), AggExpr::Sum(col("Power"))),
+        ];
+        let rows = aggregate(&input, &aggs).unwrap();
+        let batch = EventBatch::from_stream(&input).unwrap();
+        let cols = aggregate_batch(&batch, &aggs).unwrap();
+        assert_eq!(rows, cols);
+    }
+
+    #[test]
+    fn batch_entry_surfaces_the_same_error() {
+        let input = EventStream::new(schema(), vec![Event::point(0, row![5i64])]);
+        let aggs = vec![("S".to_string(), AggExpr::Sum(col("Nope")))];
+        let batch = EventBatch::from_stream(&input).unwrap();
+        assert_eq!(
+            aggregate(&input, &aggs).unwrap_err().to_string(),
+            aggregate_batch(&batch, &aggs).unwrap_err().to_string()
+        );
     }
 
     #[test]

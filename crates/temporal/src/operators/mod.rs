@@ -18,6 +18,7 @@ mod aggregate;
 mod alter_lifetime;
 mod anti_semi_join;
 mod filter;
+mod fused;
 mod group_apply;
 mod hop_udo;
 pub mod interpreted;
@@ -25,10 +26,11 @@ mod project;
 mod temporal_join;
 mod union;
 
-pub use aggregate::aggregate;
+pub use aggregate::{aggregate, aggregate_batch};
 pub use alter_lifetime::{alter_lifetime, alter_lifetime_batch};
 pub use anti_semi_join::anti_semi_join;
 pub use filter::{filter, filter_batch};
+pub use fused::{fused_fragment_batch, fused_fragment_rows};
 pub use group_apply::{group_apply, group_apply_batch};
 pub use hop_udo::hop_udo;
 pub use project::{project, project_batch};

@@ -1,8 +1,29 @@
 //! Human-readable plan rendering, used in docs, logs, and TiMR's
 //! fragment-boundary debugging.
 
-use super::{LifetimeOp, LogicalPlan, NodeId, Operator};
+use super::{FusedStep, LifetimeOp, LogicalPlan, NodeId, Operator};
 use std::fmt;
+
+fn lifetime_desc(op: &LifetimeOp) -> String {
+    match op {
+        LifetimeOp::Window(w) => format!("Window w={w}"),
+        LifetimeOp::Hop { hop, width } => format!("HopWindow h={hop} w={width}"),
+        LifetimeOp::Shift(d) => format!("Shift {d}"),
+        LifetimeOp::ExtendBack(d) => format!("ExtendBack {d}"),
+        LifetimeOp::ToPoint => "ToPoint".to_string(),
+    }
+}
+
+fn step_desc(step: &FusedStep) -> String {
+    match step {
+        FusedStep::Filter { predicate } => format!("Filter {predicate}"),
+        FusedStep::Project { exprs } => {
+            let cols: Vec<String> = exprs.iter().map(|(n, e)| format!("{n}={e}")).collect();
+            format!("Project [{}]", cols.join(", "))
+        }
+        FusedStep::AlterLifetime { op } => lifetime_desc(op),
+    }
+}
 
 impl fmt::Display for LogicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -33,14 +54,11 @@ fn fmt_node(
             writeln!(f, "{pad}Project [{}]", cols.join(", "))?;
         }
         Operator::AlterLifetime { op } => {
-            let desc = match op {
-                LifetimeOp::Window(w) => format!("Window w={w}"),
-                LifetimeOp::Hop { hop, width } => format!("HopWindow h={hop} w={width}"),
-                LifetimeOp::Shift(d) => format!("Shift {d}"),
-                LifetimeOp::ExtendBack(d) => format!("ExtendBack {d}"),
-                LifetimeOp::ToPoint => "ToPoint".to_string(),
-            };
-            writeln!(f, "{pad}AlterLifetime {desc}")?;
+            writeln!(f, "{pad}AlterLifetime {}", lifetime_desc(op))?;
+        }
+        Operator::FusedFragment { steps } => {
+            let descs: Vec<String> = steps.iter().map(step_desc).collect();
+            writeln!(f, "{pad}FusedFragment [{}]", descs.join("; "))?;
         }
         Operator::Aggregate { aggs } => {
             let cols: Vec<String> = aggs.iter().map(|(n, a)| format!("{n}={a}")).collect();

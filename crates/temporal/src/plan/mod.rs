@@ -11,8 +11,10 @@
 
 mod builder;
 mod display;
+mod fuse;
 
 pub use builder::{Query, StreamHandle};
+pub use fuse::fuse_plan;
 
 use crate::agg::AggExpr;
 use crate::error::{Result, TemporalError};
@@ -49,6 +51,46 @@ pub enum LifetimeOp {
     ExtendBack(Duration),
     /// Collapse to a point event at `LE`.
     ToPoint,
+}
+
+/// One member of a [`Operator::FusedFragment`] chain: the stateless,
+/// kernel-capable operators (and only those) in application order.
+#[derive(Debug, Clone)]
+pub enum FusedStep {
+    /// Selection: narrows the fragment's live-row set.
+    Filter {
+        /// Boolean predicate over the current payload.
+        predicate: Expr,
+    },
+    /// Payload recomputation: replaces the fragment's columns.
+    Project {
+        /// Output columns as `(name, expression)`.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// In-place lifetime rewrite.
+    AlterLifetime {
+        /// The transformation.
+        op: LifetimeOp,
+    },
+}
+
+impl FusedStep {
+    /// The window extent this step imposes, if any (mirrors
+    /// [`Operator::window_extent`] for the fused ops).
+    pub fn window_extent(&self) -> Option<Duration> {
+        match self {
+            FusedStep::AlterLifetime {
+                op: LifetimeOp::Window(w),
+            } => Some(*w),
+            FusedStep::AlterLifetime {
+                op: LifetimeOp::Hop { hop, width },
+            } => Some(width + hop),
+            FusedStep::AlterLifetime {
+                op: LifetimeOp::ExtendBack(d),
+            } => Some(*d),
+            _ => None,
+        }
+    }
 }
 
 /// One operator in the plan DAG. Input arity is enforced at build time.
@@ -123,6 +165,14 @@ pub enum Operator {
         /// The user code.
         udo: UdoRef,
     },
+    /// A maximal exchange-free chain of stateless operators fused into one
+    /// single-pass columnar kernel (produced by [`fuse_plan`], executed by
+    /// `ExecMode::Fused`). Semantically identical to running the steps as
+    /// individual operators in order.
+    FusedFragment {
+        /// The fused chain, in application order.
+        steps: Vec<FusedStep>,
+    },
 }
 
 impl Operator {
@@ -140,6 +190,7 @@ impl Operator {
             Operator::TemporalJoin { .. } => "TemporalJoin",
             Operator::AntiSemiJoin { .. } => "AntiSemiJoin",
             Operator::HopUdo { .. } => "HopUdo",
+            Operator::FusedFragment { .. } => "FusedFragment",
         }
     }
 
@@ -151,6 +202,7 @@ impl Operator {
                 | Operator::Project { .. }
                 | Operator::AlterLifetime { .. }
                 | Operator::Union
+                | Operator::FusedFragment { .. }
         )
     }
 
@@ -168,6 +220,12 @@ impl Operator {
                 op: LifetimeOp::ExtendBack(d),
             } => Some(*d),
             Operator::HopUdo { hop, width, .. } => Some(width + hop),
+            // A fragment's extent is the max of its steps' extents; the
+            // partitioning *sum* bound walks the steps itself (see
+            // [`LogicalPlan::history_horizon`]).
+            Operator::FusedFragment { steps } => {
+                steps.iter().filter_map(FusedStep::window_extent).max()
+            }
             _ => None,
         }
     }
@@ -304,6 +362,11 @@ impl LogicalPlan {
             .iter()
             .map(|n| match &n.op {
                 Operator::GroupApply { subplan, .. } => subplan.history_horizon(),
+                // Chained windows inside one fragment still sum.
+                Operator::FusedFragment { steps } => steps
+                    .iter()
+                    .filter_map(FusedStep::window_extent)
+                    .sum::<Duration>(),
                 op => op.window_extent().unwrap_or(0),
             })
             .sum::<Duration>()
@@ -318,6 +381,9 @@ impl LogicalPlan {
             .iter()
             .map(|n| match &n.op {
                 Operator::GroupApply { subplan, .. } => 1 + subplan.operator_count(),
+                // A fragment still *is* its member operators for the
+                // development-effort proxy.
+                Operator::FusedFragment { steps } => steps.len(),
                 _ => 1,
             })
             .sum()
@@ -359,6 +425,40 @@ fn expect_arity(op: &Operator, inputs: &[Schema], arity: usize) -> Result<()> {
     Ok(())
 }
 
+fn filter_schema(predicate: &Expr, input: &Schema) -> Result<Schema> {
+    let t = predicate.infer_type(input)?;
+    if t != ColumnType::Bool {
+        return Err(TemporalError::Plan(format!(
+            "filter predicate has type {t}, expected bool"
+        )));
+    }
+    Ok(input.clone())
+}
+
+fn project_schema(exprs: &[(String, Expr)], input: &Schema) -> Result<Schema> {
+    let fields = exprs
+        .iter()
+        .map(|(name, e)| Ok(Field::new(name.clone(), e.infer_type(input)?)))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Schema::new(fields))
+}
+
+fn alter_lifetime_schema(lop: &LifetimeOp, input: &Schema) -> Result<Schema> {
+    match lop {
+        LifetimeOp::Window(w) if *w <= 0 => {
+            return Err(TemporalError::Plan("window width must be positive".into()))
+        }
+        LifetimeOp::Hop { hop, width } if *hop <= 0 || *width <= 0 => {
+            return Err(TemporalError::Plan("hop and width must be positive".into()))
+        }
+        LifetimeOp::ExtendBack(d) if *d < 0 => {
+            return Err(TemporalError::Plan("extend-back must be ≥ 0".into()))
+        }
+        _ => {}
+    }
+    Ok(input.clone())
+}
+
 fn infer_node_schema(op: &Operator, inputs: &[Schema]) -> Result<Schema> {
     match op {
         Operator::Source { schema, .. } | Operator::GroupInput { schema } => {
@@ -367,37 +467,35 @@ fn infer_node_schema(op: &Operator, inputs: &[Schema]) -> Result<Schema> {
         }
         Operator::Filter { predicate } => {
             expect_arity(op, inputs, 1)?;
-            let t = predicate.infer_type(&inputs[0])?;
-            if t != ColumnType::Bool {
-                return Err(TemporalError::Plan(format!(
-                    "filter predicate has type {t}, expected bool"
-                )));
-            }
-            Ok(inputs[0].clone())
+            filter_schema(predicate, &inputs[0])
         }
         Operator::Project { exprs } => {
             expect_arity(op, inputs, 1)?;
-            let fields = exprs
-                .iter()
-                .map(|(name, e)| Ok(Field::new(name.clone(), e.infer_type(&inputs[0])?)))
-                .collect::<Result<Vec<_>>>()?;
-            Ok(Schema::new(fields))
+            project_schema(exprs, &inputs[0])
         }
         Operator::AlterLifetime { op: lop } => {
             expect_arity(op, inputs, 1)?;
-            match lop {
-                LifetimeOp::Window(w) if *w <= 0 => {
-                    return Err(TemporalError::Plan("window width must be positive".into()))
-                }
-                LifetimeOp::Hop { hop, width } if *hop <= 0 || *width <= 0 => {
-                    return Err(TemporalError::Plan("hop and width must be positive".into()))
-                }
-                LifetimeOp::ExtendBack(d) if *d < 0 => {
-                    return Err(TemporalError::Plan("extend-back must be ≥ 0".into()))
-                }
-                _ => {}
+            alter_lifetime_schema(lop, &inputs[0])
+        }
+        Operator::FusedFragment { steps } => {
+            expect_arity(op, inputs, 1)?;
+            if steps.is_empty() {
+                return Err(TemporalError::Plan(
+                    "fused fragment needs at least one step".into(),
+                ));
             }
-            Ok(inputs[0].clone())
+            // Fold each step's schema transform in application order — the
+            // fragment's contract is "identical to running the steps as
+            // individual operators".
+            let mut schema = inputs[0].clone();
+            for step in steps {
+                schema = match step {
+                    FusedStep::Filter { predicate } => filter_schema(predicate, &schema)?,
+                    FusedStep::Project { exprs } => project_schema(exprs, &schema)?,
+                    FusedStep::AlterLifetime { op } => alter_lifetime_schema(op, &schema)?,
+                };
+            }
+            Ok(schema)
         }
         Operator::Aggregate { aggs } => {
             expect_arity(op, inputs, 1)?;

@@ -7,6 +7,8 @@
 //! users can depend on a single package:
 //!
 //! - [`relation`] — shared data model (values, schemas, rows, codec, stats);
+//! - [`simd`] — the dependency-free portable-SIMD shim behind the fused
+//!   kernels (fixed-width lanes over plain arrays, stable Rust only);
 //! - [`temporal`] — the single-node temporal DSMS (events, CQ plans,
 //!   operators, batch + incremental executors);
 //! - [`mapreduce`] — the deterministic map-reduce runtime and in-memory DFS;
@@ -22,5 +24,6 @@ pub use adgen;
 pub use bt;
 pub use mapreduce;
 pub use relation;
+pub use simd;
 pub use temporal;
 pub use timr;
