@@ -246,10 +246,43 @@ fn bench_modes_aggregate(c: &mut Criterion) {
     bench_both_modes(c, "mode_aggregate", &plan, &sources);
 }
 
+fn bench_factor_window_combine(c: &mut Criterion) {
+    // PR 8 factor-window rewrite: Q harmonic hopping-window counts over the
+    // same keyed stream, executed verbatim (every query re-buckets the raw
+    // events) vs after `factor_windows` (one GCD-hop factor window feeds
+    // per-query combiners that merge partials).
+    let mut group = c.benchmark_group("factor_window_combine");
+    let n = 20_000usize;
+    let input = point_stream(n, 100);
+    for queries in [2usize, 8] {
+        let q = Query::new();
+        let src = q.source("in", schema());
+        let outs: Vec<_> = (0..queries)
+            .map(|i| {
+                let hop = 100 * (1 + (i % 3) as i64);
+                src.clone()
+                    .group_apply(&["UserId"], move |g| g.hop_window(hop, 1200).count("N"))
+            })
+            .collect();
+        let plan = q.build(outs).unwrap();
+        let (factored, groups) = temporal::plan::factor_windows(&plan).unwrap();
+        assert_eq!(groups, 1, "harmonic cadences must form one factor group");
+        group.throughput(Throughput::Elements((n * queries) as u64));
+        group.bench_with_input(BenchmarkId::new("unfactored", queries), &plan, |b, p| {
+            b.iter(|| temporal::exec::execute(p, &bindings(vec![("in", input.clone())])).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("factored", queries), &factored, |b, p| {
+            b.iter(|| temporal::exec::execute(p, &bindings(vec![("in", input.clone())])).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_windowed_count, bench_temporal_join, bench_anti_semi_join, bench_normalize,
-        bench_modes_filter, bench_modes_project, bench_modes_temporal_join, bench_modes_aggregate
+        bench_modes_filter, bench_modes_project, bench_modes_temporal_join, bench_modes_aggregate,
+        bench_factor_window_combine
 );
 criterion_main!(benches);

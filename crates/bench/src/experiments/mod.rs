@@ -10,6 +10,7 @@ pub mod bench_pr4;
 pub mod bench_pr5;
 pub mod bench_pr6;
 pub mod bench_pr7;
+pub mod bench_pr8;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -203,6 +204,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "PR 7: fused single-pass SIMD fragments vs the columnar engine \
                  (writes BENCH_PR7.json)",
             run: bench_pr7::run,
+        },
+        Experiment {
+            name: "pr8",
+            artifact: "PR 8: shared multi-query execution vs N independent advertiser jobs \
+                 (writes BENCH_PR8.json)",
+            run: bench_pr8::run,
         },
     ]
 }

@@ -6,6 +6,7 @@
 //! effort" comparison counts them against the hand-written reducer
 //! pipeline in [`crate::baselines::custom`].
 
+pub mod advertisers;
 pub mod bot_elim;
 pub mod feature_selection;
 pub mod model;

@@ -170,15 +170,59 @@ fn compile_fragment(
     .map_err(TimrError::from)
 }
 
-/// Per-input decode instructions for the reducer.
+/// Per-input decode instructions for the reducer. Shared with the
+/// multi-query driver ([`crate::multi`]), whose reducer decodes sources the
+/// same way but fans results out to one sink per query.
 #[derive(Debug, Clone)]
-struct InputBinding {
+pub(crate) struct InputBinding {
     /// Source name inside the fragment plan.
-    source_name: String,
+    pub(crate) source_name: String,
     /// Lifetime encoding of the dataset rows.
-    encoding: EventEncoding,
+    pub(crate) encoding: EventEncoding,
     /// Payload schema (dataset schema minus framing columns).
-    payload: Schema,
+    pub(crate) payload: Schema,
+}
+
+/// Decode one input partition of rows. Columnar mode transposes into a
+/// column-major batch; payloads that don't fit their declared types fall
+/// back to the row decode (which tolerates them), so the mode never
+/// changes which partitions are accepted.
+pub(crate) fn bind_rows(
+    exec_mode: ExecMode,
+    binding: &InputBinding,
+    rows: &[Row],
+) -> Result<StreamData> {
+    Ok(match exec_mode {
+        ExecMode::Columnar | ExecMode::Fused => {
+            match binding.encoding.decode_batch(rows, &binding.payload)? {
+                Some(batch) => StreamData::Batch(batch),
+                None => StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?),
+            }
+        }
+        _ => StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?),
+    })
+}
+
+/// Decode one shuffled input, preferring the copy-free column-batch path
+/// when the shuffle delivered binary extents and the reducer runs columnar.
+pub(crate) fn bind_reduce_input(
+    exec_mode: ExecMode,
+    binding: &InputBinding,
+    input: &ReduceInput,
+) -> Result<StreamData> {
+    match input {
+        ReduceInput::Batch(batch) if matches!(exec_mode, ExecMode::Columnar | ExecMode::Fused) => {
+            match binding
+                .encoding
+                .decode_column_batch(batch.clone(), &binding.payload)
+            {
+                Some(events) => Ok(StreamData::Batch(events)),
+                None => bind_rows(exec_mode, binding, &input.to_rows()),
+            }
+        }
+        ReduceInput::Batch(_) => bind_rows(exec_mode, binding, &input.to_rows()),
+        ReduceInput::Rows(rows) => bind_rows(exec_mode, binding, rows),
+    }
 }
 
 /// The paper's reducer method `P`: rows → events → embedded DSMS → rows.
@@ -191,24 +235,6 @@ pub struct DsmsReducer {
 }
 
 impl DsmsReducer {
-    /// Decode one input partition of rows. Columnar mode transposes into a
-    /// column-major batch; payloads that don't fit their declared types
-    /// fall back to the row decode (which tolerates them), so the mode
-    /// never changes which partitions are accepted.
-    fn bind_rows(&self, binding: &InputBinding, rows: &[Row]) -> Result<StreamData> {
-        Ok(match self.exec_mode {
-            ExecMode::Columnar | ExecMode::Fused => {
-                match binding.encoding.decode_batch(rows, &binding.payload)? {
-                    Some(batch) => StreamData::Batch(batch),
-                    None => {
-                        StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?)
-                    }
-                }
-            }
-            _ => StreamData::Rows(binding.encoding.decode_stream(rows, &binding.payload)?),
-        })
-    }
-
     /// Run the embedded DSMS over decoded sources and pull rows back.
     fn execute(&self, ctx: &ReducerContext, sources: DataBindings) -> mapreduce::Result<Vec<Row>> {
         let to_mr = |e: TimrError| MrError::Reducer {
@@ -244,7 +270,7 @@ impl Reducer for DsmsReducer {
         };
         let mut sources: DataBindings = FxHashMap::default();
         for (binding, rows) in self.inputs.iter().zip(inputs) {
-            let data = self.bind_rows(binding, rows).map_err(to_mr)?;
+            let data = bind_rows(self.exec_mode, binding, rows).map_err(to_mr)?;
             sources.insert(binding.source_name.clone(), data);
         }
         self.execute(ctx, sources)
@@ -269,23 +295,7 @@ impl Reducer for DsmsReducer {
         };
         let mut sources: DataBindings = FxHashMap::default();
         for (binding, input) in self.inputs.iter().zip(inputs) {
-            let data = match input {
-                ReduceInput::Batch(batch)
-                    if matches!(self.exec_mode, ExecMode::Columnar | ExecMode::Fused) =>
-                {
-                    match binding
-                        .encoding
-                        .decode_column_batch(batch.clone(), &binding.payload)
-                    {
-                        Some(events) => StreamData::Batch(events),
-                        None => self.bind_rows(binding, &input.to_rows()).map_err(to_mr)?,
-                    }
-                }
-                ReduceInput::Batch(_) => {
-                    self.bind_rows(binding, &input.to_rows()).map_err(to_mr)?
-                }
-                ReduceInput::Rows(rows) => self.bind_rows(binding, rows).map_err(to_mr)?,
-            };
+            let data = bind_reduce_input(self.exec_mode, binding, input).map_err(to_mr)?;
             sources.insert(binding.source_name.clone(), data);
         }
         self.execute(ctx, sources)

@@ -34,6 +34,7 @@ pub mod bridge;
 pub mod compile;
 pub mod error;
 pub mod fragment;
+pub mod multi;
 pub mod optimizer;
 pub mod runner;
 pub mod temporal_partition;
@@ -42,4 +43,5 @@ pub use annotate::{Annotation, ExchangeKey};
 pub use bridge::EventEncoding;
 pub use error::{Result, TimrError};
 pub use fragment::{Fragment, FragmentInput};
+pub use multi::{CompiledMultiJob, MultiTimrJob, MultiTimrOutput};
 pub use runner::{TimrJob, TimrOutput};

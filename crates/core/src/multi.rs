@@ -1,0 +1,613 @@
+//! Shared multi-query execution: N advertiser CQs in one TiMR job.
+//!
+//! The paper's BT pipeline (§IV) runs a handful of structurally similar
+//! queries — same log scan, same bot elimination, different per-advertiser
+//! windows and filters. Run independently, each query pays the dominant
+//! costs (scan + bot elimination + shuffle) again. This module runs the
+//! whole set as *one* map-reduce job:
+//!
+//! 1. [`share_plans`] canonicalizes the N single-output plans and merges
+//!    equal operator subtrees into one DAG with Multicast fan-out — the
+//!    common prefix (scan, bot elimination) executes once per partition.
+//! 2. [`factor_windows`] rewrites groups of harmonically related hopping
+//!    windows over the same keyed stream to aggregate a GCD-hop factor
+//!    window once and derive each query's window from the partials.
+//! 3. The merged DAG compiles into a *single* stage whose reducer embeds
+//!    one DSMS over all roots ([`MultiDsmsReducer`]) and routes query
+//!    `i`'s rows to sink `i` (the multi-sink shuffle contract of
+//!    [`mapreduce::Stage::aux_outputs`]).
+//!
+//! Per-query outputs are byte-identical to N independent runs: sharing
+//! only merges structurally equal subtrees, the factor rewrite is an
+//! algebraic identity over combinable aggregates, and partitioning is
+//! unchanged (one exchange key for the whole set, validated against every
+//! stateful operator in the merged DAG).
+
+use crate::annotate::{join_right_column, required_key_superset, ExchangeKey};
+use crate::bridge::{pull_through_queue, EventEncoding};
+use crate::compile::{bind_reduce_input, bind_rows, InputBinding};
+use crate::error::{Result, TimrError};
+use mapreduce::{
+    Cluster, Dfs, JobStats, MrError, Partitioner, ReduceInput, Reducer, ReducerContext, Stage,
+};
+use relation::{Row, Schema};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use temporal::exec::{DataBindings, ExecMode, ExecOptions};
+use temporal::plan::{factor_windows, fuse_plan, share_plans, LogicalPlan, Operator, ShareStats};
+use temporal::EventStream;
+
+/// A set of single-output temporal CQs executed as one TiMR job.
+#[derive(Debug, Clone)]
+pub struct MultiTimrJob {
+    /// Job name (prefixes the per-query output dataset names).
+    pub name: String,
+    /// The queries, each with exactly one output.
+    pub queries: Vec<LogicalPlan>,
+    /// The one partitioning applied below the whole shared DAG. Must be
+    /// compatible with every stateful operator in every query.
+    pub key: ExchangeKey,
+    /// Reduce partition count for keyed execution.
+    pub machines: usize,
+    /// Lifetime encoding per raw source dataset (default Point).
+    pub source_encodings: BTreeMap<String, EventEncoding>,
+    /// DSMS operator-implementation mode for the embedded reducer.
+    pub exec_mode: ExecMode,
+    /// Apply the factor-window rewrite after prefix sharing (default on).
+    pub factor: bool,
+}
+
+/// A compiled multi-query job: one stage, one output dataset per query.
+#[derive(Debug, Clone)]
+pub struct CompiledMultiJob {
+    /// The single shared stage.
+    pub stage: Stage,
+    /// DFS output dataset per query, in query order.
+    pub outputs: Vec<String>,
+    /// Payload schema per query, in query order.
+    pub payloads: Vec<Schema>,
+    /// Lifetime encoding of every output dataset.
+    pub output_encoding: EventEncoding,
+    /// The shared DAG the stage executes (post factor/fuse rewrites).
+    pub plan: LogicalPlan,
+    /// Prefix-sharing statistics.
+    pub shared: ShareStats,
+    /// Number of window groups collapsed by the factor rewrite.
+    pub factored_groups: usize,
+}
+
+/// Result of running a multi-query job.
+#[derive(Debug)]
+pub struct MultiTimrOutput {
+    /// DFS name of each query's output dataset, in query order.
+    pub datasets: Vec<String>,
+    /// Payload schema of each query's output.
+    pub payloads: Vec<Schema>,
+    /// Lifetime encoding of the output datasets.
+    pub encoding: EventEncoding,
+    /// Map-reduce execution statistics (one stage).
+    pub stats: JobStats,
+    /// Prefix-sharing statistics.
+    pub shared: ShareStats,
+    /// Number of window groups collapsed by the factor rewrite.
+    pub factored_groups: usize,
+}
+
+impl MultiTimrJob {
+    /// Build a job with default settings (single partition, 4 machines,
+    /// factor rewrite on).
+    pub fn new(name: impl Into<String>, queries: Vec<LogicalPlan>) -> Self {
+        MultiTimrJob {
+            name: name.into(),
+            queries,
+            key: ExchangeKey::Single,
+            machines: 4,
+            source_encodings: BTreeMap::new(),
+            exec_mode: ExecMode::Compiled,
+            factor: true,
+        }
+    }
+
+    /// Set the shared partitioning key.
+    pub fn with_key(mut self, key: ExchangeKey) -> Self {
+        self.key = key;
+        self
+    }
+
+    /// Set the machine (reduce partition) count.
+    pub fn with_machines(mut self, machines: usize) -> Self {
+        self.machines = machines;
+        self
+    }
+
+    /// Set the DSMS operator-implementation mode for the embedded reducer.
+    pub fn with_exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.exec_mode = exec_mode;
+        self
+    }
+
+    /// Enable or disable the factor-window rewrite.
+    pub fn with_factor(mut self, factor: bool) -> Self {
+        self.factor = factor;
+        self
+    }
+
+    /// Declare a source dataset's lifetime encoding.
+    pub fn with_source_encoding(mut self, source: &str, encoding: EventEncoding) -> Self {
+        self.source_encodings.insert(source.to_string(), encoding);
+        self
+    }
+
+    /// Render the shared DAG with `shared@<fingerprint>` markers on
+    /// multi-consumer nodes (the EXPLAIN view of what merged).
+    pub fn explain(&self) -> Result<String> {
+        Ok(temporal::plan::explain_shared(&self.compile()?.plan))
+    }
+
+    /// Compile to a single multi-sink map-reduce stage without running.
+    pub fn compile(&self) -> Result<CompiledMultiJob> {
+        if self.machines == 0 {
+            return Err(TimrError::Compile("machines must be positive".into()));
+        }
+        if self.queries.is_empty() {
+            return Err(TimrError::Compile(
+                "multi-query job needs at least one query".into(),
+            ));
+        }
+        for (i, q) in self.queries.iter().enumerate() {
+            if q.roots().len() != 1 {
+                return Err(TimrError::Compile(format!(
+                    "query {i} has {} outputs; multi-query jobs take single-output queries",
+                    q.roots().len()
+                )));
+            }
+        }
+
+        // 1. Merge common prefixes, then collapse harmonic window groups.
+        let shared = share_plans(&self.queries).map_err(TimrError::Temporal)?;
+        let stats = shared.stats;
+        let (plan, factored_groups) = if self.factor {
+            factor_windows(&shared.plan).map_err(TimrError::Temporal)?
+        } else {
+            (shared.plan, 0)
+        };
+        // Fusion runs *after* sharing and factoring so fused fragments
+        // never hide a mergeable prefix; the per-reduce executor's own
+        // fuse pass is idempotent on the result.
+        let plan = if self.exec_mode == ExecMode::Fused {
+            fuse_plan(&plan).map_err(TimrError::Temporal)?
+        } else {
+            plan
+        };
+
+        // 2. The whole DAG runs under one partitioning; check it against
+        //    every operator (the per-fragment rule of paper §VI, applied
+        //    to the merged plan).
+        self.validate_key(&plan)?;
+        let (partitioner, partitions) = match &self.key {
+            ExchangeKey::Keys(cols) => (
+                Partitioner::KeyHash {
+                    columns: cols.clone(),
+                },
+                self.machines,
+            ),
+            ExchangeKey::Single => (Partitioner::Single, 1),
+            ExchangeKey::Spread => (Partitioner::Spread, self.machines),
+        };
+
+        // 3. One stage input per distinct source leaf of the merged DAG.
+        let mut input_names: Vec<String> = Vec::new();
+        let mut bindings: Vec<InputBinding> = Vec::new();
+        for (name, payload) in plan.sources() {
+            if let Some(prev) = bindings.iter().find(|b| b.source_name == name) {
+                if &prev.payload != payload {
+                    return Err(TimrError::Compile(format!(
+                        "source `{name}` bound with two different schemas"
+                    )));
+                }
+                continue;
+            }
+            let encoding = self
+                .source_encodings
+                .get(name)
+                .copied()
+                .unwrap_or(EventEncoding::Point);
+            for c in self.key.columns() {
+                if !payload.contains(c) {
+                    return Err(TimrError::Compile(format!(
+                        "partition key column `{c}` not in source `{name}` schema {payload}"
+                    )));
+                }
+            }
+            input_names.push(name.to_string());
+            bindings.push(InputBinding {
+                source_name: name.to_string(),
+                encoding,
+                payload: payload.clone(),
+            });
+        }
+
+        let output_encoding = EventEncoding::Interval;
+        let outputs: Vec<String> = (0..self.queries.len())
+            .map(|i| format!("{}__q{i}", self.name))
+            .collect();
+        let payloads: Vec<Schema> = plan
+            .roots()
+            .iter()
+            .map(|&r| plan.schema_of(r).clone())
+            .collect();
+
+        let reducer = MultiDsmsReducer {
+            plan: plan.clone(),
+            inputs: bindings,
+            output_encoding,
+            exec_mode: self.exec_mode,
+        };
+        let stage = Stage::new(
+            format!("{}/shared", self.name),
+            input_names,
+            outputs[0].clone(),
+            partitioner,
+            partitions,
+            Arc::new(reducer),
+        )
+        .map_err(TimrError::from)?
+        .with_aux_outputs(outputs[1..].to_vec());
+
+        Ok(CompiledMultiJob {
+            stage,
+            outputs,
+            payloads,
+            output_encoding,
+            plan,
+            shared: stats,
+            factored_groups,
+        })
+    }
+
+    /// Compile and run on `cluster` against `dfs`. Source leaves of the
+    /// merged plan are read from same-named DFS datasets.
+    pub fn run(&self, dfs: &Dfs, cluster: &Cluster) -> Result<MultiTimrOutput> {
+        let compiled = self.compile()?;
+        let stats = cluster.run_job(dfs, std::slice::from_ref(&compiled.stage))?;
+        Ok(MultiTimrOutput {
+            datasets: compiled.outputs,
+            payloads: compiled.payloads,
+            encoding: compiled.output_encoding,
+            stats,
+            shared: compiled.shared,
+            factored_groups: compiled.factored_groups,
+        })
+    }
+
+    /// Check the shared partitioning against every operator of the merged
+    /// DAG (one fragment ⇒ the fragment rules apply plan-wide).
+    fn validate_key(&self, plan: &LogicalPlan) -> Result<()> {
+        match &self.key {
+            ExchangeKey::Single => Ok(()),
+            ExchangeKey::Spread => {
+                for node in plan.nodes() {
+                    let stateless =
+                        matches!(node.op, Operator::Source { .. }) || node.op.is_stateless();
+                    if !stateless {
+                        return Err(TimrError::Compile(format!(
+                            "spread partitioning is only valid for stateless plans; `{}` is stateful",
+                            node.op.name()
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            ExchangeKey::Keys(cols) => {
+                for node in plan.nodes() {
+                    let Some(superset) = required_key_superset(&node.op) else {
+                        continue;
+                    };
+                    for c in cols {
+                        if !superset.contains(c) {
+                            return Err(TimrError::Compile(format!(
+                                "partition key column `{c}` is not in the key columns of `{}` \
+                                 (requires a subset of {superset:?})",
+                                node.op.name()
+                            )));
+                        }
+                        // Joins: one partitioning covers both sides, so the
+                        // right-side pair of each key column must be the
+                        // column itself.
+                        if matches!(
+                            node.op,
+                            Operator::TemporalJoin { .. } | Operator::AntiSemiJoin { .. }
+                        ) && join_right_column(&node.op, c) != Some(c.as_str())
+                        {
+                            return Err(TimrError::Compile(format!(
+                                "partition key column `{c}` pairs with a differently named \
+                                 right-side column in `{}`; a shared job needs matching names",
+                                node.op.name()
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl MultiTimrOutput {
+    /// Decode query `i`'s output dataset back into an event stream.
+    pub fn stream(&self, i: usize, dfs: &Dfs) -> Result<EventStream> {
+        let dataset = dfs.get(&self.datasets[i])?;
+        let stream = self
+            .encoding
+            .decode_stream(dataset.iter(), &self.payloads[i])?;
+        Ok(stream.normalize())
+    }
+}
+
+/// The multi-sink sibling of [`crate::compile::DsmsReducer`]: one embedded
+/// DSMS pass over the shared DAG, one sink per query root.
+#[derive(Debug, Clone)]
+pub struct MultiDsmsReducer {
+    plan: LogicalPlan,
+    inputs: Vec<InputBinding>,
+    output_encoding: EventEncoding,
+    exec_mode: ExecMode,
+}
+
+impl MultiDsmsReducer {
+    fn execute_all(
+        &self,
+        ctx: &ReducerContext,
+        sources: DataBindings,
+    ) -> mapreduce::Result<Vec<Vec<Row>>> {
+        let to_mr = |e: TimrError| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.partition,
+            message: e.to_string(),
+        };
+        let options = ExecOptions::with_mode(self.exec_mode).on_pool(Arc::clone(&ctx.dsms_pool));
+        // One pass evaluates the shared DAG; the multicast cache hands each
+        // root its stream, so shared prefixes run once per partition.
+        let streams = temporal::exec::execute_owned_data(&self.plan, sources, &options)
+            .map_err(|e| to_mr(TimrError::Temporal(e)))?;
+        streams
+            .into_iter()
+            .map(|s| pull_through_queue(self.output_encoding, s).map_err(to_mr))
+            .collect()
+    }
+}
+
+impl Reducer for MultiDsmsReducer {
+    fn output_schema(&self, _inputs: &[Schema]) -> mapreduce::Result<Schema> {
+        let payload = self.plan.schema_of(self.plan.roots()[0]);
+        Ok(self.output_encoding.dataset_schema(payload))
+    }
+
+    fn sink_count(&self) -> usize {
+        self.plan.roots().len()
+    }
+
+    fn sink_schemas(&self, _inputs: &[Schema]) -> mapreduce::Result<Vec<Schema>> {
+        Ok(self
+            .plan
+            .roots()
+            .iter()
+            .map(|&r| self.output_encoding.dataset_schema(self.plan.schema_of(r)))
+            .collect())
+    }
+
+    fn reduce(&self, ctx: &ReducerContext, inputs: &[Vec<Row>]) -> mapreduce::Result<Vec<Row>> {
+        // Single-sink entry, kept so a one-query MultiTimrJob behaves like
+        // a plain stage under tooling that drives `reduce` directly.
+        let mut out = self.reduce_multi_rows(ctx, inputs)?;
+        if out.len() != 1 {
+            return Err(MrError::BadStage(format!(
+                "stage `{}` has {} sinks; drive it through reduce_shuffled_multi",
+                ctx.stage,
+                out.len()
+            )));
+        }
+        Ok(out.pop().expect("length checked above"))
+    }
+
+    fn reduce_shuffled_multi(
+        &self,
+        ctx: &ReducerContext,
+        inputs: &[ReduceInput],
+    ) -> mapreduce::Result<Vec<Vec<Row>>> {
+        let to_mr = |e: TimrError| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.partition,
+            message: e.to_string(),
+        };
+        let mut sources: DataBindings = FxHashMap::default();
+        for (binding, input) in self.inputs.iter().zip(inputs) {
+            let data = bind_reduce_input(self.exec_mode, binding, input).map_err(to_mr)?;
+            sources.insert(binding.source_name.clone(), data);
+        }
+        self.execute_all(ctx, sources)
+    }
+}
+
+impl MultiDsmsReducer {
+    fn reduce_multi_rows(
+        &self,
+        ctx: &ReducerContext,
+        inputs: &[Vec<Row>],
+    ) -> mapreduce::Result<Vec<Vec<Row>>> {
+        let to_mr = |e: TimrError| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.partition,
+            message: e.to_string(),
+        };
+        let mut sources: DataBindings = FxHashMap::default();
+        for (binding, rows) in self.inputs.iter().zip(inputs) {
+            let data = bind_rows(self.exec_mode, binding, rows).map_err(to_mr)?;
+            sources.insert(binding.source_name.clone(), data);
+        }
+        self.execute_all(ctx, sources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::Dataset;
+    use relation::row;
+    use relation::schema::{ColumnType, Field};
+    use temporal::exec::{bindings, execute_single};
+    use temporal::expr::{col, lit};
+    use temporal::plan::Query;
+
+    fn bt_payload() -> Schema {
+        Schema::new(vec![
+            Field::new("StreamId", ColumnType::Int),
+            Field::new("UserId", ColumnType::Str),
+            Field::new("KwAdId", ColumnType::Str),
+        ])
+    }
+
+    fn dataset_rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                row![
+                    i * 7 % 1000,
+                    (1 + i % 2) as i32,
+                    format!("u{}", i % 13),
+                    format!("ad{}", i % 5)
+                ]
+            })
+            .collect()
+    }
+
+    fn dfs_with_logs(rows: Vec<Row>) -> Dfs {
+        let dfs = Dfs::new();
+        let schema = EventEncoding::Point.dataset_schema(&bt_payload());
+        dfs.put("logs", Dataset::single(schema, rows)).unwrap();
+        dfs
+    }
+
+    /// Click-count per (user, ad) with a per-query hop and ad filter — the
+    /// advertiser-dashboard shape with a long shared prefix.
+    fn advertiser_query(i: usize) -> LogicalPlan {
+        let q = Query::new();
+        let out = q
+            .source("logs", bt_payload())
+            .filter(col("StreamId").eq(lit(1)))
+            .group_apply(&["UserId", "KwAdId"], |g| {
+                g.hop_window(10 * (1 + (i % 3) as i64), 40).count("Clicks")
+            })
+            .filter(col("KwAdId").eq(lit(format!("ad{}", i % 5))));
+        q.build(vec![out]).unwrap()
+    }
+
+    fn multi_job(n: usize, mode: ExecMode) -> MultiTimrJob {
+        MultiTimrJob::new(format!("multi{n}"), (0..n).map(advertiser_query).collect())
+            .with_key(ExchangeKey::keys(&["UserId"]))
+            .with_machines(4)
+            .with_exec_mode(mode)
+    }
+
+    #[test]
+    fn shared_job_matches_single_node_per_query() {
+        let rows = dataset_rows(400);
+        for mode in [
+            ExecMode::Compiled,
+            ExecMode::Interpreted,
+            ExecMode::Columnar,
+            ExecMode::Fused,
+        ] {
+            let dfs = dfs_with_logs(rows.clone());
+            let out = multi_job(5, mode).run(&dfs, &Cluster::new()).unwrap();
+            assert_eq!(out.datasets.len(), 5);
+            assert_eq!(out.stats.stages.len(), 1);
+            assert!(out.shared.merged_nodes < out.shared.input_nodes);
+            for i in 0..5 {
+                let stream = EventEncoding::Point
+                    .decode_stream(&rows, &bt_payload())
+                    .unwrap();
+                let reference =
+                    execute_single(&advertiser_query(i), &bindings(vec![("logs", stream)]))
+                        .unwrap()
+                        .normalize();
+                let got = out.stream(i, &dfs).unwrap();
+                assert!(
+                    got.same_relation(&reference),
+                    "query {i} mismatch under {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_run_is_byte_identical_to_independent_runs() {
+        let rows = dataset_rows(300);
+        let shared_dfs = dfs_with_logs(rows.clone());
+        let shared = multi_job(4, ExecMode::Compiled)
+            .run(&shared_dfs, &Cluster::new())
+            .unwrap();
+        for i in 0..4 {
+            let solo_dfs = dfs_with_logs(rows.clone());
+            let solo = MultiTimrJob::new(format!("solo{i}"), vec![advertiser_query(i)])
+                .with_key(ExchangeKey::keys(&["UserId"]))
+                .with_machines(4)
+                .run(&solo_dfs, &Cluster::new())
+                .unwrap();
+            let shared_parts = shared_dfs
+                .get(&shared.datasets[i])
+                .unwrap()
+                .partitions
+                .as_ref()
+                .clone();
+            let solo_parts = solo_dfs
+                .get(&solo.datasets[0])
+                .unwrap()
+                .partitions
+                .as_ref()
+                .clone();
+            assert_eq!(shared_parts, solo_parts, "query {i} bytes differ");
+        }
+    }
+
+    #[test]
+    fn stats_report_one_sink_per_query() {
+        let dfs = dfs_with_logs(dataset_rows(200));
+        let out = multi_job(3, ExecMode::Compiled)
+            .run(&dfs, &Cluster::new())
+            .unwrap();
+        let stage = &out.stats.stages[0];
+        assert_eq!(stage.sink_rows.len(), 3);
+        assert_eq!(stage.sink_rows.iter().sum::<u64>(), stage.output_rows);
+    }
+
+    #[test]
+    fn incompatible_key_is_rejected_at_compile_time() {
+        let job = multi_job(2, ExecMode::Compiled).with_key(ExchangeKey::keys(&["KwAdId"]));
+        // KwAdId ⊆ GroupApply keys, so this compiles...
+        job.compile().unwrap();
+        // ...but a column outside every GroupApply key set does not.
+        let bad = multi_job(2, ExecMode::Compiled).with_key(ExchangeKey::keys(&["StreamId"]));
+        assert!(bad.compile().is_err());
+        // Spread is invalid for stateful plans.
+        let spread = multi_job(2, ExecMode::Compiled).with_key(ExchangeKey::Spread);
+        assert!(spread.compile().is_err());
+    }
+
+    #[test]
+    fn fuse_after_share_is_idempotent() {
+        let compiled = multi_job(4, ExecMode::Fused).compile().unwrap();
+        let refused = fuse_plan(&compiled.plan).unwrap();
+        assert_eq!(
+            format!("{:?}", compiled.plan),
+            format!("{refused:?}"),
+            "re-fusing a compile-time-fused shared DAG must be a no-op"
+        );
+    }
+
+    #[test]
+    fn explain_marks_shared_prefix() {
+        let text = multi_job(3, ExecMode::Compiled).explain().unwrap();
+        assert!(text.contains("shared@"), "explain:\n{text}");
+    }
+}

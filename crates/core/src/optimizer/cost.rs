@@ -214,6 +214,9 @@ pub fn estimate_plan(
                     histograms: BTreeMap::new(),
                 }
             }
+            // Re-expanding coalesced factor cells roughly doubles the
+            // (already aggregated, hence small) input.
+            Operator::SpreadGrid { .. } => scale_rows(&out[&node.inputs[0]], 2.0),
         };
         out.insert(id, est);
     }

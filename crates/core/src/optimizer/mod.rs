@@ -336,7 +336,8 @@ impl<'a> Search<'a> {
             Operator::Filter { .. }
             | Operator::Project { .. }
             | Operator::AlterLifetime { .. }
-            | Operator::FusedFragment { .. } => {
+            | Operator::FusedFragment { .. }
+            | Operator::SpreadGrid { .. } => {
                 let child = node.inputs[0];
                 let mut c = self.optimize_edge(child, id, 0, req)?;
                 c.cost += self.op_cost(id) / self.parallelism(req, id);

@@ -949,7 +949,8 @@ impl Cluster {
             })
             .collect();
 
-        type TaskOut = Result<(Vec<Row>, Duration)>;
+        let expected_sinks = 1 + stage.aux_outputs.len();
+        type TaskOut = Result<(Vec<Vec<Row>>, Duration)>;
         let results: Vec<TaskOut> = self
             .pool
             .run_caught(stage.partitions, |p| {
@@ -1004,7 +1005,15 @@ impl Cluster {
                             dsms_pool: Arc::clone(&self.dsms_pool),
                         };
                         let start = Instant::now();
-                        let out = stage.reducer.reduce_shuffled(&ctx, &fetched)?;
+                        let out = stage.reducer.reduce_shuffled_multi(&ctx, &fetched)?;
+                        if out.len() != expected_sinks {
+                            return Err(TaskError::Fatal(Box::new(MrError::BadStage(format!(
+                                "stage `{}` reducer produced {} sink(s), stage declares {}",
+                                stage.name,
+                                out.len(),
+                                expected_sinks
+                            )))));
+                        }
                         Ok((out, start.elapsed()))
                     },
                 )
@@ -1017,26 +1026,43 @@ impl Cluster {
         // ---- collect ----
         // Nothing is published until every partition result is Ok, so a
         // failed attempt can never leave partial output in the DFS.
-        let mut partitions_out: Vec<Vec<Row>> = Vec::with_capacity(stage.partitions);
+        let mut sinks_out: Vec<Vec<Vec<Row>>> = (0..expected_sinks)
+            .map(|_| Vec::with_capacity(stage.partitions))
+            .collect();
+        let mut sink_rows = vec![0u64; expected_sinks];
         let mut partition_times = Vec::with_capacity(stage.partitions);
         let mut output_rows = 0u64;
         for result in results {
-            let (rows, took) = result?;
-            output_rows += rows.len() as u64;
+            let (per_sink, took) = result?;
             partition_times.push(took);
-            partitions_out.push(rows);
+            for (sink, rows) in per_sink.into_iter().enumerate() {
+                output_rows += rows.len() as u64;
+                sink_rows[sink] += rows.len() as u64;
+                sinks_out[sink].push(rows);
+            }
         }
         let reduce_wall_time = reduce_start.elapsed();
 
-        let out_schema = stage
-            .reducer
-            .output_schema(&inputs.iter().map(|d| d.schema.clone()).collect::<Vec<_>>())?;
-        let output = if self.config.integrity {
-            Dataset::partitioned(out_schema, partitions_out)
-        } else {
-            Dataset::partitioned_unframed(out_schema, partitions_out)
-        };
-        dfs.put_overwrite(&stage.output, output);
+        let input_schemas: Vec<Schema> = inputs.iter().map(|d| d.schema.clone()).collect();
+        let out_schemas = stage.reducer.sink_schemas(&input_schemas)?;
+        if out_schemas.len() != expected_sinks {
+            return Err(MrError::BadStage(format!(
+                "stage `{}` declares {} sink schema(s) but {} sink name(s)",
+                stage.name,
+                out_schemas.len(),
+                expected_sinks
+            )));
+        }
+        for ((name, out_schema), partitions_out) in
+            stage.sink_names().zip(out_schemas).zip(sinks_out)
+        {
+            let output = if self.config.integrity {
+                Dataset::partitioned(out_schema, partitions_out)
+            } else {
+                Dataset::partitioned_unframed(out_schema, partitions_out)
+            };
+            dfs.put_overwrite(name, output);
+        }
 
         Ok(StageStats {
             name: stage.name.clone(),
@@ -1051,6 +1077,7 @@ impl Cluster {
             spill_bytes: map_phase.spill_bytes,
             reduce_wall_time,
             output_rows,
+            sink_rows,
             partitions: stage.partitions,
             partition_times,
             wall_time: wall_start.elapsed(),
@@ -1138,6 +1165,82 @@ mod tests {
             retry: RetryPolicy::no_backoff(max_attempts),
             ..ClusterConfig::default()
         }
+    }
+
+    /// Splits rows across two sinks by key parity — exercises the
+    /// multi-sink publish path (`aux_outputs`).
+    #[derive(Debug)]
+    struct SplitReducer;
+
+    impl Reducer for SplitReducer {
+        fn output_schema(&self, inputs: &[Schema]) -> Result<Schema> {
+            Ok(inputs[0].clone())
+        }
+
+        fn sink_count(&self) -> usize {
+            2
+        }
+
+        fn sink_schemas(&self, inputs: &[Schema]) -> Result<Vec<Schema>> {
+            Ok(vec![inputs[0].clone(), inputs[0].clone()])
+        }
+
+        fn reduce(&self, _ctx: &ReducerContext, _inputs: &[Vec<Row>]) -> Result<Vec<Row>> {
+            unreachable!("multi-sink reducer is driven through reduce_shuffled_multi")
+        }
+
+        fn reduce_shuffled_multi(
+            &self,
+            _ctx: &ReducerContext,
+            inputs: &[ReduceInput],
+        ) -> Result<Vec<Vec<Row>>> {
+            let mut even = Vec::new();
+            let mut odd = Vec::new();
+            for input in inputs {
+                for r in input.to_rows() {
+                    let ts = r.get(0).as_long().unwrap();
+                    if ts % 2 == 0 {
+                        even.push(r);
+                    } else {
+                        odd.push(r);
+                    }
+                }
+            }
+            Ok(vec![even, odd])
+        }
+    }
+
+    #[test]
+    fn multi_sink_stage_publishes_every_sink() {
+        let dfs = dfs_with_input(40);
+        let stage = Stage::new(
+            "split",
+            vec!["in".into()],
+            "even",
+            Partitioner::KeyHash {
+                columns: vec!["UserId".into()],
+            },
+            4,
+            Arc::new(SplitReducer),
+        )
+        .unwrap()
+        .with_aux_outputs(vec!["odd".into()]);
+        let stats = Cluster::new().run_stage(&dfs, &stage).unwrap();
+        let even = dfs.get("even").unwrap().scan();
+        let odd = dfs.get("odd").unwrap().scan();
+        assert_eq!(even.len() + odd.len(), 40);
+        assert!(even.iter().all(|r| r.get(0).as_long().unwrap() % 2 == 0));
+        assert!(odd.iter().all(|r| r.get(0).as_long().unwrap() % 2 == 1));
+        assert_eq!(stats.output_rows, 40);
+        assert_eq!(stats.sink_rows, vec![even.len() as u64, odd.len() as u64]);
+    }
+
+    #[test]
+    fn single_sink_stats_report_one_sink() {
+        let dfs = dfs_with_input(10);
+        let stats = Cluster::new().run_stage(&dfs, &count_stage(2)).unwrap();
+        assert_eq!(stats.sink_rows.len(), 1);
+        assert_eq!(stats.sink_rows[0], stats.output_rows);
     }
 
     #[test]

@@ -173,6 +173,32 @@ pub trait Reducer: Send + Sync {
         let rows: Vec<Vec<Row>> = inputs.iter().map(ReduceInput::to_rows).collect();
         self.reduce(ctx, &rows)
     }
+
+    /// Number of output datasets (sinks) this reducer produces. Almost all
+    /// reducers produce one; a multi-sink reducer (the shared multi-query
+    /// DSMS) routes each query's rows to its own sink and must agree with
+    /// the stage's declared `1 + aux_outputs.len()`.
+    fn sink_count(&self) -> usize {
+        1
+    }
+
+    /// Output schema per sink, given the input schemas. The default wraps
+    /// [`Reducer::output_schema`] as the single sink.
+    fn sink_schemas(&self, inputs: &[Schema]) -> Result<Vec<Schema>> {
+        Ok(vec![self.output_schema(inputs)?])
+    }
+
+    /// Process one partition, emitting rows per sink (same order as
+    /// [`Reducer::sink_schemas`]). The default wraps
+    /// [`Reducer::reduce_shuffled`] as the single sink; the purity
+    /// contract above applies to every sink's bytes.
+    fn reduce_shuffled_multi(
+        &self,
+        ctx: &ReducerContext,
+        inputs: &[ReduceInput],
+    ) -> Result<Vec<Vec<Row>>> {
+        Ok(vec![self.reduce_shuffled(ctx, inputs)?])
+    }
 }
 
 /// One stage input's shuffled partition, in the form it arrived in.
@@ -221,6 +247,11 @@ pub struct Stage {
     pub inputs: Vec<String>,
     /// Output dataset name.
     pub output: String,
+    /// Extra output dataset names for sinks `1..` of a multi-sink reducer
+    /// (empty for ordinary single-sink stages). Sink `i` of
+    /// [`Reducer::reduce_shuffled_multi`] publishes to
+    /// `[output, aux_outputs...][i]`.
+    pub aux_outputs: Vec<String>,
     /// Map-phase partitioner (applied to every input).
     pub partitioner: Partitioner,
     /// Number of reduce partitions.
@@ -235,6 +266,7 @@ impl std::fmt::Debug for Stage {
             .field("name", &self.name)
             .field("inputs", &self.inputs)
             .field("output", &self.output)
+            .field("aux_outputs", &self.aux_outputs)
             .field("partitioner", &self.partitioner)
             .field("partitions", &self.partitions)
             .finish_non_exhaustive()
@@ -264,10 +296,23 @@ impl Stage {
             name,
             inputs,
             output: output.into(),
+            aux_outputs: Vec::new(),
             partitioner,
             partitions,
             reducer,
         })
+    }
+
+    /// Declare extra sinks for a multi-sink reducer (sinks `1..`; the
+    /// primary `output` is sink 0).
+    pub fn with_aux_outputs(mut self, aux_outputs: Vec<String>) -> Self {
+        self.aux_outputs = aux_outputs;
+        self
+    }
+
+    /// All output dataset names: the primary followed by the aux sinks.
+    pub fn sink_names(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.output.as_str()).chain(self.aux_outputs.iter().map(String::as_str))
     }
 }
 

@@ -34,6 +34,9 @@ pub struct StageStats {
     pub reduce_wall_time: Duration,
     /// Rows produced by all reducers.
     pub output_rows: u64,
+    /// Rows produced per sink, in `Stage::sink_names()` order (one entry
+    /// for single-sink stages; one per query for shared multi-CQ stages).
+    pub sink_rows: Vec<u64>,
     /// Number of reduce partitions.
     pub partitions: usize,
     /// Reduce time per partition (CPU work, measured).

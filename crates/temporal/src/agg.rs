@@ -110,6 +110,38 @@ impl AggExpr {
     pub fn compile_arg(&self, schema: &Schema) -> Option<CompiledExpr> {
         self.input_expr().map(|e| CompiledExpr::compile(e, schema))
     }
+
+    /// Whether this aggregate over a wide window can be derived exactly by
+    /// combining per-cell partials of a finer factor window
+    /// (`plan::factor_windows`). COUNT/MIN/MAX and *integer* SUM combine
+    /// bit-exactly; SUM over doubles is excluded because float addition is
+    /// not associative, so the factored total could differ in the last ulp
+    /// from the direct sweep. AVG/STDDEV/COUNT_DISTINCT have no
+    /// partial-combining form here and fall back to private windows.
+    pub fn combinable(&self, schema: &Schema) -> bool {
+        match self {
+            AggExpr::Count => true,
+            AggExpr::Sum(e) => {
+                matches!(e.infer_type(schema), Ok(ColumnType::Int | ColumnType::Long))
+            }
+            AggExpr::Min(_) | AggExpr::Max(_) => true,
+            AggExpr::Avg(_) | AggExpr::StdDev(_) | AggExpr::CountDistinct(_) => false,
+        }
+    }
+
+    /// The aggregate that combines factor-cell partials stored in column
+    /// `name` into this aggregate's value over a wider window: counts and
+    /// sums add up, extrema nest. `None` exactly when not [`combinable`].
+    ///
+    /// [`combinable`]: AggExpr::combinable
+    pub fn combining(&self, name: &str) -> Option<AggExpr> {
+        match self {
+            AggExpr::Count | AggExpr::Sum(_) => Some(AggExpr::Sum(Expr::Column(name.into()))),
+            AggExpr::Min(_) => Some(AggExpr::Min(Expr::Column(name.into()))),
+            AggExpr::Max(_) => Some(AggExpr::Max(Expr::Column(name.into()))),
+            AggExpr::Avg(_) | AggExpr::StdDev(_) | AggExpr::CountDistinct(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for AggExpr {

@@ -669,6 +669,16 @@ impl<'a> Executor<'a> {
                     operators::hop_udo(input, *hop, *width, udo)?
                 })
             }
+            // One implementation for every mode: expansion rebuilds the
+            // event vector either way, and a single code path keeps the
+            // four modes byte-identical by construction.
+            Operator::SpreadGrid { grid } => {
+                let input = inputs
+                    .pop()
+                    .expect("spread_grid has one input")
+                    .into_stream();
+                StreamData::Rows(operators::spread_grid(input, *grid)?)
+            }
         })
     }
 }

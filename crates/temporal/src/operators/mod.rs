@@ -23,6 +23,7 @@ mod group_apply;
 mod hop_udo;
 pub mod interpreted;
 mod project;
+mod spread_grid;
 mod temporal_join;
 mod union;
 
@@ -34,5 +35,6 @@ pub use fused::{fused_fragment_batch, fused_fragment_rows};
 pub use group_apply::{group_apply, group_apply_batch};
 pub use hop_udo::hop_udo;
 pub use project::{project, project_batch};
+pub use spread_grid::spread_grid;
 pub use temporal_join::temporal_join;
 pub use union::union;

@@ -271,6 +271,12 @@ impl StreamHandle {
     pub fn hop_udo(self, hop: Duration, width: Duration, udo: UdoRef) -> StreamHandle {
         self.derive(Operator::HopUdo { hop, width, udo }, vec![self.node])
     }
+
+    /// Re-expand grid-aligned intervals into per-cell point events (the
+    /// factor-window re-windowing primitive; see `plan::factor_windows`).
+    pub fn spread_grid(self, grid: Duration) -> StreamHandle {
+        self.derive(Operator::SpreadGrid { grid }, vec![self.node])
+    }
 }
 
 /// Extract the sub-DAG reachable from `root`, remapped so `root` becomes

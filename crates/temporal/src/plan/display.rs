@@ -87,6 +87,7 @@ fn fmt_node(
         Operator::HopUdo { hop, width, udo } => {
             writeln!(f, "{pad}HopUdo `{}` h={hop} w={width}", udo.name())?;
         }
+        Operator::SpreadGrid { grid } => writeln!(f, "{pad}SpreadGrid g={grid}")?,
     }
     for &input in &node.inputs {
         fmt_node(plan, input, indent + 1, f)?;

@@ -12,9 +12,14 @@
 mod builder;
 mod display;
 mod fuse;
+mod share;
 
 pub use builder::{Query, StreamHandle};
 pub use fuse::fuse_plan;
+pub use share::{
+    explain_shared, factor_windows, fingerprint, share_plans, subtree_canon, MultiQueryPlan,
+    ShareStats,
+};
 
 use crate::agg::AggExpr;
 use crate::error::{Result, TemporalError};
@@ -173,6 +178,16 @@ pub enum Operator {
         /// The fused chain, in application order.
         steps: Vec<FusedStep>,
     },
+    /// Re-expand grid-aligned interval events into per-cell points: an
+    /// event with lifetime `[a, b)` emits one point event at every multiple
+    /// of `grid` in `[a, b)`, payload unchanged. This inverts the interval
+    /// coalescing the aggregate sweep performs over a `Hop{grid, grid}`
+    /// factor window, letting factor-window partials be re-windowed under
+    /// coarser harmonics (see [`factor_windows`]).
+    SpreadGrid {
+        /// The grid period (must be positive).
+        grid: Duration,
+    },
 }
 
 impl Operator {
@@ -191,6 +206,7 @@ impl Operator {
             Operator::AntiSemiJoin { .. } => "AntiSemiJoin",
             Operator::HopUdo { .. } => "HopUdo",
             Operator::FusedFragment { .. } => "FusedFragment",
+            Operator::SpreadGrid { .. } => "SpreadGrid",
         }
     }
 
@@ -203,6 +219,7 @@ impl Operator {
                 | Operator::AlterLifetime { .. }
                 | Operator::Union
                 | Operator::FusedFragment { .. }
+                | Operator::SpreadGrid { .. }
         )
     }
 
@@ -616,6 +633,13 @@ fn infer_node_schema(op: &Operator, inputs: &[Schema]) -> Result<Schema> {
                 return Err(TemporalError::Plan("hop and width must be positive".into()));
             }
             udo.output_schema(&inputs[0])
+        }
+        Operator::SpreadGrid { grid } => {
+            expect_arity(op, inputs, 1)?;
+            if *grid <= 0 {
+                return Err(TemporalError::Plan("spread grid must be positive".into()));
+            }
+            Ok(inputs[0].clone())
         }
     }
 }

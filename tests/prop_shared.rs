@@ -1,0 +1,297 @@
+//! Property tests for shared multi-query execution (PR 8): running N
+//! queries through one [`MultiTimrJob`] — common prefixes merged, harmonic
+//! hopping windows factored — must be *byte-identical*, per query, to N
+//! independent jobs, in every DSMS execution mode, under chaos, and must
+//! propagate a member query's runtime error exactly like an independent
+//! run (with no partial output published).
+
+use proptest::prelude::*;
+use std::time::Duration;
+use timr_suite::mapreduce::{ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, RetryPolicy};
+use timr_suite::relation::schema::{ColumnType, Field};
+use timr_suite::relation::{row, Row, Schema, Value};
+use timr_suite::temporal::exec::ExecMode;
+use timr_suite::temporal::expr::{col, lit};
+use timr_suite::temporal::plan::LogicalPlan;
+use timr_suite::temporal::Query;
+use timr_suite::timr::multi::MultiTimrJob;
+use timr_suite::timr::{EventEncoding, ExchangeKey};
+
+fn payload() -> Schema {
+    Schema::new(vec![
+        Field::new("StreamId", ColumnType::Int),
+        Field::new("UserId", ColumnType::Str),
+        Field::new("KwAdId", ColumnType::Str),
+        Field::new("V", ColumnType::Long),
+    ])
+}
+
+/// One member of the query set: shared click-filter prefix, per-query
+/// hopping window over (user, ad), per-query ad filter. `poison` adds an
+/// arithmetic filter over `V`, which errors at runtime on rows whose `V`
+/// holds a string (the classic dirty-log failure).
+#[derive(Debug, Clone)]
+struct Member {
+    hop_mult: i64,
+    width_mult: i64,
+    ad: usize,
+    poison: bool,
+}
+
+fn member_plan(m: &Member) -> LogicalPlan {
+    let q = Query::new();
+    let mut clicks = q
+        .source("logs", payload())
+        .filter(col("StreamId").eq(lit(1)));
+    if m.poison {
+        clicks = clicks.filter(col("V").add(lit(1i64)).gt(lit(-1_000_000i64)));
+    }
+    let out = clicks
+        .group_apply(&["UserId", "KwAdId"], |g| {
+            g.hop_window(10 * m.hop_mult, 10 * m.width_mult).count("N")
+        })
+        .filter(col("KwAdId").eq(lit(format!("ad{}", m.ad))));
+    q.build(vec![out]).unwrap()
+}
+
+fn deterministic_rows(n: i64, poison_every: Option<i64>) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            let v: Value = match poison_every {
+                Some(k) if i % k == 0 => Value::Str("oops".into()),
+                _ => Value::Long(i % 50),
+            };
+            let mut r = row![
+                i * 7 % 500,
+                (1 + i % 2) as i32,
+                format!("u{}", i % 11),
+                format!("ad{}", i % 5)
+            ];
+            r.values_mut().push(v);
+            r
+        })
+        .collect()
+}
+
+fn dfs_with(rows: &[Row]) -> Dfs {
+    let parts: Vec<Vec<Row>> = rows.chunks(40).map(|c| c.to_vec()).collect();
+    let dfs = Dfs::new();
+    dfs.put(
+        "logs",
+        Dataset::partitioned(EventEncoding::Point.dataset_schema(&payload()), parts),
+    )
+    .unwrap();
+    dfs
+}
+
+fn job(name: &str, members: &[Member], mode: ExecMode) -> MultiTimrJob {
+    MultiTimrJob::new(name, members.iter().map(member_plan).collect())
+        .with_key(ExchangeKey::keys(&["UserId"]))
+        .with_machines(3)
+        .with_exec_mode(mode)
+}
+
+fn cluster(threads: usize, chaos: ChaosPlan) -> Cluster {
+    Cluster::with_config(ClusterConfig {
+        threads,
+        chaos,
+        retry: RetryPolicy::no_backoff(4),
+        ..ClusterConfig::default()
+    })
+}
+
+/// Raw output partitions of every query of a shared run.
+fn shared_bytes(
+    members: &[Member],
+    rows: &[Row],
+    mode: ExecMode,
+    chaos: ChaosPlan,
+) -> Vec<Vec<Vec<Row>>> {
+    let dfs = dfs_with(rows);
+    let out = job("shared", members, mode)
+        .run(&dfs, &cluster(4, chaos))
+        .unwrap();
+    out.datasets
+        .iter()
+        .map(|d| dfs.get(d).unwrap().partitions.as_ref().clone())
+        .collect()
+}
+
+/// Raw output partitions of one query run on its own.
+fn solo_bytes(member: &Member, rows: &[Row], mode: ExecMode) -> Vec<Vec<Row>> {
+    let dfs = dfs_with(rows);
+    let out = job("solo", std::slice::from_ref(member), mode)
+        .run(&dfs, &cluster(4, ChaosPlan::none()))
+        .unwrap();
+    dfs.get(&out.datasets[0])
+        .unwrap()
+        .partitions
+        .as_ref()
+        .clone()
+}
+
+fn arb_member() -> impl Strategy<Value = Member> {
+    // hop × width multipliers mix harmonic (shared gcd 10) and co-prime
+    // (7·10) cadences, so some runs factor and some don't; identical
+    // members exercise whole-query dedup.
+    (1i64..5, 1i64..5, 0usize..3, any::<bool>()).prop_map(|(h, w, ad, seven)| Member {
+        hop_mult: if seven { 7 } else { h },
+        width_mult: w + 1,
+        ad,
+        poison: false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shared execution is byte-identical to independent execution for
+    /// every member, in all four DSMS execution modes.
+    #[test]
+    fn shared_equals_independent_per_query(
+        members in prop::collection::vec(arb_member(), 1..9),
+        n in 60i64..140,
+    ) {
+        let rows = deterministic_rows(n, None);
+        for mode in [
+            ExecMode::Interpreted,
+            ExecMode::Compiled,
+            ExecMode::Columnar,
+            ExecMode::Fused,
+        ] {
+            let shared = shared_bytes(&members, &rows, mode, ChaosPlan::none());
+            prop_assert_eq!(shared.len(), members.len());
+            for (i, m) in members.iter().enumerate() {
+                let solo = solo_bytes(m, &rows, mode);
+                prop_assert_eq!(
+                    &shared[i], &solo,
+                    "query {} bytes differ under {:?}", i, mode
+                );
+            }
+        }
+    }
+
+    /// Chaos below the retry budget never changes any query's bytes in a
+    /// shared run.
+    #[test]
+    fn chaos_is_invisible_per_query(
+        members in prop::collection::vec(arb_member(), 2..7),
+        seed in 0u64..1_000_000,
+    ) {
+        let rows = deterministic_rows(120, None);
+        let chaos = ChaosPlan::seeded(seed)
+            .with_panics(0.15)
+            .with_transients(0.15)
+            .with_corruption(0.12)
+            .with_delays(0.10, Duration::from_micros(200))
+            .with_fault_cap(2);
+        let clean = shared_bytes(&members, &rows, ExecMode::Compiled, ChaosPlan::none());
+        let chaotic = shared_bytes(&members, &rows, ExecMode::Compiled, chaos);
+        prop_assert_eq!(clean, chaotic, "chaos changed shared-job bytes");
+    }
+}
+
+/// A runtime error in ONE member query fails the shared job with the same
+/// reducer error an independent run of that query produces, and publishes
+/// no output for ANY query (all-or-nothing, like a single stage).
+#[test]
+fn member_error_propagates_like_independent_run() {
+    let members = vec![
+        Member {
+            hop_mult: 1,
+            width_mult: 2,
+            ad: 0,
+            poison: false,
+        },
+        Member {
+            hop_mult: 2,
+            width_mult: 2,
+            ad: 1,
+            poison: true,
+        },
+        Member {
+            hop_mult: 3,
+            width_mult: 4,
+            ad: 2,
+            poison: false,
+        },
+    ];
+    let rows = deterministic_rows(90, Some(30)); // a few dirty V cells
+    for mode in [
+        ExecMode::Interpreted,
+        ExecMode::Compiled,
+        ExecMode::Columnar,
+    ] {
+        // Independent runs: only the poisoned query fails.
+        let solo_errs: Vec<Option<String>> = members
+            .iter()
+            .map(|m| {
+                let dfs = dfs_with(&rows);
+                job("solo", std::slice::from_ref(m), mode)
+                    .run(&dfs, &cluster(1, ChaosPlan::none()))
+                    .err()
+                    .map(|e| e.to_string())
+            })
+            .collect();
+        assert!(solo_errs[0].is_none() && solo_errs[2].is_none());
+        let solo_err = solo_errs[1].as_ref().expect("poisoned solo run fails");
+
+        // Shared run: fails, and no query's dataset is published.
+        let dfs = dfs_with(&rows);
+        let err = job("shared", &members, mode)
+            .run(&dfs, &cluster(4, ChaosPlan::none()))
+            .expect_err("shared run with a poisoned member must fail")
+            .to_string();
+        for i in 0..members.len() {
+            assert!(
+                dfs.get(&format!("shared__q{i}")).is_err(),
+                "query {i} output published despite job failure ({mode:?})"
+            );
+        }
+        // Same failure: both surface the reducer's eval error. Stage names
+        // differ (shared vs solo), so compare the root-cause message.
+        let root = |s: &str| {
+            s.rsplit(':')
+                .next()
+                .map(|t| t.trim().to_string())
+                .unwrap_or_default()
+        };
+        assert_eq!(
+            root(&err),
+            root(solo_err),
+            "shared error `{err}` differs from independent error `{solo_err}` ({mode:?})"
+        );
+    }
+}
+
+/// Whole-query dedup: N copies of the same query produce N identical
+/// output datasets from one evaluated root.
+#[test]
+fn identical_queries_share_everything() {
+    let m = Member {
+        hop_mult: 2,
+        width_mult: 3,
+        ad: 1,
+        poison: false,
+    };
+    let members = vec![m.clone(), m.clone(), m];
+    let rows = deterministic_rows(100, None);
+    let dfs = dfs_with(&rows);
+    let out = job("same", &members, ExecMode::Compiled)
+        .run(&dfs, &cluster(2, ChaosPlan::none()))
+        .unwrap();
+    // All three sinks hold identical bytes.
+    let parts: Vec<_> = out
+        .datasets
+        .iter()
+        .map(|d| dfs.get(d).unwrap().partitions.as_ref().clone())
+        .collect();
+    assert_eq!(parts[0], parts[1]);
+    assert_eq!(parts[1], parts[2]);
+    // And the merged DAG kept a single copy of the query body.
+    assert_eq!(
+        out.shared.merged_nodes,
+        out.shared.input_nodes / 3,
+        "three identical queries should merge into one body"
+    );
+}
