@@ -4,8 +4,10 @@
 //! by `hash(key) mod machines`, so machine count trades skew against
 //! per-reducer instantiation cost).
 
+use bt::queries::advertisers::click_score_job;
 use bt::queries::train_data::{naive_annotation, train_query};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce::MapperContext;
 use timr::{EventEncoding, TimrJob};
 
 fn setup() -> (Vec<relation::Row>, bt::BtParams) {
@@ -65,5 +67,41 @@ fn bench_fragments(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fragments);
+/// PR 9: the map-side DSMS fragment of the click-score job — the pushed
+/// filter → projection → partial-aggregation chain run over one raw log
+/// extent through the [`Mapper`] hook, vs the whole job with push-down on
+/// and off (the reduce-only baseline).
+///
+/// [`Mapper`]: mapreduce::Mapper
+fn bench_mapper_fragment(c: &mut Criterion) {
+    let (rows, params) = setup();
+    let compiled = click_score_job(&params).compile().unwrap();
+    let mapper = compiled.stages[0]
+        .mapper
+        .clone()
+        .expect("click-score job pushes a mapper fragment");
+    let ctx = MapperContext::standalone("clickscore", 0, 0);
+
+    let mut group = c.benchmark_group("mapper_fragment");
+    group.sample_size(10);
+    group.bench_function("dsms_mapper_extent", |b| {
+        b.iter(|| mapper.map(&ctx, &rows).unwrap().expect("fragment maps"))
+    });
+
+    let run_job = |push: bool| {
+        let dfs = mapreduce::Dfs::new();
+        let schema = EventEncoding::Point.dataset_schema(&bt::queries::log_payload());
+        dfs.put("logs", mapreduce::Dataset::single(schema, rows.to_vec()))
+            .unwrap();
+        click_score_job(&params)
+            .with_push_down(push)
+            .run(&dfs, &mapreduce::Cluster::new())
+            .unwrap()
+    };
+    group.bench_function("clickscore_pushdown_on", |b| b.iter(|| run_job(true)));
+    group.bench_function("clickscore_pushdown_off", |b| b.iter(|| run_job(false)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragments, bench_mapper_fragment);
 criterion_main!(benches);

@@ -1,0 +1,358 @@
+//! PR 9 acceptance benchmark: map-side plan push-down — fused mapper
+//! fragments plus combiner-style partial aggregation before the shuffle.
+//!
+//! The workload is the behavioural-targeting log. Bot elimination runs
+//! once ([`bt::queries::bot_elim`]) to produce the cleaned log, exactly as
+//! the deployed pipeline does; then two consumers are measured with
+//! push-down on vs off (the reduce-only baseline):
+//!
+//! 1. **dashboards** — the shared 16-query advertiser set over the
+//!    cleaned log ([`bt::queries::advertisers::dashboard_job`]). The
+//!    click filter and the factor-window partial aggregation move
+//!    map-side, so the shuffle carries pre-aggregated GCD-cell partials
+//!    instead of raw click rows.
+//! 2. **clickscore** — the single-query click-score job
+//!    ([`bt::queries::advertisers::click_score_job`]): filter →
+//!    narrowing projection → partial aggregation all push.
+//!
+//! For each job the experiment records shuffle bytes, bytes saved, mapper
+//! row counts, map/stage wall time — and asserts the outputs are
+//! **byte-identical** with push-down on and off, in all four DSMS
+//! execution modes, and under seeded chaos with a tight shuffle memory
+//! budget. The raw-log advertiser set ([`shared_job`]) is the negative
+//! control: its bot-elimination fan-out blocks the split, so it must
+//! report zero pushed operators and zero bytes saved. Acceptance: ≥2x
+//! shuffle-byte cut on both measured jobs. Results go to `BENCH_PR9.json`.
+//!
+//! `TIMR_PR9_SCALE=4` replicates the log that many times for a heavier
+//! shuffle.
+
+use crate::table::Table;
+use bt::queries::advertisers::{click_score_job, dashboard_job, shared_job, CLEAN_LOG_DATASET};
+use bt::queries::bot_elim;
+use mapreduce::{ChaosPlan, Cluster, ClusterConfig, Dataset, Dfs, JobStats, RetryPolicy};
+use relation::Row;
+use std::time::Duration;
+use temporal::exec::ExecMode;
+
+const DASHBOARDS: usize = 16;
+
+/// Log replication factor (`TIMR_PR9_SCALE` overrides, default 1).
+fn scale() -> usize {
+    std::env::var("TIMR_PR9_SCALE")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn job_wall(stats: &JobStats) -> Duration {
+    stats.stages.iter().map(|s| s.wall_time).sum()
+}
+
+type Bytes = Vec<Vec<Vec<Row>>>;
+
+fn collect_bytes(dfs: &Dfs, datasets: &[String]) -> Bytes {
+    datasets
+        .iter()
+        .map(|d| dfs.get(d).unwrap().partitions.as_ref().clone())
+        .collect()
+}
+
+/// One measured side of a job (push-down on or off).
+struct Side {
+    stats: JobStats,
+    bytes: Bytes,
+    pushed_ops: usize,
+    pushed_partials: usize,
+}
+
+impl Side {
+    fn wall(&self) -> Duration {
+        job_wall(&self.stats)
+    }
+}
+
+/// Run the dashboard set or the click-score job once.
+fn run_job(
+    params: &bt::BtParams,
+    dfs: &Dfs,
+    cluster: &Cluster,
+    job: &str,
+    push: bool,
+    mode: ExecMode,
+) -> Side {
+    match job {
+        "dashboards" => {
+            let out = dashboard_job(params, DASHBOARDS)
+                .with_push_down(push)
+                .with_exec_mode(mode)
+                .run(dfs, cluster)
+                .expect("dashboard job runs");
+            Side {
+                bytes: collect_bytes(dfs, &out.datasets),
+                pushed_ops: out.pushed_ops,
+                pushed_partials: out.pushed_partials,
+                stats: out.stats,
+            }
+        }
+        "clickscore" => {
+            let compiled = click_score_job(params)
+                .with_push_down(push)
+                .compile()
+                .expect("click-score job compiles");
+            let out = click_score_job(params)
+                .with_push_down(push)
+                .with_exec_mode(mode)
+                .run(dfs, cluster)
+                .expect("click-score job runs");
+            Side {
+                bytes: collect_bytes(dfs, std::slice::from_ref(&out.dataset)),
+                pushed_ops: compiled.pushed_ops,
+                pushed_partials: compiled.pushed_partials,
+                stats: out.stats,
+            }
+        }
+        other => panic!("unknown pr9 job `{other}`"),
+    }
+}
+
+/// Interleaved best-of-3: run on/off alternately, keep each side's
+/// fastest run so transient noise lands on both sides evenly.
+fn measure(params: &bt::BtParams, dfs: &Dfs, cluster: &Cluster, job: &str) -> (Side, Side) {
+    let mut best_on: Option<Side> = None;
+    let mut best_off: Option<Side> = None;
+    for _ in 0..3 {
+        let on = run_job(params, dfs, cluster, job, true, ExecMode::Compiled);
+        best_on = Some(match best_on {
+            Some(prev) if prev.wall() <= on.wall() => prev,
+            _ => on,
+        });
+        let off = run_job(params, dfs, cluster, job, false, ExecMode::Compiled);
+        best_off = Some(match best_off {
+            Some(prev) if prev.wall() <= off.wall() => prev,
+            _ => off,
+        });
+    }
+    (best_on.expect("reps > 0"), best_off.expect("reps > 0"))
+}
+
+/// Run the experiment.
+pub fn run(ctx: &mut super::Ctx) -> String {
+    let params = ctx.workload.bt_params();
+    let cluster = &ctx.workload.cluster;
+    let scale = scale();
+
+    // A dedicated DFS so the replicated log and the cleaned-log alias
+    // never leak into other experiments' workloads.
+    let base = ctx.workload.dfs.get("logs").expect("workload log");
+    let dfs = Dfs::new();
+    let mut parts: Vec<Vec<Row>> = Vec::new();
+    for _ in 0..scale {
+        parts.extend(base.partitions.iter().cloned());
+    }
+    let log_rows: usize = parts.iter().map(Vec::len).sum();
+    dfs.put("logs", Dataset::partitioned(base.schema.clone(), parts))
+        .unwrap();
+
+    // Bot elimination runs ONCE, as in the deployed pipeline; every
+    // dashboard consumes its output.
+    let bot = bot_elim::query(&params);
+    let clean = timr::TimrJob::new("pr9_botelim", bot.plan.clone())
+        .with_annotation(bot.annotation.clone())
+        .with_machines(params.machines)
+        .run(&dfs, cluster)
+        .expect("bot elimination runs");
+    dfs.put_overwrite(CLEAN_LOG_DATASET, dfs.get(&clean.dataset).unwrap());
+
+    let mut table = Table::new(&[
+        "Job",
+        "Shuffle off B",
+        "Shuffle on B",
+        "Cut",
+        "Saved B",
+        "Map rows in→out",
+        "Map ms",
+        "Wall off ms",
+        "Wall on ms",
+    ]);
+    let mut json_jobs = Vec::new();
+    let mut cuts = Vec::new();
+
+    for job in ["dashboards", "clickscore"] {
+        let (on, off) = measure(&params, &dfs, cluster, job);
+        assert_eq!(
+            on.bytes, off.bytes,
+            "{job}: push-down must be byte-identical to the reduce-only plan"
+        );
+        assert!(on.pushed_ops > 0, "{job}: expected pushed operators");
+        assert_eq!(on.pushed_partials, 1, "{job}: expected one pushed partial");
+        assert_eq!(off.pushed_ops, 0, "{job}: baseline must not push");
+
+        let on_shuffle = on.stats.total_shuffle_bytes();
+        let off_shuffle = off.stats.total_shuffle_bytes();
+        let saved = on.stats.total_shuffle_bytes_saved();
+        let cut = off_shuffle as f64 / on_shuffle.max(1) as f64;
+        cuts.push((job, cut));
+        let mt = on.stats.map_totals();
+        assert!(saved > 0, "{job}: push-down saved no shuffle bytes");
+        assert!(
+            mt.rows_out < mt.rows_in,
+            "{job}: mapper fragments must shrink the shuffled row count"
+        );
+        assert_eq!(off.stats.total_shuffle_bytes_saved(), 0);
+
+        table.row(vec![
+            job.to_string(),
+            off_shuffle.to_string(),
+            on_shuffle.to_string(),
+            format!("{cut:.2}x"),
+            saved.to_string(),
+            format!("{} → {}", mt.rows_in, mt.rows_out),
+            format!("{:.1}", ms(mt.map_time)),
+            format!("{:.1}", ms(off.wall())),
+            format!("{:.1}", ms(on.wall())),
+        ]);
+        json_jobs.push(serde_json::Value::Object(vec![
+            ("job".into(), serde_json::Value::Str(job.into())),
+            (
+                "shuffle_bytes_off".into(),
+                serde_json::Value::UInt(off_shuffle),
+            ),
+            (
+                "shuffle_bytes_on".into(),
+                serde_json::Value::UInt(on_shuffle),
+            ),
+            ("shuffle_cut".into(), serde_json::Value::Float(cut)),
+            ("shuffle_bytes_saved".into(), serde_json::Value::UInt(saved)),
+            ("map_rows_in".into(), serde_json::Value::UInt(mt.rows_in)),
+            ("map_rows_out".into(), serde_json::Value::UInt(mt.rows_out)),
+            ("map_ms".into(), serde_json::Value::Float(ms(mt.map_time))),
+            (
+                "pushed_ops".into(),
+                serde_json::Value::UInt(on.pushed_ops as u64),
+            ),
+            (
+                "pushed_partials".into(),
+                serde_json::Value::UInt(on.pushed_partials as u64),
+            ),
+            (
+                "wall_off_ms".into(),
+                serde_json::Value::Float(ms(off.wall())),
+            ),
+            ("wall_on_ms".into(), serde_json::Value::Float(ms(on.wall()))),
+            (
+                "speedup".into(),
+                serde_json::Value::Float(
+                    off.wall().as_secs_f64() / on.wall().as_secs_f64().max(1e-9),
+                ),
+            ),
+            ("byte_identical".into(), serde_json::Value::Bool(true)),
+        ]));
+    }
+
+    // Four-mode identity anchor: every DSMS execution mode must write the
+    // same dashboard bytes with push-down on as Compiled writes with it
+    // off.
+    let reference = run_job(
+        &params,
+        &dfs,
+        cluster,
+        "dashboards",
+        false,
+        ExecMode::Compiled,
+    );
+    for mode in [
+        ExecMode::Interpreted,
+        ExecMode::Compiled,
+        ExecMode::Columnar,
+        ExecMode::Fused,
+    ] {
+        let pushed = run_job(&params, &dfs, cluster, "dashboards", true, mode);
+        assert_eq!(
+            reference.bytes, pushed.bytes,
+            "{mode:?} pushed run must write the reduce-only bytes"
+        );
+    }
+
+    // Chaos + spill smoke: seeded faults below the retry budget and a
+    // shuffle memory budget far below the shuffle volume must not change
+    // a single byte of the pushed plan's output.
+    let hostile = Cluster::with_config(ClusterConfig {
+        threads: 4,
+        chaos: ChaosPlan::seeded(7)
+            .with_panics(0.1)
+            .with_transients(0.1)
+            .with_corruption(0.1)
+            .with_fault_cap(2),
+        retry: RetryPolicy::no_backoff(4),
+        memory_budget_bytes: Some(4096),
+        ..ClusterConfig::default()
+    });
+    let chaotic = run_job(
+        &params,
+        &dfs,
+        &hostile,
+        "dashboards",
+        true,
+        ExecMode::Compiled,
+    );
+    assert_eq!(
+        reference.bytes, chaotic.bytes,
+        "chaos + spill changed pushed-plan bytes"
+    );
+
+    // Negative control: the raw-log advertiser set fans its source into
+    // the bot-elimination subgraph, so nothing may push.
+    let control = shared_job(&params, 8)
+        .run(&dfs, cluster)
+        .expect("raw advertiser job runs");
+    assert_eq!(
+        control.pushed_ops, 0,
+        "bot-elim fan-out must block push-down"
+    );
+    assert_eq!(control.stats.total_shuffle_bytes_saved(), 0);
+
+    let min_cut = cuts.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+    let json = serde_json::Value::Object(vec![
+        ("experiment".into(), serde_json::Value::Str("pr9".into())),
+        ("scale".into(), serde_json::Value::UInt(scale as u64)),
+        ("log_rows".into(), serde_json::Value::UInt(log_rows as u64)),
+        (
+            "dashboards".into(),
+            serde_json::Value::UInt(DASHBOARDS as u64),
+        ),
+        ("jobs".into(), serde_json::Value::Array(json_jobs)),
+        ("min_shuffle_cut".into(), serde_json::Value::Float(min_cut)),
+        (
+            "shuffle_cut_ge_2x".into(),
+            serde_json::Value::Bool(min_cut >= 2.0),
+        ),
+        ("byte_identical".into(), serde_json::Value::Bool(true)),
+        (
+            "control_pushed_ops".into(),
+            serde_json::Value::UInt(control.pushed_ops as u64),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&json).expect("value serializes");
+    if let Err(e) = std::fs::write("BENCH_PR9.json", format!("{rendered}\n")) {
+        eprintln!("warning: could not write BENCH_PR9.json: {e}");
+    }
+
+    assert!(
+        min_cut >= 2.0,
+        "acceptance: shuffle-byte cut must be ≥2x on every measured job (got {min_cut:.2}x)"
+    );
+
+    format!(
+        "PR 9 — map-side push-down vs reduce-only plans over {log_rows} log rows, scale {scale} \
+         (written to BENCH_PR9.json):\n{}\
+         outputs byte-identical on/off (all four exec modes, chaos + 4 KiB spill budget); \
+         raw advertiser control pushes 0 ops; min shuffle cut {min_cut:.2}x (target ≥2x)\n",
+        table.render(),
+    )
+}

@@ -11,6 +11,7 @@ pub mod bench_pr5;
 pub mod bench_pr6;
 pub mod bench_pr7;
 pub mod bench_pr8;
+pub mod bench_pr9;
 pub mod bots;
 pub mod ex3;
 pub mod fig14;
@@ -210,6 +211,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "PR 8: shared multi-query execution vs N independent advertiser jobs \
                  (writes BENCH_PR8.json)",
             run: bench_pr8::run,
+        },
+        Experiment {
+            name: "pr9",
+            artifact: "PR 9: map-side push-down — mapper fragments + partial aggregation before \
+                 the shuffle (writes BENCH_PR9.json)",
+            run: bench_pr9::run,
         },
     ]
 }

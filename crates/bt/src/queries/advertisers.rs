@@ -17,9 +17,9 @@
 use super::{log_payload, stream_id};
 use crate::params::BtParams;
 use temporal::expr::{col, lit};
-use temporal::plan::{LogicalPlan, Query, StreamHandle};
+use temporal::plan::{LogicalPlan, Operator, Query, StreamHandle};
 use timr::multi::MultiTimrJob;
-use timr::ExchangeKey;
+use timr::{Annotation, EventEncoding, ExchangeKey, TimrJob};
 
 /// The bot-elimination prefix, constructed exactly as
 /// [`super::bot_elim::query`] does so every advertiser query shares the
@@ -75,6 +75,86 @@ pub fn shared_job(params: &BtParams, n: usize) -> MultiTimrJob {
         .with_machines(params.machines)
 }
 
+/// Name of the bot-cleaned log dataset the dashboard variants consume.
+///
+/// In the deployed pipeline bot elimination runs once as its own stage
+/// ([`super::bot_elim`]) and every downstream consumer — dashboards,
+/// training data, feature selection — reads its output. The dashboard
+/// queries below consume that dataset directly instead of re-deriving the
+/// prefix per query, which leaves their log scan exchange-free and lets
+/// plan push-down run the click filter and the factor-window partial
+/// aggregation map-side.
+pub const CLEAN_LOG_DATASET: &str = "clean_logs";
+
+/// Advertiser `i`'s dashboard over the bot-cleaned log: clicks per
+/// (user, ad) at cadence `click_window · (1 + i mod 3)` over the last
+/// `12 · click_window`, restricted to the advertiser's ads.
+pub fn dashboard_query(params: &BtParams, i: usize) -> LogicalPlan {
+    let q = Query::new();
+    let hop = params.click_window * (1 + (i % 3) as i64);
+    let width = params.click_window * 12;
+    let out = q
+        .source(CLEAN_LOG_DATASET, log_payload())
+        .filter(col("StreamId").eq(lit(stream_id::CLICK)))
+        .group_apply(&["UserId", "KwAdId"], |g| {
+            g.hop_window(hop, width).count("Clicks")
+        })
+        .filter(col("KwAdId").eq(lit(format!("ad{}", i % 5))));
+    q.build(vec![out]).expect("dashboard query is a valid plan")
+}
+
+/// One shared TiMR job running `n` dashboards over the bot-cleaned log,
+/// keyed by `UserId`. The cleaned log is a TiMR intermediate, hence
+/// interval-framed.
+pub fn dashboard_job(params: &BtParams, n: usize) -> MultiTimrJob {
+    MultiTimrJob::new(
+        "dashboards",
+        (0..n).map(|i| dashboard_query(params, i)).collect(),
+    )
+    .with_key(ExchangeKey::keys(&["UserId"]))
+    .with_machines(params.machines)
+    .with_source_encoding(CLEAN_LOG_DATASET, EventEncoding::Interval)
+}
+
+/// The click-score query: per (user, ad) click counts over the raw log at
+/// the base cadence — the single-query sibling of the dashboards, used
+/// where one consumer wants the whole click picture (no per-advertiser
+/// filter). The projection drops `StreamId` before the exchange, so
+/// push-down also narrows every shuffled row.
+pub fn click_score_query(params: &BtParams) -> LogicalPlan {
+    let q = Query::new();
+    let out = q
+        .source("logs", log_payload())
+        .filter(col("StreamId").eq(lit(stream_id::CLICK)))
+        .project(vec![
+            ("UserId".to_string(), col("UserId")),
+            ("KwAdId".to_string(), col("KwAdId")),
+        ])
+        .group_apply(&["UserId", "KwAdId"], |g| {
+            g.hop_window(params.click_window, params.click_window * 12)
+                .count("Clicks")
+        });
+    q.build(vec![out])
+        .expect("click-score query is a valid plan")
+}
+
+/// The click-score query as a single-query TiMR job: one keyed fragment
+/// (exchange on the filter's input edge, keyed `UserId`), so the whole
+/// filter → project → partial-aggregation chain is eligible for map-side
+/// push-down.
+pub fn click_score_job(params: &BtParams) -> TimrJob {
+    let plan = click_score_query(params);
+    let filter = plan
+        .nodes()
+        .iter()
+        .position(|n| matches!(n.op, Operator::Filter { .. }))
+        .expect("click-score query has a click filter");
+    let ann = Annotation::none().exchange(filter, 0, ExchangeKey::keys(&["UserId"]));
+    TimrJob::new("clickscore", plan)
+        .with_annotation(ann)
+        .with_machines(params.machines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +194,45 @@ mod tests {
         assert_eq!(compiled.outputs.len(), 8);
         assert_eq!(compiled.stage.partitions, params().machines);
         assert_eq!(compiled.factored_groups, 1);
+    }
+
+    #[test]
+    fn bot_elim_prefix_blocks_push_down() {
+        // The raw-log advertiser set fans the source out into the bot-elim
+        // subgraph, so nothing can move map-side — the honest negative
+        // case the dashboard variant exists to fix.
+        let compiled = shared_job(&params(), 8).compile().unwrap();
+        assert_eq!(compiled.pushed_ops, 0);
+        assert_eq!(compiled.pushed_partials, 0);
+    }
+
+    #[test]
+    fn dashboard_job_pushes_filter_and_partials_map_side() {
+        let compiled = dashboard_job(&params(), 16).compile().unwrap();
+        assert_eq!(compiled.outputs.len(), 16);
+        assert_eq!(compiled.factored_groups, 1);
+        assert!(compiled.pushed_ops >= 1, "the click filter moves map-side");
+        assert_eq!(
+            compiled.pushed_partials, 1,
+            "the factor window partial-aggregates map-side"
+        );
+        // Off switch restores the reduce-only plan.
+        let off = dashboard_job(&params(), 16)
+            .with_push_down(false)
+            .compile()
+            .unwrap();
+        assert_eq!(off.pushed_ops, 0);
+    }
+
+    #[test]
+    fn click_score_job_pushes_the_whole_prefix() {
+        let compiled = click_score_job(&params()).compile().unwrap();
+        assert_eq!(compiled.stages.len(), 1);
+        assert!(
+            compiled.pushed_ops >= 2,
+            "filter and project move map-side, got {}",
+            compiled.pushed_ops
+        );
+        assert_eq!(compiled.pushed_partials, 1);
     }
 }

@@ -12,13 +12,14 @@ use crate::annotate::Annotation;
 use crate::bridge::{pull_through_queue, EventEncoding};
 use crate::error::{Result, TimrError};
 use crate::fragment::{fragment, Fragment, FragmentInput, FragmentKey};
+use crate::mapper::{DsmsMapper, MapperUnit};
 use mapreduce::{MrError, Partitioner, ReduceInput, Reducer, ReducerContext, Stage};
 use relation::{Row, Schema};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use temporal::exec::{DataBindings, ExecMode, ExecOptions, StreamData};
-use temporal::plan::LogicalPlan;
+use temporal::plan::{LogicalPlan, PushDown};
 use temporal::EventStream;
 
 /// A compiled TiMR job: ordered stages plus output metadata.
@@ -32,6 +33,33 @@ pub struct CompiledJob {
     pub output_payload: Schema,
     /// Lifetime encoding of the final output dataset.
     pub output_encoding: EventEncoding,
+    /// Stateless operators moved map-side by plan push-down, all stages.
+    pub pushed_ops: usize,
+    /// Partial-aggregation steps moved map-side, all stages.
+    pub pushed_partials: usize,
+}
+
+/// Compile-time switches shared by [`compile_with_options`] and the
+/// multi-query driver.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// DSMS operator-implementation mode for the embedded DSMS instances.
+    pub exec_mode: ExecMode,
+    /// Split each stage plan at its first exchange and run the
+    /// exchange-free prefix (plus combinable partial aggregations)
+    /// map-side ([`temporal::plan::push_down`]). On by default — the
+    /// split is validated and byte-identity-preserving, so turning it
+    /// off is only interesting for benchmarking the shuffle savings.
+    pub push_down: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            exec_mode: ExecMode::Compiled,
+            push_down: true,
+        }
+    }
 }
 
 /// Compile `plan` + `annotation` into map-reduce stages.
@@ -67,6 +95,28 @@ pub fn compile_with_mode(
     source_encodings: &BTreeMap<String, EventEncoding>,
     exec_mode: ExecMode,
 ) -> Result<CompiledJob> {
+    compile_with_options(
+        plan,
+        annotation,
+        job_name,
+        machines,
+        source_encodings,
+        CompileOptions {
+            exec_mode,
+            ..CompileOptions::default()
+        },
+    )
+}
+
+/// [`compile`] with explicit [`CompileOptions`].
+pub fn compile_with_options(
+    plan: &LogicalPlan,
+    annotation: &Annotation,
+    job_name: &str,
+    machines: usize,
+    source_encodings: &BTreeMap<String, EventEncoding>,
+    options: CompileOptions,
+) -> Result<CompiledJob> {
     if machines == 0 {
         return Err(TimrError::Compile("machines must be positive".into()));
     }
@@ -74,9 +124,15 @@ pub fn compile_with_mode(
     let mut stages = Vec::with_capacity(fragments.len());
     let mut output = String::new();
     let mut output_payload = plan.schema_of(plan.roots()[0]).clone();
+    let mut pushed_ops = 0usize;
+    let mut pushed_partials = 0usize;
 
     for frag in &fragments {
-        let stage = compile_fragment(frag, job_name, machines, source_encodings, exec_mode)?;
+        let (stage, pd) = compile_fragment(frag, job_name, machines, source_encodings, options)?;
+        if let Some(pd) = pd {
+            pushed_ops += pd.pushed_ops;
+            pushed_partials += pd.partials;
+        }
         if frag.is_final {
             output = stage.output.clone();
             output_payload = frag.plan.schema_of(frag.plan.roots()[0]).clone();
@@ -88,6 +144,8 @@ pub fn compile_with_mode(
         output,
         output_payload,
         output_encoding: EventEncoding::Interval,
+        pushed_ops,
+        pushed_partials,
     })
 }
 
@@ -96,8 +154,9 @@ fn compile_fragment(
     job_name: &str,
     machines: usize,
     source_encodings: &BTreeMap<String, EventEncoding>,
-    exec_mode: ExecMode,
-) -> Result<Stage> {
+    options: CompileOptions,
+) -> Result<(Stage, Option<PushDown>)> {
+    let exec_mode = options.exec_mode;
     let (partitioner, partitions) = match &frag.key {
         FragmentKey::Keys(cols) => (
             // Hash over the *dataset* row: framing columns precede payload
@@ -112,30 +171,85 @@ fn compile_fragment(
         FragmentKey::Spread => (Partitioner::Spread, machines),
     };
 
+    // Split the fragment plan at the exchange. `Spread` routes on the
+    // whole row, so rewriting rows map-side would change routing —
+    // push-down is only attempted under content-addressed partitioners
+    // (KeyHash preserves its key columns; Single has nothing to route).
+    let partition_cols = match &frag.key {
+        FragmentKey::Keys(cols) => Some(Some(cols.as_slice())),
+        FragmentKey::Single => Some(None),
+        FragmentKey::Spread => None,
+    };
+    let pd: Option<PushDown> = match partition_cols {
+        Some(cols) if options.push_down => {
+            let pd = temporal::plan::push_down(&frag.plan, cols).map_err(TimrError::Temporal)?;
+            pd.any().then_some(pd)
+        }
+        _ => None,
+    };
+    let reduce_plan = pd
+        .as_ref()
+        .map(|p| &p.residual)
+        .unwrap_or(&frag.plan)
+        .clone();
+
     let mut input_names = Vec::with_capacity(frag.inputs.len());
     let mut bindings = Vec::with_capacity(frag.inputs.len());
+    let mut units: Vec<Option<MapperUnit>> = Vec::with_capacity(frag.inputs.len());
     for (source_name, input) in &frag.inputs {
         let dataset = input.dataset_name(job_name);
-        let encoding = match input {
+        let raw_encoding = match input {
             FragmentInput::SourceDataset { name } => source_encodings
                 .get(name)
                 .copied()
                 .unwrap_or(EventEncoding::Point),
             FragmentInput::Intermediate { .. } => EventEncoding::Interval,
         };
-        let payload = frag
+        let raw_payload = frag
             .plan
             .sources()
             .iter()
             .find(|(n, _)| n == source_name)
             .map(|(_, s)| (*s).clone())
             .expect("fragment input has a source leaf");
+        let mapper_plan = pd
+            .as_ref()
+            .and_then(|p| p.mappers.iter().find(|m| &m.source == source_name));
         input_names.push(dataset);
-        bindings.push(InputBinding {
-            source_name: source_name.clone(),
-            encoding,
-            payload,
-        });
+        match mapper_plan {
+            Some(mp) => {
+                // The reducer sees this input post-mapper: interval-framed
+                // rows carrying the residual source leaf's schema.
+                let payload = reduce_plan
+                    .sources()
+                    .iter()
+                    .find(|(n, _)| n == source_name)
+                    .map(|(_, s)| (*s).clone())
+                    .expect("residual keeps the pushed source leaf");
+                units.push(Some(MapperUnit::new(
+                    mp,
+                    InputBinding {
+                        source_name: source_name.clone(),
+                        encoding: raw_encoding,
+                        payload: raw_payload,
+                    },
+                    exec_mode,
+                )?));
+                bindings.push(InputBinding {
+                    source_name: source_name.clone(),
+                    encoding: EventEncoding::Interval,
+                    payload,
+                });
+            }
+            None => {
+                units.push(None);
+                bindings.push(InputBinding {
+                    source_name: source_name.clone(),
+                    encoding: raw_encoding,
+                    payload: raw_payload,
+                });
+            }
+        }
     }
 
     let output_dataset = if frag.is_final {
@@ -148,10 +262,13 @@ fn compile_fragment(
     // at compile time, so the stage plan carries its FusedFragment
     // boundaries (visible in plan displays) and the per-reduce executor's
     // idempotent re-fuse is a no-op rewrite of an already-fused plan.
+    // Fusion runs *after* the push-down split: the mapper and residual
+    // halves fuse independently, so a fused fragment never straddles the
+    // exchange.
     let frag_plan = if exec_mode == ExecMode::Fused {
-        temporal::plan::fuse_plan(&frag.plan).map_err(TimrError::Temporal)?
+        temporal::plan::fuse_plan(&reduce_plan).map_err(TimrError::Temporal)?
     } else {
-        frag.plan.clone()
+        reduce_plan
     };
     let reducer = DsmsReducer {
         plan: frag_plan,
@@ -159,7 +276,7 @@ fn compile_fragment(
         output_encoding: EventEncoding::Interval,
         exec_mode,
     };
-    Stage::new(
+    let mut stage = Stage::new(
         format!("{job_name}/f{}", frag.root),
         input_names,
         output_dataset,
@@ -167,7 +284,11 @@ fn compile_fragment(
         partitions,
         Arc::new(reducer),
     )
-    .map_err(TimrError::from)
+    .map_err(TimrError::from)?;
+    if units.iter().any(Option::is_some) {
+        stage = stage.with_mapper(Arc::new(DsmsMapper::new(units, exec_mode)));
+    }
+    Ok((stage, pd))
 }
 
 /// Per-input decode instructions for the reducer. Shared with the

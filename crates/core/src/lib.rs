@@ -34,6 +34,7 @@ pub mod bridge;
 pub mod compile;
 pub mod error;
 pub mod fragment;
+pub(crate) mod mapper;
 pub mod multi;
 pub mod optimizer;
 pub mod runner;

@@ -1,0 +1,107 @@
+//! Map-side DSMS fragments: the embedded-DSMS idea of paper §III-C applied
+//! to the *map* phase.
+//!
+//! [`crate::compile`] and [`crate::multi`] split each stage plan with
+//! [`temporal::plan::push_down`]; the exchange-free prefix of every pushed
+//! input compiles into one [`DsmsMapper`] unit. The cluster invokes the
+//! mapper once per input extent, *before* partitioning: rows decode into
+//! events exactly like a reducer input (columnar-first with row fallback),
+//! the unmodified DSMS runs the mapper plan, and the results come back
+//! through the same push/pull queue in canonical sorted order — so mapper
+//! output, like reducer output, is a pure byte-deterministic function of
+//! its input rows, which is what lets shuffle rebuilds and task retries
+//! re-run it safely.
+//!
+//! Mapper output is always [`EventEncoding::Interval`]-framed: stateless
+//! prefixes can stretch lifetimes (windows) and partial aggregates emit
+//! interval cells, so the point encoding of raw logs no longer fits.
+
+use crate::bridge::{pull_through_queue, EventEncoding};
+use crate::compile::{bind_rows, InputBinding};
+use crate::error::TimrError;
+use mapreduce::{Mapper, MapperContext, MrError};
+use relation::{Row, Schema};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use temporal::exec::{DataBindings, ExecMode, ExecOptions};
+use temporal::plan::{LogicalPlan, MapperPlan};
+
+/// One pushed input's map-side fragment.
+#[derive(Debug, Clone)]
+pub(crate) struct MapperUnit {
+    /// The mapper plan (source → pushed prefix [→ partial aggregation]).
+    plan: LogicalPlan,
+    /// How to decode the *raw* input rows (the stage input's encoding).
+    binding: InputBinding,
+    /// Payload schema of the mapper output (the plan root's schema).
+    output_payload: Schema,
+}
+
+impl MapperUnit {
+    /// Build a unit from a [`push_down`](temporal::plan::push_down) mapper
+    /// plan and the raw input's binding. Under [`ExecMode::Fused`] the
+    /// mapper plan is fused here, separately from the residual — the two
+    /// halves are independent plans after the split.
+    pub(crate) fn new(
+        mp: &MapperPlan,
+        binding: InputBinding,
+        exec_mode: ExecMode,
+    ) -> crate::error::Result<Self> {
+        let plan = if exec_mode == ExecMode::Fused {
+            temporal::plan::fuse_plan(&mp.plan).map_err(TimrError::Temporal)?
+        } else {
+            mp.plan.clone()
+        };
+        let output_payload = plan.schema_of(plan.roots()[0]).clone();
+        Ok(MapperUnit {
+            plan,
+            binding,
+            output_payload,
+        })
+    }
+}
+
+/// The map-side sibling of [`crate::compile::DsmsReducer`]: per stage
+/// input, either an embedded-DSMS fragment or identity passthrough.
+#[derive(Debug, Clone)]
+pub(crate) struct DsmsMapper {
+    /// One slot per stage input, in stage-input order; `None` passes the
+    /// input through to the shuffle untouched.
+    units: Vec<Option<MapperUnit>>,
+    exec_mode: ExecMode,
+}
+
+impl DsmsMapper {
+    pub(crate) fn new(units: Vec<Option<MapperUnit>>, exec_mode: ExecMode) -> Self {
+        DsmsMapper { units, exec_mode }
+    }
+}
+
+impl Mapper for DsmsMapper {
+    fn output_schema(&self, input: usize, schema: &Schema) -> mapreduce::Result<Schema> {
+        Ok(match self.units.get(input).and_then(Option::as_ref) {
+            Some(unit) => EventEncoding::Interval.dataset_schema(&unit.output_payload),
+            None => schema.clone(),
+        })
+    }
+
+    fn map(&self, ctx: &MapperContext, rows: &[Row]) -> mapreduce::Result<Option<Vec<Row>>> {
+        let Some(unit) = self.units.get(ctx.input).and_then(Option::as_ref) else {
+            return Ok(None);
+        };
+        let to_mr = |e: TimrError| MrError::Reducer {
+            stage: ctx.stage.clone(),
+            partition: ctx.extent,
+            message: format!("mapper input {}: {e}", ctx.input),
+        };
+        let mut sources: DataBindings = FxHashMap::default();
+        let data = bind_rows(self.exec_mode, &unit.binding, rows).map_err(to_mr)?;
+        sources.insert(unit.binding.source_name.clone(), data);
+        let options = ExecOptions::with_mode(self.exec_mode).on_pool(Arc::clone(&ctx.dsms_pool));
+        let result = temporal::exec::execute_single_owned_data(&unit.plan, sources, &options)
+            .map_err(|e| to_mr(TimrError::Temporal(e)))?;
+        pull_through_queue(EventEncoding::Interval, result)
+            .map(Some)
+            .map_err(to_mr)
+    }
+}

@@ -27,6 +27,7 @@ use crate::annotate::{join_right_column, required_key_superset, ExchangeKey};
 use crate::bridge::{pull_through_queue, EventEncoding};
 use crate::compile::{bind_reduce_input, bind_rows, InputBinding};
 use crate::error::{Result, TimrError};
+use crate::mapper::{DsmsMapper, MapperUnit};
 use mapreduce::{
     Cluster, Dfs, JobStats, MrError, Partitioner, ReduceInput, Reducer, ReducerContext, Stage,
 };
@@ -35,7 +36,9 @@ use rustc_hash::FxHashMap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use temporal::exec::{DataBindings, ExecMode, ExecOptions};
-use temporal::plan::{factor_windows, fuse_plan, share_plans, LogicalPlan, Operator, ShareStats};
+use temporal::plan::{
+    factor_windows, fuse_plan, push_down, share_plans, LogicalPlan, Operator, PushDown, ShareStats,
+};
 use temporal::EventStream;
 
 /// A set of single-output temporal CQs executed as one TiMR job.
@@ -56,6 +59,10 @@ pub struct MultiTimrJob {
     pub exec_mode: ExecMode,
     /// Apply the factor-window rewrite after prefix sharing (default on).
     pub factor: bool,
+    /// Split the shared DAG at the exchange and run the exchange-free
+    /// prefix (plus combinable partial aggregations) map-side (default
+    /// on; off is the reduce-only baseline for benchmarks).
+    pub push_down: bool,
 }
 
 /// A compiled multi-query job: one stage, one output dataset per query.
@@ -75,6 +82,10 @@ pub struct CompiledMultiJob {
     pub shared: ShareStats,
     /// Number of window groups collapsed by the factor rewrite.
     pub factored_groups: usize,
+    /// Stateless operators moved map-side by plan push-down.
+    pub pushed_ops: usize,
+    /// Partial-aggregation steps moved map-side.
+    pub pushed_partials: usize,
 }
 
 /// Result of running a multi-query job.
@@ -92,6 +103,10 @@ pub struct MultiTimrOutput {
     pub shared: ShareStats,
     /// Number of window groups collapsed by the factor rewrite.
     pub factored_groups: usize,
+    /// Stateless operators moved map-side by plan push-down.
+    pub pushed_ops: usize,
+    /// Partial-aggregation steps moved map-side.
+    pub pushed_partials: usize,
 }
 
 impl MultiTimrJob {
@@ -106,6 +121,7 @@ impl MultiTimrJob {
             source_encodings: BTreeMap::new(),
             exec_mode: ExecMode::Compiled,
             factor: true,
+            push_down: true,
         }
     }
 
@@ -130,6 +146,12 @@ impl MultiTimrJob {
     /// Enable or disable the factor-window rewrite.
     pub fn with_factor(mut self, factor: bool) -> Self {
         self.factor = factor;
+        self
+    }
+
+    /// Enable or disable map-side plan push-down.
+    pub fn with_push_down(mut self, push_down: bool) -> Self {
+        self.push_down = push_down;
         self
     }
 
@@ -172,14 +194,6 @@ impl MultiTimrJob {
         } else {
             (shared.plan, 0)
         };
-        // Fusion runs *after* sharing and factoring so fused fragments
-        // never hide a mergeable prefix; the per-reduce executor's own
-        // fuse pass is idempotent on the result.
-        let plan = if self.exec_mode == ExecMode::Fused {
-            fuse_plan(&plan).map_err(TimrError::Temporal)?
-        } else {
-            plan
-        };
 
         // 2. The whole DAG runs under one partitioning; check it against
         //    every operator (the per-fragment rule of paper §VI, applied
@@ -196,9 +210,44 @@ impl MultiTimrJob {
             ExchangeKey::Spread => (Partitioner::Spread, self.machines),
         };
 
+        // 2½. Split the shared DAG at the exchange: exchange-free prefixes
+        // (and combinable partial aggregations) of each source run
+        // map-side. `Spread` routes on the whole row, so push-down is
+        // never attempted there.
+        let partition_cols = match &self.key {
+            ExchangeKey::Keys(cols) => Some(Some(cols.as_slice())),
+            ExchangeKey::Single => Some(None),
+            ExchangeKey::Spread => None,
+        };
+        let pd: Option<PushDown> = match partition_cols {
+            Some(cols) if self.push_down => {
+                let pd = push_down(&plan, cols).map_err(TimrError::Temporal)?;
+                pd.any().then_some(pd)
+            }
+            _ => None,
+        };
+        let raw_sources: Vec<(String, Schema)> = plan
+            .sources()
+            .iter()
+            .map(|(n, s)| (n.to_string(), (*s).clone()))
+            .collect();
+        let plan = pd.as_ref().map(|p| p.residual.clone()).unwrap_or(plan);
+        // Fusion runs *after* sharing, factoring, and the push-down split
+        // so fused fragments never hide a mergeable prefix or straddle the
+        // exchange; the per-reduce executor's own fuse pass is idempotent
+        // on the result, and mapper plans fuse independently.
+        let plan = if self.exec_mode == ExecMode::Fused {
+            fuse_plan(&plan).map_err(TimrError::Temporal)?
+        } else {
+            plan
+        };
+
         // 3. One stage input per distinct source leaf of the merged DAG.
+        //    Pushed inputs arrive at the reducer post-mapper: interval-
+        //    framed rows carrying the residual source leaf's schema.
         let mut input_names: Vec<String> = Vec::new();
         let mut bindings: Vec<InputBinding> = Vec::new();
+        let mut units: Vec<Option<MapperUnit>> = Vec::new();
         for (name, payload) in plan.sources() {
             if let Some(prev) = bindings.iter().find(|b| b.source_name == name) {
                 if &prev.payload != payload {
@@ -208,7 +257,7 @@ impl MultiTimrJob {
                 }
                 continue;
             }
-            let encoding = self
+            let raw_encoding = self
                 .source_encodings
                 .get(name)
                 .copied()
@@ -220,12 +269,41 @@ impl MultiTimrJob {
                     )));
                 }
             }
+            let mapper_plan = pd
+                .as_ref()
+                .and_then(|p| p.mappers.iter().find(|m| m.source == name));
             input_names.push(name.to_string());
-            bindings.push(InputBinding {
-                source_name: name.to_string(),
-                encoding,
-                payload: payload.clone(),
-            });
+            match mapper_plan {
+                Some(mp) => {
+                    let raw_payload = raw_sources
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, s)| s.clone())
+                        .expect("pushed source exists in the pre-split DAG");
+                    units.push(Some(MapperUnit::new(
+                        mp,
+                        InputBinding {
+                            source_name: name.to_string(),
+                            encoding: raw_encoding,
+                            payload: raw_payload,
+                        },
+                        self.exec_mode,
+                    )?));
+                    bindings.push(InputBinding {
+                        source_name: name.to_string(),
+                        encoding: EventEncoding::Interval,
+                        payload: payload.clone(),
+                    });
+                }
+                None => {
+                    units.push(None);
+                    bindings.push(InputBinding {
+                        source_name: name.to_string(),
+                        encoding: raw_encoding,
+                        payload: payload.clone(),
+                    });
+                }
+            }
         }
 
         let output_encoding = EventEncoding::Interval;
@@ -244,7 +322,7 @@ impl MultiTimrJob {
             output_encoding,
             exec_mode: self.exec_mode,
         };
-        let stage = Stage::new(
+        let mut stage = Stage::new(
             format!("{}/shared", self.name),
             input_names,
             outputs[0].clone(),
@@ -254,6 +332,9 @@ impl MultiTimrJob {
         )
         .map_err(TimrError::from)?
         .with_aux_outputs(outputs[1..].to_vec());
+        if units.iter().any(Option::is_some) {
+            stage = stage.with_mapper(Arc::new(DsmsMapper::new(units, self.exec_mode)));
+        }
 
         Ok(CompiledMultiJob {
             stage,
@@ -263,6 +344,8 @@ impl MultiTimrJob {
             plan,
             shared: stats,
             factored_groups,
+            pushed_ops: pd.as_ref().map_or(0, |p| p.pushed_ops),
+            pushed_partials: pd.as_ref().map_or(0, |p| p.partials),
         })
     }
 
@@ -278,6 +361,8 @@ impl MultiTimrJob {
             stats,
             shared: compiled.shared,
             factored_groups: compiled.factored_groups,
+            pushed_ops: compiled.pushed_ops,
+            pushed_partials: compiled.pushed_partials,
         })
     }
 

@@ -2,7 +2,7 @@
 
 use crate::annotate::Annotation;
 use crate::bridge::EventEncoding;
-use crate::compile::{compile_with_mode, CompiledJob};
+use crate::compile::{compile_with_options, CompileOptions, CompiledJob};
 use crate::error::Result;
 use mapreduce::{Cluster, Dfs, JobStats};
 use relation::Schema;
@@ -29,6 +29,10 @@ pub struct TimrJob {
     /// (default [`ExecMode::Compiled`]; the interpreted baseline is kept
     /// for benchmarks).
     pub exec_mode: ExecMode,
+    /// Run exchange-free plan prefixes (and combinable partial
+    /// aggregations) map-side before the shuffle (default on; off is the
+    /// reduce-only baseline for benchmarks).
+    pub push_down: bool,
 }
 
 /// Result of running a job.
@@ -54,12 +58,19 @@ impl TimrJob {
             machines: 4,
             source_encodings: BTreeMap::new(),
             exec_mode: ExecMode::Compiled,
+            push_down: true,
         }
     }
 
     /// Set the DSMS operator-implementation mode for the embedded reducers.
     pub fn with_exec_mode(mut self, exec_mode: ExecMode) -> Self {
         self.exec_mode = exec_mode;
+        self
+    }
+
+    /// Enable or disable map-side plan push-down.
+    pub fn with_push_down(mut self, push_down: bool) -> Self {
+        self.push_down = push_down;
         self
     }
 
@@ -101,13 +112,16 @@ impl TimrJob {
 
     /// Compile to map-reduce stages without running.
     pub fn compile(&self) -> Result<CompiledJob> {
-        compile_with_mode(
+        compile_with_options(
             &self.plan,
             &self.annotation,
             &self.name,
             self.machines,
             &self.source_encodings,
-            self.exec_mode,
+            CompileOptions {
+                exec_mode: self.exec_mode,
+                push_down: self.push_down,
+            },
         )
     }
 

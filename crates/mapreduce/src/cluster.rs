@@ -28,7 +28,7 @@
 use crate::chaos::{self, ChaosPlan, ExtentFrame, FaultKind, RetryPolicy};
 use crate::dfs::{Dataset, Dfs};
 use crate::error::{MrError, Result, TaskError, TaskPhase};
-use crate::job::{CompiledPartitioner, ReduceInput, ReducerContext, Stage};
+use crate::job::{CompiledPartitioner, MapperContext, ReduceInput, ReducerContext, Stage};
 use crate::stats::{JobStats, StageStats};
 use pool::WorkerPool;
 use relation::{codec, ColumnBatch, Row, Schema};
@@ -194,15 +194,19 @@ impl Default for Cluster {
 /// input extent, plus accounting.
 struct MapTaskOut {
     sub: Vec<Vec<Row>>,
-    rows: u64,
+    rows_in: u64,
+    rows_out: u64,
     bytes: u64,
+    bytes_saved: u64,
     text_bytes: u64,
 }
 
 /// Map-phase accounting carried alongside the shuffle chunks.
 struct MapPhase {
     map_rows: u64,
+    map_rows_out: u64,
     shuffle_bytes: u64,
+    shuffle_bytes_saved: u64,
     shuffle_bytes_text: u64,
     shuffle_bytes_binary: u64,
     spill_extents: u64,
@@ -387,13 +391,17 @@ fn verify_slot(slot: &ShuffleSlot) -> Option<String> {
 
 /// Re-run the producing side of one reduce partition: rescan every
 /// (verified) input extent in the deterministic `(input, extent)` merge
-/// order, keep the rows assigned to `p`, and re-seal with the same chunk
-/// target. Because the partitioner is pure and sealing is deterministic,
-/// the rebuilt chunks are byte-identical to the original merge — spilled
-/// chunks are rewritten in place — so re-execution *is* recovery (paper
-/// §III-C.1).
+/// order, re-apply the stage mapper, keep the rows assigned to `p`, and
+/// re-seal with the same chunk target. Because the mapper and partitioner
+/// are pure and sealing is deterministic, the rebuilt chunks are
+/// byte-identical to the original merge — spilled chunks are rewritten in
+/// place — so re-execution *is* recovery (paper §III-C.1).
+#[allow(clippy::too_many_arguments)]
 fn rebuild_slot(
+    stage: &Stage,
+    dsms_pool: &Arc<WorkerPool>,
     inputs: &[Dataset],
+    mapped_schemas: &[Schema],
     assigners: &[CompiledPartitioner],
     partitions: usize,
     p: usize,
@@ -407,11 +415,12 @@ fn rebuild_slot(
                 rebuilt.push(data);
                 Ok(())
             };
-            let mut builder = ChunkBuilder::new(&dataset.schema, chunk_target);
+            let mut builder = ChunkBuilder::new(&mapped_schemas[i], chunk_target);
             for (e, extent) in dataset.partitions.iter().enumerate() {
                 dataset.verify_extent(e).map_err(read_error)?;
+                let mapped = apply_mapper(stage, dsms_pool, i, e, 0, extent)?;
                 let mut rows = Vec::new();
-                for row in extent {
+                for row in mapped.iter() {
                     if assigners[i].assign(row, partitions)? == p {
                         rows.push(row.clone());
                     }
@@ -511,10 +520,40 @@ fn fetch_inputs(slot: &ShuffleSlot) -> std::result::Result<Vec<ReduceInput>, Tas
     Ok(out)
 }
 
-/// Scan one extent and split it into per-partition sub-buckets. Runs on
-/// the worker pool, one call per `(input, extent)` pair.
+/// Run the stage mapper (when present) over one extent's rows. Borrowed
+/// passthrough for mapper-less stages and identity inputs, so the
+/// partition-only hot path copies nothing extra. Mapper errors are
+/// deterministic (mappers are pure), hence fatal.
+fn apply_mapper<'a>(
+    stage: &Stage,
+    dsms_pool: &Arc<WorkerPool>,
+    input: usize,
+    extent: usize,
+    attempt: usize,
+    rows: &'a [Row],
+) -> std::result::Result<std::borrow::Cow<'a, [Row]>, TaskError> {
+    let Some(mapper) = &stage.mapper else {
+        return Ok(std::borrow::Cow::Borrowed(rows));
+    };
+    let ctx = MapperContext {
+        stage: stage.name.clone(),
+        input,
+        extent,
+        attempt,
+        dsms_pool: Arc::clone(dsms_pool),
+    };
+    match mapper.map(&ctx, rows)? {
+        Some(out) => Ok(std::borrow::Cow::Owned(out)),
+        None => Ok(std::borrow::Cow::Borrowed(rows)),
+    }
+}
+
+/// Scan one (already mapped) extent and split it into per-partition
+/// sub-buckets. Runs on the worker pool, one call per `(input, extent)`
+/// pair. `rows_in` is the raw extent size before map-side compute.
 fn map_extent(
-    extent: &[Row],
+    rows_in: u64,
+    mapped: &[Row],
     partitioner: &CompiledPartitioner,
     partitions: usize,
     measure_text: bool,
@@ -523,7 +562,7 @@ fn map_extent(
     let mut bytes = 0u64;
     let mut text_bytes = 0u64;
     let mut line = String::new();
-    for row in extent {
+    for row in mapped {
         bytes += row.width() as u64;
         if measure_text {
             line.clear();
@@ -535,8 +574,10 @@ fn map_extent(
     }
     Ok(MapTaskOut {
         sub,
-        rows: extent.len() as u64,
+        rows_in,
+        rows_out: mapped.len() as u64,
         bytes,
+        bytes_saved: 0,
         text_bytes,
     })
 }
@@ -762,6 +803,7 @@ impl Cluster {
         &self,
         stage: &Stage,
         inputs: &[Dataset],
+        mapped_schemas: &[Schema],
         assigners: &[CompiledPartitioner],
         counters: &FaultCounters,
     ) -> Result<(Vec<Vec<Vec<ShuffleChunk>>>, MapPhase)> {
@@ -776,11 +818,11 @@ impl Cluster {
             .iter()
             .map(|_| (0..stage.partitions).map(|_| Vec::new()).collect())
             .collect();
-        let mut builders: Vec<Vec<ChunkBuilder<'_>>> = inputs
+        let mut builders: Vec<Vec<ChunkBuilder<'_>>> = mapped_schemas
             .iter()
-            .map(|d| {
+            .map(|schema| {
                 (0..stage.partitions)
-                    .map(|_| ChunkBuilder::new(&d.schema, chunk_target))
+                    .map(|_| ChunkBuilder::new(schema, chunk_target))
                     .collect()
             })
             .collect();
@@ -789,7 +831,9 @@ impl Cluster {
         let mut spill_extents = 0u64;
         let mut spill_bytes = 0u64;
         let mut map_rows = 0u64;
+        let mut map_rows_out = 0u64;
         let mut shuffle_bytes = 0u64;
+        let mut shuffle_bytes_saved = 0u64;
         let mut shuffle_bytes_text = 0u64;
         let mut map_time = Duration::ZERO;
         let mut shuffle_time = Duration::ZERO;
@@ -830,12 +874,22 @@ impl Cluster {
                             if self.config.integrity && attempt > 0 {
                                 inputs[i].verify_extent(e).map_err(read_error)?;
                             }
-                            map_extent(
-                                &inputs[i].partitions[e],
+                            // Map-side compute runs here, inside the chaos/
+                            // retry/integrity envelope, before partitioning.
+                            let raw = &inputs[i].partitions[e];
+                            let mapped = apply_mapper(stage, &self.dsms_pool, i, e, attempt, raw)?;
+                            let mut out = map_extent(
+                                raw.len() as u64,
+                                &mapped,
                                 &assigners[i],
                                 stage.partitions,
                                 self.config.measure_text_shuffle,
-                            )
+                            )?;
+                            if stage.mapper.is_some() {
+                                let raw_bytes: u64 = raw.iter().map(|r| r.width() as u64).sum();
+                                out.bytes_saved = raw_bytes.saturating_sub(out.bytes);
+                            }
+                            Ok(out)
                         },
                     )
                 })
@@ -852,8 +906,10 @@ impl Cluster {
             for (k, out) in results.into_iter().enumerate() {
                 let (i, _) = tasks[base + k];
                 let mut out = out?;
-                map_rows += out.rows;
+                map_rows += out.rows_in;
+                map_rows_out += out.rows_out;
                 shuffle_bytes += out.bytes;
+                shuffle_bytes_saved += out.bytes_saved;
                 shuffle_bytes_text += out.text_bytes;
                 for (p, sub) in out.sub.iter_mut().enumerate() {
                     builders[i][p].append(std::mem::take(sub), &mut |data| {
@@ -895,7 +951,9 @@ impl Cluster {
             chunks,
             MapPhase {
                 map_rows,
+                map_rows_out,
                 shuffle_bytes,
+                shuffle_bytes_saved,
                 shuffle_bytes_text,
                 shuffle_bytes_binary: binary_bytes,
                 spill_extents,
@@ -920,17 +978,29 @@ impl Cluster {
             .iter()
             .map(|n| dfs.get(n))
             .collect::<Result<Vec<_>>>()?;
+        // Mapper fragments rewrite rows before partitioning, so everything
+        // downstream of the map phase — partitioners, chunk builders,
+        // rebuilds, reducer sink schemas — sees the *mapped* schema.
+        let mapped_schemas: Vec<Schema> = match stage.mapper.as_ref() {
+            Some(m) => inputs
+                .iter()
+                .enumerate()
+                .map(|(i, d)| m.output_schema(i, &d.schema))
+                .collect::<Result<Vec<_>>>()?,
+            None => inputs.iter().map(|d| d.schema.clone()).collect(),
+        };
         // One compiled partitioner per input (schemas can differ); shared
         // by the map phase and shuffle-partition rebuilds.
-        let assigners = inputs
+        let assigners = mapped_schemas
             .iter()
-            .map(|d| stage.partitioner.compile(&d.schema))
+            .map(|schema| stage.partitioner.compile(schema))
             .collect::<Result<Vec<_>>>()?;
         let counters = FaultCounters::default();
 
         // ---- map / shuffle ----
         let chunk_target = self.chunk_target(inputs.len(), stage.partitions);
-        let (mut chunks, map_phase) = self.map_shuffle(stage, &inputs, &assigners, &counters)?;
+        let (mut chunks, map_phase) =
+            self.map_shuffle(stage, &inputs, &mapped_schemas, &assigners, &counters)?;
 
         // ---- reduce ----
         // Transpose chunks into per-partition slots once; workers (and
@@ -974,7 +1044,10 @@ impl Cluster {
                         if self.config.integrity {
                             if let Some(why) = verify_slot(slot) {
                                 rebuild_slot(
+                                    stage,
+                                    &self.dsms_pool,
                                     &inputs,
+                                    &mapped_schemas,
                                     &assigners,
                                     stage.partitions,
                                     p,
@@ -1043,8 +1116,7 @@ impl Cluster {
         }
         let reduce_wall_time = reduce_start.elapsed();
 
-        let input_schemas: Vec<Schema> = inputs.iter().map(|d| d.schema.clone()).collect();
-        let out_schemas = stage.reducer.sink_schemas(&input_schemas)?;
+        let out_schemas = stage.reducer.sink_schemas(&mapped_schemas)?;
         if out_schemas.len() != expected_sinks {
             return Err(MrError::BadStage(format!(
                 "stage `{}` declares {} sink schema(s) but {} sink name(s)",
@@ -1067,6 +1139,9 @@ impl Cluster {
         Ok(StageStats {
             name: stage.name.clone(),
             map_rows: map_phase.map_rows,
+            map_rows_in: map_phase.map_rows,
+            map_rows_out: map_phase.map_rows_out,
+            shuffle_bytes_saved: map_phase.shuffle_bytes_saved,
             map_tasks: map_phase.map_tasks,
             map_time: map_phase.map_time,
             shuffle_time: map_phase.shuffle_time,
@@ -1103,7 +1178,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{IdentityReducer, Partitioner, Reducer, ReducerRef};
+    use crate::job::{IdentityReducer, Mapper, Partitioner, Reducer, ReducerRef};
     use relation::schema::{ColumnType, Field};
     use relation::{row, Schema};
     use std::sync::Arc;
@@ -1282,9 +1357,16 @@ mod tests {
             let cluster = Cluster::with_config(config(threads, chaos, 3));
             let stage = count_stage(4);
             let inputs = vec![dfs.get("in").unwrap()];
+            let mapped_schemas = vec![inputs[0].schema.clone()];
             let assigners = vec![stage.partitioner.compile(&inputs[0].schema).unwrap()];
             let (buckets, _) = cluster
-                .map_shuffle(&stage, &inputs, &assigners, &FaultCounters::default())
+                .map_shuffle(
+                    &stage,
+                    &inputs,
+                    &mapped_schemas,
+                    &assigners,
+                    &FaultCounters::default(),
+                )
                 .unwrap();
             let stats = cluster.run_stage(&dfs, &stage).unwrap();
             let out = dfs.get("out").unwrap().partitions.as_ref().clone();
@@ -1734,5 +1816,73 @@ mod tests {
         assert_eq!(stats.stages.len(), 2);
         assert_eq!(dfs.get("final").unwrap().len(), 20);
         assert!(stats.total_shuffle_bytes() > 0);
+    }
+
+    /// Drops every row whose key hashes odd — a pure per-extent fragment,
+    /// so restarts and shuffle rebuilds must reproduce it exactly.
+    #[derive(Debug)]
+    struct DropOddMapper;
+
+    impl Mapper for DropOddMapper {
+        fn output_schema(&self, _input: usize, schema: &Schema) -> Result<Schema> {
+            Ok(schema.clone())
+        }
+
+        fn map(&self, _ctx: &MapperContext, rows: &[Row]) -> Result<Option<Vec<Row>>> {
+            Ok(Some(
+                rows.iter()
+                    .filter(|r| r.get(0).as_long().unwrap() % 2 == 0)
+                    .cloned()
+                    .collect(),
+            ))
+        }
+    }
+
+    #[test]
+    fn mapper_runs_before_shuffle_and_records_savings() {
+        let dfs = Dfs::new();
+        let rows = input_rows(200);
+        dfs.put(
+            "in",
+            Dataset::partitioned(schema(), rows.chunks(50).map(|c| c.to_vec()).collect()),
+        )
+        .unwrap();
+        let stage = count_stage(4).with_mapper(Arc::new(DropOddMapper));
+        let stats = Cluster::new().run_stage(&dfs, &stage).unwrap();
+        assert_eq!(stats.map_rows_in, 200);
+        assert_eq!(stats.map_rows_out, 100);
+        assert!(stats.shuffle_bytes_saved > 0);
+        let total: i64 = dfs
+            .get("out")
+            .unwrap()
+            .scan()
+            .iter()
+            .map(|r| r.get(1).as_long().unwrap())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn mapper_output_survives_shuffle_corruption_and_retries() {
+        let clean = {
+            let dfs = dfs_with_input(300);
+            let stage = count_stage(4).with_mapper(Arc::new(DropOddMapper));
+            Cluster::new().run_stage(&dfs, &stage).unwrap();
+            dfs.get("out").unwrap().partitions.as_ref().clone()
+        };
+        let chaos = ChaosPlan::none()
+            .corrupt("count", TaskPhase::Shuffle, 1)
+            .kill("count", TaskPhase::Map, 0)
+            .kill("count", TaskPhase::Reduce, 2);
+        let dfs = dfs_with_input(300);
+        let stage = count_stage(4).with_mapper(Arc::new(DropOddMapper));
+        let cluster = Cluster::with_config(config(4, chaos, 3));
+        let stats = cluster.run_stage(&dfs, &stage).unwrap();
+        assert!(stats.task_retries > 0);
+        assert_eq!(
+            dfs.get("out").unwrap().partitions.as_ref().clone(),
+            clean,
+            "mapper fragments must be byte-deterministic under chaos"
+        );
     }
 }

@@ -233,10 +233,86 @@ impl ReduceInput {
             ReduceInput::Rows(r) => r.clone(),
         }
     }
+
+    /// Materialize as rows, consuming the input: the `Rows` form moves
+    /// without copying a whole partition (a batch still transposes).
+    /// Prefer this over [`ReduceInput::to_rows`] whenever the input is
+    /// owned — the cluster keeps shuffle buckets shared across retry
+    /// attempts, but reducers handed owned inputs should not clone them.
+    pub fn into_rows(self) -> Vec<Row> {
+        match self {
+            ReduceInput::Batch(b) => b.to_rows(),
+            ReduceInput::Rows(r) => r,
+        }
+    }
 }
 
 /// Shared reducer handle.
 pub type ReducerRef = Arc<dyn Reducer>;
+
+/// Context handed to a mapper invocation (one per input extent).
+#[derive(Debug, Clone)]
+pub struct MapperContext {
+    /// Stage name (for diagnostics).
+    pub stage: String,
+    /// Stage input index the extent belongs to.
+    pub input: usize,
+    /// Extent index within the input dataset.
+    pub extent: usize,
+    /// Execution attempt (0 = first try; >0 after a contained fault
+    /// forced the map task to re-run). Mappers must not branch on this
+    /// for anything that changes their output.
+    pub attempt: usize,
+    /// Worker pool for intra-mapper parallelism (same deterministic
+    /// contract as [`ReducerContext::dsms_pool`]).
+    pub dsms_pool: Arc<pool::WorkerPool>,
+}
+
+impl MapperContext {
+    /// A context for driving a mapper by hand (tests, benches).
+    pub fn standalone(stage: impl Into<String>, input: usize, extent: usize) -> Self {
+        MapperContext {
+            stage: stage.into(),
+            input,
+            extent,
+            attempt: 0,
+            dsms_pool: Arc::new(pool::WorkerPool::sequential()),
+        }
+    }
+}
+
+/// The map phase's compute hook: user code run once per `(input, extent)`
+/// pair, *before* partitioning, inside the same chaos-containment/retry/
+/// integrity envelope as reducers.
+///
+/// A mapper receives one input extent's rows and returns the rows to
+/// shuffle in their place. It must be a pure function of
+/// `(ctx.input, rows)` — the same byte-determinism contract as
+/// [`Reducer`]: shuffle rebuilds after detected corruption re-invoke the
+/// mapper and must reproduce identical bytes, and the restart-determinism
+/// tests compare them. In particular output may not depend on
+/// `ctx.extent`, `ctx.attempt`, wall time, or thread scheduling.
+///
+/// Batch-native implementations (the embedded DSMS fragment mapper)
+/// transpose the extent into a `ColumnBatch` once and run columnar
+/// kernels over it, falling back to rows when the extent is ill-typed;
+/// output rows are sealed into framed binary extents by the shuffle
+/// exactly like raw rows, so everything downstream (spill, integrity,
+/// rebuild) applies unchanged.
+pub trait Mapper: Send + Sync {
+    /// Output schema for stage input `input`, given its dataset schema.
+    /// The shuffle seals chunks — and the partitioner resolves key
+    /// columns — against this schema.
+    fn output_schema(&self, input: usize, schema: &Schema) -> Result<Schema>;
+
+    /// Transform one extent of stage input `input`. Returning `None`
+    /// passes the extent through unchanged (the identity for inputs this
+    /// mapper does not cover).
+    fn map(&self, ctx: &MapperContext, rows: &[Row]) -> Result<Option<Vec<Row>>>;
+}
+
+/// Shared mapper handle.
+pub type MapperRef = Arc<dyn Mapper>;
 
 /// One map-reduce stage.
 #[derive(Clone)]
@@ -258,6 +334,9 @@ pub struct Stage {
     pub partitions: usize,
     /// Reduce-phase user code.
     pub reducer: ReducerRef,
+    /// Optional map-phase compute (plan push-down): run per input extent
+    /// before partitioning. `None` leaves the map phase partition-only.
+    pub mapper: Option<MapperRef>,
 }
 
 impl std::fmt::Debug for Stage {
@@ -269,6 +348,7 @@ impl std::fmt::Debug for Stage {
             .field("aux_outputs", &self.aux_outputs)
             .field("partitioner", &self.partitioner)
             .field("partitions", &self.partitions)
+            .field("has_mapper", &self.mapper.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -300,6 +380,7 @@ impl Stage {
             partitioner,
             partitions,
             reducer,
+            mapper: None,
         })
     }
 
@@ -307,6 +388,12 @@ impl Stage {
     /// primary `output` is sink 0).
     pub fn with_aux_outputs(mut self, aux_outputs: Vec<String>) -> Self {
         self.aux_outputs = aux_outputs;
+        self
+    }
+
+    /// Attach a map-phase compute hook (plan push-down).
+    pub fn with_mapper(mut self, mapper: MapperRef) -> Self {
+        self.mapper = Some(mapper);
         self
     }
 

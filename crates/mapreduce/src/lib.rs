@@ -48,5 +48,7 @@ pub use cluster::FailurePlan;
 pub use cluster::{Cluster, ClusterConfig};
 pub use dfs::{Dataset, Dfs, StoredExtent};
 pub use error::{MrError, Result, TaskError, TaskPhase};
-pub use job::{Partitioner, ReduceInput, Reducer, ReducerContext, Stage};
-pub use stats::{FaultTotals, JobStats, StageStats};
+pub use job::{
+    Mapper, MapperContext, MapperRef, Partitioner, ReduceInput, Reducer, ReducerContext, Stage,
+};
+pub use stats::{FaultTotals, JobStats, MapTotals, StageStats};

@@ -9,6 +9,16 @@ pub struct StageStats {
     pub name: String,
     /// Rows read by the map phase.
     pub map_rows: u64,
+    /// Rows entering map-side compute (equals `map_rows`; kept distinct
+    /// so the mapper in/out pair reads symmetrically in reports).
+    pub map_rows_in: u64,
+    /// Rows leaving the map phase into the shuffle. Without a stage
+    /// mapper this equals `map_rows_in`; with one it is the mapper output
+    /// row count (the communication the push-down actually ships).
+    pub map_rows_out: u64,
+    /// Shuffle bytes avoided by map-side compute: raw extent row widths
+    /// minus mapper output row widths, per task, floored at zero.
+    pub shuffle_bytes_saved: u64,
     /// Map tasks executed (one per `(input, extent)` pair).
     pub map_tasks: usize,
     /// Wall-clock time of the parallel map phase (scan + partition).
@@ -126,6 +136,39 @@ impl FaultTotals {
     }
 }
 
+/// Map-phase totals across a job (sums of the per-stage counters) — the
+/// aggregate view the bench tables print next to [`FaultTotals`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapTotals {
+    /// Map tasks executed.
+    pub map_tasks: usize,
+    /// Rows entering map-side compute.
+    pub rows_in: u64,
+    /// Rows shipped into the shuffle after map-side compute.
+    pub rows_out: u64,
+    /// Bytes moved through the shuffle.
+    pub shuffle_bytes: u64,
+    /// Shuffle bytes avoided by map-side compute.
+    pub shuffle_bytes_saved: u64,
+    /// Total map-phase wall time.
+    pub map_time: Duration,
+    /// Total shuffle-merge wall time.
+    pub shuffle_time: Duration,
+}
+
+impl MapTotals {
+    /// Fraction of would-be shuffle bytes eliminated map-side
+    /// (`saved / (moved + saved)`), 0 when nothing moved.
+    pub fn savings_ratio(&self) -> f64 {
+        let would_be = self.shuffle_bytes + self.shuffle_bytes_saved;
+        if would_be == 0 {
+            0.0
+        } else {
+            self.shuffle_bytes_saved as f64 / would_be as f64
+        }
+    }
+}
+
 /// Statistics for a multi-stage job.
 #[derive(Debug, Clone, Default)]
 pub struct JobStats {
@@ -149,9 +192,30 @@ impl JobStats {
         t
     }
 
+    /// Map-phase totals across all stages (the mapper counterpart of
+    /// [`JobStats::fault_totals`]).
+    pub fn map_totals(&self) -> MapTotals {
+        let mut t = MapTotals::default();
+        for s in &self.stages {
+            t.map_tasks += s.map_tasks;
+            t.rows_in += s.map_rows_in;
+            t.rows_out += s.map_rows_out;
+            t.shuffle_bytes += s.shuffle_bytes;
+            t.shuffle_bytes_saved += s.shuffle_bytes_saved;
+            t.map_time += s.map_time;
+            t.shuffle_time += s.shuffle_time;
+        }
+        t
+    }
+
     /// Total shuffle bytes across stages.
     pub fn total_shuffle_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.shuffle_bytes).sum()
+    }
+
+    /// Total shuffle bytes avoided by map-side compute across stages.
+    pub fn total_shuffle_bytes_saved(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_bytes_saved).sum()
     }
 
     /// Total shuffle bytes in the legacy text encoding (zero unless

@@ -12,10 +12,12 @@
 mod builder;
 mod display;
 mod fuse;
+mod pushdown;
 mod share;
 
 pub use builder::{Query, StreamHandle};
 pub use fuse::fuse_plan;
+pub use pushdown::{push_down, validate_mapper_plan, MapperPlan, PushDown};
 pub use share::{
     explain_shared, factor_windows, fingerprint, share_plans, subtree_canon, MultiQueryPlan,
     ShareStats,

@@ -236,7 +236,7 @@ fn render(
     }
 }
 
-fn gcd(mut a: Duration, mut b: Duration) -> Duration {
+pub(crate) fn gcd(mut a: Duration, mut b: Duration) -> Duration {
     while b != 0 {
         (a, b) = (b, a % b);
     }
@@ -252,9 +252,9 @@ struct Candidate {
 }
 
 /// `(hop, width, aggs)` of a hopping-aggregate sub-plan.
-type HoppingAggregate<'a> = (Duration, Duration, &'a [(String, AggExpr)]);
+pub(crate) type HoppingAggregate<'a> = (Duration, Duration, &'a [(String, AggExpr)]);
 
-fn hopping_aggregate(subplan: &LogicalPlan) -> Option<HoppingAggregate<'_>> {
+pub(crate) fn hopping_aggregate(subplan: &LogicalPlan) -> Option<HoppingAggregate<'_>> {
     if subplan.nodes().len() != 3 || subplan.roots().len() != 1 {
         return None;
     }
