@@ -4,7 +4,7 @@ use crate::annotate::Annotation;
 use crate::bridge::EventEncoding;
 use crate::compile::{compile_with_options, CompileOptions, CompiledJob};
 use crate::error::Result;
-use mapreduce::{Cluster, Dfs, JobStats};
+use mapreduce::{BackendKind, Cluster, ClusterConfig, Dfs, JobStats};
 use relation::Schema;
 use std::collections::BTreeMap;
 use temporal::exec::ExecMode;
@@ -123,6 +123,19 @@ impl TimrJob {
                 push_down: self.push_down,
             },
         )
+    }
+
+    /// Compile and run on a fresh cluster using the chosen execution
+    /// backend — the in-process thread pool or real worker OS processes —
+    /// with otherwise-default configuration. Both backends produce
+    /// byte-identical datasets (the determinism contract the cluster
+    /// enforces), so the choice is operational, not semantic.
+    pub fn run_on(&self, dfs: &Dfs, backend: BackendKind) -> Result<TimrOutput> {
+        let cluster = Cluster::with_config(ClusterConfig {
+            backend,
+            ..ClusterConfig::default()
+        });
+        self.run(dfs, &cluster)
     }
 
     /// Compile and run on `cluster` against `dfs`. Source leaves of the
@@ -267,6 +280,23 @@ mod tests {
             "restarted reducers must emit identical bytes"
         );
         let _ = r1;
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn backend_selection_is_invisible_in_output() {
+        // `run_on` chooses how tasks execute, never what they produce:
+        // the multi-process backend's datasets are byte-identical to the
+        // thread pool's.
+        let rows = dataset_rows(300);
+        let run = |backend: BackendKind| {
+            let dfs = dfs_with_logs(rows.clone());
+            let out = click_count_job(4).run_on(&dfs, backend).unwrap();
+            dfs.get(&out.dataset).unwrap().partitions.as_ref().clone()
+        };
+        let threads = run(BackendKind::Threads);
+        let processes = run(BackendKind::Processes { workers: 2 });
+        assert_eq!(threads, processes);
     }
 
     #[test]

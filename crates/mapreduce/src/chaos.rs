@@ -45,6 +45,13 @@ pub enum FaultKind {
     Corrupt,
     /// Sleep before doing the work (a straggler); not a failure.
     Delay,
+    /// SIGKILL the worker *process* executing the task. On the
+    /// multi-process backend this is a real, uncatchable process death
+    /// (the worker consults the plan for its own coordinate and kills
+    /// itself, so the schedule stays a pure function of the coordinates);
+    /// the in-process thread backend has no process to kill and degrades
+    /// it to [`FaultKind::Transient`].
+    KillProcess,
 }
 
 /// A seeded, deterministic fault-injection schedule.
@@ -68,10 +75,15 @@ pub struct ChaosPlan {
     transient_prob: f64,
     corrupt_prob: f64,
     delay_prob: f64,
+    process_kill_prob: f64,
     delay: Duration,
     fault_cap: Option<usize>,
     kills: Vec<(String, TaskPhase, usize)>,
     corrupts: Vec<(String, TaskPhase, usize)>,
+    process_kills: Vec<(String, TaskPhase, usize)>,
+    wire_corrupts: Vec<(String, TaskPhase, usize)>,
+    wire_delays: Vec<(String, TaskPhase, usize, Duration)>,
+    stragglers: Vec<(String, TaskPhase, usize, Duration)>,
 }
 
 impl ChaosPlan {
@@ -136,14 +148,74 @@ impl ChaosPlan {
         self
     }
 
+    /// SIGKILL the worker process running the first attempt of one
+    /// specific task ([`FaultKind::KillProcess`]).
+    pub fn kill_process(mut self, stage: impl Into<String>, phase: TaskPhase, task: usize) -> Self {
+        self.process_kills.push((stage.into(), phase, task));
+        self
+    }
+
+    /// SIGKILL the worker process of each task attempt with probability
+    /// `p` (multi-process backend; degrades to a transient kill on the
+    /// thread backend).
+    pub fn with_process_kills(mut self, p: f64) -> Self {
+        self.process_kill_prob = p;
+        self
+    }
+
+    /// Flip one byte in the result frame a worker sends for the first
+    /// attempt of one specific task, *after* the frame checksum is
+    /// computed — the receiver's FxHash frame verification must catch it
+    /// and re-execute the task. Only meaningful on the multi-process
+    /// backend (the thread backend has no wire); ignored elsewhere.
+    pub fn corrupt_wire(mut self, stage: impl Into<String>, phase: TaskPhase, task: usize) -> Self {
+        self.wire_corrupts.push((stage.into(), phase, task));
+        self
+    }
+
+    /// Delay the result frame a worker sends for one specific task by
+    /// `delay` (socket-level latency injection; never a failure).
+    pub fn delay_wire(
+        mut self,
+        stage: impl Into<String>,
+        phase: TaskPhase,
+        task: usize,
+        delay: Duration,
+    ) -> Self {
+        self.wire_delays.push((stage.into(), phase, task, delay));
+        self
+    }
+
+    /// Make the *primary* execution of one specific task a straggler: its
+    /// first non-speculative attempt sleeps `delay` before computing, so
+    /// the speculation machinery has a deterministic straggler to race. A
+    /// speculative duplicate of the same task skips the sleep (that is
+    /// what lets it win). Delays never change output bytes, so this knob
+    /// preserves byte-determinism by construction.
+    pub fn straggle(
+        mut self,
+        stage: impl Into<String>,
+        phase: TaskPhase,
+        task: usize,
+        delay: Duration,
+    ) -> Self {
+        self.stragglers.push((stage.into(), phase, task, delay));
+        self
+    }
+
     /// Whether this plan can inject nothing at all.
     pub fn is_clean(&self) -> bool {
         self.kills.is_empty()
             && self.corrupts.is_empty()
+            && self.process_kills.is_empty()
+            && self.wire_corrupts.is_empty()
+            && self.wire_delays.is_empty()
+            && self.stragglers.is_empty()
             && self.panic_prob <= 0.0
             && self.transient_prob <= 0.0
             && self.corrupt_prob <= 0.0
             && self.delay_prob <= 0.0
+            && self.process_kill_prob <= 0.0
     }
 
     /// Whether this plan can inject panics (decides whether the quiet
@@ -181,7 +253,14 @@ impl ChaosPlan {
         if hits(&self.corrupts) {
             return Some(self.corrupt_kind(phase));
         }
-        let total = self.panic_prob + self.transient_prob + self.corrupt_prob + self.delay_prob;
+        if hits(&self.process_kills) {
+            return Some(FaultKind::KillProcess);
+        }
+        let total = self.panic_prob
+            + self.transient_prob
+            + self.corrupt_prob
+            + self.delay_prob
+            + self.process_kill_prob;
         if total <= 0.0 {
             return None;
         }
@@ -207,7 +286,65 @@ impl ChaosPlan {
         if roll < edge {
             return Some(FaultKind::Delay);
         }
+        edge += self.process_kill_prob;
+        if roll < edge {
+            return Some(FaultKind::KillProcess);
+        }
         None
+    }
+
+    /// Whether the result frame of this task attempt should be corrupted
+    /// in flight (first attempt only, like the other explicit faults).
+    pub fn wire_corrupt_for(
+        &self,
+        stage: &str,
+        phase: TaskPhase,
+        task: usize,
+        attempt: usize,
+    ) -> bool {
+        attempt == 0
+            && self
+                .wire_corrupts
+                .iter()
+                .any(|(s, ph, t)| s == stage && *ph == phase && *t == task)
+    }
+
+    /// The socket-level delay (if any) scheduled before this task
+    /// attempt's result frame is sent (first attempt only).
+    pub fn wire_delay_for(
+        &self,
+        stage: &str,
+        phase: TaskPhase,
+        task: usize,
+        attempt: usize,
+    ) -> Option<Duration> {
+        if attempt != 0 {
+            return None;
+        }
+        self.wire_delays
+            .iter()
+            .find(|(s, ph, t, _)| s == stage && *ph == phase && *t == task)
+            .map(|(_, _, _, d)| *d)
+    }
+
+    /// The straggler sleep (if any) scheduled for the primary execution
+    /// of this task. Applies to the first non-speculative attempt only;
+    /// the caller passes `speculative` so duplicates skip it.
+    pub fn straggle_for(
+        &self,
+        stage: &str,
+        phase: TaskPhase,
+        task: usize,
+        attempt: usize,
+        speculative: bool,
+    ) -> Option<Duration> {
+        if attempt != 0 || speculative {
+            return None;
+        }
+        self.stragglers
+            .iter()
+            .find(|(s, ph, t, _)| s == stage && *ph == phase && *t == task)
+            .map(|(_, _, _, d)| *d)
     }
 
     /// Reduce attempts have no data read of their own to corrupt (shuffle
@@ -233,6 +370,14 @@ pub struct RetryPolicy {
     pub backoff_base: Duration,
     /// Upper bound on any single pause.
     pub backoff_cap: Duration,
+    /// Per-attempt wall-clock deadline. An attempt that exceeds it fails
+    /// with the retryable `TaskError::TimedOut` and is re-executed like
+    /// any other fault, escalating to `TaskExhausted` when attempts run
+    /// out. The thread backend enforces it post-hoc (a late result is
+    /// discarded — attempts cannot be preempted in-process); the
+    /// multi-process backend enforces it preemptively by SIGKILLing the
+    /// over-deadline worker. `None` (the default) disables the deadline.
+    pub attempt_timeout: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -241,6 +386,7 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(250),
+            attempt_timeout: None,
         }
     }
 }
@@ -252,7 +398,14 @@ impl RetryPolicy {
             max_attempts,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            attempt_timeout: None,
         }
+    }
+
+    /// This policy with a per-attempt deadline.
+    pub fn with_attempt_timeout(mut self, timeout: Duration) -> Self {
+        self.attempt_timeout = Some(timeout);
+        self
     }
 
     /// The pause after 0-based failed attempt `k`.
@@ -434,11 +587,55 @@ mod tests {
     }
 
     #[test]
+    fn process_kills_hit_first_attempt_and_any_phase() {
+        let plan = ChaosPlan::none().kill_process("s", TaskPhase::Map, 2);
+        assert!(!plan.is_clean());
+        assert_eq!(
+            plan.fault_for("s", TaskPhase::Map, 2, 0),
+            Some(FaultKind::KillProcess)
+        );
+        assert_eq!(plan.fault_for("s", TaskPhase::Map, 2, 1), None);
+        assert_eq!(plan.fault_for("s", TaskPhase::Reduce, 2, 0), None);
+    }
+
+    #[test]
+    fn wire_and_straggler_knobs_target_primary_first_attempts() {
+        let d = Duration::from_millis(5);
+        let plan = ChaosPlan::none()
+            .corrupt_wire("s", TaskPhase::Reduce, 1)
+            .delay_wire("s", TaskPhase::Map, 0, d)
+            .straggle("s", TaskPhase::Reduce, 3, d);
+        assert!(!plan.is_clean());
+        assert!(plan.wire_corrupt_for("s", TaskPhase::Reduce, 1, 0));
+        assert!(!plan.wire_corrupt_for("s", TaskPhase::Reduce, 1, 1));
+        assert!(!plan.wire_corrupt_for("s", TaskPhase::Map, 1, 0));
+        assert_eq!(plan.wire_delay_for("s", TaskPhase::Map, 0, 0), Some(d));
+        assert_eq!(plan.wire_delay_for("s", TaskPhase::Map, 0, 1), None);
+        assert_eq!(
+            plan.straggle_for("s", TaskPhase::Reduce, 3, 0, false),
+            Some(d)
+        );
+        assert_eq!(plan.straggle_for("s", TaskPhase::Reduce, 3, 0, true), None);
+        assert_eq!(plan.straggle_for("s", TaskPhase::Reduce, 3, 1, false), None);
+        // The wire/straggler knobs stay out of the fault cascade — they
+        // shape the transport, not the task outcome.
+        assert_eq!(plan.fault_for("s", TaskPhase::Reduce, 1, 0), None);
+    }
+
+    #[test]
+    fn attempt_timeout_rides_along_on_retry_policy() {
+        let policy = RetryPolicy::no_backoff(3).with_attempt_timeout(Duration::from_millis(40));
+        assert_eq!(policy.attempt_timeout, Some(Duration::from_millis(40)));
+        assert_eq!(RetryPolicy::default().attempt_timeout, None);
+    }
+
+    #[test]
     fn backoff_is_exponential_and_capped() {
         let policy = RetryPolicy {
             max_attempts: 8,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(55),
+            attempt_timeout: None,
         };
         assert_eq!(policy.backoff_after(0), Duration::from_millis(10));
         assert_eq!(policy.backoff_after(1), Duration::from_millis(20));

@@ -1,8 +1,15 @@
-//! Stage execution on a local thread pool, with deterministic fault
-//! injection, panic containment, integrity verification, and retry.
+//! Stage execution with deterministic fault injection, panic
+//! containment, integrity verification, and retry.
+//!
+//! The [`Cluster`] owns everything shared across execution backends —
+//! input capture, the deterministic shuffle merge/seal/spill, corruption
+//! rebuild, and all-or-nothing publish — and delegates task execution to
+//! a [`crate::backend::Backend`] (in-process threads by default, real
+//! worker OS processes via [`BackendKind::Processes`]).
 //!
 //! Every task (map scan, shuffle fetch, reduce) runs inside a retry loop
-//! ([`Cluster::run_attempts`]) that:
+//! ([`crate::backend::run_attempts`] on the thread backend, the process
+//! scheduler's attempt accounting on the process backend) that:
 //!
 //! 1. asks the configured [`ChaosPlan`] whether this
 //!    `(stage, phase, task, attempt)` coordinate is scheduled for a fault
@@ -25,57 +32,21 @@
 //! only published to the DFS after every partition has succeeded, so
 //! partial results of failed attempts are never visible.
 
-use crate::chaos::{self, ChaosPlan, ExtentFrame, FaultKind, RetryPolicy};
+use crate::backend::{
+    Backend, BackendKind, FaultCounters, ReduceOut, SpeculationPolicy, StageEnv, StageExec,
+    ThreadBackend,
+};
+use crate::chaos::{self, ChaosPlan, ExtentFrame, RetryPolicy};
 use crate::dfs::{Dataset, Dfs};
-use crate::error::{MrError, Result, TaskError, TaskPhase};
+use crate::error::{MrError, Result, TaskError};
 use crate::job::{CompiledPartitioner, MapperContext, ReduceInput, ReducerContext, Stage};
 use crate::stats::{JobStats, StageStats};
 use pool::WorkerPool;
 use relation::{codec, ColumnBatch, Row, Schema};
-use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
-
-/// Which reduce-task first attempts should be killed.
-///
-/// Superseded by [`ChaosPlan`], which can target map and shuffle tasks,
-/// inject faults other than kills, and schedule them probabilistically;
-/// this type survives as a migration shim (`ChaosPlan::from(plan)`).
-#[deprecated(note = "use ChaosPlan: FailurePlan can only kill reduce tasks")]
-#[derive(Debug, Clone, Default)]
-pub struct FailurePlan {
-    /// `(stage name, partition)` pairs whose **first** attempt fails.
-    pub kill_first_attempt: Vec<(String, usize)>,
-}
-
-#[allow(deprecated)]
-impl FailurePlan {
-    /// No injected failures.
-    pub fn none() -> Self {
-        FailurePlan::default()
-    }
-
-    /// Fail the first attempt of `partition` in `stage`.
-    pub fn kill(mut self, stage: impl Into<String>, partition: usize) -> Self {
-        self.kill_first_attempt.push((stage.into(), partition));
-        self
-    }
-}
-
-#[allow(deprecated)]
-impl From<FailurePlan> for ChaosPlan {
-    /// The old plan expressed exactly the explicit-kill subset of a
-    /// [`ChaosPlan`], restricted to the reduce phase.
-    fn from(plan: FailurePlan) -> ChaosPlan {
-        plan.kill_first_attempt
-            .into_iter()
-            .fold(ChaosPlan::none(), |chaos, (stage, partition)| {
-                chaos.kill(stage, TaskPhase::Reduce, partition)
-            })
-    }
-}
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -112,6 +83,19 @@ pub struct ClusterConfig {
     /// measurement pays the per-row text-encode CPU that the binary
     /// extent path exists to eliminate.
     pub measure_text_shuffle: bool,
+    /// Which execution backend runs the tasks: the in-process thread pool
+    /// (default) or real worker OS processes over Unix-domain sockets.
+    pub backend: BackendKind,
+    /// How often worker processes send heartbeat frames (process backend).
+    pub heartbeat_interval: Duration,
+    /// How long a worker may go silent before the scheduler declares it
+    /// dead, reaps it, and reassigns its task (process backend). Must
+    /// comfortably exceed `heartbeat_interval`; heartbeats come from a
+    /// dedicated worker thread, so even a busy worker keeps beating.
+    pub heartbeat_deadline: Duration,
+    /// When the process scheduler launches speculative duplicates of
+    /// straggling tasks.
+    pub speculation: SpeculationPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -127,46 +111,25 @@ impl Default for ClusterConfig {
             memory_budget_bytes: None,
             spill_dir: None,
             measure_text_shuffle: false,
+            backend: BackendKind::Threads,
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_deadline: Duration::from_secs(2),
+            speculation: SpeculationPolicy::default(),
         }
     }
-}
-
-impl ClusterConfig {
-    /// Migration shim for the old `failures`/`max_attempts` fields.
-    #[deprecated(note = "set the `chaos` and `retry` fields instead")]
-    #[allow(deprecated)]
-    pub fn with_failures(mut self, failures: FailurePlan, max_attempts: usize) -> Self {
-        self.chaos = failures.into();
-        self.retry.max_attempts = max_attempts;
-        self
-    }
-}
-
-/// Fault-handling tallies for one stage run, updated lock-free from
-/// worker threads and folded into [`StageStats`] at the end. Every count
-/// is a deterministic function of the chaos plan and the stage shape, so
-/// tests can assert exact values.
-#[derive(Debug, Default)]
-struct FaultCounters {
-    retries: AtomicU64,
-    panics: AtomicU64,
-    transients: AtomicU64,
-    corruptions: AtomicU64,
-    delays: AtomicU64,
-    backoff_ns: AtomicU64,
 }
 
 /// Lock a shuffle-slot mutex, ignoring poisoning: slot mutations happen
 /// inside `catch_unwind`, so a poisoned lock cannot actually occur — but
 /// an `unwrap()` here would turn a contained fault into a process abort.
-fn lock_slot<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_slot<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Map a dataset-read error to a task error: detected corruption is
 /// retryable (the retry re-reads and, for shuffle, rebuilds), anything
 /// else is deterministic and fatal.
-fn read_error(e: MrError) -> TaskError {
+pub(crate) fn read_error(e: MrError) -> TaskError {
     match e {
         MrError::Corrupt { what } => TaskError::Corrupt { what },
         other => TaskError::Fatal(Box::new(other)),
@@ -177,11 +140,11 @@ fn read_error(e: MrError) -> TaskError {
 #[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
-    /// Task pool shared by the map/shuffle and reduce phases.
-    pool: WorkerPool,
+    /// Task executor selected by `config.backend`.
+    pub(crate) backend: Box<dyn Backend>,
     /// Pool handle threaded through [`ReducerContext`] into embedded
     /// DSMS executions.
-    dsms_pool: Arc<WorkerPool>,
+    pub(crate) dsms_pool: Arc<WorkerPool>,
 }
 
 impl Default for Cluster {
@@ -192,13 +155,13 @@ impl Default for Cluster {
 
 /// Output of one map task: per-reduce-partition sub-buckets for a single
 /// input extent, plus accounting.
-struct MapTaskOut {
-    sub: Vec<Vec<Row>>,
-    rows_in: u64,
-    rows_out: u64,
-    bytes: u64,
-    bytes_saved: u64,
-    text_bytes: u64,
+pub(crate) struct MapTaskOut {
+    pub(crate) sub: Vec<Vec<Row>>,
+    pub(crate) rows_in: u64,
+    pub(crate) rows_out: u64,
+    pub(crate) bytes: u64,
+    pub(crate) bytes_saved: u64,
+    pub(crate) text_bytes: u64,
 }
 
 /// Map-phase accounting carried alongside the shuffle chunks.
@@ -221,7 +184,7 @@ static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// One sealed chunk of a shuffle partition — the native transfer unit.
 #[derive(Debug, PartialEq)]
-enum ShuffleChunk {
+pub(crate) enum ShuffleChunk {
     /// A framed binary columnar extent held in memory.
     Mem(Vec<u8>),
     /// A framed binary columnar extent spilled to a disk file under the
@@ -317,15 +280,15 @@ impl<'a> ChunkBuilder<'a> {
 /// One reduce partition's shuffled inputs: per stage input, the sealed
 /// chunks produced by the deterministic merge — framed at seal time,
 /// before any injected corruption, so every fetch can verify them.
-struct ShuffleSlot {
-    inputs: Vec<Vec<ShuffleChunk>>,
+pub(crate) struct ShuffleSlot {
+    pub(crate) inputs: Vec<Vec<ShuffleChunk>>,
 }
 
 /// Deterministically damage a stored shuffle partition *without* updating
 /// its integrity frames — verification must catch the damage. Binary
 /// chunks (in memory or spilled) get a single byte flipped mid-buffer;
 /// legacy row chunks lose a row.
-fn corrupt_slot(slot: &mut ShuffleSlot) {
+pub(crate) fn corrupt_slot(slot: &mut ShuffleSlot) {
     for chunks in slot.inputs.iter_mut() {
         for chunk in chunks.iter_mut() {
             match chunk {
@@ -362,7 +325,7 @@ fn corrupt_slot(slot: &mut ShuffleSlot) {
 /// Check every chunk of a shuffle slot against its integrity frames —
 /// per-column frames inside binary extents, row frames for legacy chunks.
 /// `Some(description)` on the first mismatch.
-fn verify_slot(slot: &ShuffleSlot) -> Option<String> {
+pub(crate) fn verify_slot(slot: &ShuffleSlot) -> Option<String> {
     for (i, chunks) in slot.inputs.iter().enumerate() {
         for (c, chunk) in chunks.iter().enumerate() {
             let why = match chunk {
@@ -396,32 +359,26 @@ fn verify_slot(slot: &ShuffleSlot) -> Option<String> {
 /// are pure and sealing is deterministic, the rebuilt chunks are
 /// byte-identical to the original merge — spilled chunks are rewritten in
 /// place — so re-execution *is* recovery (paper §III-C.1).
-#[allow(clippy::too_many_arguments)]
 fn rebuild_slot(
-    stage: &Stage,
-    dsms_pool: &Arc<WorkerPool>,
-    inputs: &[Dataset],
-    mapped_schemas: &[Schema],
-    assigners: &[CompiledPartitioner],
-    partitions: usize,
+    env: &StageEnv<'_>,
     p: usize,
-    chunk_target: u64,
     slot: &mut ShuffleSlot,
 ) -> std::result::Result<(), TaskError> {
-    for (i, dataset) in inputs.iter().enumerate() {
+    let partitions = env.stage.partitions;
+    for (i, dataset) in env.inputs.iter().enumerate() {
         let mut rebuilt: Vec<ChunkData> = Vec::new();
         {
             let mut sink = |data: ChunkData| {
                 rebuilt.push(data);
                 Ok(())
             };
-            let mut builder = ChunkBuilder::new(&mapped_schemas[i], chunk_target);
+            let mut builder = ChunkBuilder::new(&env.mapped_schemas[i], env.chunk_target);
             for (e, extent) in dataset.partitions.iter().enumerate() {
                 dataset.verify_extent(e).map_err(read_error)?;
-                let mapped = apply_mapper(stage, dsms_pool, i, e, 0, extent)?;
+                let mapped = apply_mapper(env.stage, env.dsms_pool, i, e, 0, extent)?;
                 let mut rows = Vec::new();
                 for row in mapped.iter() {
-                    if assigners[i].assign(row, partitions)? == p {
+                    if env.assigners[i].assign(row, partitions)? == p {
                         rows.push(row.clone());
                     }
                 }
@@ -466,7 +423,7 @@ fn rebuild_slot(
 /// [`ColumnBatch`] when every chunk shipped binary, rows otherwise. A
 /// decode failure still surfaces as corruption (the retry re-verifies
 /// and rebuilds).
-fn fetch_inputs(slot: &ShuffleSlot) -> std::result::Result<Vec<ReduceInput>, TaskError> {
+pub(crate) fn fetch_inputs(slot: &ShuffleSlot) -> std::result::Result<Vec<ReduceInput>, TaskError> {
     fn chunk_err(i: usize, c: usize, e: impl std::fmt::Display) -> TaskError {
         TaskError::Corrupt {
             what: format!("shuffle input {i} chunk {c}: {e}"),
@@ -582,6 +539,102 @@ fn map_extent(
     })
 }
 
+/// One map task attempt: scan input `i` extent `e`, apply the stage
+/// mapper, and split the rows into per-partition sub-buckets. Shared by
+/// both backends (thread workers call it in place, process workers call
+/// it in their own address space), so whichever backend executes the
+/// task, the rows it contributes are identical.
+pub(crate) fn run_map_task(
+    env: &StageEnv<'_>,
+    i: usize,
+    e: usize,
+    attempt: usize,
+    corrupt: bool,
+) -> std::result::Result<MapTaskOut, TaskError> {
+    if corrupt {
+        // A bad replica read: the extent this attempt saw does not match
+        // its frame. The retry re-reads.
+        return Err(TaskError::Corrupt {
+            what: format!("injected bad read of input {i} extent {e}"),
+        });
+    }
+    // The first read consumes the very buffer the frame was computed
+    // from, so verifying it would hash memory against itself. A retry
+    // models a re-read from another replica — that boundary crossing is
+    // verified.
+    if env.config.integrity && attempt > 0 {
+        env.inputs[i].verify_extent(e).map_err(read_error)?;
+    }
+    // Map-side compute runs here, inside the chaos/retry/integrity
+    // envelope, before partitioning.
+    let raw = &env.inputs[i].partitions[e];
+    let mapped = apply_mapper(env.stage, env.dsms_pool, i, e, attempt, raw)?;
+    let mut out = map_extent(
+        raw.len() as u64,
+        &mapped,
+        &env.assigners[i],
+        env.stage.partitions,
+        env.config.measure_text_shuffle,
+    )?;
+    if env.stage.mapper.is_some() {
+        let raw_bytes: u64 = raw.iter().map(|r| r.width() as u64).sum();
+        out.bytes_saved = raw_bytes.saturating_sub(out.bytes);
+    }
+    Ok(out)
+}
+
+/// One shuffle-fetch attempt for reduce partition `p`: apply any injected
+/// corruption to the stored slot, verify every chunk against its
+/// integrity frames (rebuilding from the source extents on a mismatch,
+/// then failing the attempt so the retry sees repaired data), and decode
+/// the verified chunks into reduce-input form.
+pub(crate) fn run_shuffle_fetch(
+    env: &StageEnv<'_>,
+    p: usize,
+    corrupt: bool,
+    slot: &mut ShuffleSlot,
+) -> std::result::Result<Vec<ReduceInput>, TaskError> {
+    if corrupt {
+        corrupt_slot(slot);
+    }
+    if env.config.integrity {
+        if let Some(why) = verify_slot(slot) {
+            rebuild_slot(env, p, slot)?;
+            return Err(TaskError::Corrupt { what: why });
+        }
+    }
+    fetch_inputs(slot)
+}
+
+/// One reduce attempt for partition `p` over already-fetched inputs. The
+/// reducer is a pure function of the (verified) partition, so every retry
+/// — on any backend — reproduces the same rows.
+pub(crate) fn run_reduce_task(
+    env: &StageEnv<'_>,
+    p: usize,
+    attempt: usize,
+    fetched: &[ReduceInput],
+) -> std::result::Result<ReduceOut, TaskError> {
+    let ctx = ReducerContext {
+        stage: env.stage.name.clone(),
+        partition: p,
+        partitions: env.stage.partitions,
+        attempt,
+        dsms_pool: Arc::clone(env.dsms_pool),
+    };
+    let start = Instant::now();
+    let out = env.stage.reducer.reduce_shuffled_multi(&ctx, fetched)?;
+    if out.len() != env.expected_sinks {
+        return Err(TaskError::Fatal(Box::new(MrError::BadStage(format!(
+            "stage `{}` reducer produced {} sink(s), stage declares {}",
+            env.stage.name,
+            out.len(),
+            env.expected_sinks
+        )))));
+    }
+    Ok((out, start.elapsed()))
+}
+
 impl Cluster {
     /// Cluster with default configuration.
     pub fn new() -> Self {
@@ -590,11 +643,19 @@ impl Cluster {
 
     /// Cluster with explicit configuration.
     pub fn with_config(config: ClusterConfig) -> Self {
-        let pool = WorkerPool::new(config.threads);
+        let backend: Box<dyn Backend> = match config.backend {
+            BackendKind::Threads => Box::new(ThreadBackend::new(config.threads)),
+            #[cfg(unix)]
+            BackendKind::Processes { workers } => {
+                Box::new(crate::process::ProcessBackend::new(workers))
+            }
+            #[cfg(not(unix))]
+            BackendKind::Processes { workers } => Box::new(ThreadBackend::new(workers)),
+        };
         let dsms_pool = Arc::new(WorkerPool::new(config.dsms_threads));
         Cluster {
             config,
-            pool,
+            backend,
             dsms_pool,
         }
     }
@@ -602,110 +663,6 @@ impl Cluster {
     /// The active configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
-    }
-
-    /// Run one task's attempt loop.
-    ///
-    /// Each attempt consults the chaos plan (injecting any scheduled
-    /// panic / transient / delay, and passing a `corrupt` flag for the
-    /// body to apply to the data it reads), runs `body` under
-    /// `catch_unwind`, and classifies the outcome. Retryable errors back
-    /// off per [`RetryPolicy`] and try again; [`TaskError::Fatal`] and
-    /// retry exhaustion escalate to job-level errors.
-    fn run_attempts<T>(
-        &self,
-        stage: &str,
-        phase: TaskPhase,
-        task: usize,
-        counters: &FaultCounters,
-        mut body: impl FnMut(usize, bool) -> std::result::Result<T, TaskError>,
-    ) -> Result<T> {
-        let max_attempts = self.config.retry.max_attempts.max(1);
-        let mut attempt = 0usize;
-        loop {
-            let mut fault = self.config.chaos.fault_for(stage, phase, task, attempt);
-            if !self.config.integrity && fault == Some(FaultKind::Corrupt) {
-                // With verification off, corruption would pass silently and
-                // break repeatability; degrade it to a detectable kill.
-                fault = Some(FaultKind::Transient);
-            }
-            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                match fault {
-                    Some(FaultKind::Panic) => std::panic::panic_any(format!(
-                        "{}: `{stage}` {phase} task {task} attempt {attempt}",
-                        chaos::INJECTED_PANIC_MARKER
-                    )),
-                    Some(FaultKind::Transient) => {
-                        return Err(TaskError::Transient {
-                            message: format!("injected kill (attempt {attempt})"),
-                        });
-                    }
-                    Some(FaultKind::Delay) => {
-                        counters.delays.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(self.config.chaos.delay());
-                    }
-                    _ => {}
-                }
-                body(attempt, fault == Some(FaultKind::Corrupt))
-            }));
-            let outcome = caught.unwrap_or_else(|payload| {
-                Err(TaskError::Panicked {
-                    payload: pool::payload_str(payload.as_ref()).to_string(),
-                })
-            });
-            let err = match outcome {
-                Ok(value) => return Ok(value),
-                Err(TaskError::Fatal(e)) => return Err(*e),
-                Err(e) => e,
-            };
-            match &err {
-                TaskError::Panicked { .. } => counters.panics.fetch_add(1, Ordering::Relaxed),
-                TaskError::Transient { .. } => counters.transients.fetch_add(1, Ordering::Relaxed),
-                TaskError::Corrupt { .. } => counters.corruptions.fetch_add(1, Ordering::Relaxed),
-                TaskError::Fatal(_) => unreachable!("fatal errors returned above"),
-            };
-            attempt += 1;
-            if attempt >= max_attempts {
-                return Err(MrError::TaskExhausted {
-                    stage: stage.to_string(),
-                    phase,
-                    partition: task,
-                    attempts: attempt,
-                    last: Box::new(err),
-                });
-            }
-            counters.retries.fetch_add(1, Ordering::Relaxed);
-            let pause = self.config.retry.backoff_after(attempt - 1);
-            if !pause.is_zero() {
-                counters
-                    .backoff_ns
-                    .fetch_add(pause.as_nanos() as u64, Ordering::Relaxed);
-                std::thread::sleep(pause);
-            }
-        }
-    }
-
-    /// Fold one pool slot back into a job-level result. A panic that
-    /// escaped the attempt loop itself (a harness bug, since attempts run
-    /// under `catch_unwind`) is still contained by the pool and reported
-    /// as an exhausted task rather than aborting the process.
-    fn contained<T>(
-        &self,
-        stage: &str,
-        phase: TaskPhase,
-        task: usize,
-        slot: std::result::Result<Result<T>, pool::Panicked>,
-    ) -> Result<T> {
-        match slot {
-            Ok(inner) => inner,
-            Err(p) => Err(MrError::TaskExhausted {
-                stage: stage.to_string(),
-                phase,
-                partition: task,
-                attempts: self.config.retry.max_attempts.max(1),
-                last: Box::new(TaskError::Panicked { payload: p.payload }),
-            }),
-        }
     }
 
     /// Seal threshold for one (input, partition) chunk accumulator: a
@@ -801,13 +758,11 @@ impl Cluster {
     /// output never exceeds a few extents per worker.
     fn map_shuffle(
         &self,
-        stage: &Stage,
-        inputs: &[Dataset],
-        mapped_schemas: &[Schema],
-        assigners: &[CompiledPartitioner],
-        counters: &FaultCounters,
+        env: &StageEnv<'_>,
+        exec: &mut (dyn StageExec<'_> + '_),
     ) -> Result<(Vec<Vec<Vec<ShuffleChunk>>>, MapPhase)> {
-        let chunk_target = self.chunk_target(inputs.len(), stage.partitions);
+        let stage = env.stage;
+        let inputs = env.inputs;
         // One map task per (input, extent), in deterministic order.
         let tasks: Vec<(usize, usize)> = inputs
             .iter()
@@ -818,11 +773,12 @@ impl Cluster {
             .iter()
             .map(|_| (0..stage.partitions).map(|_| Vec::new()).collect())
             .collect();
-        let mut builders: Vec<Vec<ChunkBuilder<'_>>> = mapped_schemas
+        let mut builders: Vec<Vec<ChunkBuilder<'_>>> = env
+            .mapped_schemas
             .iter()
             .map(|schema| {
                 (0..stage.partitions)
-                    .map(|_| ChunkBuilder::new(schema, chunk_target))
+                    .map(|_| ChunkBuilder::new(schema, env.chunk_target))
                     .collect()
             })
             .collect();
@@ -841,62 +797,19 @@ impl Cluster {
         // Unbudgeted runs execute every task in one wave (maximum
         // parallelism); budgeted runs bound the unmerged task output held
         // in memory to one wave's worth.
+        let parallelism = match self.config.backend {
+            BackendKind::Threads => self.config.threads,
+            BackendKind::Processes { workers } => workers,
+        };
         let wave = if self.config.memory_budget_bytes.is_some() {
-            self.config.threads.max(1) * 2
+            parallelism.max(1) * 2
         } else {
             tasks.len().max(1)
         };
         for (w, wave_tasks) in tasks.chunks(wave).enumerate() {
             let base = w * wave;
             let map_start = Instant::now();
-            let results: Vec<Result<MapTaskOut>> = self
-                .pool
-                .run_caught(wave_tasks.len(), |k| {
-                    let t = base + k;
-                    let (i, e) = tasks[t];
-                    self.run_attempts(
-                        &stage.name,
-                        TaskPhase::Map,
-                        t,
-                        counters,
-                        |attempt, corrupt| {
-                            if corrupt {
-                                // A bad replica read: the extent this attempt saw
-                                // does not match its frame. The retry re-reads.
-                                return Err(TaskError::Corrupt {
-                                    what: format!("injected bad read of input {i} extent {e}"),
-                                });
-                            }
-                            // The first read consumes the very buffer the frame was
-                            // computed from, so verifying it would hash memory
-                            // against itself. A retry models a re-read from another
-                            // replica — that boundary crossing is verified.
-                            if self.config.integrity && attempt > 0 {
-                                inputs[i].verify_extent(e).map_err(read_error)?;
-                            }
-                            // Map-side compute runs here, inside the chaos/
-                            // retry/integrity envelope, before partitioning.
-                            let raw = &inputs[i].partitions[e];
-                            let mapped = apply_mapper(stage, &self.dsms_pool, i, e, attempt, raw)?;
-                            let mut out = map_extent(
-                                raw.len() as u64,
-                                &mapped,
-                                &assigners[i],
-                                stage.partitions,
-                                self.config.measure_text_shuffle,
-                            )?;
-                            if stage.mapper.is_some() {
-                                let raw_bytes: u64 = raw.iter().map(|r| r.width() as u64).sum();
-                                out.bytes_saved = raw_bytes.saturating_sub(out.bytes);
-                            }
-                            Ok(out)
-                        },
-                    )
-                })
-                .into_iter()
-                .enumerate()
-                .map(|(k, slot)| self.contained(&stage.name, TaskPhase::Map, base + k, slot))
-                .collect();
+            let results: Vec<Result<MapTaskOut>> = exec.run_map(base, wave_tasks);
             map_time += map_start.elapsed();
 
             // Merge sub-buckets in task order == (input, extent) order.
@@ -995,12 +908,44 @@ impl Cluster {
             .iter()
             .map(|schema| stage.partitioner.compile(schema))
             .collect::<Result<Vec<_>>>()?;
+        // Sink schemas and arity are validated before any worker spawns,
+        // so a misconfigured stage never pays a fork (and worker
+        // processes inherit the schemas for result encoding).
+        let expected_sinks = 1 + stage.aux_outputs.len();
+        let sink_schemas = stage.reducer.sink_schemas(&mapped_schemas)?;
+        if sink_schemas.len() != expected_sinks {
+            return Err(MrError::BadStage(format!(
+                "stage `{}` declares {} sink schema(s) but {} sink name(s)",
+                stage.name,
+                sink_schemas.len(),
+                expected_sinks
+            )));
+        }
         let counters = FaultCounters::default();
+        let env = StageEnv {
+            stage,
+            inputs: &inputs,
+            mapped_schemas: &mapped_schemas,
+            assigners: &assigners,
+            sink_schemas: &sink_schemas,
+            config: &self.config,
+            counters: &counters,
+            dsms_pool: &self.dsms_pool,
+            chunk_target: self.chunk_target(inputs.len(), stage.partitions),
+            expected_sinks,
+        };
+        let mut exec = self.backend.begin(&env)?;
 
         // ---- map / shuffle ----
-        let chunk_target = self.chunk_target(inputs.len(), stage.partitions);
-        let (mut chunks, map_phase) =
-            self.map_shuffle(stage, &inputs, &mapped_schemas, &assigners, &counters)?;
+        let (mut chunks, map_phase) = match self.map_shuffle(&env, exec.as_mut()) {
+            Ok(out) => out,
+            Err(e) => {
+                // Release (and, on the process backend, reap) workers
+                // before surfacing the map-phase error.
+                let _ = exec.finish();
+                return Err(e);
+            }
+        };
 
         // ---- reduce ----
         // Transpose chunks into per-partition slots once; workers (and
@@ -1019,82 +964,12 @@ impl Cluster {
             })
             .collect();
 
-        let expected_sinks = 1 + stage.aux_outputs.len();
-        type TaskOut = Result<(Vec<Vec<Row>>, Duration)>;
-        let results: Vec<TaskOut> = self
-            .pool
-            .run_caught(stage.partitions, |p| {
-                let mut slot = lock_slot(&shuffle[p]);
-                // Shuffle fetch: verify this partition's chunks against
-                // their per-column (binary) or row-level (legacy) frames;
-                // on a mismatch, rebuild them from the source extents and
-                // retry. On success, decode into the reduce input forms —
-                // one partition's worth of decoded data at a time, which
-                // is what keeps budgeted runs out-of-core.
-                let fetched = self.run_attempts(
-                    &stage.name,
-                    TaskPhase::Shuffle,
-                    p,
-                    &counters,
-                    |_, corrupt| {
-                        let slot = &mut *slot;
-                        if corrupt {
-                            corrupt_slot(slot);
-                        }
-                        if self.config.integrity {
-                            if let Some(why) = verify_slot(slot) {
-                                rebuild_slot(
-                                    stage,
-                                    &self.dsms_pool,
-                                    &inputs,
-                                    &mapped_schemas,
-                                    &assigners,
-                                    stage.partitions,
-                                    p,
-                                    chunk_target,
-                                    slot,
-                                )?;
-                                return Err(TaskError::Corrupt { what: why });
-                            }
-                        }
-                        fetch_inputs(slot)
-                    },
-                )?;
-                drop(slot);
-                // Reduce: the reducer is a pure function of the (now
-                // verified) partition, so every retry reproduces the same
-                // rows.
-                self.run_attempts(
-                    &stage.name,
-                    TaskPhase::Reduce,
-                    p,
-                    &counters,
-                    |attempt, _| {
-                        let ctx = ReducerContext {
-                            stage: stage.name.clone(),
-                            partition: p,
-                            partitions: stage.partitions,
-                            attempt,
-                            dsms_pool: Arc::clone(&self.dsms_pool),
-                        };
-                        let start = Instant::now();
-                        let out = stage.reducer.reduce_shuffled_multi(&ctx, &fetched)?;
-                        if out.len() != expected_sinks {
-                            return Err(TaskError::Fatal(Box::new(MrError::BadStage(format!(
-                                "stage `{}` reducer produced {} sink(s), stage declares {}",
-                                stage.name,
-                                out.len(),
-                                expected_sinks
-                            )))));
-                        }
-                        Ok((out, start.elapsed()))
-                    },
-                )
-            })
-            .into_iter()
-            .enumerate()
-            .map(|(p, slot)| self.contained(&stage.name, TaskPhase::Reduce, p, slot))
-            .collect();
+        let results: Vec<Result<ReduceOut>> = exec.run_reduce(&shuffle);
+        // Shut the backend down before inspecting results: even when a
+        // partition failed, workers are reaped (no orphan processes on
+        // any path). A task error takes precedence over a shutdown error.
+        let finished = exec.finish();
+        drop(exec);
 
         // ---- collect ----
         // Nothing is published until every partition result is Ok, so a
@@ -1114,19 +989,11 @@ impl Cluster {
                 sinks_out[sink].push(rows);
             }
         }
+        finished?;
         let reduce_wall_time = reduce_start.elapsed();
 
-        let out_schemas = stage.reducer.sink_schemas(&mapped_schemas)?;
-        if out_schemas.len() != expected_sinks {
-            return Err(MrError::BadStage(format!(
-                "stage `{}` declares {} sink schema(s) but {} sink name(s)",
-                stage.name,
-                out_schemas.len(),
-                expected_sinks
-            )));
-        }
         for ((name, out_schema), partitions_out) in
-            stage.sink_names().zip(out_schemas).zip(sinks_out)
+            stage.sink_names().zip(sink_schemas).zip(sinks_out)
         {
             let output = if self.config.integrity {
                 Dataset::partitioned(out_schema, partitions_out)
@@ -1162,6 +1029,11 @@ impl Cluster {
             corruption_detected: counters.corruptions.load(Ordering::Relaxed),
             delays_injected: counters.delays.load(Ordering::Relaxed),
             backoff_time: Duration::from_nanos(counters.backoff_ns.load(Ordering::Relaxed)),
+            heartbeats_missed: counters.heartbeats_missed.load(Ordering::Relaxed),
+            tasks_timed_out: counters.timeouts.load(Ordering::Relaxed),
+            speculative_launched: counters.spec_launched.load(Ordering::Relaxed),
+            speculative_wins: counters.spec_wins.load(Ordering::Relaxed),
+            workers_lost: counters.workers_lost.load(Ordering::Relaxed),
         })
     }
 
@@ -1359,15 +1231,24 @@ mod tests {
             let inputs = vec![dfs.get("in").unwrap()];
             let mapped_schemas = vec![inputs[0].schema.clone()];
             let assigners = vec![stage.partitioner.compile(&inputs[0].schema).unwrap()];
-            let (buckets, _) = cluster
-                .map_shuffle(
-                    &stage,
-                    &inputs,
-                    &mapped_schemas,
-                    &assigners,
-                    &FaultCounters::default(),
-                )
-                .unwrap();
+            let sink_schemas = stage.reducer.sink_schemas(&mapped_schemas).unwrap();
+            let counters = FaultCounters::default();
+            let env = StageEnv {
+                stage: &stage,
+                inputs: &inputs,
+                mapped_schemas: &mapped_schemas,
+                assigners: &assigners,
+                sink_schemas: &sink_schemas,
+                config: cluster.config(),
+                counters: &counters,
+                dsms_pool: &cluster.dsms_pool,
+                chunk_target: u64::MAX,
+                expected_sinks: 1,
+            };
+            let mut exec = cluster.backend.begin(&env).unwrap();
+            let (buckets, _) = cluster.map_shuffle(&env, exec.as_mut()).unwrap();
+            exec.finish().unwrap();
+            drop(exec);
             let stats = cluster.run_stage(&dfs, &stage).unwrap();
             let out = dfs.get("out").unwrap().partitions.as_ref().clone();
             (buckets, out, stats)
@@ -1599,26 +1480,6 @@ mod tests {
             other => panic!("expected TaskExhausted, got {other:?}"),
         }
         assert!(!dfs.contains("out"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn failure_plan_shim_maps_to_reduce_kills() {
-        let plan = FailurePlan::none().kill("s", 1).kill("s", 3);
-        let chaos = ChaosPlan::from(plan);
-        assert_eq!(
-            chaos.fault_for("s", TaskPhase::Reduce, 1, 0),
-            Some(FaultKind::Transient)
-        );
-        assert_eq!(
-            chaos.fault_for("s", TaskPhase::Reduce, 3, 0),
-            Some(FaultKind::Transient)
-        );
-        assert_eq!(chaos.fault_for("s", TaskPhase::Reduce, 1, 1), None);
-        assert_eq!(chaos.fault_for("s", TaskPhase::Map, 1, 0), None);
-        let config = ClusterConfig::default().with_failures(FailurePlan::none().kill("s", 0), 5);
-        assert_eq!(config.retry.max_attempts, 5);
-        assert!(!config.chaos.is_clean());
     }
 
     #[test]

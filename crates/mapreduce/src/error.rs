@@ -53,6 +53,13 @@ pub enum TaskError {
         /// What failed verification and how.
         what: String,
     },
+    /// The attempt exceeded `RetryPolicy::attempt_timeout`. Retryable:
+    /// the re-execution gets a fresh deadline (and, on the multi-process
+    /// backend, a fresh worker).
+    TimedOut {
+        /// How long the attempt ran before the deadline fired.
+        elapsed: std::time::Duration,
+    },
     /// A deterministic error that retrying cannot fix (bad stage config,
     /// reducer logic error); propagated immediately without retry.
     Fatal(Box<MrError>),
@@ -71,6 +78,9 @@ impl fmt::Display for TaskError {
             TaskError::Panicked { payload } => write!(f, "task panicked: {payload}"),
             TaskError::Transient { message } => write!(f, "transient fault: {message}"),
             TaskError::Corrupt { what } => write!(f, "corruption detected: {what}"),
+            TaskError::TimedOut { elapsed } => {
+                write!(f, "attempt timed out after {elapsed:?}")
+            }
             TaskError::Fatal(e) => write!(f, "fatal: {e}"),
         }
     }
@@ -116,6 +126,14 @@ pub enum MrError {
         /// What failed verification and how.
         what: String,
     },
+    /// The execution backend itself failed (worker process could not be
+    /// spawned, the worker set died beyond the respawn budget, a protocol
+    /// violation on the wire) — as opposed to a task failing *on* a
+    /// healthy backend.
+    Backend {
+        /// What went wrong.
+        message: String,
+    },
     /// A task kept failing retryably until `RetryPolicy::max_attempts`.
     TaskExhausted {
         /// Stage name.
@@ -154,6 +172,7 @@ impl fmt::Display for MrError {
                 message,
             } => write!(f, "io error ({what}) at `{path}`: {message}"),
             MrError::Corrupt { what } => write!(f, "corruption detected: {what}"),
+            MrError::Backend { message } => write!(f, "backend failure: {message}"),
             MrError::TaskExhausted {
                 stage,
                 phase,

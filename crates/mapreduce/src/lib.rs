@@ -34,17 +34,20 @@
 //!   what the span-width experiment (paper Fig 16) sweeps, since a laptop
 //!   cannot time-share 150 physical machines.
 
+pub mod backend;
 pub mod chaos;
 pub mod cluster;
 pub mod dfs;
 pub mod error;
 pub mod job;
 pub mod persist;
+#[cfg(unix)]
+pub(crate) mod process;
 pub mod stats;
+pub mod transport;
 
+pub use backend::{BackendKind, SpeculationPolicy};
 pub use chaos::{ChaosPlan, ExtentFrame, FaultKind, RetryPolicy};
-#[allow(deprecated)]
-pub use cluster::FailurePlan;
 pub use cluster::{Cluster, ClusterConfig};
 pub use dfs::{Dataset, Dfs, StoredExtent};
 pub use error::{MrError, Result, TaskError, TaskPhase};

@@ -65,6 +65,18 @@ pub struct StageStats {
     pub delays_injected: u64,
     /// Total time spent sleeping in retry backoff.
     pub backoff_time: Duration,
+    /// Worker heartbeat deadlines missed (multi-process backend: a live
+    /// worker stopped heartbeating and was declared dead).
+    pub heartbeats_missed: u64,
+    /// Task attempts that exceeded `RetryPolicy::attempt_timeout`.
+    pub tasks_timed_out: u64,
+    /// Speculative duplicate executions launched for straggling tasks.
+    pub speculative_launched: u64,
+    /// Tasks whose speculative copy finished before the primary.
+    pub speculative_wins: u64,
+    /// Worker processes lost mid-stage (SIGKILL chaos, missed heartbeats,
+    /// or preemptive timeout kills); survivors absorb their tasks.
+    pub workers_lost: u64,
 }
 
 impl StageStats {
@@ -123,6 +135,16 @@ pub struct FaultTotals {
     pub delays_injected: u64,
     /// Total backoff sleep time.
     pub backoff_time: Duration,
+    /// Worker heartbeat deadlines missed.
+    pub heartbeats_missed: u64,
+    /// Task attempts past their deadline.
+    pub tasks_timed_out: u64,
+    /// Speculative duplicates launched.
+    pub speculative_launched: u64,
+    /// Speculative duplicates that won.
+    pub speculative_wins: u64,
+    /// Worker processes lost.
+    pub workers_lost: u64,
 }
 
 impl FaultTotals {
@@ -133,6 +155,10 @@ impl FaultTotals {
             || self.transient_faults > 0
             || self.corruption_detected > 0
             || self.delays_injected > 0
+            || self.heartbeats_missed > 0
+            || self.tasks_timed_out > 0
+            || self.speculative_launched > 0
+            || self.workers_lost > 0
     }
 }
 
@@ -188,6 +214,11 @@ impl JobStats {
             t.corruption_detected += s.corruption_detected;
             t.delays_injected += s.delays_injected;
             t.backoff_time += s.backoff_time;
+            t.heartbeats_missed += s.heartbeats_missed;
+            t.tasks_timed_out += s.tasks_timed_out;
+            t.speculative_launched += s.speculative_launched;
+            t.speculative_wins += s.speculative_wins;
+            t.workers_lost += s.workers_lost;
         }
         t
     }
@@ -336,9 +367,22 @@ mod tests {
         b.corruption_detected = 4;
         b.delays_injected = 5;
         b.backoff_time = Duration::from_millis(7);
-        let job = JobStats { stages: vec![a, b] };
+        let mut c = stats(&[1]);
+        c.heartbeats_missed = 1;
+        c.tasks_timed_out = 2;
+        c.speculative_launched = 3;
+        c.speculative_wins = 2;
+        c.workers_lost = 1;
+        let job = JobStats {
+            stages: vec![a, b, c],
+        };
         let t = job.fault_totals();
         assert!(t.any());
+        assert_eq!(t.heartbeats_missed, 1);
+        assert_eq!(t.tasks_timed_out, 2);
+        assert_eq!(t.speculative_launched, 3);
+        assert_eq!(t.speculative_wins, 2);
+        assert_eq!(t.workers_lost, 1);
         assert_eq!(t.task_retries, 3);
         assert_eq!(t.panics_contained, 1);
         assert_eq!(t.transient_faults, 0);
